@@ -1,0 +1,49 @@
+//! Criterion benchmarks of end-to-end epochs: real GCN training steps and
+//! the modelled heterogeneous epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
+use gnn_dm_graph::generate::{planted_partition, PplConfig};
+use gnn_dm_nn::optim::Adam;
+use gnn_dm_nn::train::train_step;
+use gnn_dm_nn::{AggKind, GnnModel};
+use gnn_dm_sampling::sampler::{build_minibatch, FanoutSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_train_step(c: &mut Criterion) {
+    let g = planted_partition(&PplConfig {
+        n: 4000,
+        avg_degree: 12.0,
+        num_classes: 8,
+        feat_dim: 64,
+        ..Default::default()
+    });
+    let sampler = FanoutSampler::new(vec![10, 5]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let seeds: Vec<u32> = g.train_vertices().into_iter().take(256).collect();
+    let mb = build_minibatch(&g.inn, &seeds, &sampler, &mut rng);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("gcn_train_step_batch256", |b| {
+        let mut model = GnnModel::new(AggKind::Gcn, &[64, 128, 8], 3);
+        let mut opt = Adam::new(0.01);
+        b.iter(|| black_box(train_step(&mut model, &mut opt, &g, black_box(&mb))))
+    });
+    group.bench_function("sage_train_step_batch256", |b| {
+        let mut model = GnnModel::new(AggKind::SageMean, &[64, 128, 8], 3);
+        let mut opt = Adam::new(0.01);
+        b.iter(|| black_box(train_step(&mut model, &mut opt, &g, black_box(&mb))))
+    });
+    group.bench_function("hetero_epoch_model", |b| {
+        b.iter(|| {
+            let cfg = HeteroTrainerConfig::baseline(&g, 512);
+            black_box(HeteroTrainer::new(&g, cfg).run_epoch_model(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

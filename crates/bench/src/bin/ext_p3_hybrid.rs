@@ -1,0 +1,49 @@
+//! Extension experiment — P3's hybrid parallelism vs plain data
+//! parallelism, across feature widths.
+//!
+//! P3 [10] is one of Table 1/3's evaluated systems; its core bet is that
+//! shipping *partial layer-1 activations* (hidden width) beats shipping
+//! *raw features* (feature width) whenever features are wide. This run
+//! finds the crossover on a hash-partitioned cluster.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin ext_p3_hybrid`
+
+use gnn_dm_bench::SCALE_LOAD;
+use gnn_dm_cluster::p3::compare_epoch;
+use gnn_dm_cluster::ClusterSim;
+use gnn_dm_core::results::{mib, Table};
+use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
+use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::FanoutSampler;
+
+fn main() {
+    let mut table = Table::new(&[
+        "feat_dim",
+        "data_parallel_MiB",
+        "p3_MiB",
+        "p3_advantage",
+        "winner",
+    ]);
+    let sampler = FanoutSampler::new(vec![25, 10]);
+    for feat_dim in [16usize, 64, 128, 256, 602] {
+        let mut cfg = DatasetSpec::get(DatasetId::Reddit).scaled_config(SCALE_LOAD, 42);
+        cfg.feat_dim = feat_dim;
+        let g = gnn_dm_graph::generate::planted_partition(&cfg);
+        let part = partition_graph(&g, PartitionMethod::Hash, 4, 7);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
+        let c = compare_epoch(&sim, &sampler, 128, 0);
+        table.row(&[
+            feat_dim.to_string(),
+            mib(c.data_parallel_bytes),
+            mib(c.p3_bytes),
+            format!("{:.2}x", c.p3_advantage()),
+            if c.p3_advantage() > 1.0 { "P3" } else { "data-parallel" }.into(),
+        ]);
+    }
+    table.print("Extension: P3 hybrid parallelism vs data parallelism (hidden = 128)");
+    println!(
+        "Reading: P3's activation exchange is independent of the feature width,\n\
+         so its advantage grows with F — decisive on Reddit-class 602-dim\n\
+         features, a loss on narrow-feature graphs. Matches P3's own evaluation."
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 10 — the paper's adaptive batch-size training method.
+//!
+//! Paper result: starting with a small batch and growing it during training
+//! converges 1.64× (Reddit) / 1.52× (Products) faster to the highest
+//! accuracy than the best fixed batch size.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin fig10_adaptive_batch`
+
+use gnn_dm_bench::convergence_graph;
+use gnn_dm_core::config::ModelKind;
+use gnn_dm_core::convergence::train_single;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+
+const EPOCHS: usize = 25;
+
+fn main() {
+    let sampler = FanoutSampler::new(vec![5, 5]);
+    let mut table = Table::new(&[
+        "dataset",
+        "schedule",
+        "best_acc",
+        "time_to_97%best_s",
+        "speedup_vs_best_fixed",
+    ]);
+    for id in [DatasetId::Reddit, DatasetId::OgbProducts] {
+        let g = convergence_graph(id, 42);
+        let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
+        let schedules: Vec<(&str, BatchSizeSchedule)> = vec![
+            ("fixed(128)", BatchSizeSchedule::Fixed(128)),
+            ("fixed(512)", BatchSizeSchedule::Fixed(512)),
+            ("fixed(2048)", BatchSizeSchedule::Fixed(2048)),
+            (
+                "adaptive(128->2048)",
+                BatchSizeSchedule::Adaptive { start: 128, max: 2048, growth: 2.0, grow_every: 3 },
+            ),
+        ];
+        let results: Vec<_> = schedules
+            .iter()
+            .map(|(label, s)| {
+                let r = train_single(
+                    &g,
+                    ModelKind::Gcn,
+                    64,
+                    &sampler,
+                    &BatchSelection::Random,
+                    s,
+                    0.01,
+                    EPOCHS,
+                    5,
+                );
+                (*label, r)
+            })
+            .collect();
+        // Target: near the highest accuracy anyone reaches (the paper's
+        // adaptive method is about reaching the *top* accuracy fast).
+        let best_overall = results.iter().map(|(_, r)| r.best_acc).fold(0.0f64, f64::max);
+        let target = 0.97 * best_overall;
+        let fixed_best_time = results
+            .iter()
+            .filter(|(l, _)| l.starts_with("fixed"))
+            .filter_map(|(_, r)| r.time_to(target))
+            .fold(f64::INFINITY, f64::min);
+        for (label, r) in &results {
+            let t = r.time_to(target);
+            table.row(&[
+                name.into(),
+                (*label).into(),
+                f(r.best_acc),
+                t.map_or("never".into(), f),
+                t.map_or("-".into(), |t| format!("{:.2}x", fixed_best_time / t)),
+            ]);
+        }
+    }
+    table.print("Figure 10: adaptive batch size vs fixed batch sizes");
+    println!("Paper shape: adaptive ≈ 1.5-1.6x faster to the top accuracy band.");
+}

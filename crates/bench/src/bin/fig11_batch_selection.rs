@@ -1,0 +1,78 @@
+//! Figure 11 — random vs cluster-based batch selection: accuracy and
+//! stability.
+//!
+//! Paper result: random selection reaches higher accuracy and trains
+//! stably; cluster-based selection biases batches toward single clusters,
+//! lowering accuracy and destabilizing training (batch-subgraph density
+//! variance 2e-4 vs 1.1e-6 for random).
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin fig11_batch_selection`
+
+use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
+use gnn_dm_core::config::ModelKind;
+use gnn_dm_core::convergence::train_single;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_graph::stats;
+use gnn_dm_partition::metis_clusters;
+use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+
+const EPOCHS: usize = 20;
+
+fn main() {
+    let sampler = FanoutSampler::new(vec![10, 5]);
+    let mut table = Table::new(&[
+        "dataset",
+        "selection",
+        "best_acc",
+        "acc_stddev_late",
+        "batch_density_var",
+    ]);
+    for id in [DatasetId::Reddit, DatasetId::OgbProducts] {
+        let g = one_graph_slim(id, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
+        let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
+        let clusters = metis_clusters(&g, 24, 1);
+        let selections: Vec<(&str, BatchSelection)> = vec![
+            ("random", BatchSelection::Random),
+            ("cluster-based", BatchSelection::ClusterBased { clusters: clusters.clone() }),
+        ];
+        for (label, sel) in &selections {
+            let r = train_single(
+                &g,
+                ModelKind::Gcn,
+                64,
+                &sampler,
+                sel,
+                &BatchSizeSchedule::Fixed(256),
+                0.01,
+                EPOCHS,
+                5,
+            );
+            // Stability: stddev of validation accuracy over the last half
+            // of training (the paper eyeballs curve wobble).
+            let late: Vec<f64> = r.curve[EPOCHS / 2..].iter().map(|p| p.val_acc).collect();
+            let (_, var) = stats::mean_var(&late);
+            // Batch-subgraph density variance (§6.3.2's clustering
+            // coefficient variance across batched subgraphs).
+            let train = g.train_vertices();
+            let batches = sel.select(&train, 256, 5, 0);
+            let densities: Vec<f64> = batches
+                .iter()
+                .map(|b| stats::induced_avg_clustering(&g.out, b))
+                .collect();
+            let (_, dvar) = stats::mean_var(&densities);
+            table.row(&[
+                name.into(),
+                (*label).into(),
+                f(r.best_acc),
+                format!("{:.4}", var.sqrt()),
+                format!("{dvar:.2e}"),
+            ]);
+        }
+    }
+    table.print("Figure 11: random vs cluster-based batch selection");
+    println!(
+        "Paper shape: random reaches higher accuracy and is stable; cluster-based\n\
+         has far higher batch-density variance (2e-4 vs 1.1e-6 in the paper)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 7 — accuracy-vs-time convergence curves under the six
+//! partitioning methods.
+//!
+//! Paper result: Hash converges slowest in wall-clock (longest epochs);
+//! among the Metis variants, Metis-VET converges fastest (most constraints
+//! ⇒ least clustering ⇒ most batch randomness), then Metis-VE, then
+//! Metis-V.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin fig7_convergence`
+
+use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
+use gnn_dm_core::config::ModelKind;
+use gnn_dm_core::convergence::train_distributed;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::FanoutSampler;
+
+const EPOCHS: usize = 15;
+
+fn main() {
+    let sampler = FanoutSampler::new(vec![10, 5]);
+    let datasets =
+        [DatasetId::Reddit, DatasetId::OgbProducts, DatasetId::Amazon];
+    let mut curves = Table::new(&["dataset", "method", "epoch", "sim_time_s", "val_acc"]);
+    let mut summary = Table::new(&["dataset", "method", "best_acc", "time_to_90%best_s"]);
+    for id in datasets {
+        let g = one_graph_slim(id, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
+        let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
+        // First pass to find the cross-method best accuracy for the target.
+        let mut results = Vec::new();
+        for method in PartitionMethod::all() {
+            let part = partition_graph(&g, method, 4, 7);
+            let (res, epoch_s) = train_distributed(
+                &g,
+                &part,
+                ModelKind::Gcn,
+                64,
+                &sampler,
+                256,
+                0.01,
+                EPOCHS,
+                5,
+            );
+            results.push((method, res, epoch_s));
+        }
+        let best_overall =
+            results.iter().map(|(_, r, _)| r.best_acc).fold(0.0f64, f64::max);
+        let target = 0.9 * best_overall;
+        for (method, res, _) in &results {
+            for p in &res.curve {
+                curves.row(&[
+                    name.into(),
+                    method.name().into(),
+                    p.epoch.to_string(),
+                    f(p.sim_time),
+                    f(p.val_acc),
+                ]);
+            }
+            summary.row(&[
+                name.into(),
+                method.name().into(),
+                f(res.best_acc),
+                res.time_to(target).map_or("never".into(), f),
+            ]);
+        }
+    }
+    curves.print("Figure 7 (curves): accuracy vs simulated time per partitioning");
+    summary.print("Figure 7 (summary): convergence speed per partitioning");
+    println!("Paper shape: Hash slowest to converge in time; Metis-VET fastest of the Metis family.");
+}

@@ -1,0 +1,35 @@
+//! Figure 8 — per-epoch time under the six partitioning methods.
+//!
+//! Paper result: Hash, Stream-V and Stream-B have the longest epochs
+//! (Hash from communication volume; the streaming methods from load
+//! imbalance); the three Metis variants have similar, shorter epochs.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin fig8_epoch_time`
+
+use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
+use gnn_dm_cluster::sim::TimeModel;
+use gnn_dm_cluster::ClusterSim;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::FanoutSampler;
+
+fn main() {
+    let sampler = FanoutSampler::new(vec![25, 10]);
+    let mut table = Table::new(&["dataset", "method", "epoch_s", "vs_best"]);
+    for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
+        let tm = TimeModel::paper_default(g.feat_dim(), 128, 1_000_000);
+        let mut rows = Vec::new();
+        for method in PartitionMethod::all() {
+            let part = partition_graph(&g, method, 4, 7);
+            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
+            let report = sim.simulate_epoch(&sampler, 0);
+            rows.push((method, sim.epoch_time(&report, &tm)));
+        }
+        let best = rows.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+        for (method, t) in rows {
+            table.row(&[name.into(), method.name().into(), f(t), format!("{:.2}x", t / best)]);
+        }
+    }
+    table.print("Figure 8: modelled epoch time per partitioning method");
+    println!("Paper shape: Hash/Stream-B longest epochs; Metis variants similar and shortest.");
+}

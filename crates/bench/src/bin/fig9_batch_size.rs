@@ -1,0 +1,74 @@
+//! Figure 9 — accuracy and convergence speed when varying the batch size.
+//!
+//! Paper result: (1) shrinking the batch speeds convergence until a lower
+//! knee, below which it slows again; (2) growing the batch raises accuracy
+//! until an upper knee, beyond which it falls.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin fig9_batch_size`
+
+use gnn_dm_bench::convergence_graph;
+use gnn_dm_core::config::ModelKind;
+use gnn_dm_core::convergence::train_single;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+
+const EPOCHS: usize = 25;
+
+fn main() {
+    let g = convergence_graph(DatasetId::Reddit, 42);
+    let sampler = FanoutSampler::new(vec![5, 5]);
+    let batch_sizes = [32usize, 128, 512, 2048, 5200];
+    let mut results = Vec::new();
+    for &bs in &batch_sizes {
+        let res = train_single(
+            &g,
+            ModelKind::Gcn,
+            64,
+            &sampler,
+            &BatchSelection::Random,
+            &BatchSizeSchedule::Fixed(bs),
+            0.01,
+            EPOCHS,
+            5,
+        );
+        results.push((bs, res));
+    }
+    let best_overall = results.iter().map(|(_, r)| r.best_acc).fold(0.0f64, f64::max);
+    let lo = 0.90 * best_overall;
+    let hi = 0.97 * best_overall;
+
+    let mut table = Table::new(&[
+        "batch_size",
+        "best_acc",
+        "time_to_90%best_s",
+        "time_to_97%best_s",
+    ]);
+    for (bs, res) in &results {
+        table.row(&[
+            bs.to_string(),
+            f(res.best_acc),
+            res.time_to(lo).map_or("never".into(), f),
+            res.time_to(hi).map_or("never".into(), f),
+        ]);
+    }
+    table.print("Figure 9: accuracy & convergence vs batch size (Reddit-class)");
+
+    let mut curves = Table::new(&["batch_size", "epoch", "sim_time_s", "val_acc", "loss"]);
+    for (bs, res) in &results {
+        for p in &res.curve {
+            curves.row(&[
+                bs.to_string(),
+                p.epoch.to_string(),
+                f(p.sim_time),
+                f(p.val_acc),
+                format!("{:.4}", p.train_loss),
+            ]);
+        }
+    }
+    curves.print("Figure 9 (curves)");
+    println!(
+        "Paper shape: convergence speed peaks at a small-but-not-tiny batch;\n\
+         accuracy peaks at a large-but-not-huge batch; both fall at the extremes."
+    );
+}

@@ -1,0 +1,114 @@
+//! Tables 1, 2, 3 and 5 — the paper's descriptive tables, printed from the
+//! workspace's data structures.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin tables_taxonomy`
+
+use gnn_dm_core::results::Table;
+use gnn_dm_core::taxonomy::{self, PartitionClass, Platform, SampleClass, TrainMethod, TransferClass};
+use gnn_dm_graph::datasets::DatasetSpec;
+use gnn_dm_partition::PartitionMethod;
+
+fn platform_name(p: Platform) -> &'static str {
+    match p {
+        Platform::CpuCluster => "CPU-cluster",
+        Platform::MultiGpu => "Multi-GPU",
+        Platform::GpuCluster => "GPU-cluster",
+        Platform::Serverless => "Serverless",
+        Platform::GpuOnly => "GPU-only",
+    }
+}
+
+fn partition_name(p: PartitionClass) -> &'static str {
+    match p {
+        PartitionClass::Hash => "Hash",
+        PartitionClass::Metis => "Metis",
+        PartitionClass::MetisExtend => "Metis-extend",
+        PartitionClass::Streaming => "Streaming",
+        PartitionClass::HashMetisStreaming => "Hash/Metis/Streaming",
+        PartitionClass::MetisHash => "Metis/Hash",
+        PartitionClass::NotApplicable => "N/A",
+    }
+}
+
+fn main() {
+    // Table 1.
+    let mut t1 = Table::new(&[
+        "year", "system", "platform", "partitioning", "train", "sample", "transfer", "pipe", "cache",
+    ]);
+    for s in taxonomy::systems() {
+        t1.row(&[
+            s.year.to_string(),
+            s.name.into(),
+            platform_name(s.platform).into(),
+            partition_name(s.partitioning).into(),
+            match s.train {
+                TrainMethod::FullBatch => "Full-batch".into(),
+                TrainMethod::MiniBatch => "Mini-batch".into(),
+            },
+            match s.sample {
+                SampleClass::FanoutBased => "Fanout".into(),
+                SampleClass::RatioBased => "Ratio".into(),
+                SampleClass::FanoutOrRatio => "Fanout/Ratio".into(),
+                SampleClass::NotApplicable => "N/A".into(),
+            },
+            match s.transfer {
+                TransferClass::ExtractLoad => "Extract-Load".into(),
+                TransferClass::GpuDirectAccess => "GPU direct".into(),
+                TransferClass::NotApplicable => "N/A".into(),
+            },
+            if s.pipeline { "yes".into() } else { "no".into() },
+            if s.cache { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t1.print("Table 1: representative GNN systems and data management techniques");
+
+    // Table 2.
+    let mut t2 = Table::new(&["dataset", "|V|", "|E|", "#F", "#L", "power_law", "real_labels"]);
+    for d in DatasetSpec::all() {
+        t2.row(&[
+            d.name.into(),
+            d.full_vertices.to_string(),
+            d.full_edges.to_string(),
+            d.feat_dim.to_string(),
+            d.num_classes.to_string(),
+            d.power_law.to_string(),
+            d.has_real_labels.to_string(),
+        ]);
+    }
+    t2.print("Table 2: datasets (published statistics; scaled stand-ins generated on demand)");
+
+    // Table 3.
+    let mut t3 = Table::new(&["method", "strategy", "system"]);
+    let strategies = [
+        (PartitionMethod::Hash, "Randomly assign vertices", "P3"),
+        (PartitionMethod::MetisV, "Metis + training-vertex balance constraint", "(ablation)"),
+        (PartitionMethod::MetisVE, "Metis-V + vertex-degree balance", "DistDGL"),
+        (PartitionMethod::MetisVET, "Metis-VE + val/test balance", "SALIENT++"),
+        (PartitionMethod::StreamV, "Greedy vertex streaming + L-hop halo cache", "PaGraph"),
+        (PartitionMethod::StreamB, "Greedy BFS-block streaming", "ByteGNN"),
+    ];
+    for (m, s, sys) in strategies {
+        t3.row(&[m.name().into(), s.into(), sys.into()]);
+    }
+    t3.print("Table 3: evaluated partitioning methods");
+
+    // Table 5.
+    let mut t5 = Table::new(&["system", "batch_size", "fanouts", "sampling_rate"]);
+    for d in taxonomy::default_settings() {
+        t5.row(&[
+            d.system.into(),
+            d.batch_size.map_or("full".into(), |b| b.to_string()),
+            if d.fanouts.is_empty() {
+                "N/A".into()
+            } else {
+                d.fanouts
+                    .iter()
+                    .map(|f| format!("{f:?}"))
+                    .collect::<Vec<_>>()
+                    .join(" or ")
+            },
+            d.sampling_rate.map_or("N/A".into(), |r| r.to_string()),
+        ]);
+    }
+    t5.print("Table 5: default batch-size and sampling settings in existing systems");
+}

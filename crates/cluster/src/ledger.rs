@@ -1,0 +1,158 @@
+//! Per-worker load ledgers.
+//!
+//! §5.3.1 counts the computational workload of each machine as *sampling*
+//! (local requests plus remote requests processed on behalf of others) plus
+//! *training aggregation*; §5.3.2 counts communication as *remote sampled
+//! subgraphs* plus *vertex features*. These ledgers hold exactly those
+//! counters.
+
+/// Per-worker computational workload counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputeLedger {
+    /// Sampled edges produced for the worker's own training vertices.
+    pub local_sample_edges: Vec<u64>,
+    /// Sampled edges produced while serving other workers' requests.
+    pub remote_sample_edges: Vec<u64>,
+    /// Aggregation work (message edges) executed in training.
+    pub aggregation_edges: Vec<u64>,
+}
+
+impl ComputeLedger {
+    /// A zeroed ledger for `k` workers.
+    pub fn new(k: usize) -> Self {
+        ComputeLedger {
+            local_sample_edges: vec![0; k],
+            remote_sample_edges: vec![0; k],
+            aggregation_edges: vec![0; k],
+        }
+    }
+
+    /// Number of workers.
+    pub fn k(&self) -> usize {
+        self.local_sample_edges.len()
+    }
+
+    /// Total computational load of worker `w` (sampling + aggregation).
+    pub fn worker_total(&self, w: usize) -> u64 {
+        self.local_sample_edges[w] + self.remote_sample_edges[w] + self.aggregation_edges[w]
+    }
+
+    /// Per-worker totals.
+    pub fn totals(&self) -> Vec<u64> {
+        (0..self.k()).map(|w| self.worker_total(w)).collect()
+    }
+
+    /// Sum over workers (the paper's "total computational load").
+    pub fn grand_total(&self) -> u64 {
+        self.totals().iter().sum()
+    }
+
+    /// Max-over-average imbalance of per-worker totals.
+    pub fn imbalance(&self) -> f64 {
+        imbalance_u64(&self.totals())
+    }
+}
+
+/// Per-worker communication counters (bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommLedger {
+    /// Sampled-subgraph bytes sent to other workers.
+    pub subgraph_bytes_sent: Vec<u64>,
+    /// Feature bytes sent to other workers.
+    pub feature_bytes_sent: Vec<u64>,
+    /// Bytes received from other workers.
+    pub bytes_received: Vec<u64>,
+}
+
+impl CommLedger {
+    /// A zeroed ledger for `k` workers.
+    pub fn new(k: usize) -> Self {
+        CommLedger {
+            subgraph_bytes_sent: vec![0; k],
+            feature_bytes_sent: vec![0; k],
+            bytes_received: vec![0; k],
+        }
+    }
+
+    /// Number of workers.
+    pub fn k(&self) -> usize {
+        self.subgraph_bytes_sent.len()
+    }
+
+    /// Bytes sent by worker `w`.
+    pub fn worker_sent(&self, w: usize) -> u64 {
+        self.subgraph_bytes_sent[w] + self.feature_bytes_sent[w]
+    }
+
+    /// Per-worker traffic (sent + received) — the paper's per-machine
+    /// communication load.
+    pub fn worker_traffic(&self, w: usize) -> u64 {
+        self.worker_sent(w) + self.bytes_received[w]
+    }
+
+    /// Per-worker traffic vector.
+    pub fn traffic(&self) -> Vec<u64> {
+        (0..self.k()).map(|w| self.worker_traffic(w)).collect()
+    }
+
+    /// Total communication volume (each byte counted once, on the send
+    /// side).
+    pub fn total_volume(&self) -> u64 {
+        (0..self.k()).map(|w| self.worker_sent(w)).sum()
+    }
+
+    /// Max-over-average imbalance of per-worker traffic.
+    pub fn imbalance(&self) -> f64 {
+        imbalance_u64(&self.traffic())
+    }
+}
+
+fn imbalance_u64(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let max = *xs.iter().max().unwrap() as f64;
+    let avg = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+    if avg == 0.0 {
+        if max == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_totals_and_imbalance() {
+        let mut c = ComputeLedger::new(2);
+        c.local_sample_edges[0] = 10;
+        c.remote_sample_edges[0] = 5;
+        c.aggregation_edges[0] = 5;
+        c.aggregation_edges[1] = 10;
+        assert_eq!(c.worker_total(0), 20);
+        assert_eq!(c.grand_total(), 30);
+        assert!((c.imbalance() - 20.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_volume_counts_once() {
+        let mut c = CommLedger::new(2);
+        c.feature_bytes_sent[0] = 100;
+        c.bytes_received[1] = 100;
+        assert_eq!(c.total_volume(), 100);
+        assert_eq!(c.worker_traffic(0), 100);
+        assert_eq!(c.worker_traffic(1), 100);
+    }
+
+    #[test]
+    fn zero_ledgers_balanced() {
+        assert_eq!(ComputeLedger::new(4).imbalance(), 1.0);
+        assert_eq!(CommLedger::new(4).imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Inter-node network models.
+
+use gnn_dm_device::LinkModel;
+
+/// Time for a synchronous ring all-reduce of `bytes` across `workers`
+/// nodes: each node sends and receives `2 (W-1)/W · bytes`.
+pub fn allreduce_time(link: &LinkModel, bytes: u64, workers: usize) -> f64 {
+    assert!(workers >= 1, "need at least one worker");
+    if workers == 1 {
+        return 0.0;
+    }
+    let w = workers as f64;
+    let wire_bytes = 2.0 * (w - 1.0) / w * bytes as f64;
+    // 2(W-1) latency-bound steps plus the bandwidth term.
+    2.0 * (w - 1.0) * link.latency + wire_bytes / link.effective_bandwidth()
+}
+
+/// Time for worker `w` to exchange its epoch traffic over the NIC
+/// (send and receive are full duplex; the slower direction bounds).
+pub fn exchange_time(link: &LinkModel, sent: u64, received: u64) -> f64 {
+    let dominant = sent.max(received);
+    link.transfer_time(dominant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_single_worker_is_free() {
+        let nic = LinkModel::nic_10gbps();
+        assert_eq!(allreduce_time(&nic, 1_000_000, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes() {
+        let nic = LinkModel::nic_10gbps();
+        let t1 = allreduce_time(&nic, 1_000_000, 4);
+        let t2 = allreduce_time(&nic, 2_000_000, 4);
+        assert!(t2 > t1 * 1.5);
+    }
+
+    #[test]
+    fn exchange_bounded_by_dominant_direction() {
+        let nic = LinkModel::nic_10gbps();
+        let t = exchange_time(&nic, 1000, 1_000_000);
+        assert!((t - nic.transfer_time(1_000_000)).abs() < 1e-12);
+    }
+}

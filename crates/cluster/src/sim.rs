@@ -1,0 +1,307 @@
+//! The distributed epoch simulator.
+//!
+//! For a given partitioning, simulates one epoch of sample-based mini-batch
+//! training across `k` workers and accounts every sampled edge and every
+//! transferred byte to the worker that produced it — the methodology behind
+//! Figures 4 (computational load), 5 (communication load) and 8 (epoch
+//! time).
+//!
+//! Routing rules (matching §5.3.1/§5.3.2):
+//!
+//! * a sampling request for vertex `d` executes on the worker that stores
+//!   `d`'s adjacency — the home partition, or the requester itself when `d`
+//!   is replicated in its halo (Stream-V's L-hop cache);
+//! * remote sampling results (subgraph edges) travel back to the requester;
+//! * feature rows of non-local input vertices travel from their owner to
+//!   the requester;
+//! * aggregation (training) work executes on the requester.
+
+use crate::ledger::{CommLedger, ComputeLedger};
+use crate::network;
+use gnn_dm_device::compute::{self, ComputeModel};
+use gnn_dm_device::LinkModel;
+use gnn_dm_graph::csr::VId;
+use gnn_dm_graph::Graph;
+use gnn_dm_partition::GnnPartitioning;
+use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
+use gnn_dm_sampling::BatchSelection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bytes to encode one sampled edge (two u32 vertex ids).
+pub const BYTES_PER_SAMPLED_EDGE: u64 = 8;
+
+/// A cluster-wide epoch simulation over one graph + partitioning.
+pub struct ClusterSim<'g> {
+    /// The training graph.
+    pub graph: &'g Graph,
+    /// The partitioning under evaluation.
+    pub part: &'g GnnPartitioning,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Everything one simulated epoch produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochLoadReport {
+    /// Per-worker computational workload.
+    pub compute: ComputeLedger,
+    /// Per-worker communication workload.
+    pub comm: CommLedger,
+    /// Batches each worker ran.
+    pub num_batches: Vec<usize>,
+    /// Distinct input vertices per worker summed over batches.
+    pub input_vertices: Vec<u64>,
+}
+
+/// Hardware constants for the epoch time model.
+#[derive(Debug, Clone)]
+pub struct TimeModel {
+    /// Inter-node link.
+    pub nic: LinkModel,
+    /// GPU compute model.
+    pub gpu: ComputeModel,
+    /// Feature width (drives per-edge NN FLOPs).
+    pub feat_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Model parameter bytes (drives gradient all-reduce time).
+    pub param_bytes: u64,
+}
+
+impl TimeModel {
+    /// The paper's environment: 10 Gbps NIC, T4 GPU.
+    pub fn paper_default(feat_dim: usize, hidden: usize, param_bytes: u64) -> Self {
+        TimeModel {
+            nic: LinkModel::nic_10gbps(),
+            gpu: ComputeModel::gpu_t4(),
+            feat_dim,
+            hidden,
+            param_bytes,
+        }
+    }
+}
+
+impl<'g> ClusterSim<'g> {
+    /// Training vertices homed on worker `w`.
+    pub fn local_train(&self, w: u32) -> Vec<VId> {
+        self.graph
+            .train_vertices()
+            .into_iter()
+            .filter(|&v| self.part.part_of(v) == w)
+            .collect()
+    }
+
+    /// Simulates one epoch and returns the per-worker load ledgers.
+    pub fn simulate_epoch(&self, sampler: &dyn NeighborSampler, epoch: usize) -> EpochLoadReport {
+        let k = self.part.k;
+        let row_bytes = self.graph.features.row_bytes() as u64;
+        let mut compute = ComputeLedger::new(k);
+        let mut comm = CommLedger::new(k);
+        let mut num_batches = vec![0usize; k];
+        let mut input_vertices = vec![0u64; k];
+
+        for w in 0..k as u32 {
+            let train_w = self.local_train(w);
+            if train_w.is_empty() {
+                continue;
+            }
+            let batches = BatchSelection::Random.select(
+                &train_w,
+                self.batch_size,
+                self.seed ^ (w as u64) << 32,
+                epoch,
+            );
+            num_batches[w as usize] = batches.len();
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ 0xC0FF_EE00u64 ^ ((w as u64) << 40) ^ (epoch as u64),
+            );
+            for seeds in batches {
+                let mb = build_minibatch(&self.graph.inn, &seeds, sampler, &mut rng);
+                // Sampling-request routing, block by block.
+                for block in &mb.blocks {
+                    let degs = block.dst_in_degrees();
+                    for (d_local, &d) in block.dst_ids.iter().enumerate() {
+                        let edges = degs[d_local] as u64;
+                        if edges == 0 {
+                            continue;
+                        }
+                        if self.part.is_local(w, d) {
+                            compute.local_sample_edges[w as usize] += edges;
+                        } else {
+                            let owner = self.part.part_of(d) as usize;
+                            compute.remote_sample_edges[owner] += edges;
+                            let bytes = edges * BYTES_PER_SAMPLED_EDGE;
+                            comm.subgraph_bytes_sent[owner] += bytes;
+                            comm.bytes_received[w as usize] += bytes;
+                        }
+                    }
+                }
+                // Feature fetches for non-local input vertices.
+                for &v in mb.input_ids() {
+                    if !self.part.is_local(w, v) {
+                        let owner = self.part.part_of(v) as usize;
+                        comm.feature_bytes_sent[owner] += row_bytes;
+                        comm.bytes_received[w as usize] += row_bytes;
+                    }
+                }
+                input_vertices[w as usize] += mb.involved_vertices() as u64;
+                compute.aggregation_edges[w as usize] += mb.involved_edges() as u64;
+            }
+        }
+        EpochLoadReport { compute, comm, num_batches, input_vertices }
+    }
+
+    /// Modelled wall-clock time of the simulated epoch: the slowest worker's
+    /// sampling + communication + GPU compute, plus gradient all-reduces.
+    pub fn epoch_time(&self, report: &EpochLoadReport, tm: &TimeModel) -> f64 {
+        let k = self.part.k;
+        let mut worst = 0.0f64;
+        for w in 0..k {
+            let sample_edges =
+                report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
+            let sample_t = sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
+                + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX;
+            let comm_t = network::exchange_time(
+                &tm.nic,
+                report.comm.worker_sent(w),
+                report.comm.bytes_received[w],
+            );
+            // Forward+backward FLOPs: aggregation over block edges at
+            // feature width plus hidden width, doubled for backward.
+            let flops = report.compute.aggregation_edges[w] as f64
+                * 2.0
+                * (tm.feat_dim + tm.hidden) as f64
+                * 2.0;
+            let nn_t = tm.gpu.seconds_for_flops(flops);
+            worst = worst.max(sample_t + comm_t + nn_t);
+        }
+        let sync_rounds = *report.num_batches.iter().max().unwrap_or(&0);
+        worst + sync_rounds as f64 * network::allreduce_time(&tm.nic, tm.param_bytes, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_dm_graph::generate::{planted_partition, PplConfig};
+    use gnn_dm_partition::{partition_graph, PartitionMethod};
+    use gnn_dm_sampling::FanoutSampler;
+
+    fn graph() -> Graph {
+        planted_partition(&PplConfig {
+            n: 1500,
+            avg_degree: 10.0,
+            num_classes: 6,
+            homophily: 0.9,
+            skew: 0.7,
+            feat_dim: 32,
+            ..Default::default()
+        })
+    }
+
+    fn simulate(g: &Graph, method: PartitionMethod) -> (EpochLoadReport, GnnPartitioning) {
+        let part = partition_graph(g, method, 4, 7);
+        let sim = ClusterSim { graph: g, part: &part, batch_size: 64, seed: 3 };
+        let sampler = FanoutSampler::new(vec![10, 5]);
+        let report = sim.simulate_epoch(&sampler, 0);
+        (report, part)
+    }
+
+    #[test]
+    fn stream_v_needs_no_communication() {
+        let g = graph();
+        let (report, _) = simulate(&g, PartitionMethod::StreamV);
+        assert_eq!(report.comm.total_volume(), 0, "L-hop halo caching removes all communication");
+    }
+
+    #[test]
+    fn hash_communicates_most_and_most_evenly() {
+        let g = graph();
+        let (hash, _) = simulate(&g, PartitionMethod::Hash);
+        let (metis, _) = simulate(&g, PartitionMethod::MetisV);
+        assert!(
+            hash.comm.total_volume() > metis.comm.total_volume(),
+            "hash volume {} vs metis {}",
+            hash.comm.total_volume(),
+            metis.comm.total_volume()
+        );
+        assert!(
+            hash.comm.imbalance() < metis.comm.imbalance() + 0.2,
+            "hash comm imbalance {} vs metis {}",
+            hash.comm.imbalance(),
+            metis.comm.imbalance()
+        );
+    }
+
+    #[test]
+    fn metis_has_lower_total_compute_than_hash() {
+        // §5.3.1: clustering lets batch members share sampled neighbors, so
+        // the deduplicated aggregation workload shrinks.
+        let g = graph();
+        let (hash, _) = simulate(&g, PartitionMethod::Hash);
+        let (metis, _) = simulate(&g, PartitionMethod::MetisV);
+        assert!(
+            metis.compute.grand_total() < hash.compute.grand_total(),
+            "metis {} vs hash {}",
+            metis.compute.grand_total(),
+            hash.compute.grand_total()
+        );
+    }
+
+    #[test]
+    fn hash_compute_is_most_balanced() {
+        let g = graph();
+        let (hash, _) = simulate(&g, PartitionMethod::Hash);
+        let (stream, _) = simulate(&g, PartitionMethod::StreamB);
+        assert!(
+            hash.compute.imbalance() <= stream.compute.imbalance() + 0.05,
+            "hash {} vs stream-b {}",
+            hash.compute.imbalance(),
+            stream.compute.imbalance()
+        );
+    }
+
+    #[test]
+    fn epoch_time_positive_and_ordered() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (hash, ph) = simulate(&g, PartitionMethod::Hash);
+        let (metis, pm) = simulate(&g, PartitionMethod::MetisV);
+        let sim_h = ClusterSim { graph: &g, part: &ph, batch_size: 64, seed: 3 };
+        let sim_m = ClusterSim { graph: &g, part: &pm, batch_size: 64, seed: 3 };
+        let th = sim_h.epoch_time(&hash, &tm);
+        let tms = sim_m.epoch_time(&metis, &tm);
+        assert!(th > 0.0 && tms > 0.0);
+        // Hash moves far more bytes over the NIC → longer epochs (Fig. 8).
+        assert!(th > tms, "hash epoch {th} vs metis epoch {tms}");
+    }
+
+    #[test]
+    fn every_train_vertex_processed_once() {
+        let g = graph();
+        let (report, part) = simulate(&g, PartitionMethod::MetisVE);
+        let batches_total: usize = report.num_batches.iter().sum();
+        let train_total = g.train_vertices().len();
+        // ceil(train_w / batch) per worker.
+        let expect: usize = (0..4u32)
+            .map(|w| {
+                let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+                sim.local_train(w).len().div_ceil(64)
+            })
+            .sum();
+        assert_eq!(batches_total, expect);
+        assert!(train_total > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = graph();
+        let part = partition_graph(&g, PartitionMethod::Hash, 4, 1);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 50, seed: 9 };
+        let sampler = FanoutSampler::new(vec![5, 5]);
+        assert_eq!(sim.simulate_epoch(&sampler, 1), sim.simulate_epoch(&sampler, 1));
+    }
+}

@@ -1,0 +1,211 @@
+//! The paper's descriptive tables as data: Table 1 (system taxonomy),
+//! Table 3 (partitioning-method summary) and Table 5 (default parameter
+//! settings). Table 2 (datasets) lives in `gnn_dm_graph::datasets`.
+
+/// Deployment platform (Table 1, column 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Network of CPU-only nodes.
+    CpuCluster,
+    /// Multiple GPUs in one node.
+    MultiGpu,
+    /// Network of GPU nodes.
+    GpuCluster,
+    /// Serverless threads (Dorylus).
+    Serverless,
+    /// Single GPU with out-of-core storage (MariusGNN).
+    GpuOnly,
+}
+
+/// Data partitioning method category (Table 1, column 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionClass {
+    /// Hash by vertices or edges.
+    Hash,
+    /// Metis or constrained Metis.
+    Metis,
+    /// Metis extended for sample-based training.
+    MetisExtend,
+    /// Streaming assignment.
+    Streaming,
+    /// Multiple options.
+    HashMetisStreaming,
+    /// Metis or hash.
+    MetisHash,
+    /// No partitioning.
+    NotApplicable,
+}
+
+/// Training method (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainMethod {
+    /// All vertices each step.
+    FullBatch,
+    /// Sampled mini-batches.
+    MiniBatch,
+}
+
+/// Sampling method (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleClass {
+    /// Fixed neighbor counts.
+    FanoutBased,
+    /// Proportional sampling.
+    RatioBased,
+    /// Both supported.
+    FanoutOrRatio,
+    /// No sampling.
+    NotApplicable,
+}
+
+/// Transfer method (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferClass {
+    /// Gather then bulk copy.
+    ExtractLoad,
+    /// UVA zero-copy.
+    GpuDirectAccess,
+    /// CPU-only system.
+    NotApplicable,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct SystemEntry {
+    /// Publication year.
+    pub year: u16,
+    /// System name.
+    pub name: &'static str,
+    /// Deployment platform.
+    pub platform: Platform,
+    /// Partitioning category.
+    pub partitioning: PartitionClass,
+    /// Training method.
+    pub train: TrainMethod,
+    /// Sampling support.
+    pub sample: SampleClass,
+    /// Transfer method.
+    pub transfer: TransferClass,
+    /// Pipeline optimization.
+    pub pipeline: bool,
+    /// GPU cache optimization.
+    pub cache: bool,
+}
+
+/// Table 1 — the 24 representative systems.
+pub fn systems() -> Vec<SystemEntry> {
+    use PartitionClass as P;
+    use Platform as Pl;
+    use SampleClass as S;
+    use TrainMethod as T;
+    use TransferClass as X;
+    let e = |year, name, platform, partitioning, train, sample, transfer, pipeline, cache| {
+        SystemEntry { year, name, platform, partitioning, train, sample, transfer, pipeline, cache }
+    };
+    vec![
+        e(2019, "DGL", Pl::MultiGpu, P::NotApplicable, T::MiniBatch, S::FanoutBased, X::ExtractLoad, true, false),
+        e(2019, "PyG", Pl::MultiGpu, P::NotApplicable, T::MiniBatch, S::FanoutBased, X::ExtractLoad, false, false),
+        e(2019, "AliGraph", Pl::CpuCluster, P::HashMetisStreaming, T::MiniBatch, S::FanoutOrRatio, X::NotApplicable, false, false),
+        e(2019, "NeuGraph", Pl::MultiGpu, P::Hash, T::FullBatch, S::NotApplicable, X::ExtractLoad, false, false),
+        e(2020, "AGL", Pl::CpuCluster, P::Hash, T::MiniBatch, S::FanoutBased, X::NotApplicable, false, false),
+        e(2020, "DistDGL", Pl::CpuCluster, P::MetisExtend, T::MiniBatch, S::FanoutOrRatio, X::NotApplicable, true, false),
+        e(2020, "ROC", Pl::GpuCluster, P::Hash, T::FullBatch, S::NotApplicable, X::ExtractLoad, false, false),
+        e(2020, "PaGraph", Pl::MultiGpu, P::Streaming, T::MiniBatch, S::FanoutBased, X::ExtractLoad, false, true),
+        e(2021, "P3", Pl::GpuCluster, P::Hash, T::MiniBatch, S::FanoutBased, X::ExtractLoad, false, false),
+        e(2021, "DistGNN", Pl::CpuCluster, P::Hash, T::FullBatch, S::NotApplicable, X::NotApplicable, false, false),
+        e(2021, "DGCL", Pl::GpuCluster, P::Hash, T::FullBatch, S::NotApplicable, X::ExtractLoad, false, false),
+        e(2021, "Dorylus", Pl::Serverless, P::Hash, T::FullBatch, S::NotApplicable, X::NotApplicable, true, false),
+        e(2021, "Pytorch-direct", Pl::MultiGpu, P::NotApplicable, T::MiniBatch, S::FanoutBased, X::GpuDirectAccess, true, false),
+        e(2022, "GNNLab", Pl::MultiGpu, P::NotApplicable, T::MiniBatch, S::FanoutBased, X::ExtractLoad, true, true),
+        e(2022, "ByteGNN", Pl::CpuCluster, P::Streaming, T::MiniBatch, S::FanoutBased, X::NotApplicable, true, false),
+        e(2022, "BNS-GCN", Pl::GpuCluster, P::Metis, T::FullBatch, S::RatioBased, X::ExtractLoad, false, false),
+        e(2022, "DistDGLv2", Pl::GpuCluster, P::MetisExtend, T::MiniBatch, S::FanoutBased, X::ExtractLoad, true, false),
+        e(2022, "NeutronStar", Pl::GpuCluster, P::Hash, T::FullBatch, S::NotApplicable, X::ExtractLoad, false, false),
+        e(2022, "Sancus", Pl::GpuCluster, P::Hash, T::FullBatch, S::NotApplicable, X::ExtractLoad, false, true),
+        e(2022, "SALIENT", Pl::MultiGpu, P::NotApplicable, T::MiniBatch, S::FanoutBased, X::GpuDirectAccess, true, false),
+        e(2023, "MariusGNN", Pl::GpuOnly, P::Hash, T::MiniBatch, S::FanoutBased, X::ExtractLoad, true, false),
+        e(2023, "Legion", Pl::MultiGpu, P::MetisHash, T::MiniBatch, S::FanoutBased, X::ExtractLoad, true, true),
+        e(2023, "SALIENT++", Pl::GpuCluster, P::MetisExtend, T::MiniBatch, S::FanoutBased, X::GpuDirectAccess, true, true),
+        e(2023, "BGL", Pl::MultiGpu, P::Streaming, T::MiniBatch, S::FanoutBased, X::ExtractLoad, true, true),
+    ]
+}
+
+/// One row of Table 5: default batch size / fanout / rate settings.
+#[derive(Debug, Clone)]
+pub struct DefaultSetting {
+    /// System name.
+    pub system: &'static str,
+    /// Default batch size (`None` = full batch).
+    pub batch_size: Option<usize>,
+    /// Default fanouts (possibly several configurations).
+    pub fanouts: Vec<Vec<usize>>,
+    /// Default sampling rate, if ratio-based.
+    pub sampling_rate: Option<f64>,
+}
+
+/// Table 5 — default parameter settings in existing systems.
+pub fn default_settings() -> Vec<DefaultSetting> {
+    vec![
+        DefaultSetting { system: "P3", batch_size: Some(1000), fanouts: vec![vec![25, 10]], sampling_rate: None },
+        DefaultSetting {
+            system: "DistDGL",
+            batch_size: Some(2000),
+            fanouts: vec![vec![25, 10], vec![15, 10, 5]],
+            sampling_rate: None,
+        },
+        DefaultSetting { system: "PaGraph", batch_size: Some(6000), fanouts: vec![vec![2, 2]], sampling_rate: None },
+        DefaultSetting {
+            system: "GNNLab",
+            batch_size: Some(8000),
+            fanouts: vec![vec![10, 25], vec![15, 10, 5]],
+            sampling_rate: None,
+        },
+        DefaultSetting { system: "ByteGNN", batch_size: Some(512), fanouts: vec![vec![10, 5, 3]], sampling_rate: None },
+        DefaultSetting { system: "BNS-GCN", batch_size: None, fanouts: vec![], sampling_rate: Some(0.1) },
+        DefaultSetting {
+            system: "SALIENT++",
+            batch_size: Some(1024),
+            fanouts: vec![vec![25, 15], vec![15, 10, 5]],
+            sampling_rate: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_systems() {
+        assert_eq!(systems().len(), 24);
+    }
+
+    #[test]
+    fn mini_batch_systems_sample() {
+        for s in systems() {
+            if s.train == TrainMethod::MiniBatch {
+                assert_ne!(s.sample, SampleClass::NotApplicable, "{} should sample", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_clusters_have_no_transfer_method() {
+        for s in systems() {
+            if s.platform == Platform::CpuCluster {
+                assert_eq!(s.transfer, TransferClass::NotApplicable, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_defaults_present() {
+        let d = default_settings();
+        assert_eq!(d.len(), 7);
+        let pagraph = d.iter().find(|s| s.system == "PaGraph").unwrap();
+        assert_eq!(pagraph.batch_size, Some(6000));
+        let bns = d.iter().find(|s| s.system == "BNS-GCN").unwrap();
+        assert_eq!(bns.sampling_rate, Some(0.1));
+        assert!(bns.batch_size.is_none(), "BNS-GCN trains full-batch");
+    }
+}

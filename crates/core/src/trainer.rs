@@ -1,0 +1,364 @@
+//! The single-node heterogeneous (CPU + simulated GPU) trainer — the
+//! engine behind every §7 experiment.
+//!
+//! A training epoch flows through the three pipeline stages of §7.2: the
+//! CPU prepares sampled batches, the PCIe link moves (cache-filtered)
+//! features and topology, the GPU runs the NN. The trainer builds *real*
+//! sampled batches and routes their sizes through the device cost models,
+//! so every optimization (zero-copy, pipelining, caching, hybrid transfer)
+//! changes timings exactly the way it changes the underlying byte/FLOP
+//! accounting.
+
+use gnn_dm_device::blocks::{block_activity, BlockActivity, PAPER_BLOCK_BYTES};
+use gnn_dm_device::cache::{CachePolicy, FeatureCache};
+use gnn_dm_device::compute::{self, ComputeModel};
+use gnn_dm_device::memory::DeviceMemory;
+use gnn_dm_device::pipeline::{
+    makespan_with_contention, BatchStageTimes, PipelineMode, DEFAULT_OVERLAP_EFFICIENCY,
+};
+use gnn_dm_device::transfer::{BatchTransfer, TransferEngine, TransferMethod};
+use gnn_dm_graph::Graph;
+use gnn_dm_sampling::epoch::{AccessTracker, EpochPlan};
+use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+
+/// Configuration of the heterogeneous trainer.
+#[derive(Debug, Clone)]
+pub struct HeteroTrainerConfig {
+    /// Per-layer fanouts, output layer first (paper default (25, 10)).
+    pub fanouts: Vec<usize>,
+    /// Mini-batch size (paper default 6000).
+    pub batch_size: usize,
+    /// Hidden width (paper default 128).
+    pub hidden: usize,
+    /// Number of classes (drives the output GEMM).
+    pub num_classes: usize,
+    /// Data-transfer method.
+    pub transfer: TransferMethod,
+    /// Pipeline mode.
+    pub pipeline: PipelineMode,
+    /// GPU cache policy (`None` disables caching).
+    pub cache_policy: Option<CachePolicy>,
+    /// Fraction of vertices to cache (clamped by device memory).
+    pub cache_ratio: f64,
+    /// Profiling epochs for the pre-sampling policy.
+    pub presample_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HeteroTrainerConfig {
+    /// The §7 baseline: extract-load, no pipeline, no cache.
+    pub fn baseline(graph: &Graph, batch_size: usize) -> Self {
+        HeteroTrainerConfig {
+            fanouts: vec![25, 10],
+            batch_size,
+            hidden: 128,
+            num_classes: graph.num_classes,
+            transfer: TransferMethod::ExtractLoad,
+            pipeline: PipelineMode::None,
+            cache_policy: None,
+            cache_ratio: 0.0,
+            presample_epochs: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Modelled timings of one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTimings {
+    /// Total batch-preparation (CPU sampling) seconds.
+    pub bp: f64,
+    /// Total data-transfer seconds (gather + bus).
+    pub dt: f64,
+    /// Of which CPU gather ("feature extraction") seconds.
+    pub gather: f64,
+    /// Total NN-computation (GPU) seconds.
+    pub nn: f64,
+    /// Epoch wall-clock under the configured pipeline mode.
+    pub makespan: f64,
+    /// Bytes that crossed the PCIe bus.
+    pub pcie_bytes: u64,
+    /// Cache hit rate over the epoch (0 without a cache).
+    pub cache_hit_rate: f64,
+    /// Number of batches.
+    pub num_batches: usize,
+}
+
+/// The heterogeneous trainer: owns the cache and the cost models.
+pub struct HeteroTrainer<'g> {
+    /// The graph being trained on.
+    pub graph: &'g Graph,
+    /// Configuration.
+    pub cfg: HeteroTrainerConfig,
+    /// Transfer cost model.
+    pub engine: TransferEngine,
+    /// GPU compute model.
+    pub gpu: ComputeModel,
+    cache: FeatureCache,
+}
+
+impl<'g> HeteroTrainer<'g> {
+    /// Builds the trainer, constructing the GPU cache per the configured
+    /// policy (running profiling epochs for the pre-sampling policy).
+    pub fn new(graph: &'g Graph, cfg: HeteroTrainerConfig) -> Self {
+        let n = graph.num_vertices();
+        let capacity = DeviceMemory::t4().rows_for_ratio(
+            n,
+            graph.features.row_bytes(),
+            cfg.cache_ratio.clamp(0.0, 1.0),
+        );
+        let cache = match cfg.cache_policy {
+            None => FeatureCache::disabled(n),
+            Some(CachePolicy::Degree) => FeatureCache::degree_based(&graph.out, capacity),
+            Some(CachePolicy::PreSample) => {
+                let mut tracker = AccessTracker::new(n);
+                let train = graph.train_vertices();
+                let sampler = FanoutSampler::new(cfg.fanouts.clone());
+                let selection = BatchSelection::Random;
+                let schedule = BatchSizeSchedule::Fixed(cfg.batch_size);
+                let plan = EpochPlan {
+                    in_csr: &graph.inn,
+                    train: &train,
+                    selection: &selection,
+                    schedule: &schedule,
+                    sampler: &sampler,
+                    seed: cfg.seed ^ 0xFEED,
+                };
+                for e in 0..cfg.presample_epochs.max(1) {
+                    plan.run_for_stats(e, Some(&mut tracker));
+                }
+                FeatureCache::presample_based(&tracker, capacity)
+            }
+        };
+        HeteroTrainer {
+            graph,
+            cfg,
+            engine: TransferEngine::default(),
+            gpu: ComputeModel::gpu_t4(),
+            cache,
+        }
+    }
+
+    /// Read access to the cache (hit statistics, residency checks).
+    pub fn cache(&self) -> &FeatureCache {
+        &self.cache
+    }
+
+    /// Model layer widths implied by the configuration.
+    fn dims(&self) -> Vec<usize> {
+        let mut dims = vec![self.graph.feat_dim()];
+        for _ in 1..self.cfg.fanouts.len() {
+            dims.push(self.cfg.hidden);
+        }
+        dims.push(self.cfg.num_classes);
+        dims
+    }
+
+    /// Runs one modelled epoch: builds every sampled batch, prices each
+    /// pipeline stage, and returns aggregate timings.
+    pub fn run_epoch_model(&mut self, epoch: usize) -> EpochTimings {
+        let train = self.graph.train_vertices();
+        let sampler = FanoutSampler::new(self.cfg.fanouts.clone());
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(self.cfg.batch_size);
+        let plan = EpochPlan {
+            in_csr: &self.graph.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: self.cfg.seed,
+        };
+        let batches = plan.batches(epoch);
+        let dims = self.dims();
+        let row_bytes = self.graph.features.row_bytes();
+        let n = self.graph.num_vertices();
+        self.cache.reset_stats();
+
+        let mut stage_times = Vec::with_capacity(batches.len());
+        let mut totals = EpochTimings {
+            bp: 0.0,
+            dt: 0.0,
+            gather: 0.0,
+            nn: 0.0,
+            makespan: 0.0,
+            pcie_bytes: 0,
+            cache_hit_rate: 0.0,
+            num_batches: batches.len(),
+        };
+        for mb in &batches {
+            let bp = compute::sampling_seconds(mb);
+            let misses = self.cache.filter_misses(mb.input_ids());
+            let bt = BatchTransfer {
+                rows: misses.len(),
+                row_bytes,
+                topo_bytes: (mb.involved_edges() * 8) as u64,
+            };
+            let activity = match self.cfg.transfer {
+                TransferMethod::Hybrid { .. } => {
+                    Some(block_activity(&misses, n, row_bytes, PAPER_BLOCK_BYTES))
+                }
+                _ => None,
+            };
+            let report = self.engine.time(self.cfg.transfer, &bt, activity.as_ref());
+            let nn = self.gpu.seconds_for_flops(compute::minibatch_flops(mb, &dims, false));
+            totals.bp += bp;
+            totals.dt += report.total();
+            totals.gather += report.gather_sec;
+            totals.nn += nn;
+            totals.pcie_bytes += report.bytes;
+            stage_times.push(BatchStageTimes { bp, dt: report.total(), nn });
+        }
+        totals.makespan = makespan_with_contention(
+            &stage_times,
+            self.cfg.pipeline,
+            DEFAULT_OVERLAP_EFFICIENCY,
+        );
+        totals.cache_hit_rate = self.cache.hit_rate();
+        totals
+    }
+
+    /// Block activity of the first batch of an epoch (Figures 15/16),
+    /// optionally after cache filtering.
+    pub fn first_batch_activity(&mut self, epoch: usize, apply_cache: bool) -> BlockActivity {
+        let train = self.graph.train_vertices();
+        let sampler = FanoutSampler::new(self.cfg.fanouts.clone());
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(self.cfg.batch_size);
+        let plan = EpochPlan {
+            in_csr: &self.graph.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: self.cfg.seed,
+        };
+        let mb = plan.batches(epoch).into_iter().next().expect("at least one batch");
+        let row_bytes = self.graph.features.row_bytes();
+        let n = self.graph.num_vertices();
+        let ids: Vec<u32> = if apply_cache {
+            mb.input_ids().iter().copied().filter(|&v| !self.cache.contains(v)).collect()
+        } else {
+            mb.input_ids().to_vec()
+        };
+        block_activity(&ids, n, row_bytes, PAPER_BLOCK_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_dm_graph::generate::{planted_partition, PplConfig};
+
+    fn graph() -> Graph {
+        planted_partition(&PplConfig {
+            n: 3000,
+            avg_degree: 15.0,
+            num_classes: 8,
+            feat_dim: 128,
+            skew: 0.9,
+            ..Default::default()
+        })
+    }
+
+    fn cfg(graph: &Graph) -> HeteroTrainerConfig {
+        HeteroTrainerConfig {
+            fanouts: vec![10, 5],
+            batch_size: 256,
+            ..HeteroTrainerConfig::baseline(graph, 256)
+        }
+    }
+
+    #[test]
+    fn zero_copy_beats_baseline() {
+        let g = graph();
+        let base = HeteroTrainer::new(&g, cfg(&g)).run_epoch_model(0);
+        let mut zc_cfg = cfg(&g);
+        zc_cfg.transfer = TransferMethod::ZeroCopy;
+        let zc = HeteroTrainer::new(&g, zc_cfg).run_epoch_model(0);
+        assert!(zc.makespan < base.makespan, "zc {} vs base {}", zc.makespan, base.makespan);
+        assert_eq!(zc.gather, 0.0);
+        assert!(base.gather > 0.0);
+    }
+
+    #[test]
+    fn pipeline_beats_sequential() {
+        let g = graph();
+        let mut c = cfg(&g);
+        c.transfer = TransferMethod::ZeroCopy;
+        let seq = HeteroTrainer::new(&g, c.clone()).run_epoch_model(0);
+        c.pipeline = PipelineMode::Full;
+        let pipe = HeteroTrainer::new(&g, c).run_epoch_model(0);
+        assert!(pipe.makespan < seq.makespan);
+        // Stage totals identical — only overlap differs.
+        assert!((pipe.bp - seq.bp).abs() < 1e-12);
+        assert!((pipe.dt - seq.dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_reduces_bus_bytes() {
+        let g = graph();
+        let mut c = cfg(&g);
+        c.transfer = TransferMethod::ZeroCopy;
+        let without = HeteroTrainer::new(&g, c.clone()).run_epoch_model(0);
+        c.cache_policy = Some(CachePolicy::PreSample);
+        c.cache_ratio = 0.3;
+        let with = HeteroTrainer::new(&g, c).run_epoch_model(0);
+        assert!(with.pcie_bytes < without.pcie_bytes);
+        assert!(with.cache_hit_rate > 0.2, "hit rate {}", with.cache_hit_rate);
+        assert_eq!(without.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn presample_cache_beats_degree_on_flat_graphs() {
+        // §7.3.3 / Figure 17: on non-power-law graphs degree no longer
+        // predicts access frequency, but access frequency itself is still
+        // skewed (only training vertices' neighborhoods are touched) — so
+        // profiling wins. A sparse train set makes that skew visible.
+        let mut g = planted_partition(&PplConfig {
+            n: 3000,
+            avg_degree: 15.0,
+            num_classes: 8,
+            feat_dim: 64,
+            skew: 0.05,
+            ..Default::default()
+        });
+        g.split = gnn_dm_graph::SplitMask::random(g.num_vertices(), 0.05, 0.10, 0.85, 9);
+        let mut c = cfg(&g);
+        c.batch_size = 32;
+        c.cache_ratio = 0.2;
+        c.presample_epochs = 4;
+        c.transfer = TransferMethod::ZeroCopy;
+        c.cache_policy = Some(CachePolicy::Degree);
+        let deg = HeteroTrainer::new(&g, c.clone()).run_epoch_model(0);
+        c.cache_policy = Some(CachePolicy::PreSample);
+        let pre = HeteroTrainer::new(&g, c).run_epoch_model(0);
+        assert!(
+            pre.cache_hit_rate >= deg.cache_hit_rate,
+            "presample {} vs degree {}",
+            pre.cache_hit_rate,
+            deg.cache_hit_rate
+        );
+    }
+
+    #[test]
+    fn activity_shrinks_after_caching() {
+        let g = graph();
+        let mut c = cfg(&g);
+        c.cache_policy = Some(CachePolicy::PreSample);
+        c.cache_ratio = 0.4;
+        let mut t = HeteroTrainer::new(&g, c);
+        let before = t.first_batch_activity(0, false);
+        let after = t.first_batch_activity(0, true);
+        assert!(after.total_active() < before.total_active());
+    }
+
+    #[test]
+    fn deterministic_epoch_model() {
+        let g = graph();
+        let a = HeteroTrainer::new(&g, cfg(&g)).run_epoch_model(1);
+        let b = HeteroTrainer::new(&g, cfg(&g)).run_epoch_model(1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulated heterogeneous CPU/GPU training substrate (§7 of the paper).
+//!
+//! The paper's data-transferring experiments run on NVIDIA T4 GPUs behind
+//! PCIe 3.0 x16 links; this reproduction substitutes a deterministic
+//! *cost-model simulator* so every byte and every stage duration is
+//! accounted analytically (see DESIGN.md §1 for why this preserves the
+//! paper's conclusions):
+//!
+//! * [`link`] — bandwidth/latency models of the PCIe bus and the 10 Gbps
+//!   NIC;
+//! * [`compute`] — FLOP-count models of GPU NN compute and CPU sampling;
+//! * [`transfer`] — the three data-transfer methods: extract-load
+//!   (explicit), zero-copy (UVA implicit), and HyTGraph-style hybrid;
+//! * [`blocks`] — 256 KB-block activity analysis (Figures 15/16);
+//! * [`cache`] — GPU feature caching with degree-based and
+//!   pre-sampling-based policies (Figure 17);
+//! * [`pipeline`] — the 3-stage (batch preparation / data transfer / NN
+//!   compute) pipeline scheduler (Figures 13/14), plus a real threaded
+//!   executor for the same stage graph;
+//! * [`memory`] — device memory budgeting for cache sizing.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod cache;
+pub mod compute;
+pub mod link;
+pub mod memory;
+pub mod pipeline;
+pub mod transfer;
+
+pub use cache::{CachePolicy, FeatureCache};
+pub use link::LinkModel;
+pub use pipeline::{makespan, BatchStageTimes, PipelineMode};
+pub use transfer::{TransferEngine, TransferMethod, TransferReport};

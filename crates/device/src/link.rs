@@ -1,0 +1,94 @@
+//! Interconnect cost models: PCIe and the cluster NIC.
+
+/// An analytic link model: each transfer costs a fixed per-transaction
+/// latency plus bytes over (bandwidth × efficiency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Peak bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-transaction latency in seconds.
+    pub latency: f64,
+    /// Fraction of peak bandwidth achievable for this access pattern.
+    pub efficiency: f64,
+}
+
+impl LinkModel {
+    /// PCIe 3.0 x16 — the paper's CPU↔GPU interconnect (16 GB/s, §1/§7.1).
+    pub fn pcie_gen3_x16() -> Self {
+        LinkModel { bandwidth: 16.0e9, latency: 10.0e-6, efficiency: 1.0 }
+    }
+
+    /// 10 Gbps Ethernet — the paper's inter-node network (§4).
+    pub fn nic_10gbps() -> Self {
+        LinkModel { bandwidth: 1.25e9, latency: 50.0e-6, efficiency: 1.0 }
+    }
+
+    /// Time for one bulk transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth > 0.0 && self.efficiency > 0.0, "link must have bandwidth");
+        self.latency + bytes as f64 / (self.bandwidth * self.efficiency)
+    }
+
+    /// Time for `transactions` separate transfers totalling `bytes`
+    /// (fine-grained access pays latency per transaction).
+    pub fn transfer_time_transactions(&self, bytes: u64, transactions: u64) -> f64 {
+        assert!(self.bandwidth > 0.0 && self.efficiency > 0.0, "link must have bandwidth");
+        transactions as f64 * self.latency + bytes as f64 / (self.bandwidth * self.efficiency)
+    }
+
+    /// A copy of this link with a different efficiency (used by the
+    /// zero-copy model, which cannot saturate the bus).
+    pub fn with_efficiency(&self, efficiency: f64) -> LinkModel {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        LinkModel { efficiency, ..self.clone() }
+    }
+
+    /// Effective bandwidth (bandwidth × efficiency).
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.bandwidth * self.efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_transfer_scales_linearly() {
+        let link = LinkModel::pcie_gen3_x16();
+        let t1 = link.transfer_time(16_000_000_000);
+        assert!((t1 - (1.0 + 10.0e-6)).abs() < 1e-9, "16 GB over 16 GB/s ≈ 1 s, got {t1}");
+        let t2 = link.transfer_time(32_000_000_000);
+        assert!(t2 > 1.9 && t2 < 2.1);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let link = LinkModel::nic_10gbps();
+        let t = link.transfer_time(64);
+        assert!(t > 0.9 * link.latency && t < 2.0 * link.latency);
+    }
+
+    #[test]
+    fn transactions_pay_latency_each() {
+        let link = LinkModel::pcie_gen3_x16();
+        let bulk = link.transfer_time_transactions(1_000_000, 1);
+        let fine = link.transfer_time_transactions(1_000_000, 10_000);
+        assert!(fine > bulk * 2.0, "10k transactions must be much slower");
+    }
+
+    #[test]
+    fn efficiency_slows_transfers() {
+        let link = LinkModel::pcie_gen3_x16();
+        let slow = link.with_efficiency(0.5);
+        let b = link.transfer_time(1_000_000_000);
+        let s = slow.transfer_time(1_000_000_000);
+        assert!((s / b - 2.0).abs() < 0.01, "half efficiency doubles time: {s} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn efficiency_validated() {
+        let _ = LinkModel::pcie_gen3_x16().with_efficiency(0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the device cost models.
+
+use gnn_dm_device::blocks::block_activity;
+use gnn_dm_device::cache::FeatureCache;
+use gnn_dm_device::link::LinkModel;
+use gnn_dm_device::memory::DeviceMemory;
+use gnn_dm_device::pipeline::{
+    makespan, makespan_with_contention, BatchStageTimes, PipelineMode,
+};
+use gnn_dm_device::transfer::{BatchTransfer, TransferEngine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Link transfer time is monotone in bytes and superadditive under
+    /// splitting (two transfers pay latency twice).
+    #[test]
+    fn link_monotone_and_superadditive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let link = LinkModel::pcie_gen3_x16();
+        prop_assert!(link.transfer_time(a.max(b)) >= link.transfer_time(a.min(b)));
+        let together = link.transfer_time(a + b);
+        let split = link.transfer_time(a) + link.transfer_time(b);
+        prop_assert!(split >= together - 1e-12);
+    }
+
+    /// Extract-load vs zero-copy: extract-load always has the lower pure
+    /// bus time (full efficiency), zero-copy always has zero gather.
+    #[test]
+    fn transfer_methods_structural(
+        rows in 0usize..100_000,
+        row_bytes in 4usize..4096,
+        topo in 0u64..10_000_000,
+    ) {
+        let e = TransferEngine::default();
+        let bt = BatchTransfer { rows, row_bytes, topo_bytes: topo };
+        let el = e.time_extract_load(&bt);
+        let zc = e.time_zero_copy(&bt);
+        prop_assert_eq!(zc.gather_sec, 0.0);
+        prop_assert!(el.link_sec <= zc.link_sec + 1e-12);
+        prop_assert_eq!(el.bytes, zc.bytes);
+        prop_assert!(el.total() >= 0.0 && zc.total() >= 0.0);
+    }
+
+    /// Hybrid transfer at threshold 0 degenerates to explicit-on-touched
+    /// blocks; above 1.0 it degenerates to zero-copy.
+    #[test]
+    fn hybrid_degenerate_thresholds(
+        ids_raw in proptest::collection::vec(0u32..5000, 1..200),
+        row_bytes in 32usize..512,
+    ) {
+        let n = 5000;
+        let e = TransferEngine::default();
+        let act = block_activity(&ids_raw, n, row_bytes, 256 * 1024);
+        let mut distinct = ids_raw.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let bt = BatchTransfer { rows: distinct.len(), row_bytes, topo_bytes: 0 };
+        let all_zc = e.time_hybrid(&bt, &act, 1.1);
+        let zc = e.time_zero_copy(&bt);
+        prop_assert!((all_zc.total() - zc.total()).abs() < 1e-12);
+        let all_explicit = e.time_hybrid(&bt, &act, 0.0);
+        // Whole touched blocks move: bytes ≥ the active rows' bytes.
+        prop_assert!(all_explicit.bytes >= bt.feature_bytes());
+    }
+
+    /// Contention makespan interpolates between ideal and sequential.
+    #[test]
+    fn contention_interpolates(
+        stages in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..30),
+        eff in 0.0f64..1.0,
+    ) {
+        let batches: Vec<BatchStageTimes> =
+            stages.iter().map(|&(bp, dt, nn)| BatchStageTimes { bp, dt, nn }).collect();
+        let seq = makespan(&batches, PipelineMode::None);
+        let ideal = makespan(&batches, PipelineMode::Full);
+        let real = makespan_with_contention(&batches, PipelineMode::Full, eff);
+        prop_assert!(real <= seq + 1e-9);
+        prop_assert!(real >= ideal - 1e-9);
+    }
+
+    /// Cache accounting: hits + misses equals accesses; misses are exactly
+    /// the non-cached ids in order.
+    #[test]
+    fn cache_accounting(
+        capacity in 0usize..50,
+        ids in proptest::collection::vec(0u32..100, 0..300),
+    ) {
+        let ranking: Vec<u32> = (0..100).collect();
+        let mut cache = FeatureCache::from_ranking(&ranking, 100, capacity);
+        let misses = cache.filter_misses(&ids);
+        prop_assert_eq!(cache.hits() + cache.misses(), ids.len() as u64);
+        let expected: Vec<u32> = ids.iter().copied().filter(|&v| v as usize >= capacity).collect();
+        prop_assert_eq!(misses, expected);
+    }
+
+    /// Memory budgeting never over-allocates.
+    #[test]
+    fn memory_budget_safe(
+        total in 0u64..1_000_000,
+        model in 0u64..1_000_000,
+        batch in 0u64..1_000_000,
+        row_bytes in 1usize..4096,
+        ratio_pct in 0u32..=100,
+    ) {
+        let mem = DeviceMemory { total, model_reserved: model, batch_reserved: batch };
+        let rows = mem.rows_for_ratio(10_000, row_bytes, ratio_pct as f64 / 100.0);
+        prop_assert!((rows * row_bytes) as u64 <= mem.cache_budget());
+        prop_assert!(rows <= 10_000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The hybrid transfer report's bytes never exceed explicit whole-array
+    /// movement and never undercut the zero-copy minimum.
+    #[test]
+    fn hybrid_byte_bounds(
+        ids_raw in proptest::collection::vec(0u32..2000, 1..150),
+        threshold in 0.0f64..1.0,
+    ) {
+        let n = 2000;
+        let row_bytes = 256;
+        let e = TransferEngine::default();
+        let act = block_activity(&ids_raw, n, row_bytes, 256 * 1024);
+        let mut distinct = ids_raw.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let bt = BatchTransfer { rows: distinct.len(), row_bytes, topo_bytes: 0 };
+        let hy = e.time_hybrid(&bt, &act, threshold);
+        prop_assert!(hy.bytes >= bt.feature_bytes(), "must move at least the active rows");
+        prop_assert!(hy.bytes <= (n * row_bytes) as u64, "cannot exceed the whole array");
+    }
+}

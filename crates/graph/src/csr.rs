@@ -1,0 +1,284 @@
+//! Compressed sparse row adjacency storage.
+
+/// Vertex identifier. `u32` keeps adjacency arrays half the size of `usize`
+/// on 64-bit targets, which matters for the large synthetic graphs the
+/// transfer experiments use.
+pub type VId = u32;
+
+/// Compressed sparse row adjacency.
+///
+/// `offsets` has `n + 1` entries; the neighbors of vertex `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`, sorted ascending and free of
+/// duplicates when built through [`Csr::from_edges`] or
+/// [`crate::GraphBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an unsorted edge list over `n` vertices.
+    ///
+    /// Self-loops and duplicate edges are removed. Endpoints must be `< n`.
+    ///
+    /// ```
+    /// use gnn_dm_graph::Csr;
+    /// let csr = Csr::from_edges(3, &[(0, 2), (0, 1), (0, 2), (1, 1)]);
+    /// assert_eq!(csr.neighbors(0), &[1, 2]); // sorted, deduplicated
+    /// assert_eq!(csr.num_edges(), 2);        // self-loop dropped
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(VId, VId)]) -> Self {
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of range for {n} vertices"
+            );
+        }
+        // Counting sort by source: O(n + m) and cache-friendly.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            if u != v {
+                counts[u as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut targets = vec![0 as VId; counts[n]];
+        let mut cursor = counts.clone();
+        for &(u, v) in edges {
+            if u != v {
+                targets[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+        }
+        let mut csr = Csr { offsets: counts, targets };
+        csr.sort_and_dedup();
+        csr
+    }
+
+    /// Builds a CSR directly from parts. `offsets` must be monotone with
+    /// `offsets[0] == 0` and `offsets[n] == targets.len()`, and each
+    /// neighbor list must be sorted and duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariants above do not hold.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<VId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets[0] must be 0");
+        assert_eq!(*offsets.last().unwrap(), targets.len(), "offsets must end at targets.len()");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        let csr = Csr { offsets, targets };
+        for v in 0..csr.num_vertices() {
+            let nbrs = csr.neighbors(v as VId);
+            assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "neighbors of {v} must be strictly sorted"
+            );
+        }
+        csr
+    }
+
+    /// An empty graph over `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Csr { offsets: vec![0; n + 1], targets: Vec::new() }
+    }
+
+    fn sort_and_dedup(&mut self) {
+        let n = self.num_vertices();
+        let mut write = 0usize;
+        let mut new_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            let (start, end) = (self.offsets[v], self.offsets[v + 1]);
+            self.targets[start..end].sort_unstable();
+            let mut prev: Option<VId> = None;
+            for i in start..end {
+                let t = self.targets[i];
+                if prev != Some(t) {
+                    self.targets[write] = t;
+                    write += 1;
+                    prev = Some(t);
+                }
+            }
+            new_offsets[v + 1] = write;
+        }
+        self.targets.truncate(write);
+        self.offsets = new_offsets;
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VId) -> &[VId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// `true` if the directed edge `u -> v` exists (binary search).
+    pub fn has_edge(&self, u: VId, v: VId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The raw offset array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw target array.
+    #[inline]
+    pub fn targets(&self) -> &[VId] {
+        &self.targets
+    }
+
+    /// Iterates `(source, target)` over every directed edge.
+    pub fn edges(&self) -> impl Iterator<Item = (VId, VId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.neighbors(v as VId).iter().map(move |&t| (v as VId, t))
+        })
+    }
+
+    /// Reverse adjacency: `transpose().neighbors(v)` are the in-neighbors
+    /// of `v` in `self`.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut targets = vec![0 as VId; self.targets.len()];
+        let mut cursor = counts.clone();
+        // Walking sources in ascending order makes each output list sorted.
+        for v in 0..n {
+            for &t in self.neighbors(v as VId) {
+                targets[cursor[t as usize]] = v as VId;
+                cursor[t as usize] += 1;
+            }
+        }
+        Csr { offsets: counts, targets }
+    }
+
+    /// `true` if for every edge `u -> v` the edge `v -> u` also exists.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge(v, u))
+    }
+
+    /// Bytes of memory used by the adjacency arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VId>()
+    }
+
+    /// The maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as VId)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_sorts_and_dedups() {
+        let csr = Csr::from_edges(4, &[(0, 2), (0, 1), (0, 2), (2, 3), (1, 1)]);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 3); // duplicate (0,2) and self-loop (1,1) dropped
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[] as &[VId]);
+        assert_eq!(csr.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::empty(5);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 0);
+        for v in 0..5 {
+            assert!(csr.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let csr = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let t = csr.transpose();
+        assert_eq!(t.neighbors(0), &[] as &[VId]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn has_edge_and_symmetry() {
+        let asym = Csr::from_edges(3, &[(0, 1)]);
+        assert!(asym.has_edge(0, 1));
+        assert!(!asym.has_edge(1, 0));
+        assert!(!asym.is_symmetric());
+        let sym = Csr::from_edges(3, &[(0, 1), (1, 0)]);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let input = vec![(0, 1), (1, 2), (2, 0), (2, 1)];
+        let csr = Csr::from_edges(3, &input);
+        let out: Vec<_> = csr.edges().collect();
+        assert_eq!(out.len(), 4);
+        for e in &input {
+            assert!(out.contains(e));
+        }
+    }
+
+    #[test]
+    fn degree_and_max_degree() {
+        let csr = Csr::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_eq!(csr.degree(0), 3);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.degree(3), 0);
+        assert_eq!(csr.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        let _ = Csr::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let csr = Csr::from_parts(vec![0, 2, 2], vec![0, 1]);
+        assert_eq!(csr.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn from_parts_rejects_unsorted() {
+        let _ = Csr::from_parts(vec![0, 2], vec![1, 0]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Binary graph serialization.
+//!
+//! A compact little-endian binary format so generated datasets can be
+//! persisted and reloaded without regeneration (useful when sweeping many
+//! experiment configurations over one graph). Layout:
+//!
+//! ```text
+//! magic   "GNDM"            4 bytes
+//! version u32               currently 1
+//! n       u64               vertices
+//! m       u64               directed edges
+//! dim     u64               feature width
+//! classes u64
+//! out     offsets (n+1)×u64, targets m×u32
+//! inn     offsets (n+1)×u64, targets m×u32
+//! feats   (n·dim)×f32
+//! labels  n×u32
+//! split   n×u8  (0 train, 1 val, 2 test)
+//! ```
+
+use crate::csr::{Csr, VId};
+use crate::features::FeatureTable;
+use crate::mask::{Split, SplitMask};
+use crate::Graph;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"GNDM";
+const VERSION: u32 = 1;
+
+/// Errors produced by the binary reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a gnn-dm graph file.
+    BadMagic,
+    /// File version unsupported by this build.
+    UnsupportedVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadMagic => write!(f, "not a gnn-dm graph file (bad magic)"),
+            IoError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            IoError::Corrupt(msg) => write!(f, "corrupt graph file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a graph in the binary format.
+pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> Result<(), IoError> {
+    let n = graph.num_vertices() as u64;
+    let m = graph.num_edges() as u64;
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    w.write_all(&(graph.feat_dim() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_classes as u64).to_le_bytes())?;
+    write_csr(&graph.out, w)?;
+    write_csr(&graph.inn, w)?;
+    for &x in graph.features.as_slice() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    for &l in &graph.labels {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    for v in 0..graph.num_vertices() as VId {
+        let code: u8 = match graph.split.split_of(v) {
+            Split::Train => 0,
+            Split::Val => 1,
+            Split::Test => 2,
+        };
+        w.write_all(&[code])?;
+    }
+    Ok(())
+}
+
+fn write_csr<W: Write>(csr: &Csr, w: &mut W) -> Result<(), IoError> {
+    for &o in csr.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &t in csr.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], IoError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    Ok(u32::from_le_bytes(read_exact::<R, 4>(r)?))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    Ok(u64::from_le_bytes(read_exact::<R, 8>(r)?))
+}
+
+fn read_csr<R: Read>(r: &mut R, n: usize, m: usize) -> Result<Csr, IoError> {
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        let o = read_u64(r)? as usize;
+        if o > m {
+            return Err(IoError::Corrupt(format!("offset {o} exceeds edge count {m}")));
+        }
+        offsets.push(o);
+    }
+    if offsets[0] != 0 || offsets[n] != m || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(IoError::Corrupt("offsets are not monotone over [0, m]".into()));
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = read_u32(r)?;
+        if t as usize >= n {
+            return Err(IoError::Corrupt(format!("target {t} out of range")));
+        }
+        targets.push(t);
+    }
+    // Per-list sortedness is validated by from_parts; map its panic into a
+    // Corrupt error by pre-checking here.
+    for v in 0..n {
+        let s = &targets[offsets[v]..offsets[v + 1]];
+        if !s.windows(2).all(|w| w[0] < w[1]) {
+            return Err(IoError::Corrupt(format!("neighbor list of {v} not sorted")));
+        }
+    }
+    Ok(Csr::from_parts(offsets, targets))
+}
+
+/// Reads a graph previously written by [`write_graph`].
+pub fn read_graph<R: Read>(r: &mut R) -> Result<Graph, IoError> {
+    let magic = read_exact::<R, 4>(r)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(IoError::UnsupportedVersion(version));
+    }
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let dim = read_u64(r)? as usize;
+    let classes = read_u64(r)? as usize;
+    if dim == 0 || classes == 0 {
+        return Err(IoError::Corrupt("zero feature width or class count".into()));
+    }
+    let out = read_csr(r, n, m)?;
+    let inn = read_csr(r, n, m)?;
+    let mut feats = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        feats.push(f32::from_le_bytes(read_exact::<R, 4>(r)?));
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = read_u32(r)?;
+        if l as usize >= classes {
+            return Err(IoError::Corrupt(format!("label {l} out of range")));
+        }
+        labels.push(l);
+    }
+    let mut splits = Vec::with_capacity(n);
+    for _ in 0..n {
+        let [code] = read_exact::<R, 1>(r)?;
+        splits.push(match code {
+            0 => Split::Train,
+            1 => Split::Val,
+            2 => Split::Test,
+            other => return Err(IoError::Corrupt(format!("invalid split code {other}"))),
+        });
+    }
+    let graph = Graph {
+        out,
+        inn,
+        features: FeatureTable::from_vec(feats, dim),
+        labels,
+        num_classes: classes,
+        split: SplitMask::from_assignment(splits),
+    };
+    graph.validate().map_err(IoError::Corrupt)?;
+    Ok(graph)
+}
+
+/// Convenience: write to a file path.
+pub fn save(graph: &Graph, path: &std::path::Path) -> Result<(), IoError> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    write_graph(graph, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Convenience: read from a file path.
+pub fn load(path: &std::path::Path) -> Result<Graph, IoError> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    read_graph(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{planted_partition, PplConfig};
+
+    fn graph() -> Graph {
+        planted_partition(&PplConfig {
+            n: 200,
+            avg_degree: 6.0,
+            num_classes: 4,
+            feat_dim: 8,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let r = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(r.out, g.out);
+        assert_eq!(r.inn, g.inn);
+        assert_eq!(r.features, g.features);
+        assert_eq!(r.labels, g.labels);
+        assert_eq!(r.split, g.split);
+        assert_eq!(r.num_classes, g.num_classes);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_graph(&graph(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_graph(&mut buf.as_slice()), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        write_graph(&graph(), &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_graph(&mut buf.as_slice()),
+            Err(IoError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_graph(&graph(), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(read_graph(&mut buf.as_slice()), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_corrupt_label() {
+        let g = graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        // Labels sit right before the split bytes at the end.
+        let n = g.num_vertices();
+        let label_start = buf.len() - n - n * 4;
+        buf[label_start..label_start + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(read_graph(&mut buf.as_slice()), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = graph();
+        let dir = std::env::temp_dir().join("gnn-dm-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.gndm");
+        save(&g, &path).unwrap();
+        let r = load(&path).unwrap();
+        assert_eq!(r.out, g.out);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,213 @@
+//! Graph statistics used throughout the evaluation.
+//!
+//! §5.3.1 measures partition-graph density via the (Watts–Strogatz) local
+//! clustering coefficient and compares its *variance* across partitions;
+//! §6.3.2 does the same per batched subgraph. Degree-skew summaries drive
+//! the fanout and caching analyses.
+
+use crate::csr::{Csr, VId};
+
+/// Mean and population variance of a sample (0 for empty input).
+pub fn mean_var(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var)
+}
+
+/// Out-degree of every vertex.
+pub fn degrees(csr: &Csr) -> Vec<usize> {
+    (0..csr.num_vertices()).map(|v| csr.degree(v as VId)).collect()
+}
+
+/// Gini coefficient of the degree distribution — 0 for perfectly uniform
+/// degrees, → 1 for extreme skew. A cheap, robust power-law proxy.
+pub fn degree_gini(csr: &Csr) -> f64 {
+    let mut d: Vec<usize> = degrees(csr);
+    d.sort_unstable();
+    let n = d.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = d.iter().map(|&x| x as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = d.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Local clustering coefficient of `v`: closed wedges / possible wedges.
+/// Requires sorted, deduplicated adjacency (guaranteed by [`Csr`]).
+pub fn local_clustering(csr: &Csr, v: VId) -> f64 {
+    let nbrs = csr.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &u) in nbrs.iter().enumerate() {
+        let u_nbrs = csr.neighbors(u);
+        // Count neighbors of u that are also neighbors of v and come after u
+        // in v's list (avoids double counting in symmetric graphs).
+        links += sorted_intersection_count(u_nbrs, &nbrs[i + 1..]);
+    }
+    (2.0 * links as f64) / (d as f64 * (d as f64 - 1.0))
+}
+
+/// Average local clustering coefficient over (a sample of) vertices.
+/// `sample_cap` bounds work on big graphs; vertices are strided evenly so the
+/// estimate is deterministic.
+pub fn avg_clustering(csr: &Csr, sample_cap: usize) -> f64 {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let stride = (n / sample_cap.max(1)).max(1);
+    let sampled: Vec<f64> =
+        (0..n).step_by(stride).map(|v| local_clustering(csr, v as VId)).collect();
+    mean_var(&sampled).0
+}
+
+/// Number of common elements of two sorted, deduplicated slices.
+pub fn sorted_intersection_count(a: &[VId], b: &[VId]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Splits vertices into low/high-degree halves around the median degree.
+/// Returns `(low, high)`; ties at the median go to the low side. Used by
+/// Table 7 (per-degree-class accuracy).
+pub fn degree_classes(csr: &Csr) -> (Vec<VId>, Vec<VId>) {
+    let mut d: Vec<usize> = degrees(csr);
+    d.sort_unstable();
+    let median = if d.is_empty() { 0 } else { d[d.len() / 2] };
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    for v in 0..csr.num_vertices() {
+        if csr.degree(v as VId) <= median {
+            low.push(v as VId);
+        } else {
+            high.push(v as VId);
+        }
+    }
+    (low, high)
+}
+
+/// Induced-subgraph clustering statistics for a vertex subset: the average
+/// local clustering coefficient of the subgraph induced by `members`.
+/// §5.3.1/§6.3.2 compare the *variance* of this quantity across partitions
+/// or batches.
+pub fn induced_avg_clustering(csr: &Csr, members: &[VId]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let in_set = |v: VId| sorted.binary_search(&v).is_ok();
+    let mut total = 0.0;
+    for &v in &sorted {
+        let nbrs: Vec<VId> = csr.neighbors(v).iter().copied().filter(|&u| in_set(u)).collect();
+        let d = nbrs.len();
+        if d < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                if csr.has_edge(u, w) {
+                    links += 1;
+                }
+            }
+        }
+        total += (2.0 * links as f64) / (d as f64 * (d as f64 - 1.0));
+    }
+    total / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    fn triangle_plus_tail() -> Csr {
+        // 0-1-2 triangle, 3 hangs off 0.
+        Csr::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (0, 3), (3, 0)])
+    }
+
+    #[test]
+    fn clustering_of_triangle() {
+        let g = triangle_plus_tail();
+        assert!((local_clustering(&g, 1) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 0) - (1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn avg_clustering_bounds() {
+        let g = triangle_plus_tail();
+        let c = avg_clustering(&g, 100);
+        assert!(c > 0.0 && c <= 1.0);
+    }
+
+    #[test]
+    fn gini_uniform_vs_star() {
+        let ring = Csr::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert!(degree_gini(&ring) < 1e-9);
+        let star_edges: Vec<(VId, VId)> = (1..50).map(|v| (0 as VId, v as VId)).collect();
+        let star = Csr::from_edges(50, &star_edges);
+        assert!(degree_gini(&star) > 0.9);
+    }
+
+    #[test]
+    fn intersection_count() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2], &[3, 4]), 0);
+    }
+
+    #[test]
+    fn degree_classes_cover_all() {
+        let g = triangle_plus_tail();
+        let (low, high) = degree_classes(&g);
+        assert_eq!(low.len() + high.len(), 4);
+        for &v in &high {
+            for &u in &low {
+                assert!(g.degree(v) > g.degree(u));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_clustering_subset() {
+        let g = triangle_plus_tail();
+        // Induced on the triangle: every member has coefficient 1.
+        let c = induced_avg_clustering(&g, &[0, 1, 2]);
+        assert!((c - 1.0).abs() < 1e-12);
+        // Induced on a path (0-3): no wedges at all.
+        let c2 = induced_avg_clustering(&g, &[0, 3]);
+        assert_eq!(c2, 0.0);
+    }
+
+    #[test]
+    fn mean_var_empty_and_constant() {
+        assert_eq!(mean_var(&[]), (0.0, 0.0));
+        let (m, v) = mean_var(&[2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(v, 0.0);
+    }
+}

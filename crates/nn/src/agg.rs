@@ -1,0 +1,480 @@
+//! Neighborhood aggregation kernels.
+//!
+//! Two aggregation families, matching the paper's two models:
+//!
+//! * **GCN** — mean over the closed neighborhood (self plus sampled
+//!   in-neighbors), the renormalized-adjacency form used when GCN is trained
+//!   on sampled blocks;
+//! * **GraphSAGE (mean)** — mean over sampled in-neighbors, concatenated
+//!   with the vertex's own embedding (width doubles).
+//!
+//! Each kernel exists in a *block* form (mini-batch training over
+//! [`Block`]s) and a *full* form (whole-graph inference over a [`Csr`]),
+//! plus the exact adjoint for backprop. The block kernels are linear in the
+//! number of block edges — the quantity §5.3.1 counts as "aggregation
+//! computational load".
+
+use gnn_dm_graph::csr::{Csr, VId};
+use gnn_dm_sampling::Block;
+use gnn_dm_tensor::Matrix;
+
+/// GCN block aggregation: `out[d] = (h[d] + Σ_{(s,d)} h[s]) / (1 + indeg(d))`.
+///
+/// Relies on the block invariant that destination `d`'s own embedding is at
+/// source index `d` (destinations prefix the sources).
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+pub fn gcn_block_forward(block: &Block, h_src: &Matrix) -> Matrix {
+    assert_eq!(h_src.rows(), block.num_src(), "one embedding per source");
+    let dim = h_src.cols();
+    let mut out = Matrix::zeros(block.num_dst(), dim);
+    // Self contribution.
+    for d in 0..block.num_dst() {
+        out.row_mut(d).copy_from_slice(h_src.row(d));
+    }
+    // Neighbor contributions.
+    for &(s, d) in &block.edges {
+        let src = h_src.row(s as usize);
+        let dst = out.row_mut(d as usize);
+        for (o, &x) in dst.iter_mut().zip(src) {
+            *o += x;
+        }
+    }
+    // Closed-neighborhood mean.
+    let deg = block.dst_in_degrees();
+    for d in 0..block.num_dst() {
+        let inv = 1.0 / (1.0 + deg[d] as f32);
+        for o in out.row_mut(d) {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`gcn_block_forward`]: distributes `d_out[d] / (1 + indeg(d))`
+/// to `d`'s own slot and to every sampled in-neighbor.
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+pub fn gcn_block_backward(block: &Block, d_out: &Matrix) -> Matrix {
+    assert_eq!(d_out.rows(), block.num_dst(), "one gradient per destination");
+    let dim = d_out.cols();
+    let deg = block.dst_in_degrees();
+    let mut d_src = Matrix::zeros(block.num_src(), dim);
+    for d in 0..block.num_dst() {
+        let inv = 1.0 / (1.0 + deg[d] as f32);
+        let g = d_out.row(d);
+        let own = d_src.row_mut(d);
+        for (o, &x) in own.iter_mut().zip(g) {
+            *o += inv * x;
+        }
+    }
+    for &(s, d) in &block.edges {
+        let inv = 1.0 / (1.0 + deg[d as usize] as f32);
+        let g = d_out.row(d as usize);
+        let row = d_src.row_mut(s as usize);
+        for (o, &x) in row.iter_mut().zip(g) {
+            *o += inv * x;
+        }
+    }
+    d_src
+}
+
+/// GraphSAGE block aggregation: `out[d] = [h[d] ‖ mean_{(s,d)} h[s]]`
+/// (neighbor half is zero for isolated destinations). Output width is
+/// `2 * dim`.
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+pub fn sage_block_forward(block: &Block, h_src: &Matrix) -> Matrix {
+    assert_eq!(h_src.rows(), block.num_src(), "one embedding per source");
+    let dim = h_src.cols();
+    let mut out = Matrix::zeros(block.num_dst(), 2 * dim);
+    for d in 0..block.num_dst() {
+        out.row_mut(d)[..dim].copy_from_slice(h_src.row(d));
+    }
+    for &(s, d) in &block.edges {
+        let src = h_src.row(s as usize);
+        let dst = &mut out.row_mut(d as usize)[dim..];
+        for (o, &x) in dst.iter_mut().zip(src) {
+            *o += x;
+        }
+    }
+    let deg = block.dst_in_degrees();
+    for d in 0..block.num_dst() {
+        if deg[d] > 0 {
+            let inv = 1.0 / deg[d] as f32;
+            for o in &mut out.row_mut(d)[dim..] {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`sage_block_forward`].
+pub fn sage_block_backward(block: &Block, d_out: &Matrix) -> Matrix {
+    assert_eq!(d_out.rows(), block.num_dst(), "one gradient per destination");
+    let dim = d_out.cols() / 2;
+    assert_eq!(d_out.cols(), 2 * dim, "gradient width must be even");
+    let deg = block.dst_in_degrees();
+    let mut d_src = Matrix::zeros(block.num_src(), dim);
+    for d in 0..block.num_dst() {
+        let g_self = &d_out.row(d)[..dim];
+        let own = d_src.row_mut(d);
+        for (o, &x) in own.iter_mut().zip(g_self) {
+            *o += x;
+        }
+    }
+    for &(s, d) in &block.edges {
+        let inv = 1.0 / deg[d as usize] as f32; // deg > 0: this edge exists
+        let g_neigh = &d_out.row(d as usize)[dim..];
+        let row = d_src.row_mut(s as usize);
+        for (o, &x) in row.iter_mut().zip(g_neigh) {
+            *o += inv * x;
+        }
+    }
+    d_src
+}
+
+/// GraphSAGE max-pooling block aggregation: `out[d] = [h[d] ‖ max_{(s,d)} h[s]]`
+/// element-wise (neighbor half is zero for isolated destinations). Returns
+/// the output plus the per-element argmax source index (local), which the
+/// adjoint needs: max is piecewise linear, so the gradient flows only to
+/// the winning source.
+pub fn sage_max_block_forward(block: &Block, h_src: &Matrix) -> (Matrix, Vec<u32>) {
+    assert_eq!(h_src.rows(), block.num_src(), "one embedding per source");
+    let dim = h_src.cols();
+    let n_dst = block.num_dst();
+    let mut out = Matrix::zeros(n_dst, 2 * dim);
+    // u32::MAX marks "no neighbor" per (dst, dim) slot.
+    let mut argmax = vec![u32::MAX; n_dst * dim];
+    for d in 0..n_dst {
+        out.row_mut(d)[..dim].copy_from_slice(h_src.row(d));
+    }
+    for &(s, d) in &block.edges {
+        let src = h_src.row(s as usize);
+        let row = out.row_mut(d as usize);
+        let base = d as usize * dim;
+        for j in 0..dim {
+            let slot = &mut row[dim + j];
+            if argmax[base + j] == u32::MAX || src[j] > *slot {
+                *slot = src[j];
+                argmax[base + j] = s;
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Adjoint of [`sage_max_block_forward`]: the neighbor-half gradient flows
+/// to the per-element winning source only.
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+pub fn sage_max_block_backward(block: &Block, argmax: &[u32], d_out: &Matrix) -> Matrix {
+    assert_eq!(d_out.rows(), block.num_dst(), "one gradient per destination");
+    let dim = d_out.cols() / 2;
+    assert_eq!(d_out.cols(), 2 * dim, "gradient width must be even");
+    assert_eq!(argmax.len(), block.num_dst() * dim, "one argmax per (dst, dim)");
+    let mut d_src = Matrix::zeros(block.num_src(), dim);
+    for d in 0..block.num_dst() {
+        // Self half.
+        let g_self = &d_out.row(d)[..dim];
+        for (o, &x) in d_src.row_mut(d).iter_mut().zip(g_self) {
+            *o += x;
+        }
+    }
+    for d in 0..block.num_dst() {
+        let base = d * dim;
+        for j in 0..dim {
+            let winner = argmax[base + j];
+            if winner != u32::MAX {
+                d_src.row_mut(winner as usize)[j] += d_out.row(d)[dim + j];
+            }
+        }
+    }
+    d_src
+}
+
+/// Full-graph GCN aggregation over the in-CSR (exact inference):
+/// `out[v] = (h[v] + Σ_{u ∈ N_in(v)} h[u]) / (1 + |N_in(v)|)`.
+pub fn gcn_full_forward(in_csr: &Csr, h: &Matrix) -> Matrix {
+    assert_eq!(h.rows(), in_csr.num_vertices(), "one embedding per vertex");
+    let dim = h.cols();
+    let mut out = Matrix::zeros(h.rows(), dim);
+    for v in 0..in_csr.num_vertices() {
+        let nbrs = in_csr.neighbors(v as VId);
+        let row = out.row_mut(v);
+        row.copy_from_slice(h.row(v));
+        for &u in nbrs {
+            for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / (1.0 + nbrs.len() as f32);
+        for o in row {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// Full-graph GraphSAGE aggregation (exact inference): `[h[v] ‖ mean_in]`.
+pub fn sage_full_forward(in_csr: &Csr, h: &Matrix) -> Matrix {
+    assert_eq!(h.rows(), in_csr.num_vertices(), "one embedding per vertex");
+    let dim = h.cols();
+    let mut out = Matrix::zeros(h.rows(), 2 * dim);
+    for v in 0..in_csr.num_vertices() {
+        let nbrs = in_csr.neighbors(v as VId);
+        let row = out.row_mut(v);
+        row[..dim].copy_from_slice(h.row(v));
+        for &u in nbrs {
+            for (o, &x) in row[dim..].iter_mut().zip(h.row(u as usize)) {
+                *o += x;
+            }
+        }
+        if !nbrs.is_empty() {
+            let inv = 1.0 / nbrs.len() as f32;
+            for o in &mut row[dim..] {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`gcn_full_forward`] for full-batch training: since the
+/// forward reads in-neighbors, the adjoint scatters along *out*-edges —
+/// `d_h[u] += Σ_{v : u ∈ N_in(v)} d_out[v] / (1 + |N_in(v)|)` — which is a
+/// pass over the out-CSR. `in_degrees[v]` must be `in_csr.degree(v)`.
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+pub fn gcn_full_backward(out_csr: &Csr, in_degrees: &[usize], d_out: &Matrix) -> Matrix {
+    let n = out_csr.num_vertices();
+    assert_eq!(d_out.rows(), n, "one gradient per vertex");
+    assert_eq!(in_degrees.len(), n, "one in-degree per vertex");
+    let dim = d_out.cols();
+    let mut d_h = Matrix::zeros(n, dim);
+    for v in 0..n {
+        // Self term.
+        let inv = 1.0 / (1.0 + in_degrees[v] as f32);
+        let g = d_out.row(v);
+        let own = d_h.row_mut(v);
+        for (o, &x) in own.iter_mut().zip(g) {
+            *o += inv * x;
+        }
+    }
+    for u in 0..n {
+        for &v in out_csr.neighbors(u as VId) {
+            let inv = 1.0 / (1.0 + in_degrees[v as usize] as f32);
+            let g = d_out.row(v as usize);
+            let row = d_h.row_mut(u);
+            for (o, &x) in row.iter_mut().zip(g) {
+                *o += inv * x;
+            }
+        }
+    }
+    d_h
+}
+
+/// Adjoint of [`sage_full_forward`].
+pub fn sage_full_backward(out_csr: &Csr, in_degrees: &[usize], d_out: &Matrix) -> Matrix {
+    let n = out_csr.num_vertices();
+    assert_eq!(d_out.rows(), n, "one gradient per vertex");
+    let dim = d_out.cols() / 2;
+    assert_eq!(d_out.cols(), 2 * dim, "gradient width must be even");
+    let mut d_h = Matrix::zeros(n, dim);
+    for v in 0..n {
+        let g_self = &d_out.row(v)[..dim];
+        let own = d_h.row_mut(v);
+        for (o, &x) in own.iter_mut().zip(g_self) {
+            *o += x;
+        }
+    }
+    for u in 0..n {
+        for &v in out_csr.neighbors(u as VId) {
+            let deg = in_degrees[v as usize];
+            if deg == 0 {
+                continue;
+            }
+            let inv = 1.0 / deg as f32;
+            let g_neigh = &d_out.row(v as usize)[dim..];
+            let row = d_h.row_mut(u);
+            for (o, &x) in row.iter_mut().zip(g_neigh) {
+                *o += inv * x;
+            }
+        }
+    }
+    d_h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block: sources [10, 11, 12, 13], dsts [10, 11];
+    /// edges 12→10, 13→10, 12→11.
+    fn block() -> Block {
+        Block {
+            src_ids: vec![10, 11, 12, 13],
+            dst_ids: vec![10, 11],
+            edges: vec![(2, 0), (3, 0), (2, 1)],
+        }
+    }
+
+    fn h4() -> Matrix {
+        Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 4.0, -4.0])
+    }
+
+    #[test]
+    fn gcn_forward_values() {
+        let out = gcn_block_forward(&block(), &h4());
+        // dst 0: (h0 + h2 + h3)/3 = (7, -2)/3
+        assert!((out.get(0, 0) - 7.0 / 3.0).abs() < 1e-6);
+        assert!((out.get(0, 1) + 2.0 / 3.0).abs() < 1e-6);
+        // dst 1: (h1 + h2)/2 = (2, 3)/2
+        assert!((out.get(1, 0) - 1.0).abs() < 1e-6);
+        assert!((out.get(1, 1) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sage_forward_values() {
+        let out = sage_block_forward(&block(), &h4());
+        assert_eq!(out.cols(), 4);
+        // dst 0 self = h0, neigh = (h2 + h3)/2 = (3, -1)
+        assert_eq!(&out.row(0)[..2], &[1.0, 0.0]);
+        assert_eq!(&out.row(0)[2..], &[3.0, -1.0]);
+        // dst 1 neigh = h2
+        assert_eq!(&out.row(1)[2..], &[2.0, 2.0]);
+    }
+
+    /// Adjoint check: for linear maps, ⟨A x, y⟩ == ⟨x, Aᵀ y⟩ for all x, y.
+    #[test]
+    fn gcn_backward_is_exact_adjoint() {
+        let b = block();
+        let x = h4();
+        let y = Matrix::from_vec(2, 2, vec![0.3, -1.0, 0.7, 2.0]);
+        let ax = gcn_block_forward(&b, &x);
+        let aty = gcn_block_backward(&b, &y);
+        let lhs: f32 = ax.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn sage_backward_is_exact_adjoint() {
+        let b = block();
+        let x = h4();
+        let y = Matrix::from_vec(2, 4, vec![0.1, 0.2, -0.5, 1.0, -0.3, 0.4, 2.0, 0.9]);
+        let ax = sage_block_forward(&b, &x);
+        let aty = sage_block_backward(&b, &y);
+        let lhs: f32 = ax.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn isolated_destination_keeps_self_only() {
+        let b = Block { src_ids: vec![5], dst_ids: vec![5], edges: vec![] };
+        let h = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let gcn = gcn_block_forward(&b, &h);
+        assert_eq!(gcn.row(0), &[3.0, 4.0]);
+        let sage = sage_block_forward(&b, &h);
+        assert_eq!(sage.row(0), &[3.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sage_max_forward_values() {
+        let b = block();
+        let (out, argmax) = sage_max_block_forward(&b, &h4());
+        // dst 0 neighbors: h2 = (2, 2), h3 = (4, -4) → max = (4, 2).
+        assert_eq!(&out.row(0)[2..], &[4.0, 2.0]);
+        assert_eq!(argmax[0], 3, "dim 0 won by source 3");
+        assert_eq!(argmax[1], 2, "dim 1 won by source 2");
+        // dst 1 neighbor: h2 only.
+        assert_eq!(&out.row(1)[2..], &[2.0, 2.0]);
+        assert_eq!(argmax[2], 2);
+    }
+
+    #[test]
+    fn sage_max_backward_routes_to_winner() {
+        let b = block();
+        let h = h4();
+        let (_, argmax) = sage_max_block_forward(&b, &h);
+        // Unit gradient on dst 0's neighbor-half, dim 0 → flows to src 3.
+        let mut d_out = Matrix::zeros(2, 4);
+        d_out.set(0, 2, 1.0);
+        let d_src = sage_max_block_backward(&b, &argmax, &d_out);
+        assert_eq!(d_src.get(3, 0), 1.0);
+        assert_eq!(d_src.get(2, 0), 0.0);
+    }
+
+    /// Directional-derivative check for max pooling: around a point with
+    /// distinct maxima the map is locally linear.
+    #[test]
+    fn sage_max_local_adjoint() {
+        let b = block();
+        let x = h4();
+        let (ax, argmax) = sage_max_block_forward(&b, &x);
+        let y = Matrix::from_fn(2, 4, |r, c| ((r * 4 + c) as f32 * 0.7).sin());
+        let aty = sage_max_block_backward(&b, &argmax, &y);
+        // At fixed argmax the map is linear; adjoint identity must hold.
+        let lhs: f32 = ax.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        // Subtract the constant part contributed by "no neighbor" zeros
+        // (none here: every dst has neighbors in all dims via src 2).
+        let rhs: f32 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn sage_max_isolated_dst() {
+        let b = Block { src_ids: vec![5], dst_ids: vec![5], edges: vec![] };
+        let h = Matrix::from_vec(1, 2, vec![3.0, -4.0]);
+        let (out, argmax) = sage_max_block_forward(&b, &h);
+        assert_eq!(out.row(0), &[3.0, -4.0, 0.0, 0.0]);
+        assert!(argmax.iter().all(|&a| a == u32::MAX));
+        let d_out = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let d_src = sage_max_block_backward(&b, &argmax, &d_out);
+        assert_eq!(d_src.row(0), &[1.0, 1.0], "only the self half flows");
+    }
+
+    #[test]
+    fn full_backward_is_exact_adjoint() {
+        use gnn_dm_graph::Csr;
+        // Directed graph on 4 vertices.
+        let out_csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (3, 0)]);
+        let in_csr = out_csr.transpose();
+        let in_degrees: Vec<usize> = (0..4).map(|v| in_csr.degree(v)).collect();
+        let x = Matrix::from_fn(4, 3, |r, c| (r as f32 + 1.0) * (c as f32 - 1.0));
+        let y = Matrix::from_fn(4, 3, |r, c| (r as f32 - 2.0) * (c as f32 + 0.5));
+        let ax = gcn_full_forward(&in_csr, &x);
+        let aty = gcn_full_backward(&out_csr, &in_degrees, &y);
+        let lhs: f32 = ax.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "gcn lhs {lhs} rhs {rhs}");
+
+        let y2 = Matrix::from_fn(4, 6, |r, c| ((r * 6 + c) as f32 * 0.31).sin());
+        let ax2 = sage_full_forward(&in_csr, &x);
+        let aty2 = sage_full_backward(&out_csr, &in_degrees, &y2);
+        let lhs2: f32 = ax2.as_slice().iter().zip(y2.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs2: f32 = x.as_slice().iter().zip(aty2.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs2 - rhs2).abs() < 1e-4, "sage lhs {lhs2} rhs {rhs2}");
+    }
+
+    #[test]
+    fn full_forward_matches_block_with_full_neighbors() {
+        use gnn_dm_graph::Csr;
+        // 3-vertex graph: in-neighbors 1→0, 2→0, 2→1.
+        let in_csr = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let h = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 0.0, 0.0, 4.0]);
+        let full = gcn_full_forward(&in_csr, &h);
+        // Block equivalent over all three vertices with every in-edge.
+        let b = Block {
+            src_ids: vec![0, 1, 2],
+            dst_ids: vec![0, 1, 2],
+            edges: vec![(1, 0), (2, 0), (2, 1)],
+        };
+        let blk = gcn_block_forward(&b, &h);
+        for i in 0..6 {
+            assert!((full.as_slice()[i] - blk.as_slice()[i]).abs() < 1e-6);
+        }
+        let fs = sage_full_forward(&in_csr, &h);
+        let bs = sage_block_forward(&b, &h);
+        for i in 0..12 {
+            assert!((fs.as_slice()[i] - bs.as_slice()[i]).abs() < 1e-6);
+        }
+    }
+}

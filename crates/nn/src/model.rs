@@ -1,0 +1,421 @@
+//! The layered GNN model with explicit forward caches and gradients.
+
+use crate::agg;
+use gnn_dm_graph::csr::Csr;
+use gnn_dm_sampling::MiniBatch;
+use gnn_dm_tensor::{init, ops, Matrix};
+
+/// Which aggregation family the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// GCN: closed-neighborhood mean (renormalized adjacency).
+    Gcn,
+    /// GraphSAGE with mean aggregator and self/neighbor concatenation.
+    SageMean,
+}
+
+/// One dense layer (weights + bias) applied after aggregation.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    /// Weight matrix, `agg_width x out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+}
+
+/// A multi-layer GNN: per layer, aggregate then `ReLU(agg · W + b)`
+/// (no ReLU after the last layer — its output are the logits).
+#[derive(Debug, Clone)]
+pub struct GnnModel {
+    /// Aggregation family.
+    pub kind: AggKind,
+    /// Dense layers, input-most first.
+    pub layers: Vec<DenseLayer>,
+    dims: Vec<usize>,
+}
+
+/// Intermediate activations kept for backprop.
+pub struct ForwardCache {
+    /// Aggregation outputs (dense-layer inputs), one per layer.
+    pub aggs: Vec<Matrix>,
+    /// Pre-activation values for layers that apply ReLU (all but the last).
+    pub pres: Vec<Matrix>,
+}
+
+/// Parameter gradients, one `(dW, db)` pair per layer.
+pub struct Gradients {
+    /// Per-layer weight/bias gradients, input-most first.
+    pub layers: Vec<(Matrix, Vec<f32>)>,
+}
+
+impl Gradients {
+    /// Global L2 norm over all parameters — the "gradient magnitude" the
+    /// paper inspects when explaining batch-size effects (§6.3.1).
+    pub fn l2_norm(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for (w, b) in &self.layers {
+            acc += w.as_slice().iter().map(|x| x * x).sum::<f32>();
+            acc += b.iter().map(|x| x * x).sum::<f32>();
+        }
+        acc.sqrt()
+    }
+}
+
+impl GnnModel {
+    /// Builds a model with layer widths `dims = [feat, hidden…, classes]`
+    /// and Glorot-initialized weights. `dims.len() - 1` is the layer count.
+    ///
+    /// ```
+    /// use gnn_dm_nn::{AggKind, GnnModel};
+    /// let gcn = GnnModel::new(AggKind::Gcn, &[64, 128, 10], 42);
+    /// assert_eq!(gcn.num_layers(), 2);
+    /// assert_eq!(gcn.num_params(), 64 * 128 + 128 + 128 * 10 + 10);
+    /// // GraphSAGE concatenates self and neighbor embeddings, doubling fan-in.
+    /// let sage = GnnModel::new(AggKind::SageMean, &[64, 128, 10], 42);
+    /// assert!(sage.num_params() > gcn.num_params());
+    /// ```
+    pub fn new(kind: AggKind, dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        let layers = (0..dims.len() - 1)
+            .map(|l| {
+                let fan_in = Self::agg_width_for(kind, dims[l]);
+                DenseLayer {
+                    w: init::glorot_uniform(fan_in, dims[l + 1], seed.wrapping_add(l as u64)),
+                    b: vec![0.0; dims[l + 1]],
+                }
+            })
+            .collect();
+        GnnModel { kind, layers, dims: dims.to_vec() }
+    }
+
+    /// The paper's default: 2 layers, hidden width 128.
+    pub fn paper_default(kind: AggKind, feat_dim: usize, num_classes: usize, seed: u64) -> Self {
+        GnnModel::new(kind, &[feat_dim, 128, num_classes], seed)
+    }
+
+    fn agg_width_for(kind: AggKind, in_dim: usize) -> usize {
+        match kind {
+            AggKind::Gcn => in_dim,
+            AggKind::SageMean => 2 * in_dim,
+        }
+    }
+
+    /// Number of GNN layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer widths `[feat, hidden…, classes]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
+    }
+
+    /// Mini-batch forward pass. `x_input` holds one feature row per entry of
+    /// `mb.input_ids()`, in that order. Returns logits for `mb.seeds` plus
+    /// the cache backward needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch layer count differs from the model's or shapes
+    /// disagree.
+    pub fn forward_minibatch(&self, mb: &MiniBatch, x_input: &Matrix) -> (Matrix, ForwardCache) {
+        assert_eq!(mb.num_layers(), self.num_layers(), "batch/model layer mismatch");
+        assert_eq!(x_input.rows(), mb.input_ids().len(), "one feature row per input vertex");
+        assert_eq!(x_input.cols(), self.dims[0], "feature width mismatch");
+        let last = self.num_layers() - 1;
+        let mut h = x_input.clone();
+        let mut aggs = Vec::with_capacity(self.num_layers());
+        let mut pres = Vec::with_capacity(last);
+        for (l, block) in mb.blocks.iter().enumerate() {
+            let agg_out = match self.kind {
+                AggKind::Gcn => agg::gcn_block_forward(block, &h),
+                AggKind::SageMean => agg::sage_block_forward(block, &h),
+            };
+            let mut z = ops::matmul(&agg_out, &self.layers[l].w);
+            ops::add_bias(&mut z, &self.layers[l].b);
+            aggs.push(agg_out);
+            if l < last {
+                let pre = ops::relu_forward(&mut z);
+                pres.push(pre);
+            }
+            h = z;
+        }
+        (h, ForwardCache { aggs, pres })
+    }
+
+    /// Mini-batch backward pass: gradients for every layer given the loss
+    /// gradient w.r.t. the logits.
+    pub fn backward_minibatch(
+        &self,
+        mb: &MiniBatch,
+        cache: &ForwardCache,
+        d_logits: Matrix,
+    ) -> Gradients {
+        let last = self.num_layers() - 1;
+        let mut d = d_logits;
+        let mut grads: Vec<(Matrix, Vec<f32>)> = (0..self.num_layers())
+            .map(|l| (Matrix::zeros(self.layers[l].w.rows(), self.layers[l].w.cols()), vec![0.0; self.layers[l].b.len()]))
+            .collect();
+        for l in (0..self.num_layers()).rev() {
+            if l < last {
+                ops::relu_backward(&mut d, &cache.pres[l]);
+            }
+            grads[l].0 = ops::matmul_tn(&cache.aggs[l], &d);
+            grads[l].1 = ops::column_sums(&d);
+            if l > 0 {
+                let d_agg = ops::matmul_nt(&d, &self.layers[l].w);
+                d = match self.kind {
+                    AggKind::Gcn => agg::gcn_block_backward(&mb.blocks[l], &d_agg),
+                    AggKind::SageMean => agg::sage_block_backward(&mb.blocks[l], &d_agg),
+                };
+            }
+        }
+        Gradients { layers: grads }
+    }
+
+    /// Exact full-graph forward pass (no sampling): logits for every vertex.
+    /// Used for validation/test accuracy and as the full-batch baseline.
+    pub fn full_forward(&self, in_csr: &Csr, features: &Matrix) -> Matrix {
+        assert_eq!(features.rows(), in_csr.num_vertices(), "one feature row per vertex");
+        assert_eq!(features.cols(), self.dims[0], "feature width mismatch");
+        let last = self.num_layers() - 1;
+        let mut h = features.clone();
+        for l in 0..self.num_layers() {
+            let agg_out = match self.kind {
+                AggKind::Gcn => agg::gcn_full_forward(in_csr, &h),
+                AggKind::SageMean => agg::sage_full_forward(in_csr, &h),
+            };
+            let mut z = ops::matmul(&agg_out, &self.layers[l].w);
+            ops::add_bias(&mut z, &self.layers[l].b);
+            if l < last {
+                ops::relu_forward(&mut z);
+            }
+            h = z;
+        }
+        h
+    }
+
+    /// Full-graph forward pass that keeps the caches backward needs — the
+    /// training path of the full-batch systems in Table 1 (NeuGraph, ROC,
+    /// DistGNN, DGCL, Dorylus, BNS-GCN, NeutronStar, Sancus).
+    pub fn forward_full_cached(&self, in_csr: &Csr, features: &Matrix) -> (Matrix, ForwardCache) {
+        assert_eq!(features.rows(), in_csr.num_vertices(), "one feature row per vertex");
+        assert_eq!(features.cols(), self.dims[0], "feature width mismatch");
+        let last = self.num_layers() - 1;
+        let mut h = features.clone();
+        let mut aggs = Vec::with_capacity(self.num_layers());
+        let mut pres = Vec::with_capacity(last);
+        for l in 0..self.num_layers() {
+            let agg_out = match self.kind {
+                AggKind::Gcn => agg::gcn_full_forward(in_csr, &h),
+                AggKind::SageMean => agg::sage_full_forward(in_csr, &h),
+            };
+            let mut z = ops::matmul(&agg_out, &self.layers[l].w);
+            ops::add_bias(&mut z, &self.layers[l].b);
+            aggs.push(agg_out);
+            if l < last {
+                pres.push(ops::relu_forward(&mut z));
+            }
+            h = z;
+        }
+        (h, ForwardCache { aggs, pres })
+    }
+
+    /// Full-graph backward pass matching [`Self::forward_full_cached`].
+    /// `out_csr` must be the transpose of the `in_csr` used forward;
+    /// `in_degrees[v] = in_csr.degree(v)`.
+    pub fn backward_full(
+        &self,
+        out_csr: &Csr,
+        in_degrees: &[usize],
+        cache: &ForwardCache,
+        d_logits: Matrix,
+    ) -> Gradients {
+        let last = self.num_layers() - 1;
+        let mut d = d_logits;
+        let mut grads: Vec<(Matrix, Vec<f32>)> = self
+            .layers
+            .iter()
+            .map(|l| (Matrix::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()]))
+            .collect();
+        for l in (0..self.num_layers()).rev() {
+            if l < last {
+                ops::relu_backward(&mut d, &cache.pres[l]);
+            }
+            grads[l].0 = ops::matmul_tn(&cache.aggs[l], &d);
+            grads[l].1 = ops::column_sums(&d);
+            if l > 0 {
+                let d_agg = ops::matmul_nt(&d, &self.layers[l].w);
+                d = match self.kind {
+                    AggKind::Gcn => agg::gcn_full_backward(out_csr, in_degrees, &d_agg),
+                    AggKind::SageMean => agg::sage_full_backward(out_csr, in_degrees, &d_agg),
+                };
+            }
+        }
+        Gradients { layers: grads }
+    }
+
+    /// Mutable flat views of every parameter, layer-major, weights before
+    /// biases — the order [`Gradients::flat_views`] mirrors.
+    pub fn param_views_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = Vec::with_capacity(self.layers.len() * 2);
+        for l in &mut self.layers {
+            out.push(l.w.as_mut_slice());
+            out.push(l.b.as_mut_slice());
+        }
+        out
+    }
+}
+
+impl Gradients {
+    /// Flat views matching [`GnnModel::param_views_mut`] order.
+    pub fn flat_views(&self) -> Vec<&[f32]> {
+        let mut out = Vec::with_capacity(self.layers.len() * 2);
+        for (w, b) in &self.layers {
+            out.push(w.as_slice());
+            out.push(b.as_slice());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use gnn_dm_graph::generate::{planted_partition, PplConfig};
+    use gnn_dm_sampling::sampler::{build_minibatch, FanoutSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(kind: AggKind) -> (gnn_dm_graph::Graph, GnnModel, MiniBatch, Matrix, Vec<u32>) {
+        let g = planted_partition(&PplConfig {
+            n: 120,
+            avg_degree: 8.0,
+            num_classes: 3,
+            feat_dim: 5,
+            ..Default::default()
+        });
+        let model = GnnModel::new(kind, &[5, 7, 3], 11);
+        let sampler = FanoutSampler::new(vec![4, 3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let seeds: Vec<u32> = (0..10).collect();
+        let mb = build_minibatch(&g.inn, &seeds, &sampler, &mut rng);
+        let mut x = Matrix::zeros(mb.input_ids().len(), 5);
+        for (i, &v) in mb.input_ids().iter().enumerate() {
+            x.row_mut(i).copy_from_slice(g.features.row(v));
+        }
+        let labels: Vec<u32> = mb.seeds.iter().map(|&s| g.labels[s as usize]).collect();
+        (g, model, mb, x, labels)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        for kind in [AggKind::Gcn, AggKind::SageMean] {
+            let (_, model, mb, x, _) = setup(kind);
+            let (logits, cache) = model.forward_minibatch(&mb, &x);
+            assert_eq!(logits.rows(), mb.seeds.len());
+            assert_eq!(logits.cols(), 3);
+            assert_eq!(cache.aggs.len(), 2);
+            assert_eq!(cache.pres.len(), 1);
+        }
+    }
+
+    /// Finite-difference check of the full model backward pass on a handful
+    /// of parameters of every layer.
+    #[test]
+    fn gradients_match_finite_differences() {
+        for kind in [AggKind::Gcn, AggKind::SageMean] {
+            let (_, mut model, mb, x, labels) = setup(kind);
+            let (logits, cache) = model.forward_minibatch(&mb, &x);
+            let (_, d_logits) = softmax_cross_entropy(&logits, &labels);
+            let grads = model.backward_minibatch(&mb, &cache, d_logits);
+
+            let eps = 3e-3f32;
+            for l in 0..model.num_layers() {
+                for &(r, c) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+                    let orig = model.layers[l].w.get(r, c);
+                    model.layers[l].w.set(r, c, orig + eps);
+                    let (lp, _) = {
+                        let (lg, _) = model.forward_minibatch(&mb, &x);
+                        softmax_cross_entropy(&lg, &labels)
+                    };
+                    model.layers[l].w.set(r, c, orig - eps);
+                    let (lm, _) = {
+                        let (lg, _) = model.forward_minibatch(&mb, &x);
+                        softmax_cross_entropy(&lg, &labels)
+                    };
+                    model.layers[l].w.set(r, c, orig);
+                    let numeric = (lp - lm) / (2.0 * eps);
+                    let analytic = grads.layers[l].0.get(r, c);
+                    assert!(
+                        (numeric - analytic).abs() < 2e-2_f32.max(0.25 * analytic.abs()),
+                        "{kind:?} layer {l} w[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+                // One bias entry per layer.
+                let orig = model.layers[l].b[0];
+                model.layers[l].b[0] = orig + eps;
+                let (lp, _) = {
+                    let (lg, _) = model.forward_minibatch(&mb, &x);
+                    softmax_cross_entropy(&lg, &labels)
+                };
+                model.layers[l].b[0] = orig - eps;
+                let (lm, _) = {
+                    let (lg, _) = model.forward_minibatch(&mb, &x);
+                    softmax_cross_entropy(&lg, &labels)
+                };
+                model.layers[l].b[0] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads.layers[l].1[0];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "{kind:?} layer {l} bias: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_forward_shapes_and_determinism() {
+        let (g, model, _, _, _) = setup(AggKind::Gcn);
+        let feats = Matrix::from_vec(
+            g.num_vertices() * 5,
+            1,
+            g.features.as_slice().to_vec(),
+        );
+        let feats = Matrix::from_vec(g.num_vertices(), 5, feats.as_slice().to_vec());
+        let a = model.full_forward(&g.inn, &feats);
+        let b = model.full_forward(&g.inn, &feats);
+        assert_eq!(a, b);
+        assert_eq!(a.rows(), g.num_vertices());
+        assert_eq!(a.cols(), 3);
+    }
+
+    #[test]
+    fn param_views_align_with_gradient_views() {
+        let (_, mut model, mb, x, labels) = setup(AggKind::Gcn);
+        let (logits, cache) = model.forward_minibatch(&mb, &x);
+        let (_, d) = softmax_cross_entropy(&logits, &labels);
+        let grads = model.backward_minibatch(&mb, &cache, d);
+        let gv = grads.flat_views();
+        let pv = model.param_views_mut();
+        assert_eq!(gv.len(), pv.len());
+        for (g, p) in gv.iter().zip(&pv) {
+            assert_eq!(g.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let m = GnnModel::new(AggKind::Gcn, &[5, 7, 3], 0);
+        assert_eq!(m.num_params(), 5 * 7 + 7 + 7 * 3 + 3);
+        let s = GnnModel::new(AggKind::SageMean, &[5, 7, 3], 0);
+        assert_eq!(s.num_params(), 10 * 7 + 7 + 14 * 3 + 3);
+    }
+}

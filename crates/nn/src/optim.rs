@@ -1,0 +1,185 @@
+//! Optimizers operating on flat parameter views.
+//!
+//! Parameters and gradients are passed as parallel lists of slices in the
+//! order produced by `GnnModel::param_views_mut` / `Gradients::flat_views`,
+//! so the optimizer stays independent of model structure (and is reused for
+//! the MLP/DNN baseline of Figure 2).
+
+/// An optimizer updates parameters in place from gradients.
+pub trait Optimizer {
+    /// Applies one update step. `params[i]` and `grads[i]` must have equal
+    /// lengths, consistent across calls.
+    fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>);
+}
+
+/// Scales gradients in place so their global L2 norm is at most
+/// `max_norm` (no-op when already within bounds). Returns the original
+/// norm. The standard guard against the exploding gradients small batches
+/// produce (§6.3.1 observes their large magnitudes directly).
+pub fn clip_grad_norm(grads: &mut [Vec<f32>], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f32 = grads.iter().flat_map(|g| g.iter()).map(|x| x * x).sum();
+    let norm = total.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.iter_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient list mismatch");
+        for (p, g) in params.into_iter().zip(grads) {
+            assert_eq!(p.len(), g.len(), "parameter/gradient length mismatch");
+            for (x, &d) in p.iter_mut().zip(g) {
+                *x -= self.lr * (d + self.weight_decay * *x);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u32,
+    state: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: Vec::new() }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps_taken(&self) -> u32 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient list mismatch");
+        if self.state.is_empty() {
+            self.state = params.iter().map(|p| (vec![0.0; p.len()], vec![0.0; p.len()])).collect();
+        }
+        assert_eq!(self.state.len(), params.len(), "parameter list changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params.into_iter().zip(grads).zip(self.state.iter_mut()) {
+            assert_eq!(p.len(), g.len(), "parameter/gradient length mismatch");
+            for i in 0..p.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 with each optimizer.
+    fn optimize(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut x = vec![0.0f32];
+        for _ in 0..iters {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(vec![&mut x], vec![&g]);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = optimize(&mut sgd, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1);
+        let x = optimize(&mut adam, 500);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut sgd = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let mut x = vec![1.0f32];
+        sgd.step(vec![&mut x], vec![&[0.0f32][..]]);
+        assert!((x[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_tracks_steps() {
+        let mut adam = Adam::new(0.01);
+        let mut x = vec![0.0f32; 2];
+        adam.step(vec![&mut x], vec![&[1.0, -1.0][..]]);
+        adam.step(vec![&mut x], vec![&[1.0, -1.0][..]]);
+        assert_eq!(adam.steps_taken(), 2);
+        // Symmetric gradients move symmetrically.
+        assert!((x[0] + x[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_when_needed() {
+        let mut grads = vec![vec![3.0f32, 4.0]]; // norm 5
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let after: f32 = grads[0].iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((after - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((grads[0][0] / grads[0][1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_within_bound() {
+        let mut grads = vec![vec![0.3f32, 0.4]];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(grads[0], vec![0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shape_mismatch_panics() {
+        let mut sgd = Sgd::new(0.1);
+        let mut x = vec![0.0f32; 2];
+        sgd.step(vec![&mut x], vec![&[1.0f32][..]]);
+    }
+}

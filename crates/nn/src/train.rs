@@ -1,0 +1,347 @@
+//! Training drivers: one mini-batch step, one epoch, and full-graph
+//! evaluation — the pieces every experiment harness composes.
+
+use crate::loss::softmax_cross_entropy;
+use crate::metrics;
+use crate::model::GnnModel;
+use crate::optim::Optimizer;
+use gnn_dm_graph::csr::VId;
+use gnn_dm_graph::Graph;
+use gnn_dm_sampling::epoch::EpochPlan;
+use gnn_dm_sampling::MiniBatch;
+use gnn_dm_tensor::Matrix;
+
+/// Outcome of a single optimization step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepResult {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Global L2 gradient norm (the paper's "gradient magnitude", §6.3.1).
+    pub grad_norm: f32,
+    /// Training accuracy on this batch.
+    pub batch_accuracy: f64,
+}
+
+/// Gathers the feature rows for a mini-batch's input vertices into a
+/// contiguous matrix — the "extract" operation the transfer experiments
+/// price (§7).
+pub fn gather_input_features(graph: &Graph, mb: &MiniBatch) -> Matrix {
+    let dim = graph.feat_dim();
+    let ids = mb.input_ids();
+    let mut x = Matrix::zeros(ids.len(), dim);
+    for (i, &v) in ids.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(graph.features.row(v));
+    }
+    x
+}
+
+/// Labels for a batch's seeds, in batch order.
+pub fn seed_labels(graph: &Graph, mb: &MiniBatch) -> Vec<u32> {
+    mb.seeds.iter().map(|&s| graph.labels[s as usize]).collect()
+}
+
+/// Runs forward, loss, backward, and one optimizer step on a mini-batch.
+pub fn train_step(
+    model: &mut GnnModel,
+    opt: &mut dyn Optimizer,
+    graph: &Graph,
+    mb: &MiniBatch,
+) -> StepResult {
+    let x = gather_input_features(graph, mb);
+    let labels = seed_labels(graph, mb);
+    let (logits, cache) = model.forward_minibatch(mb, &x);
+    let batch_accuracy = metrics::batch_accuracy(&logits, &labels);
+    let (loss, d_logits) = softmax_cross_entropy(&logits, &labels);
+    let grads = model.backward_minibatch(mb, &cache, d_logits);
+    let grad_norm = grads.l2_norm();
+    let gv: Vec<&[f32]> = grads.flat_views();
+    opt.step(model.param_views_mut(), gv);
+    StepResult { loss, grad_norm, batch_accuracy }
+}
+
+/// Outcome of one epoch of mini-batch training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochResult {
+    /// Mean batch loss.
+    pub mean_loss: f32,
+    /// Mean gradient norm across batches.
+    pub mean_grad_norm: f32,
+    /// Number of batches (= parameter updates).
+    pub num_batches: usize,
+    /// Total vertices involved across batches (Table 6's "Involved #V").
+    pub involved_vertices: usize,
+    /// Total message edges across batches (Table 6's "Involved #E").
+    pub involved_edges: usize,
+}
+
+/// Trains one epoch from an [`EpochPlan`].
+pub fn train_epoch(
+    model: &mut GnnModel,
+    opt: &mut dyn Optimizer,
+    graph: &Graph,
+    plan: &EpochPlan<'_>,
+    epoch: usize,
+) -> EpochResult {
+    let batches = plan.batches(epoch);
+    let mut result = EpochResult {
+        mean_loss: 0.0,
+        mean_grad_norm: 0.0,
+        num_batches: batches.len(),
+        involved_vertices: 0,
+        involved_edges: 0,
+    };
+    for mb in &batches {
+        result.involved_vertices += mb.involved_vertices();
+        result.involved_edges += mb.involved_edges();
+        let step = train_step(model, opt, graph, mb);
+        result.mean_loss += step.loss;
+        result.mean_grad_norm += step.grad_norm;
+    }
+    if !batches.is_empty() {
+        result.mean_loss /= batches.len() as f32;
+        result.mean_grad_norm /= batches.len() as f32;
+    }
+    result
+}
+
+/// One full-batch training step (§6.2: all training vertices participate,
+/// parameters update once per epoch). The loss is masked to the training
+/// vertices; gradients flow through the whole graph.
+pub fn full_batch_step(model: &mut GnnModel, opt: &mut dyn Optimizer, graph: &Graph) -> StepResult {
+    let n = graph.num_vertices();
+    let feats = Matrix::from_vec(n, graph.feat_dim(), graph.features.as_slice().to_vec());
+    let (logits, cache) = model.forward_full_cached(&graph.inn, &feats);
+    let train = graph.train_vertices();
+    // Masked loss: evaluate cross-entropy on the training rows only, then
+    // scatter the row gradients back into the full matrix.
+    let train_logits = logits.gather_rows(&train);
+    let labels: Vec<u32> = train.iter().map(|&v| graph.labels[v as usize]).collect();
+    let batch_accuracy = metrics::batch_accuracy(&train_logits, &labels);
+    let (loss, d_train) = softmax_cross_entropy(&train_logits, &labels);
+    let mut d_logits = Matrix::zeros(n, logits.cols());
+    gnn_dm_tensor::ops::scatter_add_rows(&mut d_logits, &d_train, &train);
+    let in_degrees: Vec<usize> = (0..n).map(|v| graph.inn.degree(v as VId)).collect();
+    let grads = model.backward_full(&graph.out, &in_degrees, &cache, d_logits);
+    let grad_norm = grads.l2_norm();
+    let gv: Vec<&[f32]> = grads.flat_views();
+    opt.step(model.param_views_mut(), gv);
+    StepResult { loss, grad_norm, batch_accuracy }
+}
+
+/// Full-graph validation/test accuracy via exact inference.
+pub fn evaluate(model: &GnnModel, graph: &Graph, subset: &[VId]) -> f64 {
+    let feats = Matrix::from_vec(
+        graph.num_vertices(),
+        graph.feat_dim(),
+        graph.features.as_slice().to_vec(),
+    );
+    let logits = model.full_forward(&graph.inn, &feats);
+    metrics::accuracy(&logits, &graph.labels, subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AggKind;
+    use crate::optim::Adam;
+    use gnn_dm_graph::generate::{planted_partition, PplConfig};
+    use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+
+    fn small_graph() -> Graph {
+        planted_partition(&PplConfig {
+            n: 500,
+            avg_degree: 10.0,
+            num_classes: 4,
+            feat_dim: 16,
+            feat_noise: 0.6,
+            homophily: 0.9,
+            skew: 0.5,
+            seed: 21,
+        })
+    }
+
+    /// End-to-end sanity: a small GCN must learn a well-separated planted
+    /// partition far beyond chance within a few epochs.
+    #[test]
+    fn gcn_learns_planted_partition() {
+        let g = small_graph();
+        let mut model = GnnModel::new(AggKind::Gcn, &[16, 32, 4], 3);
+        let mut opt = Adam::new(0.01);
+        let train = g.train_vertices();
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(64);
+        let sampler = FanoutSampler::new(vec![10, 5]);
+        let plan = EpochPlan {
+            in_csr: &g.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: 5,
+        };
+        let mut last = f32::INFINITY;
+        for epoch in 0..8 {
+            last = train_epoch(&mut model, &mut opt, &g, &plan, epoch).mean_loss;
+        }
+        let val = g.val_vertices();
+        let acc = evaluate(&model, &g, &val);
+        assert!(acc > 0.7, "val accuracy {acc} after training (loss {last})");
+        assert!(last < 1.0, "final loss {last}");
+    }
+
+    #[test]
+    fn sage_learns_planted_partition() {
+        let g = small_graph();
+        let mut model = GnnModel::new(AggKind::SageMean, &[16, 32, 4], 3);
+        let mut opt = Adam::new(0.01);
+        let train = g.train_vertices();
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(64);
+        let sampler = FanoutSampler::new(vec![10, 5]);
+        let plan = EpochPlan {
+            in_csr: &g.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: 5,
+        };
+        for epoch in 0..8 {
+            train_epoch(&mut model, &mut opt, &g, &plan, epoch);
+        }
+        let acc = evaluate(&model, &g, &g.val_vertices());
+        assert!(acc > 0.7, "val accuracy {acc}");
+    }
+
+    /// §6.3.1: at the *same parameters*, smaller batches produce larger
+    /// average gradient magnitudes (more sampling noise in the mean
+    /// gradient).
+    #[test]
+    fn small_batches_have_larger_gradient_norm() {
+        let g = small_graph();
+        let train = g.train_vertices();
+        let selection = BatchSelection::Random;
+        let sampler = FanoutSampler::new(vec![10, 5]);
+        let model = GnnModel::new(AggKind::Gcn, &[16, 32, 4], 3);
+        // Train briefly so gradients are not dominated by the random-init
+        // transient (where every batch's gradient looks alike).
+        let mut warm = model.clone();
+        let mut opt = Adam::new(0.01);
+        let schedule = BatchSizeSchedule::Fixed(64);
+        let plan = EpochPlan {
+            in_csr: &g.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: 5,
+        };
+        for e in 0..4 {
+            train_epoch(&mut warm, &mut opt, &g, &plan, e);
+        }
+        // Measure gradient norms at these fixed parameters.
+        let norm_for = |batch: usize| {
+            let schedule = BatchSizeSchedule::Fixed(batch);
+            let plan = EpochPlan {
+                in_csr: &g.inn,
+                train: &train,
+                selection: &selection,
+                schedule: &schedule,
+                sampler: &sampler,
+                seed: 11,
+            };
+            let batches = plan.batches(0);
+            let mut total = 0.0f32;
+            for mb in &batches {
+                let x = gather_input_features(&g, mb);
+                let labels = seed_labels(&g, mb);
+                let (logits, cache) = warm.forward_minibatch(mb, &x);
+                let (_, d) = softmax_cross_entropy(&logits, &labels);
+                total += warm.backward_minibatch(mb, &cache, d).l2_norm();
+            }
+            total / batches.len() as f32
+        };
+        let small = norm_for(16);
+        let large = norm_for(256);
+        assert!(small > large, "small-batch norm {small} <= large-batch norm {large}");
+    }
+
+    #[test]
+    fn full_batch_training_converges() {
+        let g = small_graph();
+        let mut model = GnnModel::new(AggKind::Gcn, &[16, 32, 4], 3);
+        let mut opt = Adam::new(0.01);
+        let first = full_batch_step(&mut model, &mut opt, &g);
+        let mut last = first;
+        for _ in 0..40 {
+            last = full_batch_step(&mut model, &mut opt, &g);
+        }
+        assert!(last.loss < first.loss * 0.3, "loss {} -> {}", first.loss, last.loss);
+        let acc = evaluate(&model, &g, &g.val_vertices());
+        assert!(acc > 0.7, "full-batch val accuracy {acc}");
+    }
+
+    /// Finite-difference check of the full-batch gradient path (masked
+    /// loss + full-graph adjoint).
+    #[test]
+    fn full_batch_gradients_match_finite_differences() {
+        let g = planted_partition(&PplConfig {
+            n: 60,
+            avg_degree: 6.0,
+            num_classes: 3,
+            feat_dim: 5,
+            ..Default::default()
+        });
+        let mut model = GnnModel::new(AggKind::Gcn, &[5, 6, 3], 11);
+        let n = g.num_vertices();
+        let feats = gnn_dm_tensor::Matrix::from_vec(n, 5, g.features.as_slice().to_vec());
+        let train = g.train_vertices();
+        let labels: Vec<u32> = train.iter().map(|&v| g.labels[v as usize]).collect();
+        let loss_of = |model: &GnnModel| {
+            let logits = model.full_forward(&g.inn, &feats);
+            let (l, _) = crate::loss::softmax_cross_entropy(&logits.gather_rows(&train), &labels);
+            l
+        };
+        // Analytic gradients.
+        let (logits, cache) = model.forward_full_cached(&g.inn, &feats);
+        let (_, d_train) = crate::loss::softmax_cross_entropy(&logits.gather_rows(&train), &labels);
+        let mut d_logits = gnn_dm_tensor::Matrix::zeros(n, 3);
+        gnn_dm_tensor::ops::scatter_add_rows(&mut d_logits, &d_train, &train);
+        let in_degrees: Vec<usize> = (0..n).map(|v| g.inn.degree(v as u32)).collect();
+        let grads = model.backward_full(&g.out, &in_degrees, &cache, d_logits);
+        let eps = 3e-3f32;
+        for l in 0..2 {
+            for &(r, c) in &[(0usize, 0usize), (2, 1)] {
+                let orig = model.layers[l].w.get(r, c);
+                model.layers[l].w.set(r, c, orig + eps);
+                let lp = loss_of(&model);
+                model.layers[l].w.set(r, c, orig - eps);
+                let lm = loss_of(&model);
+                model.layers[l].w.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads.layers[l].0.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2_f32.max(0.25 * analytic.abs()),
+                    "layer {l} w[{r},{c}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_step_reduces_loss_on_same_batch() {
+        let g = small_graph();
+        let mut model = GnnModel::new(AggKind::Gcn, &[16, 32, 4], 3);
+        let mut opt = Adam::new(0.01);
+        let sampler = FanoutSampler::new(vec![10, 5]);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let seeds: Vec<u32> = g.train_vertices().into_iter().take(64).collect();
+        let mb = gnn_dm_sampling::sampler::build_minibatch(&g.inn, &seeds, &sampler, &mut rng);
+        let first = train_step(&mut model, &mut opt, &g, &mb).loss;
+        let mut last = first;
+        for _ in 0..20 {
+            last = train_step(&mut model, &mut opt, &g, &mb).loss;
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Message-flow-graph blocks: the sampled-subgraph representation.
+//!
+//! A 2-layer GNN batch is a chain of two bipartite *blocks*. Each block maps
+//! a set of source vertices (whose embeddings exist) to a smaller set of
+//! destination vertices (whose next-layer embeddings are being computed).
+//! Sampled vertices are deduplicated within a block — the paper notes this
+//! explicitly (§2: "the sampled vertices may be deduplicated").
+
+use gnn_dm_graph::csr::VId;
+use std::collections::HashMap;
+
+/// One bipartite layer of a sampled mini-batch.
+///
+/// Invariants (checked by [`Block::validate`]):
+/// * `src_ids[..dst_ids.len()] == dst_ids` — every destination is also a
+///   source (self-features are needed by GCN self-loops and GraphSAGE
+///   concatenation);
+/// * `src_ids` contains no duplicates;
+/// * every edge references valid local indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Global ids of source vertices (deduplicated). The first
+    /// `dst_ids.len()` entries are exactly `dst_ids`.
+    pub src_ids: Vec<VId>,
+    /// Global ids of destination vertices.
+    pub dst_ids: Vec<VId>,
+    /// Edges as `(src_local_index, dst_local_index)` pairs; message flows
+    /// src → dst.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Block {
+    /// Number of source vertices.
+    pub fn num_src(&self) -> usize {
+        self.src_ids.len()
+    }
+
+    /// Number of destination vertices.
+    pub fn num_dst(&self) -> usize {
+        self.dst_ids.len()
+    }
+
+    /// Number of message edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// In-degree of each destination (for mean aggregation).
+    pub fn dst_in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.dst_ids.len()];
+        for &(_, d) in &self.edges {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Checks the structural invariants; returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.src_ids.len() < self.dst_ids.len() {
+            return Err("src set smaller than dst set".into());
+        }
+        if self.src_ids[..self.dst_ids.len()] != self.dst_ids[..] {
+            return Err("src_ids must start with dst_ids".into());
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.src_ids.len());
+        for &s in &self.src_ids {
+            if !seen.insert(s) {
+                return Err(format!("duplicate source id {s}"));
+            }
+        }
+        for &(s, d) in &self.edges {
+            if s as usize >= self.src_ids.len() {
+                return Err(format!("edge source index {s} out of range"));
+            }
+            if d as usize >= self.dst_ids.len() {
+                return Err(format!("edge destination index {d} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sampled mini-batch: blocks ordered input-most first, so a forward pass
+/// consumes `blocks[0]`, then `blocks[1]`, …; `blocks.last()` produces
+/// embeddings for exactly `seeds`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiniBatch {
+    /// Blocks from the input layer to the output layer.
+    pub blocks: Vec<Block>,
+    /// The training vertices this batch computes predictions for.
+    pub seeds: Vec<VId>,
+}
+
+impl MiniBatch {
+    /// Global ids whose raw features must be loaded — the sources of the
+    /// input-most block.
+    pub fn input_ids(&self) -> &[VId] {
+        &self.blocks[0].src_ids
+    }
+
+    /// Total distinct vertices appearing anywhere in the batch
+    /// (the paper's "involved #V", Table 6).
+    pub fn involved_vertices(&self) -> usize {
+        // blocks[0].src_ids is a superset of every later layer's vertices by
+        // construction (each layer's sources include its destinations).
+        self.blocks.first().map_or(0, |b| b.num_src())
+    }
+
+    /// Total message edges across all blocks (the paper's "involved #E").
+    pub fn involved_edges(&self) -> usize {
+        self.blocks.iter().map(Block::num_edges).sum()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Validates every block plus the cross-block chaining invariant:
+    /// `blocks[l].dst_ids == blocks[l + 1]`'s sources' prefix… i.e. each
+    /// block's destinations are the next block's `dst`-extended sources.
+    pub fn validate(&self) -> Result<(), String> {
+        for (l, b) in self.blocks.iter().enumerate() {
+            b.validate().map_err(|e| format!("block {l}: {e}"))?;
+        }
+        for l in 0..self.blocks.len().saturating_sub(1) {
+            if self.blocks[l].dst_ids != self.blocks[l + 1].src_ids {
+                return Err(format!("block {l} destinations != block {} sources", l + 1));
+            }
+        }
+        if let Some(last) = self.blocks.last() {
+            if last.dst_ids != self.seeds {
+                return Err("output block destinations != seeds".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the local-index mapping for one block: destinations first (in
+/// order), then each new sampled source. Returns `(src_ids, local_of)`.
+pub(crate) struct LocalIndexer {
+    pub src_ids: Vec<VId>,
+    map: HashMap<VId, u32>,
+}
+
+impl LocalIndexer {
+    pub(crate) fn new(dst_ids: &[VId]) -> Self {
+        let mut map = HashMap::with_capacity(dst_ids.len() * 2);
+        let mut src_ids = Vec::with_capacity(dst_ids.len() * 2);
+        for &d in dst_ids {
+            let next = src_ids.len() as u32;
+            if map.insert(d, next).is_none() {
+                src_ids.push(d);
+            }
+        }
+        LocalIndexer { src_ids, map }
+    }
+
+    #[inline]
+    pub(crate) fn local(&mut self, v: VId) -> u32 {
+        if let Some(&i) = self.map.get(&v) {
+            return i;
+        }
+        let i = self.src_ids.len() as u32;
+        self.map.insert(v, i);
+        self.src_ids.push(v);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_block() -> Block {
+        Block {
+            src_ids: vec![5, 9, 1, 3],
+            dst_ids: vec![5, 9],
+            edges: vec![(2, 0), (3, 0), (2, 1)],
+        }
+    }
+
+    #[test]
+    fn block_accessors() {
+        let b = simple_block();
+        assert_eq!(b.num_src(), 4);
+        assert_eq!(b.num_dst(), 2);
+        assert_eq!(b.num_edges(), 3);
+        assert_eq!(b.dst_in_degrees(), vec![2, 1]);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn block_validate_catches_prefix_violation() {
+        let mut b = simple_block();
+        b.src_ids.swap(0, 1);
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn block_validate_catches_duplicates() {
+        let mut b = simple_block();
+        b.src_ids[3] = 1;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn block_validate_catches_bad_edge() {
+        let mut b = simple_block();
+        b.edges.push((9, 0));
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn indexer_dedups_and_prefixes() {
+        let mut ix = LocalIndexer::new(&[7, 2]);
+        assert_eq!(ix.local(7), 0);
+        assert_eq!(ix.local(4), 2);
+        assert_eq!(ix.local(2), 1);
+        assert_eq!(ix.local(4), 2);
+        assert_eq!(ix.src_ids, vec![7, 2, 4]);
+    }
+
+    #[test]
+    fn minibatch_involved_counts() {
+        let b0 = Block { src_ids: vec![1, 2, 3, 4], dst_ids: vec![1, 2], edges: vec![(2, 0), (3, 1)] };
+        let b1 = Block { src_ids: vec![1, 2], dst_ids: vec![1], edges: vec![(1, 0)] };
+        let mb = MiniBatch { blocks: vec![b0, b1], seeds: vec![1] };
+        assert!(mb.validate().is_ok());
+        assert_eq!(mb.involved_vertices(), 4);
+        assert_eq!(mb.involved_edges(), 3);
+        assert_eq!(mb.input_ids(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn minibatch_validate_checks_chaining() {
+        let b0 = Block { src_ids: vec![1, 2, 3], dst_ids: vec![1, 2], edges: vec![] };
+        let b1 = Block { src_ids: vec![2, 1], dst_ids: vec![2], edges: vec![] };
+        let mb = MiniBatch { blocks: vec![b0, b1], seeds: vec![2] };
+        assert!(mb.validate().is_err());
+    }
+}

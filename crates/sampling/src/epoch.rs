@@ -1,0 +1,221 @@
+//! Epoch iteration and vertex-access frequency tracking.
+//!
+//! [`EpochPlan`] ties batch selection, the batch-size schedule and a
+//! neighbor sampler into one iterator of [`MiniBatch`]es. [`AccessTracker`]
+//! records how often each vertex's features are touched across an epoch —
+//! the statistic behind PaGraph's "4× the total vertex count is transferred
+//! per epoch" observation (§7.2) and the input to the pre-sampling GPU cache
+//! policy (§7.3.3).
+
+use crate::block::MiniBatch;
+use crate::sampler::{build_minibatch, NeighborSampler};
+use crate::schedule::BatchSizeSchedule;
+use crate::selection::BatchSelection;
+use gnn_dm_graph::csr::{Csr, VId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts feature accesses per vertex.
+#[derive(Debug, Clone)]
+pub struct AccessTracker {
+    counts: Vec<u64>,
+}
+
+impl AccessTracker {
+    /// A tracker over `n` vertices with zero counts.
+    pub fn new(n: usize) -> Self {
+        AccessTracker { counts: vec![0; n] }
+    }
+
+    /// Records that every input vertex of `mb` had its features loaded once.
+    pub fn record_batch(&mut self, mb: &MiniBatch) {
+        for &v in mb.input_ids() {
+            self.counts[v as usize] += 1;
+        }
+    }
+
+    /// Records a single vertex touch.
+    pub fn record(&mut self, v: VId) {
+        self.counts[v as usize] += 1;
+    }
+
+    /// Access count of `v`.
+    pub fn count(&self, v: VId) -> u64 {
+        self.counts[v as usize]
+    }
+
+    /// All counts, indexed by vertex id.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total accesses across all vertices.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Vertices sorted by descending access count (ties by ascending id, so
+    /// the ranking is deterministic). The pre-sampling cache policy caches a
+    /// prefix of this ranking.
+    pub fn ranking(&self) -> Vec<VId> {
+        let mut order: Vec<VId> = (0..self.counts.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.counts[b as usize].cmp(&self.counts[a as usize]).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Redundancy factor: total accesses divided by distinct vertices
+    /// touched. PaGraph reports > 4 for an epoch on real graphs.
+    pub fn redundancy(&self) -> f64 {
+        let touched = self.counts.iter().filter(|&&c| c > 0).count();
+        if touched == 0 {
+            return 0.0;
+        }
+        self.total() as f64 / touched as f64
+    }
+}
+
+/// Per-epoch batch statistics (Table 6's columns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochStats {
+    /// Number of batches run.
+    pub num_batches: usize,
+    /// Sum of involved vertices over batches.
+    pub involved_vertices: usize,
+    /// Sum of involved (message) edges over batches.
+    pub involved_edges: usize,
+}
+
+/// A deterministic plan for producing one epoch's mini-batches.
+pub struct EpochPlan<'a> {
+    /// Reverse (in-neighbor) adjacency to sample from.
+    pub in_csr: &'a Csr,
+    /// The training vertices.
+    pub train: &'a [VId],
+    /// Batch selection policy.
+    pub selection: &'a BatchSelection,
+    /// Batch size schedule.
+    pub schedule: &'a BatchSizeSchedule,
+    /// Neighbor sampler.
+    pub sampler: &'a dyn NeighborSampler,
+    /// Base RNG seed; combined with the epoch number.
+    pub seed: u64,
+}
+
+impl<'a> EpochPlan<'a> {
+    /// Materializes every mini-batch of `epoch`, in order.
+    pub fn batches(&self, epoch: usize) -> Vec<MiniBatch> {
+        let batch_size = self.schedule.batch_size_at(epoch);
+        let batch_seeds = self.selection.select(self.train, batch_size, self.seed, epoch);
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(epoch as u64 + 1),
+        );
+        batch_seeds
+            .into_iter()
+            .map(|seeds| build_minibatch(self.in_csr, &seeds, self.sampler, &mut rng))
+            .collect()
+    }
+
+    /// Runs an epoch for statistics only (no training), updating `tracker`
+    /// if provided.
+    pub fn run_for_stats(&self, epoch: usize, tracker: Option<&mut AccessTracker>) -> EpochStats {
+        let batches = self.batches(epoch);
+        let mut stats = EpochStats { num_batches: batches.len(), ..Default::default() };
+        let mut tracker = tracker;
+        for mb in &batches {
+            stats.involved_vertices += mb.involved_vertices();
+            stats.involved_edges += mb.involved_edges();
+            if let Some(t) = tracker.as_deref_mut() {
+                t.record_batch(mb);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::FanoutSampler;
+    use gnn_dm_graph::generate::{planted_partition, PplConfig};
+
+    fn graph() -> gnn_dm_graph::Graph {
+        planted_partition(&PplConfig { n: 600, avg_degree: 10.0, num_classes: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn epoch_covers_all_train_vertices() {
+        let g = graph();
+        let train = g.train_vertices();
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(64);
+        let sampler = FanoutSampler::new(vec![4, 4]);
+        let plan = EpochPlan {
+            in_csr: &g.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: 7,
+        };
+        let batches = plan.batches(0);
+        let mut seeds: Vec<u32> = batches.iter().flat_map(|b| b.seeds.clone()).collect();
+        seeds.sort_unstable();
+        let mut expect = train.clone();
+        expect.sort_unstable();
+        assert_eq!(seeds, expect);
+    }
+
+    #[test]
+    fn tracker_counts_and_redundancy() {
+        let g = graph();
+        let train = g.train_vertices();
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(32);
+        let sampler = FanoutSampler::new(vec![8, 8]);
+        let plan = EpochPlan {
+            in_csr: &g.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: 3,
+        };
+        let mut tracker = AccessTracker::new(g.num_vertices());
+        let stats = plan.run_for_stats(0, Some(&mut tracker));
+        assert!(stats.num_batches > 1);
+        assert_eq!(tracker.total() as usize, stats.involved_vertices);
+        assert!(tracker.redundancy() >= 1.0);
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_count() {
+        let mut t = AccessTracker::new(4);
+        t.record(2);
+        t.record(2);
+        t.record(0);
+        let r = t.ranking();
+        assert_eq!(r[0], 2);
+        assert_eq!(r[1], 0);
+        assert_eq!(t.count(2), 2);
+    }
+
+    #[test]
+    fn stats_deterministic() {
+        let g = graph();
+        let train = g.train_vertices();
+        let selection = BatchSelection::Random;
+        let schedule = BatchSizeSchedule::Fixed(50);
+        let sampler = FanoutSampler::new(vec![5]);
+        let plan = EpochPlan {
+            in_csr: &g.inn,
+            train: &train,
+            selection: &selection,
+            schedule: &schedule,
+            sampler: &sampler,
+            seed: 9,
+        };
+        assert_eq!(plan.run_for_stats(2, None), plan.run_for_stats(2, None));
+    }
+}

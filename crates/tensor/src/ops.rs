@@ -1,0 +1,260 @@
+//! Matrix kernels: products in the three orientations backprop needs,
+//! plus elementwise helpers.
+
+use crate::matrix::Matrix;
+
+/// `C = A · B`. Uses the i-k-j loop order so the inner loop streams both
+/// `B`'s row and `C`'s row — the cache-friendly order for row-major data.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                *c_val += a_ip * b_val;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · B` with cache tiling: the k-dimension is processed in blocks of
+/// `TILE_K` so a panel of `B` stays resident in L1/L2 across many rows of
+/// `A`. Bitwise-*equivalent* results are not guaranteed (float summation
+/// order differs from [`matmul`]) but values agree to normal rounding —
+/// see the `tiled_matmul_matches_naive` property test.
+#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+pub fn matmul_tiled(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
+    const TILE_K: usize = 64;
+    const TILE_M: usize = 32;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for m0 in (0..m).step_by(TILE_M) {
+        let m1 = (m0 + TILE_M).min(m);
+        for k0 in (0..k).step_by(TILE_K) {
+            let k1 = (k0 + TILE_K).min(k);
+            for i in m0..m1 {
+                let a_row = a.row(i);
+                let c_row = c.row_mut(i);
+                for p in k0..k1 {
+                    let a_ip = a_row[p];
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(p);
+                    for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                        *c_val += a_ip * b_val;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` without materializing the transpose (the `dW = Xᵀ·dY`
+/// orientation of backprop).
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", a.shape(), b.shape());
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = c.row_mut(i);
+            for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                *c_val += a_pi * b_val;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose (the `dX = dY·Wᵀ`
+/// orientation of backprop).
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (j, c_val) in c_row.iter_mut().enumerate().take(n) {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *c_val = acc;
+        }
+    }
+    c
+}
+
+/// `a += b` elementwise.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// `a += scale * b` elementwise (axpy).
+pub fn add_scaled(a: &mut Matrix, b: &Matrix, scale: f32) {
+    assert_eq!(a.shape(), b.shape(), "add_scaled shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += scale * y;
+    }
+}
+
+/// `a *= s` elementwise.
+pub fn scale(a: &mut Matrix, s: f32) {
+    for x in a.as_mut_slice() {
+        *x *= s;
+    }
+}
+
+/// Adds a bias row vector to every row.
+pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
+    assert_eq!(a.cols(), bias.len(), "bias length must equal cols");
+    for r in 0..a.rows() {
+        for (x, &b) in a.row_mut(r).iter_mut().zip(bias) {
+            *x += b;
+        }
+    }
+}
+
+/// Column sums (the bias-gradient reduction).
+pub fn column_sums(a: &Matrix) -> Vec<f32> {
+    let mut sums = vec![0.0f32; a.cols()];
+    for r in 0..a.rows() {
+        for (s, &x) in sums.iter_mut().zip(a.row(r)) {
+            *s += x;
+        }
+    }
+    sums
+}
+
+/// In-place ReLU; returns the pre-activation copy needed for backward.
+pub fn relu_forward(a: &mut Matrix) -> Matrix {
+    let pre = a.clone();
+    for x in a.as_mut_slice() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    pre
+}
+
+/// ReLU backward: zeroes gradient entries where the pre-activation was
+/// non-positive.
+pub fn relu_backward(grad: &mut Matrix, pre: &Matrix) {
+    assert_eq!(grad.shape(), pre.shape(), "relu_backward shape mismatch");
+    for (g, &p) in grad.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+        if p <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Scatter-add: `out.row(dst[i]) += src.row(i)` for each i. The reverse of
+/// `gather_rows`, used when backpropagating through a gather.
+pub fn scatter_add_rows(out: &mut Matrix, src: &Matrix, dst: &[u32]) {
+    assert_eq!(src.rows(), dst.len(), "one destination per source row");
+    assert_eq!(src.cols(), out.cols(), "column mismatch");
+    for (i, &d) in dst.iter().enumerate() {
+        let s = src.row(i);
+        for (o, &x) in out.row_mut(d as usize).iter_mut().zip(s) {
+            *o += x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(4, 5, |r, c| ((r + c) % 7) as f32);
+        assert!(approx_eq(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-5));
+        let b2 = Matrix::from_fn(6, 3, |r, c| (r as f32 - c as f32) * 0.25);
+        assert!(approx_eq(&matmul_nt(&a, &b2), &matmul(&a, &b2.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(approx_eq(&matmul(&a, &id), &a, 1e-6));
+        assert!(approx_eq(&matmul(&id, &a), &a, 1e-6));
+    }
+
+    #[test]
+    fn relu_round_trip() {
+        let mut a = Matrix::from_vec(1, 4, vec![-1.0, 2.0, 0.0, -3.0]);
+        let pre = relu_forward(&mut a);
+        assert_eq!(a.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+        let mut g = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        relu_backward(&mut g, &pre);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_and_column_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        add_bias(&mut a, &[1.0, -1.0]);
+        assert_eq!(column_sums(&a), vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![10.0, 20.0]);
+        add_scaled(&mut a, &b, 0.5);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        scale(&mut a, 2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+        add_assign(&mut a, &b);
+        assert_eq!(a.as_slice(), &[22.0, 44.0]);
+    }
+
+    #[test]
+    fn scatter_add_reverses_gather() {
+        let src = Matrix::from_vec(2, 2, vec![1.0, 1.0, 2.0, 2.0]);
+        let mut out = Matrix::zeros(3, 2);
+        scatter_add_rows(&mut out, &src, &[2, 2]);
+        assert_eq!(out.row(2), &[3.0, 3.0]);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Transfer optimization walk-through: stack the paper's §7 optimizations
+//! (zero-copy → pipelining → GPU caching) on one workload and watch the
+//! modelled epoch time and PCIe traffic fall.
+//!
+//! Run: `cargo run --release --example transfer_optimization`
+
+use gnn_dm::core::trainer::{HeteroTrainer, HeteroTrainerConfig};
+use gnn_dm::device::cache::CachePolicy;
+use gnn_dm::device::pipeline::PipelineMode;
+use gnn_dm::device::transfer::TransferMethod;
+use gnn_dm::graph::datasets::{DatasetId, DatasetSpec};
+
+fn main() {
+    // LiveJournal-class graph: 600-dim features make transfer dominant.
+    let graph = DatasetSpec::get(DatasetId::LiveJournal).generate_scaled(12_000, 42);
+    println!(
+        "graph: {} vertices, {} edges, {}-dim features ({} B/row)\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.feat_dim(),
+        graph.features.row_bytes()
+    );
+
+    let stack: Vec<(&str, TransferMethod, PipelineMode, Option<CachePolicy>)> = vec![
+        ("baseline (extract-load)", TransferMethod::ExtractLoad, PipelineMode::None, None),
+        ("+ zero-copy", TransferMethod::ZeroCopy, PipelineMode::None, None),
+        ("+ pipeline", TransferMethod::ZeroCopy, PipelineMode::Full, None),
+        ("+ cache (pre-sampling)", TransferMethod::ZeroCopy, PipelineMode::Full, Some(CachePolicy::PreSample)),
+        ("hybrid instead of zc", TransferMethod::Hybrid { threshold: 0.5 }, PipelineMode::Full, Some(CachePolicy::PreSample)),
+    ];
+
+    println!(
+        "{:<26} {:>10} {:>9} {:>10} {:>9}",
+        "configuration", "epoch_s", "speedup", "pcie_MiB", "hit_rate"
+    );
+    let mut baseline = None;
+    for (label, transfer, pipeline, cache) in stack {
+        let mut cfg = HeteroTrainerConfig::baseline(&graph, 1024);
+        cfg.transfer = transfer;
+        cfg.pipeline = pipeline;
+        cfg.cache_policy = cache;
+        cfg.cache_ratio = if cache.is_some() { 0.3 } else { 0.0 };
+        cfg.presample_epochs = 2;
+        let timings = HeteroTrainer::new(&graph, cfg).run_epoch_model(0);
+        let base = *baseline.get_or_insert(timings.makespan);
+        println!(
+            "{:<26} {:>10.4} {:>8.2}x {:>10.1} {:>8.1}%",
+            label,
+            timings.makespan,
+            base / timings.makespan,
+            timings.pcie_bytes as f64 / (1024.0 * 1024.0),
+            timings.cache_hit_rate * 100.0,
+        );
+    }
+    println!(
+        "\nPaper lessons (§7.4): zero-copy removes the gather; pipelining overlaps\n\
+         but transfer stays the bottleneck; caching is the biggest lever because\n\
+         it removes bytes from the bus entirely; hybrid transfer adds nothing\n\
+         once accesses are fragmented."
+    );
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Output lands in results/<target>.txt; see EXPERIMENTS.md for the index.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+targets=(
+  tables_taxonomy
+  fig2_breakdown
+  fig4_comp_load
+  fig5_comm_load
+  fig6_part_time
+  fig7_convergence
+  tab4_accuracy
+  fig8_epoch_time
+  fig9_batch_size
+  fig10_adaptive_batch
+  fig11_batch_selection
+  tab6_selection_cost
+  fig12_fanout_rate
+  tab7_degree_accuracy
+  tab8_hybrid
+  fig13_transfer_opts
+  fig14_pipeline_ablation
+  fig15_active_blocks
+  fig16_block_threshold
+  fig17_cache_policies
+  ablate_zerocopy_eff
+  ablate_metis_refine
+  ablate_presample_epochs
+  ablate_block_size
+  ablate_adaptive_schedule
+  ablate_stream_impl
+  ablate_importance_cache
+  ext_fullbatch_vs_minibatch
+  ext_three_layer
+  ext_sampling_algorithms
+  ext_p3_hybrid
+  ext_local_sgd
+)
+cargo build --release -p gnn-dm-bench --bins
+for t in "${targets[@]}"; do
+  echo "=== $t ==="
+  cargo run --release -q -p gnn-dm-bench --bin "$t" | tee "results/$t.txt"
+done
+echo "All results written to results/."

@@ -1,0 +1,175 @@
+//! Property-based tests of the workspace's core invariants, spanning
+//! crates.
+
+use gnn_dm::device::blocks::block_activity;
+use gnn_dm::device::pipeline::{makespan, BatchStageTimes, PipelineMode};
+use gnn_dm::graph::csr::{Csr, VId};
+use gnn_dm::graph::generate::{planted_partition, PplConfig};
+use gnn_dm::partition::{partition_graph, PartitionMethod};
+use gnn_dm::sampling::sampler::{build_minibatch, FanoutSampler, RateSampler};
+use gnn_dm::sampling::{BatchSelection, BatchSizeSchedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(VId, VId)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as VId, 0..n as VId);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR construction: sorted, deduplicated, in-range neighbor lists; a
+    /// double transpose is the identity.
+    #[test]
+    fn csr_invariants((n, edges) in arb_edges(60, 300)) {
+        let csr = Csr::from_edges(n, &edges);
+        prop_assert_eq!(csr.num_vertices(), n);
+        for v in 0..n as VId {
+            let nbrs = csr.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+            prop_assert!(nbrs.iter().all(|&u| (u as usize) < n && u != v), "range + no loops");
+        }
+        prop_assert_eq!(csr.transpose().transpose(), csr.clone());
+        prop_assert_eq!(csr.transpose().num_edges(), csr.num_edges());
+    }
+
+    /// Batch selection covers each training vertex exactly once, for both
+    /// policies and arbitrary batch sizes.
+    #[test]
+    fn selection_partitions_train_set(
+        train_n in 1usize..200,
+        batch in 1usize..64,
+        clusters in 1u32..8,
+        seed in 0u64..50,
+    ) {
+        let train: Vec<VId> = (0..train_n as VId).collect();
+        let assignments: Vec<u32> = (0..train_n as u32).map(|v| v % clusters).collect();
+        for sel in [
+            BatchSelection::Random,
+            BatchSelection::ClusterBased { clusters: assignments },
+        ] {
+            let batches = sel.select(&train, batch, seed, 0);
+            let mut all: Vec<VId> = batches.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(&all, &train);
+            prop_assert!(batches.iter().all(|b| b.len() <= batch));
+        }
+    }
+
+    /// The batch-size schedule is monotone non-decreasing and respects its
+    /// bounds.
+    #[test]
+    fn adaptive_schedule_monotone(
+        start in 1usize..512,
+        factor in 2usize..8,
+        grow_every in 1usize..5,
+    ) {
+        let max = start * 64;
+        let s = BatchSizeSchedule::Adaptive {
+            start,
+            max,
+            growth: factor as f64,
+            grow_every,
+        };
+        let mut prev = 0;
+        for e in 0..40 {
+            let b = s.batch_size_at(e);
+            prop_assert!(b >= prev, "monotone");
+            prop_assert!(b >= start.min(max) && b <= max, "bounded: {b}");
+            prev = b;
+        }
+    }
+
+    /// Pipeline makespans are ordered None ≥ OverlapBp ≥ Full, and Full is
+    /// never below the slowest stage's total.
+    #[test]
+    fn pipeline_makespan_bounds(stages in proptest::collection::vec(
+        (0.0f64..2.0, 0.0f64..2.0, 0.0f64..2.0), 1..40))
+    {
+        let batches: Vec<BatchStageTimes> = stages
+            .iter()
+            .map(|&(bp, dt, nn)| BatchStageTimes { bp, dt, nn })
+            .collect();
+        let none = makespan(&batches, PipelineMode::None);
+        let bp = makespan(&batches, PipelineMode::OverlapBp);
+        let full = makespan(&batches, PipelineMode::Full);
+        prop_assert!(none >= bp - 1e-9);
+        prop_assert!(bp >= full - 1e-9);
+        let bp_sum: f64 = batches.iter().map(|b| b.bp).sum();
+        let dt_sum: f64 = batches.iter().map(|b| b.dt).sum();
+        let nn_sum: f64 = batches.iter().map(|b| b.nn).sum();
+        let bound = bp_sum.max(dt_sum).max(nn_sum);
+        prop_assert!(full >= bound - 1e-9, "full {full} below stage bound {bound}");
+    }
+
+    /// Block activity conserves accesses: total active rows equals the
+    /// number of distinct accessed ids.
+    #[test]
+    fn block_activity_conserves(
+        n in 1usize..500,
+        row_bytes in 1usize..512,
+        block_bytes in 1usize..4096,
+        ids_raw in proptest::collection::vec(0usize..500, 0..300),
+    ) {
+        let ids: Vec<u32> = ids_raw.into_iter().filter(|&v| v < n).map(|v| v as u32).collect();
+        let act = block_activity(&ids, n, row_bytes, block_bytes);
+        let mut distinct = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(act.total_active(), distinct.len());
+        prop_assert!(act.touched_blocks() <= act.num_blocks());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Samplers respect their bounds on arbitrary generated graphs, and
+    /// every partitioning method covers every vertex with non-degenerate
+    /// partitions.
+    #[test]
+    fn samplers_and_partitioners_on_random_graphs(
+        n in 60usize..250,
+        avg_degree in 3.0f64..12.0,
+        skew in 0.0f64..1.2,
+        seed in 0u64..30,
+    ) {
+        let g = planted_partition(&PplConfig {
+            n,
+            avg_degree,
+            num_classes: 4,
+            homophily: 0.8,
+            skew,
+            feat_dim: 8,
+            feat_noise: 1.0,
+            seed,
+        });
+        // Samplers.
+        let seeds: Vec<VId> = (0..(n as VId / 4).max(1)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fanout = FanoutSampler::new(vec![4, 3]);
+        let mb = build_minibatch(&g.inn, &seeds, &fanout, &mut rng);
+        prop_assert!(mb.validate().is_ok());
+        let out_block = &mb.blocks[1];
+        for (i, deg) in out_block.dst_in_degrees().iter().enumerate() {
+            let v = out_block.dst_ids[i];
+            prop_assert!((*deg as usize) <= 4.min(g.inn.degree(v)));
+        }
+        let rate = RateSampler::new(vec![0.5, 0.5], 1);
+        let mb2 = build_minibatch(&g.inn, &seeds, &rate, &mut rng);
+        prop_assert!(mb2.validate().is_ok());
+
+        // Partitioners.
+        for method in PartitionMethod::all() {
+            let part = partition_graph(&g, method, 3, seed);
+            prop_assert!(part.validate().is_ok(), "{method:?}");
+            prop_assert_eq!(part.assignment.len(), n);
+            let covered: usize = part.sizes().iter().sum();
+            prop_assert_eq!(covered, n);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Robustness and failure-injection tests: degenerate inputs that a
+//! production library must survive (or reject loudly), across every crate.
+
+use gnn_dm::core::config::ModelKind;
+use gnn_dm::core::convergence::train_single;
+use gnn_dm::graph::csr::Csr;
+use gnn_dm::graph::generate::{planted_partition, PplConfig};
+use gnn_dm::graph::{io, GraphBuilder, SplitMask};
+use gnn_dm::nn::{AggKind, GnnModel};
+use gnn_dm::partition::{partition_graph, PartitionMethod};
+use gnn_dm::sampling::sampler::{build_minibatch, FanoutSampler};
+use gnn_dm::sampling::{BatchSelection, BatchSizeSchedule};
+use rand::SeedableRng;
+
+#[test]
+fn empty_and_singleton_graphs() {
+    let empty = Csr::empty(0);
+    assert_eq!(empty.num_vertices(), 0);
+    assert!(empty.is_symmetric());
+    assert_eq!(empty.transpose().num_vertices(), 0);
+
+    let single = Csr::empty(1);
+    assert_eq!(single.neighbors(0), &[] as &[u32]);
+    let b = GraphBuilder::new(1);
+    assert_eq!(b.build_symmetric().num_edges(), 0);
+}
+
+#[test]
+fn isolated_vertices_survive_sampling_and_training() {
+    // A graph where many vertices have no edges at all.
+    let mut g = planted_partition(&PplConfig {
+        n: 200,
+        avg_degree: 2.0,
+        num_classes: 3,
+        feat_dim: 8,
+        ..Default::default()
+    });
+    // Force split so isolated vertices are certainly in train.
+    g.split = SplitMask::random(g.num_vertices(), 0.8, 0.1, 0.1, 1);
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let isolated: Vec<u32> =
+        (0..g.num_vertices() as u32).filter(|&v| g.inn.degree(v) == 0).collect();
+    if !isolated.is_empty() {
+        let mb = build_minibatch(&g.inn, &isolated, &sampler, &mut rng);
+        assert!(mb.validate().is_ok());
+        assert_eq!(mb.involved_edges(), 0);
+        // Training on isolated seeds must still work (self features only).
+        let mut model = GnnModel::new(AggKind::Gcn, &[8, 8, 3], 1);
+        let mut opt = gnn_dm::nn::Adam::new(0.01);
+        let r = gnn_dm::nn::train::train_step(&mut model, &mut opt, &g, &mb);
+        assert!(r.loss.is_finite());
+    }
+}
+
+#[test]
+fn more_partitions_than_meaningful() {
+    let g = planted_partition(&PplConfig {
+        n: 40,
+        avg_degree: 4.0,
+        num_classes: 2,
+        feat_dim: 4,
+        ..Default::default()
+    });
+    for method in PartitionMethod::all() {
+        let part = partition_graph(&g, method, 16, 0);
+        assert!(part.validate().is_ok(), "{method:?}");
+        assert_eq!(part.assignment.len(), 40);
+    }
+}
+
+#[test]
+fn batch_size_larger_than_train_set() {
+    let g = planted_partition(&PplConfig {
+        n: 150,
+        avg_degree: 5.0,
+        num_classes: 3,
+        feat_dim: 8,
+        feat_noise: 0.5,
+        ..Default::default()
+    });
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let r = train_single(
+        &g,
+        ModelKind::Gcn,
+        8,
+        &sampler,
+        &BatchSelection::Random,
+        &BatchSizeSchedule::Fixed(1_000_000),
+        0.01,
+        3,
+        1,
+    );
+    assert_eq!(r.curve.len(), 3);
+    assert!(r.curve.iter().all(|p| p.train_loss.is_finite()));
+}
+
+#[test]
+fn zero_degree_fanout_layers() {
+    // Fanout 0: blocks carry destinations but no edges; the model must
+    // still produce logits (self features propagate via the GCN self-term).
+    let g = planted_partition(&PplConfig {
+        n: 100,
+        avg_degree: 5.0,
+        num_classes: 3,
+        feat_dim: 8,
+        ..Default::default()
+    });
+    let sampler = FanoutSampler::new(vec![0, 0]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mb = build_minibatch(&g.inn, &[0, 1, 2], &sampler, &mut rng);
+    assert!(mb.validate().is_ok());
+    assert_eq!(mb.involved_edges(), 0);
+    let model = GnnModel::new(AggKind::SageMean, &[8, 8, 3], 1);
+    let x = gnn_dm::nn::train::gather_input_features(&g, &mb);
+    let (logits, _) = model.forward_minibatch(&mb, &x);
+    assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn io_rejects_garbage_without_panicking() {
+    for garbage in [
+        Vec::new(),
+        b"GNDM".to_vec(),
+        vec![0u8; 64],
+        b"not a graph at all, just text".to_vec(),
+    ] {
+        let result = io::read_graph(&mut garbage.as_slice());
+        assert!(result.is_err(), "garbage accepted: {garbage:?}");
+    }
+}
+
+#[test]
+fn skewed_splits_still_train() {
+    // Nearly no training vertices.
+    let mut g = planted_partition(&PplConfig {
+        n: 300,
+        avg_degree: 6.0,
+        num_classes: 3,
+        feat_dim: 8,
+        feat_noise: 0.5,
+        ..Default::default()
+    });
+    g.split = SplitMask::random(300, 0.02, 0.49, 0.49, 3);
+    assert!(g.train_vertices().len() >= 2);
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let r = train_single(
+        &g,
+        ModelKind::Gcn,
+        8,
+        &sampler,
+        &BatchSelection::Random,
+        &BatchSizeSchedule::Fixed(4),
+        0.01,
+        2,
+        1,
+    );
+    assert!(r.curve[1].train_loss.is_finite());
+}
+
+#[test]
+fn cluster_selection_with_unknown_cluster_ids() {
+    // Cluster ids with gaps (e.g. clusters 0 and 7 only) must not panic.
+    let train: Vec<u32> = (0..50).collect();
+    let clusters: Vec<u32> = (0..50).map(|v| if v % 2 == 0 { 0 } else { 7 }).collect();
+    let sel = BatchSelection::ClusterBased { clusters };
+    let batches = sel.select(&train, 10, 0, 0);
+    let total: usize = batches.iter().map(Vec::len).sum();
+    assert_eq!(total, 50);
+}
+
+#[test]
+fn extreme_feature_values_stay_finite() {
+    let mut g = planted_partition(&PplConfig {
+        n: 100,
+        avg_degree: 5.0,
+        num_classes: 3,
+        feat_dim: 4,
+        ..Default::default()
+    });
+    // Inject huge (but finite) feature values.
+    for v in 0..10u32 {
+        for x in g.features.row_mut(v) {
+            *x = 1.0e10;
+        }
+    }
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mb = build_minibatch(&g.inn, &[0, 1, 2], &sampler, &mut rng);
+    let model = GnnModel::new(AggKind::Gcn, &[4, 4, 3], 1);
+    let x = gnn_dm::nn::train::gather_input_features(&g, &mb);
+    let (logits, _) = model.forward_minibatch(&mb, &x);
+    // Softmax cross-entropy must survive the huge logits without NaN.
+    let labels = gnn_dm::nn::train::seed_labels(&g, &mb);
+    let (loss, grad) = gnn_dm::nn::loss::softmax_cross_entropy(&logits, &labels);
+    assert!(loss.is_finite());
+    assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+}
