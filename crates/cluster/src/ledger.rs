@@ -111,7 +111,7 @@ fn imbalance_u64(xs: &[u64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
-    let max = *xs.iter().max().unwrap() as f64;
+    let max = *xs.iter().max().unwrap() as f64; // lint:allow(P001) xs checked non-empty above
     let avg = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
     if avg == 0.0 {
         if max == 0.0 {

@@ -151,8 +151,8 @@ where
     A: Send,
     B: Send,
 {
-    let (tx1, rx1) = crossbeam::channel::bounded::<A>(2);
-    let (tx2, rx2) = crossbeam::channel::bounded::<B>(2);
+    let (tx1, rx1) = std::sync::mpsc::sync_channel::<A>(2);
+    let (tx2, rx2) = std::sync::mpsc::sync_channel::<B>(2);
     let mut stage3 = stage3;
     std::thread::scope(|scope| {
         scope.spawn(move || {
@@ -242,30 +242,28 @@ mod tests {
 
     #[test]
     fn threaded_pipeline_actually_overlaps() {
-        use std::time::{Duration, Instant};
+        // Deterministic overlap probe instead of wall-clock timing (which is
+        // both flaky and a D001 violation): count how many stages are ever
+        // in flight at once. A sequential executor never exceeds 1.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+        static MAX_SEEN: AtomicUsize = AtomicUsize::new(0);
+        fn probed<T>(x: T) -> T {
+            let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+            MAX_SEEN.fetch_max(now, Ordering::SeqCst);
+            // Hold the stage open long enough for neighbors to enter theirs.
+            std::thread::sleep(Duration::from_millis(10));
+            IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+            x
+        }
         let items: Vec<u32> = (0..6).collect();
-        let d = Duration::from_millis(20);
-        let start = Instant::now();
-        let _ = run_pipelined(
-            items,
-            move |x| {
-                std::thread::sleep(d);
-                x
-            },
-            move |x| {
-                std::thread::sleep(d);
-                x
-            },
-            move |x| {
-                std::thread::sleep(d);
-                x
-            },
-        );
-        let elapsed = start.elapsed();
-        // Sequential would be 18 * 20 ms = 360 ms; pipelined ≈ 8 * 20 ms.
+        let out = run_pipelined(items, probed, probed, probed);
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
         assert!(
-            elapsed < Duration::from_millis(300),
-            "pipeline took {elapsed:?}, not overlapping"
+            MAX_SEEN.load(Ordering::SeqCst) >= 2,
+            "stages never overlapped: max in flight {}",
+            MAX_SEEN.load(Ordering::SeqCst)
         );
     }
 

@@ -127,6 +127,7 @@ impl TransferEngine {
             TransferMethod::ZeroCopy => self.time_zero_copy(batch),
             TransferMethod::Hybrid { threshold } => self.time_hybrid(
                 batch,
+                // lint:allow(P001) documented precondition: the `# Panics` doc requires activity
                 activity.expect("hybrid transfer needs block activity"),
                 threshold,
             ),
@@ -205,7 +206,7 @@ mod tests {
         let el = e.time_extract_load(&batch());
         let zc = e.time_zero_copy(&batch());
         assert!(zc.total() < el.total(), "zc {} vs el {}", zc.total(), el.total());
-        assert!(zc.gather_sec == 0.0);
+        assert!(zc.gather_sec.abs() < 1e-12, "zero-copy has no gather stage");
         assert!(el.gather_sec > 0.0);
     }
 

@@ -7,7 +7,7 @@
 //! so external graphs can be dropped into every experiment.
 
 use crate::csr::{Csr, VId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::BufRead;
 
 /// Options for edge-list parsing.
@@ -74,11 +74,11 @@ pub fn parse_edge_list<R: BufRead>(
     reader: R,
     options: &EdgeListOptions,
 ) -> Result<ParsedEdgeList, ParseError> {
-    let mut id_map: HashMap<u64, VId> = HashMap::new();
+    let mut id_map: BTreeMap<u64, VId> = BTreeMap::new();
     let mut original_ids: Vec<u64> = Vec::new();
     let mut edges: Vec<(VId, VId)> = Vec::new();
     let mut skipped = 0usize;
-    let dense = |raw: u64, map: &mut HashMap<u64, VId>, ids: &mut Vec<u64>| -> VId {
+    let dense = |raw: u64, map: &mut BTreeMap<u64, VId>, ids: &mut Vec<u64>| -> VId {
         *map.entry(raw).or_insert_with(|| {
             let id = ids.len() as VId;
             ids.push(raw);

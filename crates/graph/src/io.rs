@@ -29,7 +29,7 @@ const VERSION: u32 = 1;
 
 /// Errors produced by the binary reader.
 #[derive(Debug)]
-pub enum IoError {
+pub enum GraphIoError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// Not a gnn-dm graph file.
@@ -40,27 +40,27 @@ pub enum IoError {
     Corrupt(String),
 }
 
-impl std::fmt::Display for IoError {
+impl std::fmt::Display for GraphIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::BadMagic => write!(f, "not a gnn-dm graph file (bad magic)"),
-            IoError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
-            IoError::Corrupt(msg) => write!(f, "corrupt graph file: {msg}"),
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::BadMagic => write!(f, "not a gnn-dm graph file (bad magic)"),
+            GraphIoError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            GraphIoError::Corrupt(msg) => write!(f, "corrupt graph file: {msg}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for GraphIoError {}
 
-impl From<io::Error> for IoError {
+impl From<io::Error> for GraphIoError {
     fn from(e: io::Error) -> Self {
-        IoError::Io(e)
+        GraphIoError::Io(e)
     }
 }
 
 /// Writes a graph in the binary format.
-pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> Result<(), IoError> {
+pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> Result<(), GraphIoError> {
     let n = graph.num_vertices() as u64;
     let m = graph.num_edges() as u64;
     w.write_all(MAGIC)?;
@@ -88,7 +88,7 @@ pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> Result<(), IoError> {
     Ok(())
 }
 
-fn write_csr<W: Write>(csr: &Csr, w: &mut W) -> Result<(), IoError> {
+fn write_csr<W: Write>(csr: &Csr, w: &mut W) -> Result<(), GraphIoError> {
     for &o in csr.offsets() {
         w.write_all(&(o as u64).to_le_bytes())?;
     }
@@ -98,37 +98,37 @@ fn write_csr<W: Write>(csr: &Csr, w: &mut W) -> Result<(), IoError> {
     Ok(())
 }
 
-fn read_exact<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], IoError> {
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], GraphIoError> {
     let mut buf = [0u8; N];
     r.read_exact(&mut buf)?;
     Ok(buf)
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphIoError> {
     Ok(u32::from_le_bytes(read_exact::<R, 4>(r)?))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphIoError> {
     Ok(u64::from_le_bytes(read_exact::<R, 8>(r)?))
 }
 
-fn read_csr<R: Read>(r: &mut R, n: usize, m: usize) -> Result<Csr, IoError> {
+fn read_csr<R: Read>(r: &mut R, n: usize, m: usize) -> Result<Csr, GraphIoError> {
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         let o = read_u64(r)? as usize;
         if o > m {
-            return Err(IoError::Corrupt(format!("offset {o} exceeds edge count {m}")));
+            return Err(GraphIoError::Corrupt(format!("offset {o} exceeds edge count {m}")));
         }
         offsets.push(o);
     }
     if offsets[0] != 0 || offsets[n] != m || offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(IoError::Corrupt("offsets are not monotone over [0, m]".into()));
+        return Err(GraphIoError::Corrupt("offsets are not monotone over [0, m]".into()));
     }
     let mut targets = Vec::with_capacity(m);
     for _ in 0..m {
         let t = read_u32(r)?;
         if t as usize >= n {
-            return Err(IoError::Corrupt(format!("target {t} out of range")));
+            return Err(GraphIoError::Corrupt(format!("target {t} out of range")));
         }
         targets.push(t);
     }
@@ -137,28 +137,28 @@ fn read_csr<R: Read>(r: &mut R, n: usize, m: usize) -> Result<Csr, IoError> {
     for v in 0..n {
         let s = &targets[offsets[v]..offsets[v + 1]];
         if !s.windows(2).all(|w| w[0] < w[1]) {
-            return Err(IoError::Corrupt(format!("neighbor list of {v} not sorted")));
+            return Err(GraphIoError::Corrupt(format!("neighbor list of {v} not sorted")));
         }
     }
     Ok(Csr::from_parts(offsets, targets))
 }
 
 /// Reads a graph previously written by [`write_graph`].
-pub fn read_graph<R: Read>(r: &mut R) -> Result<Graph, IoError> {
+pub fn read_graph<R: Read>(r: &mut R) -> Result<Graph, GraphIoError> {
     let magic = read_exact::<R, 4>(r)?;
     if &magic != MAGIC {
-        return Err(IoError::BadMagic);
+        return Err(GraphIoError::BadMagic);
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(IoError::UnsupportedVersion(version));
+        return Err(GraphIoError::UnsupportedVersion(version));
     }
     let n = read_u64(r)? as usize;
     let m = read_u64(r)? as usize;
     let dim = read_u64(r)? as usize;
     let classes = read_u64(r)? as usize;
     if dim == 0 || classes == 0 {
-        return Err(IoError::Corrupt("zero feature width or class count".into()));
+        return Err(GraphIoError::Corrupt("zero feature width or class count".into()));
     }
     let out = read_csr(r, n, m)?;
     let inn = read_csr(r, n, m)?;
@@ -170,7 +170,7 @@ pub fn read_graph<R: Read>(r: &mut R) -> Result<Graph, IoError> {
     for _ in 0..n {
         let l = read_u32(r)?;
         if l as usize >= classes {
-            return Err(IoError::Corrupt(format!("label {l} out of range")));
+            return Err(GraphIoError::Corrupt(format!("label {l} out of range")));
         }
         labels.push(l);
     }
@@ -181,7 +181,7 @@ pub fn read_graph<R: Read>(r: &mut R) -> Result<Graph, IoError> {
             0 => Split::Train,
             1 => Split::Val,
             2 => Split::Test,
-            other => return Err(IoError::Corrupt(format!("invalid split code {other}"))),
+            other => return Err(GraphIoError::Corrupt(format!("invalid split code {other}"))),
         });
     }
     let graph = Graph {
@@ -192,12 +192,12 @@ pub fn read_graph<R: Read>(r: &mut R) -> Result<Graph, IoError> {
         num_classes: classes,
         split: SplitMask::from_assignment(splits),
     };
-    graph.validate().map_err(IoError::Corrupt)?;
+    graph.validate().map_err(GraphIoError::Corrupt)?;
     Ok(graph)
 }
 
 /// Convenience: write to a file path.
-pub fn save(graph: &Graph, path: &std::path::Path) -> Result<(), IoError> {
+pub fn save(graph: &Graph, path: &std::path::Path) -> Result<(), GraphIoError> {
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);
     write_graph(graph, &mut w)?;
     w.flush()?;
@@ -205,7 +205,7 @@ pub fn save(graph: &Graph, path: &std::path::Path) -> Result<(), IoError> {
 }
 
 /// Convenience: read from a file path.
-pub fn load(path: &std::path::Path) -> Result<Graph, IoError> {
+pub fn load(path: &std::path::Path) -> Result<Graph, GraphIoError> {
     let mut r = io::BufReader::new(std::fs::File::open(path)?);
     read_graph(&mut r)
 }
@@ -226,67 +226,73 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_preserves_everything() {
+    fn round_trip_preserves_everything() -> Result<(), GraphIoError> {
         let g = graph();
         let mut buf = Vec::new();
-        write_graph(&g, &mut buf).unwrap();
-        let r = read_graph(&mut buf.as_slice()).unwrap();
+        write_graph(&g, &mut buf)?;
+        let r = read_graph(&mut buf.as_slice())?;
         assert_eq!(r.out, g.out);
         assert_eq!(r.inn, g.inn);
         assert_eq!(r.features, g.features);
         assert_eq!(r.labels, g.labels);
         assert_eq!(r.split, g.split);
         assert_eq!(r.num_classes, g.num_classes);
+        Ok(())
     }
 
     #[test]
-    fn rejects_bad_magic() {
+    fn rejects_bad_magic() -> Result<(), GraphIoError> {
         let mut buf = Vec::new();
-        write_graph(&graph(), &mut buf).unwrap();
+        write_graph(&graph(), &mut buf)?;
         buf[0] = b'X';
-        assert!(matches!(read_graph(&mut buf.as_slice()), Err(IoError::BadMagic)));
+        assert!(matches!(read_graph(&mut buf.as_slice()), Err(GraphIoError::BadMagic)));
+        Ok(())
     }
 
     #[test]
-    fn rejects_wrong_version() {
+    fn rejects_wrong_version() -> Result<(), GraphIoError> {
         let mut buf = Vec::new();
-        write_graph(&graph(), &mut buf).unwrap();
+        write_graph(&graph(), &mut buf)?;
         buf[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
             read_graph(&mut buf.as_slice()),
-            Err(IoError::UnsupportedVersion(99))
+            Err(GraphIoError::UnsupportedVersion(99))
         ));
+        Ok(())
     }
 
     #[test]
-    fn rejects_truncation() {
+    fn rejects_truncation() -> Result<(), GraphIoError> {
         let mut buf = Vec::new();
-        write_graph(&graph(), &mut buf).unwrap();
+        write_graph(&graph(), &mut buf)?;
         buf.truncate(buf.len() / 2);
-        assert!(matches!(read_graph(&mut buf.as_slice()), Err(IoError::Io(_))));
+        assert!(matches!(read_graph(&mut buf.as_slice()), Err(GraphIoError::Io(_))));
+        Ok(())
     }
 
     #[test]
-    fn rejects_corrupt_label() {
+    fn rejects_corrupt_label() -> Result<(), GraphIoError> {
         let g = graph();
         let mut buf = Vec::new();
-        write_graph(&g, &mut buf).unwrap();
+        write_graph(&g, &mut buf)?;
         // Labels sit right before the split bytes at the end.
         let n = g.num_vertices();
         let label_start = buf.len() - n - n * 4;
         buf[label_start..label_start + 4].copy_from_slice(&1000u32.to_le_bytes());
-        assert!(matches!(read_graph(&mut buf.as_slice()), Err(IoError::Corrupt(_))));
+        assert!(matches!(read_graph(&mut buf.as_slice()), Err(GraphIoError::Corrupt(_))));
+        Ok(())
     }
 
     #[test]
-    fn file_round_trip() {
+    fn file_round_trip() -> Result<(), GraphIoError> {
         let g = graph();
         let dir = std::env::temp_dir().join("gnn-dm-io-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("g.gndm");
-        save(&g, &path).unwrap();
-        let r = load(&path).unwrap();
+        save(&g, &path)?;
+        let r = load(&path)?;
         assert_eq!(r.out, g.out);
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

@@ -88,7 +88,7 @@ proptest! {
     fn gini_bounds((n, edges) in arb_edges()) {
         let csr = Csr::from_edges(n, &edges);
         let g = stats::degree_gini(&csr);
-        prop_assert!((0.0..1.0).contains(&g) || g == 0.0, "gini {g}");
+        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
     }
 
     /// Weighted sampling never returns a zero-weight item when positive

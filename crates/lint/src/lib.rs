@@ -1,0 +1,155 @@
+//! gnn-dm-lint: a zero-dependency static-analysis pass over the workspace.
+//!
+//! The paper's experiments stand on three invariants the compiler cannot
+//! check: bit-identical reruns (determinism), no aborts from library code
+//! (panic-freedom), and every host↔device byte flowing through the transfer
+//! ledger (byte accounting). This crate walks every `.rs` file in the
+//! workspace with its own comment/string-aware tokenizer and enforces the
+//! rule catalog in [`rules`]; `tests/workspace_clean.rs` pins the workspace
+//! at zero violations as part of tier-1.
+//!
+//! Run it directly with `cargo run -p gnn-dm-lint`.
+
+pub mod rules;
+pub mod tokenizer;
+
+pub use rules::{lint_source, Diagnostic};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Directory names skipped wherever they appear: build output, vendored
+/// stand-in deps (external idiom, not project code), and lint fixtures
+/// (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures"];
+
+/// Outcome of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+    /// Files that could not be read (path, error) — reported, not fatal.
+    pub read_errors: Vec<(String, String)>,
+}
+
+impl Report {
+    /// True when no rule fired anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Count of diagnostics for one rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.diagnostics.iter().filter(|d| d.rule == rule).count()
+    }
+
+    /// Machine-readable one-line JSON summary:
+    /// `{"files_scanned":N,"violations":N,"by_rule":{"D001":n,...}}`.
+    pub fn summary_json(&self) -> String {
+        let mut rules: Vec<&'static str> =
+            self.diagnostics.iter().map(|d| d.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        let by_rule: Vec<String> = rules
+            .iter()
+            .map(|r| format!("\"{}\":{}", r, self.count(r)))
+            .collect();
+        format!(
+            "{{\"files_scanned\":{},\"violations\":{},\"by_rule\":{{{}}}}}",
+            self.files_scanned,
+            self.diagnostics.len(),
+            by_rule.join(",")
+        )
+    }
+}
+
+/// Lints every workspace `.rs` file under `root`'s scan roots.
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut report = Report::default();
+    for file in files {
+        let rel = relative_path(root, &file);
+        match fs::read_to_string(&file) {
+            Ok(src) => {
+                report.files_scanned += 1;
+                report.diagnostics.extend(lint_source(&rel, &src));
+            }
+            Err(e) => report.read_errors.push((rel, e.to_string())),
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Recursively gathers `.rs` files, skipping [`SKIP_DIRS`] and dotdirs.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative `/`-separated path (falls back to the full path if
+/// `file` is not under `root`).
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_json_shape() {
+        let report = Report {
+            diagnostics: vec![
+                Diagnostic { rule: "D001", file: "a.rs".into(), line: 1, message: String::new() },
+                Diagnostic { rule: "D001", file: "b.rs".into(), line: 2, message: String::new() },
+                Diagnostic { rule: "P001", file: "b.rs".into(), line: 3, message: String::new() },
+            ],
+            files_scanned: 7,
+            read_errors: vec![],
+        };
+        assert_eq!(
+            report.summary_json(),
+            "{\"files_scanned\":7,\"violations\":3,\"by_rule\":{\"D001\":2,\"P001\":1}}"
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.count("D001"), 2);
+    }
+
+    #[test]
+    fn clean_report_summary() {
+        let report = Report { files_scanned: 3, ..Report::default() };
+        assert!(report.is_clean());
+        assert_eq!(
+            report.summary_json(),
+            "{\"files_scanned\":3,\"violations\":0,\"by_rule\":{}}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! CLI entry point: `cargo run -p gnn-dm-lint [workspace-root]`.
+//!
+//! Prints one `file:line [RULE] message` diagnostic per violation, then a
+//! one-line JSON summary on stdout. Exits non-zero when any rule fired.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Default to the workspace root this crate was compiled in; an explicit
+    // argument overrides (useful for linting a checkout from elsewhere).
+    let root = std::env::args().nth(1).map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    let report = gnn_dm_lint::lint_workspace(&root);
+    if report.files_scanned == 0 {
+        eprintln!("error: no .rs files found under {} — wrong workspace root?", root.display());
+        return ExitCode::FAILURE;
+    }
+    for (file, err) in &report.read_errors {
+        eprintln!("warning: could not read {file}: {err}");
+    }
+    for d in &report.diagnostics {
+        println!("{}:{} [{}] {}", d.file, d.line, d.rule, d.message);
+    }
+    println!("{}", report.summary_json());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,564 @@
+//! The rule catalog and per-file analysis driver.
+//!
+//! Every rule is a pass over the token stream produced by
+//! [`crate::tokenizer::lex`], scoped by a [`FileCtx`] derived from the
+//! file's workspace-relative path. See DESIGN.md "Determinism & lint rule
+//! catalog" for the rationale behind each rule.
+
+use crate::tokenizer::{lex, Token, TokenKind};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`D001`, `P001`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+}
+
+/// Crates whose outputs must be bit-identical across runs (D002 scope).
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["graph", "partition", "sampling", "device", "cluster", "core"];
+
+/// Identifiers that reach ambient OS entropy (D003 scope).
+const ENTROPY_IDENTS: &[&str] =
+    &["thread_rng", "ThreadRng", "from_entropy", "from_os_rng", "OsRng", "getrandom"];
+
+/// Host↔device byte-movement entry points that must live in `gnn-dm-device`
+/// (A001 scope), so the transfer ledger observes every byte.
+const TRANSFER_IDENTS: &[&str] = &[
+    "cudaMemcpy",
+    "cudaMemcpyAsync",
+    "hipMemcpy",
+    "memcpy_h2d",
+    "memcpy_d2h",
+    "memcpy_htod",
+    "memcpy_dtoh",
+    "host_to_device",
+    "device_to_host",
+    "dma_copy",
+    "raw_transfer",
+];
+
+/// Macros whose argument lists F001 inspects for float `==`/`!=`.
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "prop_assert",
+    "prop_assert_eq",
+    "prop_assert_ne",
+];
+
+/// Panic-family macros banned from library code (P001 scope).
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// What kind of file a path denotes, for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Name of the containing workspace crate dir (`graph` for
+    /// `crates/graph/...`), or `None` for root-package files.
+    pub crate_dir: Option<String>,
+    /// True for files where wall-clock reads are the *point*: the bench
+    /// crate and the CLI entry point.
+    pub timing_allowed: bool,
+    /// True for non-library code: integration tests, benches, examples,
+    /// binaries. P001 does not apply there.
+    pub non_library: bool,
+    /// True when D002 applies (file belongs to a deterministic crate).
+    pub deterministic_crate: bool,
+    /// True for `crates/device/**`, where A001's transfer APIs belong.
+    pub device_crate: bool,
+}
+
+impl FileCtx {
+    /// Derives the context from a workspace-relative path.
+    pub fn from_rel_path(rel_path: &str) -> FileCtx {
+        let rel = rel_path.replace('\\', "/");
+        let crate_dir = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        let in_crate = |name: &str| crate_dir.as_deref() == Some(name);
+        let is_root_main = rel == "src/main.rs";
+        let has_dir = |dir: &str| {
+            rel.starts_with(&format!("{dir}/")) || rel.contains(&format!("/{dir}/"))
+        };
+        let non_library = has_dir("tests")
+            || has_dir("benches")
+            || has_dir("examples")
+            || rel.contains("src/bin/")
+            || is_root_main
+            || in_crate("bench");
+        FileCtx {
+            timing_allowed: in_crate("bench") || is_root_main,
+            non_library,
+            deterministic_crate: crate_dir
+                .as_deref()
+                .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c)),
+            device_crate: in_crate("device"),
+            crate_dir,
+            rel_path: rel,
+        }
+    }
+}
+
+/// Lints one file's source text. This is the whole per-file pipeline:
+/// lex, mark `#[cfg(test)]` / `#[test]` regions, run every rule, then
+/// apply suppressions (and emit S001 for reason-less ones).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileCtx::from_rel_path(rel_path);
+    let lexed = lex(src);
+    let in_test = test_region_marks(&lexed.tokens);
+    let mut diags = Vec::new();
+
+    check_d001_wall_clock(&ctx, &lexed.tokens, &mut diags);
+    check_d002_hash_collections(&ctx, &lexed.tokens, &mut diags);
+    check_d003_ambient_entropy(&ctx, &lexed.tokens, &mut diags);
+    check_p001_panics(&ctx, &lexed.tokens, &in_test, &mut diags);
+    check_a001_transfer_apis(&ctx, &lexed.tokens, &mut diags);
+    check_f001_float_eq(&ctx, &lexed.tokens, &mut diags);
+
+    apply_suppressions(&ctx, &lexed, diags)
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items. The mark covers
+/// the attribute through the item's matching close brace (or terminating
+/// semicolon for brace-less items).
+fn test_region_marks(tokens: &[Token]) -> Vec<bool> {
+    let mut marks = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Op && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1) else { break };
+        if !(open.kind == TokenKind::Op && open.text == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's idents up to its matching `]`.
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < tokens.len() && depth > 0 {
+            match (tokens[j].kind, tokens[j].text.as_str()) {
+                (TokenKind::Op, "[") => depth += 1,
+                (TokenKind::Op, "]") => depth -= 1,
+                (TokenKind::Ident, name) => idents.push(name),
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = j; // one past the `]`
+        let is_test_attr = idents.iter().any(|id| *id == "test")
+            && !idents.iter().any(|id| *id == "not");
+        if !is_test_attr {
+            i = attr_end;
+            continue;
+        }
+        // Scan past further attributes to the item body: first `{` opens a
+        // brace-matched region; a `;` first means a brace-less item.
+        let mut k = attr_end;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < tokens.len() {
+            if tokens[k].kind == TokenKind::Op {
+                match tokens[k].text.as_str() {
+                    "{" => {
+                        brace_depth += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        brace_depth = brace_depth.saturating_sub(1);
+                        if entered && brace_depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if !entered => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let region_end = (k + 1).min(tokens.len());
+        for m in marks.iter_mut().take(region_end).skip(i) {
+            *m = true;
+        }
+        i = region_end;
+    }
+    marks
+}
+
+/// D001 — wall-clock reads (`Instant::now`, `SystemTime`) make runs
+/// non-reproducible; timing lives in `crates/bench` and `src/main.rs`.
+fn check_d001_wall_clock(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    if ctx.timing_allowed {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "SystemTime" => true,
+            "Instant" => {
+                matches!(tokens.get(i + 1), Some(c) if c.text == "::")
+                    && matches!(tokens.get(i + 2), Some(n) if n.text == "now")
+            }
+            _ => false,
+        };
+        if hit {
+            diags.push(Diagnostic {
+                rule: "D001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "wall-clock read `{}` outside crates/bench and src/main.rs; \
+                     model time with the simulated cost model or move timing into the bench crate",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// D002 — `HashMap`/`HashSet` iterate in randomized (SipHash-seeded) order,
+/// which leaks into partition assignments and sampled blocks; deterministic
+/// crates use `BTreeMap`/`BTreeSet` or sorted `Vec`s.
+fn check_d002_hash_collections(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    if !ctx.deterministic_crate {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            diags.push(Diagnostic {
+                rule: "D002",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` has a randomized iteration order; use BTree{} (or a sorted Vec) \
+                     in deterministic crates",
+                    t.text,
+                    if t.text == "HashMap" { "Map" } else { "Set" }
+                ),
+            });
+        }
+    }
+}
+
+/// D003 — ambient-entropy RNG constructors defeat seeded reproducibility
+/// everywhere, including tests.
+fn check_d003_ambient_entropy(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let banned = ENTROPY_IDENTS.contains(&t.text.as_str())
+            || (t.text == "rand"
+                && matches!(tokens.get(i + 1), Some(c) if c.text == "::")
+                && matches!(tokens.get(i + 2), Some(n) if n.text == "random"));
+        if banned {
+            diags.push(Diagnostic {
+                rule: "D003",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` draws ambient OS entropy; construct RNGs with \
+                     `StdRng::seed_from_u64` so every run is replayable",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// P001 — library code returns `Result`; `unwrap`/`expect`/panic-family
+/// macros abort a whole training run on edge-case input. Tests, benches,
+/// examples and binaries are exempt.
+fn check_p001_panics(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if ctx.non_library {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_method_panic = (t.text == "unwrap" || t.text == "expect")
+            && matches!(tokens.get(i.wrapping_sub(1)), Some(p) if p.text == "." && i > 0)
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "(");
+        let is_macro_panic = PANIC_MACROS.contains(&t.text.as_str())
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "!");
+        if is_method_panic || is_macro_panic {
+            diags.push(Diagnostic {
+                rule: "P001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` can abort the process from library code; return a Result \
+                     (or add `lint:allow(P001) <invariant>` if unreachable by construction)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// A001 — raw host↔device transfer APIs outside `gnn-dm-device` bypass the
+/// transfer ledger, silently corrupting the paper's byte accounting
+/// (Figures 9/12 reproduce measured PCIe traffic).
+fn check_a001_transfer_apis(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    if ctx.device_crate {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokenKind::Ident && TRANSFER_IDENTS.contains(&t.text.as_str()) {
+            diags.push(Diagnostic {
+                rule: "A001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "direct transfer API `{}` outside crates/device; route bytes through \
+                     gnn-dm-device so the transfer ledger stays exact",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// F001 — `==`/`!=` against a float literal inside an assertion compares
+/// exact bit patterns; accumulated rounding makes these flaky. Compare with
+/// an epsilon or restructure the assertion.
+fn check_f001_float_eq(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let starts_assert = t.kind == TokenKind::Ident
+            && ASSERT_MACROS.contains(&t.text.as_str())
+            && matches!(tokens.get(i + 1), Some(b) if b.text == "!")
+            && matches!(tokens.get(i + 2), Some(p) if p.text == "(");
+        if !starts_assert {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = i + 3;
+        while j < tokens.len() && depth > 0 {
+            let tk = &tokens[j];
+            if tk.kind == TokenKind::Op {
+                match tk.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "==" | "!=" => {
+                        let float_adjacent = matches!(
+                            tokens.get(j.wrapping_sub(1)),
+                            Some(p) if p.kind == TokenKind::Float
+                        ) || matches!(
+                            tokens.get(j + 1),
+                            Some(n) if n.kind == TokenKind::Float
+                        );
+                        if float_adjacent {
+                            diags.push(Diagnostic {
+                                rule: "F001",
+                                file: ctx.rel_path.clone(),
+                                line: tk.line,
+                                message: "exact float comparison in an assertion; \
+                                          compare with an epsilon, e.g. `(a - b).abs() < 1e-9`"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    let _ = ctx;
+}
+
+/// Filters diagnostics through `lint:allow` suppressions and reports S001
+/// for suppressions that carry no justification. A suppression covers its
+/// own line and the next line that carries any token (so it works both as a
+/// trailing comment and as a comment on the line above the code).
+fn apply_suppressions(
+    ctx: &FileCtx,
+    lexed: &crate::tokenizer::Lexed,
+    diags: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // (rule, line) pairs each suppression covers.
+    let mut covered: Vec<(String, usize)> = Vec::new();
+    for sup in &lexed.suppressions {
+        if sup.reason.is_empty() {
+            out.push(Diagnostic {
+                rule: "S001",
+                file: ctx.rel_path.clone(),
+                line: sup.line,
+                message: "suppression without a reason; write \
+                          `lint:allow(RULE) <why this site is exempt>`"
+                    .to_string(),
+            });
+            continue;
+        }
+        let next_token_line = lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > sup.line);
+        for rule in &sup.rules {
+            covered.push((rule.clone(), sup.line));
+            if let Some(next) = next_token_line {
+                covered.push((rule.clone(), next));
+            }
+        }
+    }
+    for d in diags {
+        let suppressed = covered
+            .iter()
+            .any(|(rule, line)| rule == d.rule && *line == d.line);
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(rel_path: &str, src: &str) -> Vec<&'static str> {
+        let mut rules: Vec<&'static str> =
+            lint_source(rel_path, src).into_iter().map(|d| d.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn file_ctx_classifies_paths() {
+        let lib = FileCtx::from_rel_path("crates/graph/src/csr.rs");
+        assert!(lib.deterministic_crate && !lib.non_library && !lib.timing_allowed);
+        let bench = FileCtx::from_rel_path("crates/bench/src/harness.rs");
+        assert!(bench.timing_allowed && bench.non_library);
+        let main = FileCtx::from_rel_path("src/main.rs");
+        assert!(main.timing_allowed && main.non_library);
+        let test = FileCtx::from_rel_path("crates/graph/tests/properties.rs");
+        assert!(test.non_library && test.deterministic_crate);
+        let example = FileCtx::from_rel_path("examples/partitioning_study.rs");
+        assert!(example.non_library && !example.timing_allowed);
+        let device = FileCtx::from_rel_path("crates/device/src/transfer.rs");
+        assert!(device.device_crate);
+    }
+
+    #[test]
+    fn test_regions_exempt_p001() {
+        let src = "fn lib() { let x: Option<u32> = None; }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+        let bad = "fn lib(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", bad), vec!["P001"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn lib(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001"]);
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let trailing = "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint:allow(P001) checked above\n";
+        assert!(rules_fired("crates/core/src/x.rs", trailing).is_empty());
+        let above = "// lint:allow(P001) index is bounds-checked by the caller\n\
+                     fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(rules_fired("crates/core/src/x.rs", above).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_s001_and_does_not_suppress() {
+        let src = "// lint:allow(P001)\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001", "S001"]);
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        let src = "// lint:allow(D002) only P001 fires here\n\
+                   fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001"]);
+    }
+
+    #[test]
+    fn f001_only_fires_on_exact_float_comparison() {
+        let bad = "fn t() { assert!(x == 1.0); }";
+        assert_eq!(rules_fired("crates/core/src/x.rs", bad), vec!["F001"]);
+        // Float literal as a plain macro argument is fine...
+        let ok = "fn t() { assert_eq!(makespan(&b), 60.0); }";
+        assert!(rules_fired("crates/core/src/x.rs", ok).is_empty());
+        // ...and so is an epsilon comparison.
+        let eps = "fn t() { assert!((a - 1.0).abs() < 1e-9); }";
+        assert!(rules_fired("crates/core/src/x.rs", eps).is_empty());
+        // Integer equality inside assert! is fine.
+        let int = "fn t() { assert!(n == 3); }";
+        assert!(rules_fired("crates/core/src/x.rs", int).is_empty());
+    }
+
+    #[test]
+    fn d001_allows_bench_and_main() {
+        let src = "fn t() { let s = Instant::now(); }";
+        assert_eq!(rules_fired("crates/graph/src/a.rs", src), vec!["D001"]);
+        assert!(rules_fired("crates/bench/src/a.rs", src).is_empty());
+        assert!(rules_fired("src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_scopes_to_deterministic_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(rules_fired("crates/sampling/src/a.rs", src), vec!["D002"]);
+        assert!(rules_fired("crates/bench/src/a.rs", src).is_empty());
+        assert!(rules_fired("src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d003_fires_everywhere_even_tests() {
+        let src = "#[test]\nfn t() { let mut rng = thread_rng(); }";
+        assert_eq!(rules_fired("crates/bench/src/a.rs", src), vec!["D003"]);
+        assert_eq!(rules_fired("tests/integration.rs", src), vec!["D003"]);
+    }
+
+    #[test]
+    fn a001_exempts_device_crate() {
+        let src = "fn f() { dma_copy(src, dst, n); }";
+        assert_eq!(rules_fired("crates/sampling/src/a.rs", src), vec!["A001"]);
+        assert!(rules_fired("crates/device/src/transfer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violations_in_strings_and_comments_do_not_fire() {
+        let src = r##"
+            // Instant::now() and HashMap and thread_rng() and .unwrap()
+            /* SystemTime, dma_copy(a, b, n) */
+            fn f() -> &'static str { "Instant::now() HashMap thread_rng unwrap()" }
+            fn g() -> &'static str { r#"SystemTime dma_copy panic!"# }
+        "##;
+        assert!(rules_fired("crates/graph/src/a.rs", src).is_empty());
+    }
+}

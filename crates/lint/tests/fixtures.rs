@@ -1,0 +1,133 @@
+//! Fixture tests: every rule has a firing and a non-firing case, and
+//! violations hidden in comments/strings/raw strings must stay silent.
+//!
+//! Fixtures live under `tests/fixtures/` (a directory the workspace walker
+//! skips, since they contain violations on purpose) and are linted under a
+//! synthetic workspace-relative path that selects the scope being tested.
+
+use gnn_dm_lint::lint_source;
+
+/// Rules fired for `src` when linted as `rel_path`, deduplicated + sorted.
+fn rules_fired(rel_path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> =
+        lint_source(rel_path, src).into_iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+/// Count of diagnostics for one rule.
+fn count(rel_path: &str, src: &str, rule: &str) -> usize {
+    lint_source(rel_path, src).iter().filter(|d| d.rule == rule).count()
+}
+
+const LIB_PATH: &str = "crates/graph/src/fixture.rs";
+
+#[test]
+fn d001_fires_and_clean() {
+    let fires = include_str!("fixtures/d001_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["D001"]);
+    // SystemTime in the `use` line, Instant::now(), SystemTime::now().
+    assert_eq!(count(LIB_PATH, fires, "D001"), 3);
+    // The same source is legal where timing is the point.
+    assert!(rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
+    assert!(rules_fired("src/main.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/d001_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn d002_fires_and_clean() {
+    let fires = include_str!("fixtures/d002_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["D002"]);
+    // HashMap and HashSet each appear in the use, the return type and the
+    // body — every mention is reported.
+    assert_eq!(count(LIB_PATH, fires, "D002"), 6);
+    // Outside the deterministic crates the same code is legal.
+    assert!(rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
+    assert!(rules_fired("src/report.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/d002_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn d003_fires_and_clean() {
+    let fires = include_str!("fixtures/d003_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["D003"]);
+    assert_eq!(count(LIB_PATH, fires, "D003"), 3);
+    // D003 has no exempt scope: tests and benches fire too.
+    assert_eq!(rules_fired("crates/bench/src/fixture.rs", fires), vec!["D003"]);
+    assert_eq!(rules_fired("tests/integration.rs", fires), vec!["D003"]);
+
+    let clean = include_str!("fixtures/d003_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn p001_fires_and_clean() {
+    let fires = include_str!("fixtures/p001_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["P001"]);
+    assert_eq!(count(LIB_PATH, fires, "P001"), 4);
+    // Non-library scopes may panic freely.
+    for path in [
+        "crates/graph/tests/fixture.rs",
+        "crates/graph/benches/fixture.rs",
+        "examples/fixture.rs",
+        "src/bin/fixture.rs",
+        "src/main.rs",
+        "crates/bench/src/fixture.rs",
+    ] {
+        assert!(rules_fired(path, fires).is_empty(), "{path} should be exempt");
+    }
+
+    let clean = include_str!("fixtures/p001_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn a001_fires_and_clean() {
+    let fires = include_str!("fixtures/a001_fires.rs");
+    assert_eq!(rules_fired("crates/sampling/src/fixture.rs", fires), vec!["A001"]);
+    assert_eq!(count("crates/sampling/src/fixture.rs", fires, "A001"), 3);
+    // Inside the device crate those APIs are the implementation.
+    assert!(rules_fired("crates/device/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/a001_clean.rs");
+    assert!(rules_fired("crates/sampling/src/fixture.rs", clean).is_empty());
+}
+
+#[test]
+fn f001_fires_and_clean() {
+    let fires = include_str!("fixtures/f001_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["F001"]);
+    assert_eq!(count(LIB_PATH, fires, "F001"), 3);
+
+    let clean = include_str!("fixtures/f001_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn suppressions_round_trip() {
+    // Reasoned suppressions silence exactly their rules…
+    let ok = include_str!("fixtures/suppression_ok.rs");
+    assert!(rules_fired(LIB_PATH, ok).is_empty());
+
+    // …while reason-less or mis-targeted ones leave the violation standing.
+    let bad = include_str!("fixtures/suppression_bad.rs");
+    assert_eq!(rules_fired(LIB_PATH, bad), vec!["P001", "S001"]);
+    // Both unwraps still reported: neither suppression was valid for it.
+    assert_eq!(count(LIB_PATH, bad, "P001"), 2);
+    assert_eq!(count(LIB_PATH, bad, "S001"), 1);
+}
+
+#[test]
+fn diagnostics_carry_location_and_rule() {
+    let fires = include_str!("fixtures/d001_fires.rs");
+    let diags = lint_source(LIB_PATH, fires);
+    let first = diags.first().expect("fixture must produce a diagnostic");
+    assert_eq!(first.file, LIB_PATH);
+    assert!(first.line > 1, "line numbers are 1-based and past the header");
+    assert!(first.message.contains("crates/bench"));
+}

@@ -1,0 +1,8 @@
+// Fixture: A001 must NOT fire — transfers go through the device crate's
+// ledgered engine; raw API names appear only in prose.
+// cudaMemcpy, host_to_device and dma_copy are only *mentioned* here.
+
+pub fn route(engine: &TransferEngine, batch: &BatchTransfer) -> TransferReport {
+    let _doc = "gnn-dm-device wraps cudaMemcpyAsync so bytes are accounted";
+    engine.time_extract_load(batch)
+}

@@ -1,0 +1,10 @@
+// Fixture: A001 must fire — raw host↔device byte movement outside the
+// device crate (linted under a crates/sampling/... path).
+
+pub fn sneak_bytes(src: *const u8, dst: *mut u8, n: usize) {
+    unsafe {
+        cudaMemcpy(dst, src, n, 1); // A001
+    }
+    host_to_device(src, n); // A001
+    dma_copy(src, dst, n); // A001
+}

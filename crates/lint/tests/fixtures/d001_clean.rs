@@ -1,0 +1,19 @@
+// Fixture: D001 must NOT fire — the tokens only appear in prose positions,
+// or as the harmless type name without a clock read.
+// A comment mentioning Instant::now() and SystemTime is fine.
+
+/* Block comments too: Instant::now(), SystemTime::now(). */
+
+pub fn describe() -> &'static str {
+    "call Instant::now() to read the clock; SystemTime is wall time"
+}
+
+pub fn raw() -> &'static str {
+    r#"Instant::now() and SystemTime inside a raw string"#
+}
+
+// Importing or naming the Instant *type* without calling `now` is allowed
+// (e.g. accepting a caller-measured duration).
+pub fn span_of(start: std::time::Instant) -> std::time::Duration {
+    start.elapsed()
+}

@@ -1,0 +1,8 @@
+// Fixture: D001 must fire — wall-clock reads in deterministic code.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> f64 {
+    let start = Instant::now(); // D001
+    let _ = SystemTime::now(); // D001 (SystemTime alone is enough)
+    start.elapsed().as_secs_f64()
+}

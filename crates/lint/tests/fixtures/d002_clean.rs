@@ -1,0 +1,9 @@
+// Fixture: D002 must NOT fire — ordered collections, plus the banned names
+// appearing only in comments/strings.
+// HashMap and HashSet are only mentioned here, in prose.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn build() -> (BTreeMap<u32, u32>, BTreeSet<u32>) {
+    let _why = "BTreeMap replaces HashMap for deterministic iteration";
+    (BTreeMap::new(), BTreeSet::new())
+}

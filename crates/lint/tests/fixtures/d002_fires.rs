@@ -1,0 +1,7 @@
+// Fixture: D002 must fire — default-hasher collections in a deterministic
+// crate (the test lints this file under a crates/graph/... path).
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -1,0 +1,11 @@
+// Fixture: D003 must NOT fire — explicitly seeded RNG; banned names only in
+// prose. Never call thread_rng() or from_entropy() outside this comment.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn draw(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // rng.random_range is the seeded path, not `rand::random`.
+    let _ = rng.random_range(0..10);
+    rng.random::<f64>()
+}

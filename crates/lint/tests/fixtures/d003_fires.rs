@@ -1,0 +1,13 @@
+// Fixture: D003 must fire — ambient-entropy RNG construction, even in tests.
+
+#[test]
+fn uses_os_entropy() {
+    let mut rng = thread_rng(); // D003
+    let _ = rng;
+}
+
+pub fn seeded_from_os() -> u64 {
+    let rng = StdRng::from_entropy(); // D003
+    let _ = rng;
+    rand::random() // D003
+}

@@ -1,0 +1,20 @@
+// Fixture: F001 must NOT fire — epsilon comparisons, float literals as
+// plain macro arguments, integer equality, and float `==` outside asserts.
+
+#[test]
+fn tolerant_checks() {
+    let x = 0.1 + 0.2;
+    assert!((x - 0.3).abs() < 1e-9);
+    // A float literal as an assert_eq! argument is not an `==` token.
+    assert_eq!(round_half(x), 0.5);
+    assert!(3 == 1 + 2);
+}
+
+pub fn round_half(x: f64) -> f64 {
+    // Float == outside an assertion is a correctness decision, not F001's.
+    if x == 0.0 {
+        0.0
+    } else {
+        (x * 2.0).round() / 2.0
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: F001 must fire — exact float comparison inside assertions.
+
+#[test]
+fn exact_equality() {
+    let x = 0.1 + 0.2;
+    assert!(x == 0.3); // F001
+    debug_assert!(x != 0.5); // F001
+    prop_assert!(1.0 == x); // F001 (literal on the left)
+}

@@ -1,0 +1,32 @@
+// Fixture: P001 must NOT fire — Result-returning library code, panics
+// confined to test regions, and near-miss identifiers.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn with_default(x: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else are total functions, not panics.
+    x.unwrap_or(0)
+}
+
+pub fn lazily(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7)
+}
+
+pub fn describe() -> &'static str {
+    "calling unwrap() or expect() or panic! in a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v = first(&[3]).unwrap();
+        if v != 3 {
+            panic!("got {v}");
+        }
+    }
+}

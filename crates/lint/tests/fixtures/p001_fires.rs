@@ -1,0 +1,17 @@
+// Fixture: P001 must fire — panics reachable from library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // P001
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("must be set") // P001
+}
+
+pub fn giving_up() -> ! {
+    panic!("library code must not abort") // P001
+}
+
+pub fn later() -> u32 {
+    todo!() // P001
+}

@@ -1,0 +1,11 @@
+// Fixture: a reason-less suppression is itself a violation (S001) and does
+// NOT silence the underlying rule.
+
+pub fn unjustified(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint:allow(P001)
+}
+
+pub fn wrong_rule(xs: &[u32]) -> u32 {
+    // lint:allow(D001) suppressing a rule that is not the one firing here
+    *xs.first().unwrap()
+}

@@ -1,0 +1,35 @@
+//! Tier-1 gate: the whole workspace must stay lint-clean forever.
+//!
+//! `cargo test` runs this alongside the unit suites, so any commit that
+//! reintroduces wall-clock reads, hash-ordered collections, ambient
+//! entropy, library panics, unledgered transfers or exact float assertions
+//! fails CI with the full diagnostic list.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = gnn_dm_lint::lint_workspace(&root);
+    assert!(
+        report.files_scanned > 50,
+        "walker found only {} files — scan roots moved?",
+        report.files_scanned
+    );
+    assert!(
+        report.read_errors.is_empty(),
+        "unreadable files: {:?}",
+        report.read_errors
+    );
+    let listing: String = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("  {}:{} [{}] {}\n", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace lint found {} violation(s):\n{listing}{}",
+        report.diagnostics.len(),
+        report.summary_json()
+    );
+}

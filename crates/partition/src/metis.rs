@@ -160,19 +160,22 @@ pub fn multilevel_partition(
         vwgt,
         fine_to_coarse: Vec::new(),
     }];
-    while levels.last().unwrap().n() > cfg.coarsen_until {
-        let coarse = coarsen_once(levels.last().unwrap(), &mut rng);
-        let shrink = coarse.n() as f64 / levels.last().unwrap().n() as f64;
+    // `top` indexes the current coarsest level; levels[0] exists above, so
+    // the indexing can never miss.
+    let mut top = 0usize;
+    while levels[top].n() > cfg.coarsen_until {
+        let coarse = coarsen_once(&levels[top], &mut rng);
+        let shrink = coarse.n() as f64 / levels[top].n() as f64;
         let done = coarse.n() <= cfg.coarsen_until || shrink > 0.95;
         levels.push(coarse);
+        top += 1;
         if done {
             break;
         }
     }
 
     // --- Initial partition on the coarsest level ---
-    let coarsest = levels.last().unwrap();
-    let mut assignment = initial_region_growing(coarsest, cfg, &mut rng);
+    let mut assignment = initial_region_growing(&levels[top], cfg, &mut rng);
 
     // --- Uncoarsen + refine ---
     let caps = capacities(&levels[0], cfg);
@@ -444,7 +447,7 @@ fn refine(
         violated.sort_by(|&(pa, ca), &(pb, cb)| {
             let ra = pw[pa][ca] / caps[ca];
             let rb = pw[pb][cb] / caps[cb];
-            rb.partial_cmp(&ra).unwrap()
+            rb.total_cmp(&ra)
         });
         for (p, c) in violated {
             // Move vertices contributing to constraint c out of p until it fits.
@@ -586,7 +589,7 @@ mod tests {
         let g = graph();
         let clusters = metis_clusters(&g, 16, 1);
         assert_eq!(clusters.len(), g.num_vertices());
-        let distinct: std::collections::HashSet<u32> = clusters.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u32> = clusters.iter().copied().collect();
         assert!(distinct.len() >= 12, "only {} clusters materialized", distinct.len());
         // Cluster-internal edge fraction must beat the random baseline (1/16).
         let internal = g

@@ -284,6 +284,7 @@ fn stream_b_impl(
         }
         let p = best
             .map(|(p, _)| p)
+            // lint:allow(P001) k >= 1, so min_by_key over 0..k always yields a partition
             .unwrap_or_else(|| (0..k).min_by_key(|&p| counts[p][0]).unwrap());
         for &v in block {
             assignment[v as usize] = p as u32;

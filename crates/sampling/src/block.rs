@@ -7,7 +7,7 @@
 //! explicitly (§2: "the sampled vertices may be deduplicated").
 
 use gnn_dm_graph::csr::VId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One bipartite layer of a sampled mini-batch.
 ///
@@ -62,7 +62,7 @@ impl Block {
         if self.src_ids[..self.dst_ids.len()] != self.dst_ids[..] {
             return Err("src_ids must start with dst_ids".into());
         }
-        let mut seen = std::collections::HashSet::with_capacity(self.src_ids.len());
+        let mut seen = std::collections::BTreeSet::new();
         for &s in &self.src_ids {
             if !seen.insert(s) {
                 return Err(format!("duplicate source id {s}"));
@@ -141,12 +141,12 @@ impl MiniBatch {
 /// order), then each new sampled source. Returns `(src_ids, local_of)`.
 pub(crate) struct LocalIndexer {
     pub src_ids: Vec<VId>,
-    map: HashMap<VId, u32>,
+    map: BTreeMap<VId, u32>,
 }
 
 impl LocalIndexer {
     pub(crate) fn new(dst_ids: &[VId]) -> Self {
-        let mut map = HashMap::with_capacity(dst_ids.len() * 2);
+        let mut map = BTreeMap::new();
         let mut src_ids = Vec::with_capacity(dst_ids.len() * 2);
         for &d in dst_ids {
             let next = src_ids.len() as u32;

@@ -225,7 +225,7 @@ impl NeighborSampler for ImportanceSampler {
                 (key, u)
             })
             .collect();
-        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         out.extend(keyed.into_iter().take(k).map(|(_, u)| u));
     }
 }
@@ -273,7 +273,7 @@ pub fn build_minibatch(
     rng: &mut StdRng,
 ) -> MiniBatch {
     let mut seeds_dedup: Vec<VId> = Vec::with_capacity(seeds.len());
-    let mut seen = std::collections::HashSet::with_capacity(seeds.len());
+    let mut seen = std::collections::BTreeSet::new();
     for &s in seeds {
         if seen.insert(s) {
             seeds_dedup.push(s);
@@ -325,7 +325,7 @@ impl LayerwiseSampler {
     /// Builds a mini-batch under the layer-budget regime.
     pub fn build(&self, in_csr: &Csr, seeds: &[VId], rng: &mut StdRng) -> MiniBatch {
         let mut seeds_dedup: Vec<VId> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &s in seeds {
             if seen.insert(s) {
                 seeds_dedup.push(s);
@@ -337,7 +337,7 @@ impl LayerwiseSampler {
             let dst_ids = frontier;
             // Union of candidate neighbors, deduplicated.
             let mut candidates: Vec<VId> = Vec::new();
-            let mut cand_seen = std::collections::HashSet::new();
+            let mut cand_seen = std::collections::BTreeSet::new();
             for &d in &dst_ids {
                 for &u in in_csr.neighbors(d) {
                     if cand_seen.insert(u) {
@@ -347,7 +347,7 @@ impl LayerwiseSampler {
             }
             candidates.shuffle(rng);
             candidates.truncate(budget);
-            let chosen: std::collections::HashSet<VId> = candidates.iter().copied().collect();
+            let chosen: std::collections::BTreeSet<VId> = candidates.iter().copied().collect();
 
             let mut ix = LocalIndexer::new(&dst_ids);
             let mut edges = Vec::new();

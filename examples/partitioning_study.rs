@@ -23,6 +23,7 @@ fn main() {
         "method", "cut%", "locality", "comp_imb", "comm_MiB", "repl", "part_s"
     );
     for method in PartitionMethod::all() {
+        // lint:allow(D001) this example reports real partitioning wall time (Figure 6)
         let start = Instant::now();
         let part = partition_graph(&graph, method, workers, 7);
         let part_s = start.elapsed().as_secs_f64();

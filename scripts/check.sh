@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a commit must pass.
+#
+#   scripts/check.sh            # release build + full test suite + lint
+#
+# The lint run is technically redundant (crates/lint/tests/workspace_clean.rs
+# runs it under `cargo test` too) but invoking the binary directly prints the
+# diagnostics and JSON summary even when everything else is green.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> gnn-dm-lint"
+cargo run -q -p gnn-dm-lint
+
+echo "OK: build, tests and lint all green"

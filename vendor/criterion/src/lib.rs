@@ -1,0 +1,212 @@
+//! Dependency-free stand-in for the subset of `criterion` this workspace's
+//! benches use. See `vendor/README.md` for scope.
+//!
+//! Measurement model: per benchmark, a short warm-up then `sample_size`
+//! timed batches; reports the mean and min batch time per iteration. No
+//! statistics beyond that — good enough to compare kernels locally, not a
+//! substitute for real criterion.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only a marker here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: u64,
+    /// Mean seconds per iteration, filled by `iter`/`iter_batched`.
+    mean_sec: f64,
+    /// Fastest sample's seconds per iteration.
+    min_sec: f64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher { iters_per_sample: 10, samples, mean_sec: 0.0, min_sec: 0.0 }
+    }
+
+    /// Times `routine` over repeated batches.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / self.iters_per_sample as f64;
+            total += per_iter;
+            min = min.min(per_iter);
+        }
+        self.mean_sec = total / self.samples as f64;
+        self.min_sec = min;
+    }
+
+    /// Times `routine` with a fresh `setup()` input each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let mut elapsed = 0.0f64;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed().as_secs_f64();
+            }
+            let per_iter = elapsed / self.iters_per_sample as f64;
+            total += per_iter;
+            min = min.min(per_iter);
+        }
+        self.mean_sec = total / self.samples as f64;
+        self.min_sec = min;
+    }
+}
+
+fn format_time(sec: f64) -> String {
+    if sec >= 1.0 {
+        format!("{sec:.3} s")
+    } else if sec >= 1e-3 {
+        format!("{:.3} ms", sec * 1e3)
+    } else if sec >= 1e-6 {
+        format!("{:.3} µs", sec * 1e6)
+    } else {
+        format!("{:.1} ns", sec * 1e9)
+    }
+}
+
+fn run_one(group: &str, id: &str, samples: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples.max(1));
+    f(&mut b);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!(
+        "{label:<50} mean {:>12}   min {:>12}",
+        format_time(b.mean_sec),
+        format_time(b.min_sec)
+    );
+}
+
+/// A named set of related benchmarks, mirroring criterion's
+/// `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<String>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is a no-op for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<I: Into<String>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into(), 10, &mut f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("iter", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u64)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Marker-trait stand-in for `serde`. See `vendor/README.md`.
+//!
+//! The workspace only uses serde as a *bound* (configs assert they are
+//! serializable for future persistence); no actual serialization runs, so
+//! the traits carry no methods. The derives emit empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

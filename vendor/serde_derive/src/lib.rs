@@ -1,0 +1,57 @@
+//! Proc-macro companion to the vendored `serde` marker traits: the derives
+//! parse just enough of the item to find its name and emit an empty marker
+//! impl. Generic types are not supported (the workspace derives only on
+//! plain structs/enums).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tree in input.clone() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let s = ident.to_string();
+                if saw_keyword {
+                    return s;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_keyword = true;
+                }
+            }
+            // Skip attribute bodies, visibility parens, etc.
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in the input");
+}
+
+/// Rejects generic items: the stub cannot reproduce their bounds.
+fn assert_not_generic(input: &TokenStream, name: &str) {
+    let mut prev_was_name = false;
+    for tree in input.clone() {
+        match &tree {
+            TokenTree::Ident(ident) if ident.to_string() == name => prev_was_name = true,
+            TokenTree::Punct(p) if prev_was_name && p.as_char() == '<' => {
+                panic!("serde_derive stub: generic type {name} is not supported");
+            }
+            _ => prev_was_name = false,
+        }
+    }
+}
+
+/// Stand-in for `#[derive(serde::Serialize)]`: emits an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_not_generic(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Stand-in for `#[derive(serde::Deserialize)]`: emits an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_not_generic(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
