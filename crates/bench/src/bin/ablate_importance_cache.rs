@@ -22,7 +22,7 @@ use rand::SeedableRng;
 
 fn hit_rate(
     g: &gnn_dm_graph::Graph,
-    sampler: &dyn NeighborSampler,
+    sampler: &(dyn NeighborSampler + Sync),
     policy: CachePolicy,
     ratio: f64,
 ) -> f64 {
@@ -69,7 +69,7 @@ fn main() {
 
     let mut table = Table::new(&["sampler", "policy", "hit_rate@0.2"]);
     for (sname, sampler) in
-        [("uniform", &uniform as &dyn NeighborSampler), ("importance (1/deg^2)", &importance)]
+        [("uniform", &uniform as &(dyn NeighborSampler + Sync)), ("importance (1/deg^2)", &importance)]
     {
         for policy in [CachePolicy::Degree, CachePolicy::PreSample] {
             let hr = hit_rate(&g, sampler, policy, 0.2);

@@ -20,7 +20,7 @@ const EPOCHS: usize = 20;
 
 fn main() {
     let g = convergence_graph(DatasetId::OgbArxiv, 42);
-    let run = |sampler: &dyn NeighborSampler| -> ConvergenceResult {
+    let run = |sampler: &(dyn NeighborSampler + Sync)| -> ConvergenceResult {
         train_single(
             &g,
             ModelKind::Gcn,

@@ -59,7 +59,7 @@ pub fn dist_train_epoch(
     opt: &mut dyn Optimizer,
     graph: &Graph,
     part: &GnnPartitioning,
-    sampler: &dyn NeighborSampler,
+    sampler: &(dyn NeighborSampler + Sync),
     batch_size: usize,
     seed: u64,
     epoch: usize,
@@ -139,7 +139,7 @@ pub fn local_sgd_epoch(
     lr: f32,
     graph: &Graph,
     part: &GnnPartitioning,
-    sampler: &dyn NeighborSampler,
+    sampler: &(dyn NeighborSampler + Sync),
     batch_size: usize,
     sync_every: usize,
     seed: u64,

@@ -48,7 +48,7 @@ impl P3Comparison {
 /// width prices P3's activation exchange.
 pub fn compare_epoch(
     sim: &ClusterSim<'_>,
-    sampler: &dyn NeighborSampler,
+    sampler: &(dyn NeighborSampler + Sync),
     hidden: usize,
     epoch: usize,
 ) -> P3Comparison {

@@ -95,7 +95,56 @@ impl<'g> ClusterSim<'g> {
     }
 
     /// Simulates one epoch and returns the per-worker load ledgers.
-    pub fn simulate_epoch(&self, sampler: &dyn NeighborSampler, epoch: usize) -> EpochLoadReport {
+    ///
+    /// Workers simulate in parallel (their RNG streams are derived
+    /// independently from the worker index) and their partial ledgers are
+    /// merged in worker order; every ledger entry is an integer counter, so
+    /// the result is bitwise-identical to the serial worker loop at any
+    /// thread count.
+    pub fn simulate_epoch(
+        &self,
+        sampler: &(dyn NeighborSampler + Sync),
+        epoch: usize,
+    ) -> EpochLoadReport {
+        let k = self.part.k;
+        let workers: Vec<u32> = (0..k as u32).collect();
+        let partials =
+            gnn_dm_par::par_map_collect(&workers, |_, &w| self.simulate_worker(sampler, epoch, w));
+        let mut report = EpochLoadReport {
+            compute: ComputeLedger::new(k),
+            comm: CommLedger::new(k),
+            num_batches: vec![0usize; k],
+            input_vertices: vec![0u64; k],
+        };
+        fn add(into: &mut [u64], from: &[u64]) {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
+        }
+        for p in &partials {
+            add(&mut report.compute.local_sample_edges, &p.compute.local_sample_edges);
+            add(&mut report.compute.remote_sample_edges, &p.compute.remote_sample_edges);
+            add(&mut report.compute.aggregation_edges, &p.compute.aggregation_edges);
+            add(&mut report.comm.subgraph_bytes_sent, &p.comm.subgraph_bytes_sent);
+            add(&mut report.comm.feature_bytes_sent, &p.comm.feature_bytes_sent);
+            add(&mut report.comm.bytes_received, &p.comm.bytes_received);
+            add(&mut report.input_vertices, &p.input_vertices);
+            for (a, b) in report.num_batches.iter_mut().zip(&p.num_batches) {
+                *a += b;
+            }
+        }
+        report
+    }
+
+    /// One worker's contribution to the epoch ledgers (full-width vectors:
+    /// remote sampling and feature serving are accounted to the *owner*
+    /// worker, which may differ from `w`).
+    fn simulate_worker(
+        &self,
+        sampler: &dyn NeighborSampler,
+        epoch: usize,
+        w: u32,
+    ) -> EpochLoadReport {
         let k = self.part.k;
         let row_bytes = self.graph.features.row_bytes() as u64;
         let mut compute = ComputeLedger::new(k);
@@ -103,11 +152,8 @@ impl<'g> ClusterSim<'g> {
         let mut num_batches = vec![0usize; k];
         let mut input_vertices = vec![0u64; k];
 
-        for w in 0..k as u32 {
-            let train_w = self.local_train(w);
-            if train_w.is_empty() {
-                continue;
-            }
+        let train_w = self.local_train(w);
+        if !train_w.is_empty() {
             let batches = BatchSelection::Random.select(
                 &train_w,
                 self.batch_size,

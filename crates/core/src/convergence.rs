@@ -99,7 +99,7 @@ pub fn train_single(
     graph: &Graph,
     kind: ModelKind,
     hidden: usize,
-    sampler: &dyn NeighborSampler,
+    sampler: &(dyn NeighborSampler + Sync),
     selection: &BatchSelection,
     schedule: &BatchSizeSchedule,
     lr: f32,
@@ -189,7 +189,7 @@ pub fn train_distributed(
     part: &GnnPartitioning,
     kind: ModelKind,
     hidden: usize,
-    sampler: &dyn NeighborSampler,
+    sampler: &(dyn NeighborSampler + Sync),
     batch_size: usize,
     lr: f32,
     epochs: usize,

@@ -69,12 +69,20 @@ impl FeatureTable {
     }
 
     /// Copies the rows named by `ids` into a fresh contiguous buffer, in
-    /// order — the "extract" half of the extract-load transfer method.
+    /// order — the "extract" half of the extract-load transfer method. Row
+    /// blocks are copied in parallel; pure disjoint copies, so the result is
+    /// bitwise-identical at any thread count.
     pub fn gather(&self, ids: &[u32]) -> FeatureTable {
-        let mut out = Vec::with_capacity(ids.len() * self.dim);
-        for &v in ids {
-            out.extend_from_slice(self.row(v));
-        }
+        /// Rows per parallel work item; fixed so chunk boundaries never
+        /// depend on the thread count.
+        const GATHER_BLOCK: usize = 256;
+        let mut out = vec![0.0f32; ids.len() * self.dim];
+        gnn_dm_par::par_chunks_mut(&mut out, GATHER_BLOCK * self.dim, |ci, chunk| {
+            let base = ci * GATHER_BLOCK;
+            for (j, dst) in chunk.chunks_mut(self.dim).enumerate() {
+                dst.copy_from_slice(self.row(ids[base + j]));
+            }
+        });
         FeatureTable { data: out, dim: self.dim }
     }
 }

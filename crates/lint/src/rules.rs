@@ -78,6 +78,10 @@ pub struct FileCtx {
     pub deterministic_crate: bool,
     /// True for `crates/device/**`, where A001's transfer APIs belong.
     pub device_crate: bool,
+    /// True where raw `std::thread` primitives are the implementation
+    /// (T001 scope): the parallel substrate itself and the pipeline
+    /// overlap model's dedicated executor.
+    pub threads_allowed: bool,
 }
 
 impl FileCtx {
@@ -106,6 +110,8 @@ impl FileCtx {
                 .as_deref()
                 .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c)),
             device_crate: in_crate("device"),
+            threads_allowed: rel.starts_with("crates/par/")
+                || rel == "crates/device/src/pipeline.rs",
             crate_dir,
             rel_path: rel,
         }
@@ -127,6 +133,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     check_p001_panics(&ctx, &lexed.tokens, &in_test, &mut diags);
     check_a001_transfer_apis(&ctx, &lexed.tokens, &mut diags);
     check_f001_float_eq(&ctx, &lexed.tokens, &mut diags);
+    check_t001_raw_threads(&ctx, &lexed.tokens, &mut diags);
 
     apply_suppressions(&ctx, &lexed, diags)
 }
@@ -342,6 +349,39 @@ fn check_a001_transfer_apis(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Dia
     }
 }
 
+/// T001 — raw `std::thread::spawn` / `std::thread::scope` outside the
+/// parallel substrate bypasses its determinism contract (fixed split
+/// points, disjoint writes, ordered reassembly, `GNN_DM_THREADS` control).
+/// Ad-hoc threads reintroduce scheduling-order nondeterminism and
+/// oversubscribe the pool's workers; express the parallelism through
+/// `gnn_dm_par::{par_chunks_mut, par_map_collect, par_reduce}` instead.
+fn check_t001_raw_threads(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    if ctx.threads_allowed {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "thread" {
+            continue;
+        }
+        let hit = matches!(tokens.get(i + 1), Some(c) if c.text == "::")
+            && matches!(tokens.get(i + 2),
+                Some(n) if n.kind == TokenKind::Ident
+                    && (n.text == "spawn" || n.text == "scope"));
+        if hit {
+            diags.push(Diagnostic {
+                rule: "T001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "raw `thread::{}` outside crates/par; use the gnn-dm-par \
+                     substrate so results stay bitwise-identical at any thread count",
+                    tokens[i + 2].text
+                ),
+            });
+        }
+    }
+}
+
 /// F001 — `==`/`!=` against a float literal inside an assertion compares
 /// exact bit patterns; accumulated rounding makes these flaky. Compare with
 /// an epsilon or restructure the assertion.
@@ -549,6 +589,24 @@ mod tests {
         let src = "fn f() { dma_copy(src, dst, n); }";
         assert_eq!(rules_fired("crates/sampling/src/a.rs", src), vec!["A001"]);
         assert!(rules_fired("crates/device/src/transfer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn t001_exempts_par_crate_and_pipeline() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert_eq!(rules_fired("crates/sampling/src/a.rs", src), vec!["T001"]);
+        assert_eq!(rules_fired("tests/integration.rs", src), vec!["T001"]);
+        assert!(rules_fired("crates/par/src/lib.rs", src).is_empty());
+        assert!(rules_fired("crates/device/src/pipeline.rs", src).is_empty());
+        // Other device-crate files are NOT exempt.
+        assert_eq!(rules_fired("crates/device/src/transfer.rs", src), vec!["T001"]);
+    }
+
+    #[test]
+    fn t001_ignores_non_launch_thread_idents() {
+        // sleep/yield_now and the bare module name are not launch points.
+        let src = "fn f() { std::thread::sleep(d); thread::yield_now(); use std::thread; }";
+        assert!(rules_fired("crates/core/src/a.rs", src).is_empty());
     }
 
     #[test]

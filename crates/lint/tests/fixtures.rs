@@ -109,6 +109,24 @@ fn f001_fires_and_clean() {
 }
 
 #[test]
+fn t001_fires_and_clean() {
+    let fires = include_str!("fixtures/t001_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["T001"]);
+    // scope, spawn, and spawn through a `use`'d module path.
+    assert_eq!(count(LIB_PATH, fires, "T001"), 3);
+    // The substrate itself and the pipeline executor are the implementation.
+    assert!(rules_fired("crates/par/src/lib.rs", fires).is_empty());
+    assert!(rules_fired("crates/device/src/pipeline.rs", fires).is_empty());
+    // No blanket device-crate exemption — only pipeline.rs.
+    assert_eq!(rules_fired("crates/device/src/transfer.rs", fires), vec!["T001"]);
+    // Tests and benches fire too: a racy test is still racy.
+    assert_eq!(rules_fired("tests/integration.rs", fires), vec!["T001"]);
+
+    let clean = include_str!("fixtures/t001_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
 fn suppressions_round_trip() {
     // Reasoned suppressions silence exactly their rules…
     let ok = include_str!("fixtures/suppression_ok.rs");

@@ -1,0 +1,29 @@
+// Fixture: T001 must NOT fire — prose mentions, non-launch thread APIs,
+// and parallelism routed through the substrate are all fine.
+// A comment mentioning std::thread::spawn or thread::scope is prose.
+
+/* Block comments too: thread::spawn(|| ...), std::thread::scope(...). */
+
+pub fn describe() -> &'static str {
+    "thread::spawn and thread::scope inside a string are prose"
+}
+
+pub fn raw() -> &'static str {
+    r#"std::thread::spawn(|| ()) inside a raw string"#
+}
+
+// Naming the module or using non-launch APIs does not create threads
+// whose scheduling could leak into results.
+pub fn nap(d: std::time::Duration) {
+    std::thread::sleep(d);
+    std::thread::yield_now();
+}
+
+// The sanctioned route: fixed chunking through the substrate.
+pub fn doubled(xs: &mut [f32]) {
+    gnn_dm_par::par_chunks_mut(xs, 64, |_ci, chunk| {
+        for x in chunk {
+            *x *= 2.0;
+        }
+    });
+}

@@ -1,0 +1,19 @@
+// Fixture: T001 must fire — ad-hoc thread launches outside crates/par
+// bypass the substrate's determinism contract.
+
+pub fn fan_out(items: &[u32]) -> Vec<u32> {
+    std::thread::scope(|s| { // T001 (scope)
+        let h = s.spawn(|| items.iter().sum::<u32>());
+        vec![h.join().unwrap_or(0)]
+    })
+}
+
+pub fn detached() {
+    let _h = std::thread::spawn(|| 42); // T001 (spawn)
+}
+
+use std::thread;
+
+pub fn via_module_path() {
+    let _h = thread::spawn(|| ()); // T001 (spawn through a use'd path)
+}

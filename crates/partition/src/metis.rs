@@ -20,6 +20,7 @@
 use crate::types::GnnPartitioning;
 use gnn_dm_graph::csr::VId;
 use gnn_dm_graph::{Graph, Split};
+use gnn_dm_par::{par_chunks_mut, par_map_collect};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -119,22 +120,22 @@ pub fn constraint_vectors(graph: &Graph, variant: MetisVariant) -> (Vec<Vec<f64>
     (vwgt, eps)
 }
 
-#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
 fn adjacency_of(graph: &Graph) -> Vec<Vec<(u32, f64)>> {
-    let n = graph.num_vertices();
-    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-    for v in 0..n {
+    // Pure per-vertex rows — parallel construction is trivially identical.
+    let ids: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    par_map_collect(&ids, |_, &v| {
+        let mut row: Vec<(u32, f64)> = Vec::new();
         for &u in graph.out.neighbors(v as VId) {
-            adj[v].push((u, 1.0));
+            row.push((u, 1.0));
         }
         // Make symmetric for directed graphs: also add reverse edges.
         for &u in graph.inn.neighbors(v as VId) {
             if !graph.out.has_edge(v as VId, u) {
-                adj[v].push((u, 1.0));
+                row.push((u, 1.0));
             }
         }
-    }
-    adj
+        row
+    })
 }
 
 /// The full multilevel pipeline over a weighted adjacency.
@@ -206,15 +207,48 @@ fn capacities(level: &WeightedLevel, cfg: &MetisConfig) -> Vec<f64> {
         .collect()
 }
 
+/// Coarse vertices per parallel work item during contraction. Fixed (never
+/// derived from the thread count) so chunk boundaries — and results — are
+/// identical at any parallelism level.
+const CONTRACT_CHUNK: usize = 256;
+
 /// One round of heavy-edge matching + contraction.
+///
+/// Matching is two-phase: a parallel *proposal* phase computes each
+/// vertex's heaviest neighbor overall (first occurrence on ties — a pure
+/// per-vertex scan), then a serial commit walks the shuffled order. When a
+/// vertex's proposal is still unmatched it is provably the same vertex the
+/// serial "heaviest unmatched neighbor" scan would pick (every earlier
+/// neighbor has strictly smaller weight), so it is committed directly; only
+/// when the proposal was already taken does the commit fall back to the
+/// original serial scan. The matching — and hence the whole hierarchy — is
+/// therefore bitwise-identical to the serial algorithm at any thread count.
 #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
 fn coarsen_once(level: &WeightedLevel, rng: &mut StdRng) -> WeightedLevel {
     let n = level.n();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
+    // Parallel proposal phase: heaviest neighbor ignoring matched state.
+    let vertex_ids: Vec<u32> = (0..n as u32).collect();
+    let proposals: Vec<u32> = par_map_collect(&vertex_ids, |_, &v| {
+        let mut best: Option<(u32, f64)> = None;
+        for &(u, w) in &level.adj[v as usize] {
+            if u != v && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        best.map_or(u32::MAX, |(u, _)| u)
+    });
+    // Serial commit in shuffled order, with the original scan as fallback.
     let mut matched: Vec<u32> = vec![u32::MAX; n];
     for &v in &order {
         if matched[v as usize] != u32::MAX {
+            continue;
+        }
+        let prop = proposals[v as usize];
+        if prop != u32::MAX && matched[prop as usize] == u32::MAX {
+            matched[v as usize] = prop;
+            matched[prop as usize] = v;
             continue;
         }
         // Heaviest unmatched neighbor.
@@ -247,42 +281,57 @@ fn coarsen_once(level: &WeightedLevel, rng: &mut StdRng) -> WeightedLevel {
         next += 1;
     }
     let cn = next as usize;
-    // Sum vertex weights; merge edges.
-    let c_len = level.vwgt[0].len();
-    let mut vwgt = vec![vec![0.0; c_len]; cn];
-    for v in 0..n {
-        let cv = coarse_of[v] as usize;
-        for (t, &x) in vwgt[cv].iter_mut().zip(&level.vwgt[v]) {
-            *t += x;
-        }
-    }
-    // Fine members of each coarse vertex (pairs or singletons).
+    // Fine members of each coarse vertex (pairs or singletons), in
+    // ascending fine order — the same per-coarse-vertex visit order the
+    // serial `for v in 0..n` loops used, so the f64 summation order below
+    // is unchanged.
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); cn];
     for v in 0..n {
         members[coarse_of[v] as usize].push(v as u32);
     }
-    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); cn];
-    let mut acc: Vec<f64> = vec![0.0; cn];
-    let mut touched: Vec<u32> = Vec::new();
-    for (cv, mem) in members.iter().enumerate() {
-        for &v in mem {
-            for &(u, w) in &level.adj[v as usize] {
-                let cu = coarse_of[u as usize];
-                if cu as usize == cv {
-                    continue;
+    // Contraction: each coarse vertex's weight sum and merged edge list
+    // depend only on its own members, so coarse row blocks contract in
+    // parallel (disjoint writes, fixed chunks).
+    let c_len = level.vwgt[0].len();
+    let mut vwgt = vec![vec![0.0; c_len]; cn];
+    par_chunks_mut(&mut vwgt, CONTRACT_CHUNK, |ci, rows| {
+        let base = ci * CONTRACT_CHUNK;
+        for (j, row) in rows.iter_mut().enumerate() {
+            for &v in &members[base + j] {
+                for (t, &x) in row.iter_mut().zip(&level.vwgt[v as usize]) {
+                    *t += x;
                 }
-                if acc[cu as usize] == 0.0 {
-                    touched.push(cu);
-                }
-                acc[cu as usize] += w;
             }
         }
-        for &cu in &touched {
-            adj[cv].push((cu, acc[cu as usize]));
-            acc[cu as usize] = 0.0;
+    });
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); cn];
+    par_chunks_mut(&mut adj, CONTRACT_CHUNK, |ci, rows| {
+        // Chunk-local scratch, reset via `touched` exactly like the serial
+        // merge; entry order stays first-occurrence order.
+        let base = ci * CONTRACT_CHUNK;
+        let mut acc: Vec<f64> = vec![0.0; cn];
+        let mut touched: Vec<u32> = Vec::new();
+        for (j, out) in rows.iter_mut().enumerate() {
+            let cv = base + j;
+            for &v in &members[cv] {
+                for &(u, w) in &level.adj[v as usize] {
+                    let cu = coarse_of[u as usize];
+                    if cu as usize == cv {
+                        continue;
+                    }
+                    if acc[cu as usize] == 0.0 {
+                        touched.push(cu);
+                    }
+                    acc[cu as usize] += w;
+                }
+            }
+            for &cu in &touched {
+                out.push((cu, acc[cu as usize]));
+                acc[cu as usize] = 0.0;
+            }
+            touched.clear();
         }
-        touched.clear();
-    }
+    });
     WeightedLevel { adj, vwgt, fine_to_coarse: coarse_of }
 }
 
@@ -349,8 +398,73 @@ fn initial_region_growing(level: &WeightedLevel, cfg: &MetisConfig, rng: &mut St
     assignment
 }
 
+/// Vertices per speculative refinement block. Fixed (never derived from
+/// the thread count) so block boundaries — and the refined assignment —
+/// are identical at any parallelism level.
+const REFINE_BLOCK: usize = 256;
+
+/// The boundary-KL move decision for `v` against the given assignment and
+/// partition weights: connectivity per partition, then the first
+/// maximum-gain target that fits every capacity. Pure — exactly the body
+/// of the original serial pass — so it can run speculatively in parallel.
+fn kl_best_move(
+    level: &WeightedLevel,
+    k: usize,
+    caps: &[f64],
+    assignment: &[u32],
+    pw: &[Vec<f64>],
+    v: u32,
+    conn: &mut [f64],
+) -> Option<usize> {
+    let fits = |b: usize, w: &[f64]| -> bool {
+        pw[b].iter().zip(w).zip(caps).all(|((&have, &add), &cap)| have + add <= cap)
+    };
+    let a = assignment[v as usize] as usize;
+    // Connectivity to each partition.
+    let mut boundary = false;
+    for &(u, w) in &level.adj[v as usize] {
+        let pu = assignment[u as usize] as usize;
+        conn[pu] += w;
+        if pu != a {
+            boundary = true;
+        }
+    }
+    let mut best: Option<(usize, f64)> = None;
+    if boundary {
+        for b in 0..k {
+            if b == a || conn[b] == 0.0 {
+                continue;
+            }
+            let gain = conn[b] - conn[a];
+            if gain > 0.0
+                && best.is_none_or(|(_, bg)| gain > bg)
+                && fits(b, &level.vwgt[v as usize])
+            {
+                best = Some((b, gain));
+            }
+        }
+    }
+    // Reset the touched entries.
+    for &(u, _) in &level.adj[v as usize] {
+        conn[assignment[u as usize] as usize] = 0.0;
+    }
+    conn[a] = 0.0;
+    best.map(|(b, _)| b)
+}
+
 /// Boundary Kernighan–Lin refinement with multi-constraint balance, plus a
 /// balance-repair sweep for partitions that exceed any capacity.
+///
+/// Each pass walks the shuffled order in fixed [`REFINE_BLOCK`]-sized
+/// blocks. A block is processed speculate-then-validate: move decisions for
+/// every member are computed in parallel against the block-entry state,
+/// then committed serially in order. Until the first move commits, the
+/// state is exactly the block-entry state, so the speculative decisions
+/// are the ones the serial pass would have made; from the first commit
+/// onward the remaining members are recomputed serially (the original code
+/// path). The refined assignment is therefore bitwise-identical to the
+/// fully serial pass at any thread count — late passes, where moves are
+/// rare, parallelize almost entirely.
 #[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
 fn refine(
     level: &WeightedLevel,
@@ -370,54 +484,37 @@ fn refine(
             *t += x;
         }
     }
-    let fits = |pw: &[Vec<f64>], b: usize, w: &[f64], caps: &[f64]| -> bool {
-        pw[b].iter().zip(w).zip(caps).all(|((&have, &add), &cap)| have + add <= cap)
-    };
 
     let mut order: Vec<u32> = (0..n as u32).collect();
     let mut conn = vec![0.0f64; k];
     for _pass in 0..cfg.refine_passes {
         order.shuffle(rng);
         let mut moved = 0usize;
-        for &v in &order {
-            let a = assignment[v as usize] as usize;
-            // Connectivity to each partition.
-            let mut boundary = false;
-            for &(u, w) in &level.adj[v as usize] {
-                let pu = assignment[u as usize] as usize;
-                conn[pu] += w;
-                if pu != a {
-                    boundary = true;
-                }
-            }
-            if boundary {
-                let mut best: Option<(usize, f64)> = None;
-                for b in 0..k {
-                    if b == a || conn[b] == 0.0 {
-                        continue;
-                    }
-                    let gain = conn[b] - conn[a];
-                    if gain > 0.0
-                        && best.is_none_or(|(_, bg)| gain > bg)
-                        && fits(&pw, b, &level.vwgt[v as usize], caps)
-                    {
-                        best = Some((b, gain));
-                    }
-                }
-                if let Some((b, _)) = best {
+        for block in order.chunks(REFINE_BLOCK) {
+            // Speculative parallel scan against the block-entry state.
+            let specs: Vec<Option<usize>> = par_map_collect(block, |_, &v| {
+                let mut local_conn = vec![0.0f64; k];
+                kl_best_move(level, k, caps, assignment, &pw, v, &mut local_conn)
+            });
+            // Ordered commit; serial recompute once the state has changed.
+            let mut committed = false;
+            for (idx, &v) in block.iter().enumerate() {
+                let decision = if committed {
+                    kl_best_move(level, k, caps, assignment, &pw, v, &mut conn)
+                } else {
+                    specs[idx]
+                };
+                if let Some(b) = decision {
+                    let a = assignment[v as usize] as usize;
                     assignment[v as usize] = b as u32;
                     for (c, &x) in level.vwgt[v as usize].iter().enumerate() {
                         pw[a][c] -= x;
                         pw[b][c] += x;
                     }
                     moved += 1;
+                    committed = true;
                 }
             }
-            // Reset the touched entries.
-            for &(u, _) in &level.adj[v as usize] {
-                conn[assignment[u as usize] as usize] = 0.0;
-            }
-            conn[a] = 0.0;
         }
         if moved == 0 {
             break;

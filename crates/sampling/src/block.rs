@@ -141,7 +141,7 @@ impl MiniBatch {
 /// order), then each new sampled source. Returns `(src_ids, local_of)`.
 pub(crate) struct LocalIndexer {
     pub src_ids: Vec<VId>,
-    map: BTreeMap<VId, u32>,
+    pub(crate) map: BTreeMap<VId, u32>,
 }
 
 impl LocalIndexer {

@@ -8,12 +8,10 @@
 //! policy (§7.3.3).
 
 use crate::block::MiniBatch;
-use crate::sampler::{build_minibatch, NeighborSampler};
+use crate::sampler::{build_minibatch_par, NeighborSampler};
 use crate::schedule::BatchSizeSchedule;
 use crate::selection::BatchSelection;
 use gnn_dm_graph::csr::{Csr, VId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Counts feature accesses per vertex.
 #[derive(Debug, Clone)]
@@ -98,23 +96,28 @@ pub struct EpochPlan<'a> {
     /// Batch size schedule.
     pub schedule: &'a BatchSizeSchedule,
     /// Neighbor sampler.
-    pub sampler: &'a dyn NeighborSampler,
+    pub sampler: &'a (dyn NeighborSampler + Sync),
     /// Base RNG seed; combined with the epoch number.
     pub seed: u64,
 }
 
 impl<'a> EpochPlan<'a> {
-    /// Materializes every mini-batch of `epoch`, in order.
+    /// Materializes every mini-batch of `epoch`, in order. Batches are
+    /// built in parallel through [`build_minibatch_par`]: each batch gets
+    /// an independent seed split from the epoch seed, so the result
+    /// depends only on `(plan, epoch)` — never on the thread count.
     pub fn batches(&self, epoch: usize) -> Vec<MiniBatch> {
         let batch_size = self.schedule.batch_size_at(epoch);
         let batch_seeds = self.selection.select(self.train, batch_size, self.seed, epoch);
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(epoch as u64 + 1),
-        );
-        batch_seeds
-            .into_iter()
-            .map(|seeds| build_minibatch(self.in_csr, &seeds, self.sampler, &mut rng))
-            .collect()
+        let epoch_seed = self.seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(epoch as u64 + 1);
+        gnn_dm_par::par_map_collect(&batch_seeds, |b, seeds| {
+            build_minibatch_par(
+                self.in_csr,
+                seeds,
+                self.sampler,
+                gnn_dm_par::split_seed(epoch_seed, b as u64),
+            )
+        })
     }
 
     /// Runs an epoch for statistics only (no training), updating `tracker`

@@ -305,6 +305,110 @@ pub fn build_minibatch(
     mb
 }
 
+/// Destination vertices per parallel dedup chunk in
+/// [`build_minibatch_par`]. Fixed — never derived from the thread count —
+/// so the chunk boundaries, and therefore the merged source ordering, are
+/// identical at any parallelism level.
+const DEDUP_CHUNK: usize = 64;
+
+/// Parallel vertex-wise mini-batch construction, seeded rather than
+/// stream-threaded: instead of pulling every draw from one shared `StdRng`
+/// (inherently serial), each `(layer, destination)` pair gets its own RNG
+/// seeded with [`gnn_dm_par::split_seed`] from `base_seed`. Per-destination
+/// sampling, block dedup and edge construction then run in parallel.
+///
+/// The result depends only on `(in_csr, seeds, sampler, base_seed)` — never
+/// on `GNN_DM_THREADS` — because every parallel phase is pure per fixed
+/// work item and is reassembled in a fixed order:
+///
+/// * neighbor draws use the per-destination derived RNG;
+/// * dedup scans fixed [`DEDUP_CHUNK`]-sized destination chunks and merges
+///   the per-chunk first-occurrence lists *in chunk order*, which
+///   reproduces exactly the global first-appearance numbering the serial
+///   [`LocalIndexer`] would assign;
+/// * edges are emitted per destination and concatenated in destination
+///   order.
+///
+/// Note the draws differ from [`build_minibatch`] with any particular
+/// `StdRng` (the streams are split differently); the *distribution* is the
+/// same, and determinism for a given `base_seed` is exact.
+pub fn build_minibatch_par(
+    in_csr: &Csr,
+    seeds: &[VId],
+    sampler: &(dyn NeighborSampler + Sync),
+    base_seed: u64,
+) -> MiniBatch {
+    use rand::SeedableRng;
+
+    let mut seeds_dedup: Vec<VId> = Vec::with_capacity(seeds.len());
+    let mut seen = std::collections::BTreeSet::new();
+    for &s in seeds {
+        if seen.insert(s) {
+            seeds_dedup.push(s);
+        }
+    }
+
+    let mut blocks_rev: Vec<Block> = Vec::with_capacity(sampler.num_layers());
+    let mut frontier = seeds_dedup.clone();
+    for layer in 0..sampler.num_layers() {
+        let dst_ids = frontier;
+        let layer_seed = gnn_dm_par::split_seed(base_seed, layer as u64);
+
+        // Phase 1 — per-destination neighbor draws, each from its own
+        // derived RNG stream.
+        let sampled: Vec<Vec<VId>> = gnn_dm_par::par_map_collect(&dst_ids, |d_local, &d| {
+            let mut rng =
+                StdRng::seed_from_u64(gnn_dm_par::split_seed(layer_seed, d_local as u64));
+            let mut out = Vec::new();
+            sampler.sample_neighbors(in_csr, d, layer, &mut rng, &mut out);
+            out
+        });
+
+        // Phase 2 — parallel first-occurrence scan over fixed chunks of
+        // destinations, then an ordered serial merge. Walking the chunk
+        // lists in chunk order visits every non-destination source in
+        // global first-appearance order, so the numbering matches the
+        // serial `LocalIndexer` exactly.
+        let mut dst_sorted = dst_ids.clone();
+        dst_sorted.sort_unstable();
+        let chunks: Vec<&[Vec<VId>]> = sampled.chunks(DEDUP_CHUNK).collect();
+        let chunk_news: Vec<Vec<VId>> = gnn_dm_par::par_map_collect(&chunks, |_, lists| {
+            let mut chunk_seen = std::collections::BTreeSet::new();
+            let mut news = Vec::new();
+            for list in *lists {
+                for &s in list {
+                    if dst_sorted.binary_search(&s).is_err() && chunk_seen.insert(s) {
+                        news.push(s);
+                    }
+                }
+            }
+            news
+        });
+        let mut ix = LocalIndexer::new(&dst_ids);
+        for news in &chunk_news {
+            for &s in news {
+                ix.local(s);
+            }
+        }
+        let LocalIndexer { src_ids, map } = ix;
+
+        // Phase 3 — per-destination edge lists against the now-frozen
+        // index map, concatenated in destination order.
+        let edge_lists: Vec<Vec<(u32, u32)>> =
+            gnn_dm_par::par_map_collect(&sampled, |d_local, list| {
+                list.iter().map(|s| (map[s], d_local as u32)).collect()
+            });
+        let edges: Vec<(u32, u32)> = edge_lists.into_iter().flatten().collect();
+
+        frontier = src_ids.clone();
+        blocks_rev.push(Block { src_ids, dst_ids, edges });
+    }
+    blocks_rev.reverse();
+    let mb = MiniBatch { blocks: blocks_rev, seeds: seeds_dedup };
+    debug_assert!(mb.validate().is_ok(), "{:?}", mb.validate());
+    mb
+}
+
 /// Layer-wise sampling (FastGCN-style): each layer keeps a fixed *budget* of
 /// distinct source vertices sampled from the union of all destinations'
 /// neighbors, rather than a per-vertex fanout. Avoids exponential frontier

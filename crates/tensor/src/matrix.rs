@@ -89,13 +89,22 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Gathers rows named by `ids` into a fresh matrix, in order.
+    /// Gathers rows named by `ids` into a fresh matrix, in order. Row
+    /// blocks are copied in parallel — pure disjoint copies, so the result
+    /// is bitwise-identical at any thread count.
     pub fn gather_rows(&self, ids: &[u32]) -> Matrix {
-        let mut out = Vec::with_capacity(ids.len() * self.cols);
-        for &r in ids {
-            out.extend_from_slice(self.row(r as usize));
-        }
-        Matrix { rows: ids.len(), cols: self.cols, data: out }
+        /// Rows per parallel work item; fixed so chunk boundaries never
+        /// depend on the thread count.
+        const GATHER_BLOCK: usize = 256;
+        let cols = self.cols;
+        let mut out = vec![0.0f32; ids.len() * cols];
+        gnn_dm_par::par_chunks_mut(&mut out, GATHER_BLOCK * cols.max(1), |ci, chunk| {
+            let base = ci * GATHER_BLOCK;
+            for (j, dst) in chunk.chunks_mut(cols).enumerate() {
+                dst.copy_from_slice(self.row(ids[base + j] as usize));
+            }
+        });
+        Matrix { rows: ids.len(), cols, data: out }
     }
 
     /// The transpose (allocates).

@@ -2,52 +2,63 @@
 //! plus elementwise helpers.
 
 use crate::matrix::Matrix;
+use gnn_dm_par::par_chunks_mut;
+
+/// k-dimension tile: a `TILE_K x n` panel of `B` stays resident in L1/L2
+/// across many rows of the output.
+const TILE_K: usize = 64;
+/// Rows of `C` owned by one parallel work item. Fixed — never derived from
+/// the thread count — so chunk boundaries, and therefore results, are
+/// identical at any parallelism level (see `gnn_dm_par`).
+const TILE_M: usize = 32;
 
 /// `C = A · B`. Uses the i-k-j loop order so the inner loop streams both
 /// `B`'s row and `C`'s row — the cache-friendly order for row-major data.
+/// Row blocks of `C` are computed in parallel; each output element is
+/// accumulated in ascending-`p` order regardless of thread count, so the
+/// result is bitwise-identical to the serial loop.
 ///
 /// # Panics
 ///
 /// Panics on a shape mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
-                *c_val += a_ip * b_val;
+    let (_m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(a.rows(), n);
+    par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
+        let i0 = ci * TILE_M;
+        for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
+            let a_row = a.row(i0 + di);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(p);
+                for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                    *c_val += a_ip * b_val;
+                }
             }
         }
-    }
+    });
     c
 }
 
 /// `C = A · B` with cache tiling: the k-dimension is processed in blocks of
 /// `TILE_K` so a panel of `B` stays resident in L1/L2 across many rows of
-/// `A`. Bitwise-*equivalent* results are not guaranteed (float summation
-/// order differs from [`matmul`]) but values agree to normal rounding —
-/// see the `tiled_matmul_matches_naive` property test.
-#[allow(clippy::needless_range_loop)] // parallel-array indexing is the clear form here
+/// `A`, and row blocks run in parallel. Bitwise-*equivalent* results are not
+/// guaranteed (float summation order differs from [`matmul`]) but values
+/// agree to normal rounding — see the `tiled_matmul_matches_naive` property
+/// test. Across thread counts the result *is* bitwise-stable.
 pub fn matmul_tiled(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
-    const TILE_K: usize = 64;
-    const TILE_M: usize = 32;
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    for m0 in (0..m).step_by(TILE_M) {
-        let m1 = (m0 + TILE_M).min(m);
+    let (_m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(a.rows(), n);
+    par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
+        let i0 = ci * TILE_M;
         for k0 in (0..k).step_by(TILE_K) {
             let k1 = (k0 + TILE_K).min(k);
-            for i in m0..m1 {
-                let a_row = a.row(i);
-                let c_row = c.row_mut(i);
+            for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
+                let a_row = a.row(i0 + di);
                 for p in k0..k1 {
                     let a_ip = a_row[p];
                     if a_ip == 0.0 {
@@ -60,50 +71,75 @@ pub fn matmul_tiled(a: &Matrix, b: &Matrix) -> Matrix {
                 }
             }
         }
-    }
+    });
     c
 }
 
 /// `C = Aᵀ · B` without materializing the transpose (the `dW = Xᵀ·dY`
-/// orientation of backprop).
+/// orientation of backprop). Tiled over both the shared `k` dimension (a
+/// `B` panel and an `A` block stay cache-resident) and output row blocks
+/// (which run in parallel), with the same zero-skip as [`matmul`]. Each
+/// output element still accumulates its `k` contributions in ascending
+/// order — tiles ascend and `p` ascends within a tile — so the result is
+/// bitwise-identical to the naive serial p-outer loop.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", a.shape(), b.shape());
-    let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &a_pi) in a_row.iter().enumerate().take(m) {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = c.row_mut(i);
-            for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
-                *c_val += a_pi * b_val;
+    let (k, _m, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(a.cols(), n);
+    par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
+        let i0 = ci * TILE_M;
+        for k0 in (0..k).step_by(TILE_K) {
+            let k1 = (k0 + TILE_K).min(k);
+            for p in k0..k1 {
+                let a_row = a.row(p);
+                let b_row = b.row(p);
+                for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
+                    let a_pi = a_row[i0 + di];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
+                        *c_val += a_pi * b_val;
+                    }
+                }
             }
         }
-    }
+    });
     c
 }
 
 /// `C = A · Bᵀ` without materializing the transpose (the `dX = dY·Wᵀ`
-/// orientation of backprop).
+/// orientation of backprop). Tiled over `k` so the active `A`-row segment
+/// and `B` column panel stay cache-resident, with the same zero-skip as
+/// [`matmul`] (profitable here: post-ReLU gradients are sparse), and
+/// parallel over output row blocks. Each dot product accumulates in
+/// ascending-`p` order across tiles (the running sum round-trips through
+/// `C`, which is exact for `f32`), so the result is bitwise-identical to
+/// the naive serial dot-product loop.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
-    let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (j, c_val) in c_row.iter_mut().enumerate().take(n) {
-            let b_row = b.row(j);
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
+    let (_m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(a.rows(), n);
+    par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
+        let i0 = ci * TILE_M;
+        for k0 in (0..k).step_by(TILE_K) {
+            let k1 = (k0 + TILE_K).min(k);
+            for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
+                let a_tile = &a.row(i0 + di)[k0..k1];
+                for (j, c_val) in c_row.iter_mut().enumerate().take(n) {
+                    let b_tile = &b.row(j)[k0..k1];
+                    let mut acc = *c_val;
+                    for (&a_p, &b_p) in a_tile.iter().zip(b_tile) {
+                        if a_p == 0.0 {
+                            continue;
+                        }
+                        acc += a_p * b_p;
+                    }
+                    *c_val = acc;
+                }
             }
-            *c_val = acc;
         }
-    }
+    });
     c
 }
 

@@ -54,7 +54,7 @@ fn main() {
     }
 
     println!("\n--- fanout-rate hybrid sampling (paper §6.3.4) ---");
-    let samplers: Vec<(&str, Box<dyn NeighborSampler>)> = vec![
+    let samplers: Vec<(&str, Box<dyn NeighborSampler + Sync>)> = vec![
         ("fanout (8,8)", Box::new(FanoutSampler::new(vec![8, 8]))),
         ("rate 0.5", Box::new(gnn_dm::sampling::RateSampler::new(vec![0.5, 0.5], 1))),
         (

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Parallel-substrate speedup benchmark (see crates/bench/src/bin/bench_par.rs).
+#
+#   scripts/bench.sh            # all cores (or honor a preset GNN_DM_THREADS)
+#   GNN_DM_THREADS=4 scripts/bench.sh
+#
+# Times GEMM, sampler and cluster-epoch workloads at 1 thread and at
+# GNN_DM_THREADS in one process, verifies the outputs are bitwise-identical,
+# and writes BENCH_par.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p gnn-dm-bench --bin bench_par

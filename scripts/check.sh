@@ -20,3 +20,4 @@ echo "==> gnn-dm-lint"
 cargo run -q -p gnn-dm-lint
 
 echo "OK: build, tests and lint all green"
+echo "(speedup numbers: scripts/bench.sh times the parallel substrate and writes BENCH_par.json)"

@@ -20,6 +20,7 @@ pub use gnn_dm_core as core;
 pub use gnn_dm_device as device;
 pub use gnn_dm_graph as graph;
 pub use gnn_dm_nn as nn;
+pub use gnn_dm_par as par;
 pub use gnn_dm_partition as partition;
 pub use gnn_dm_sampling as sampling;
 pub use gnn_dm_tensor as tensor;

@@ -1,0 +1,176 @@
+//! The substrate's central promise, checked end to end: every parallelized
+//! kernel produces BITWISE-identical output at any thread count. Each test
+//! runs the same computation under `with_threads(1)` (the serial path) and
+//! under 2, 3 and 8 workers — more workers than this machine may have
+//! cores, and deliberately including a count that does not divide the
+//! problem sizes evenly — and requires exact equality, not epsilon
+//! closeness.
+
+use gnn_dm::graph::generate::{planted_partition, PplConfig};
+use gnn_dm::graph::Graph;
+use gnn_dm::nn::train::gather_input_features;
+use gnn_dm::par::with_threads;
+use gnn_dm::partition::metis::{metis_extend, MetisVariant};
+use gnn_dm::sampling::sampler::{build_minibatch_par, FanoutSampler};
+use gnn_dm::sampling::epoch::EpochPlan;
+use gnn_dm::sampling::{BatchSelection, BatchSizeSchedule};
+use gnn_dm::tensor::ops::{matmul, matmul_nt, matmul_tiled, matmul_tn};
+use gnn_dm::tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Thread counts every kernel is exercised at. 1 is the serial reference;
+/// 3 leaves remainders on power-of-two chunk grids; 8 oversubscribes small
+/// inputs so some workers go idle.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Runs `f` at each thread count and asserts all results equal the serial
+/// one. `Eq` here is derived structural equality over `f32` bit patterns
+/// (`Matrix`/`Block` wrap plain `Vec<f32>`/`Vec<u32>`), so a single ULP of
+/// drift fails.
+fn assert_threadcount_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let serial = with_threads(1, &f);
+    for n in THREAD_COUNTS {
+        let got = with_threads(n, &f);
+        assert!(got == serial, "threads={n} diverged from serial");
+    }
+}
+
+fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    // Mixed magnitudes + exact zeros: zeros exercise the zero-skip branch,
+    // magnitude spread makes any reassociation of the sums visible.
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.random_range(0..4) == 0 {
+            0.0
+        } else {
+            (rng.random::<f64>() as f32 - 0.5) * 3.0f32.powi(rng.random_range(-3..4))
+        }
+    })
+}
+
+fn graph() -> Graph {
+    planted_partition(&PplConfig { n: 700, avg_degree: 12.0, num_classes: 4, ..Default::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All four GEMM kernels, at shapes that straddle the 32-row chunk and
+    /// 64-wide k-tile boundaries (including sub-tile and off-by-remainder
+    /// sizes).
+    #[test]
+    fn gemm_bitwise_equal_across_thread_counts(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_matrix(&mut rng, m, k);
+        let b = rand_matrix(&mut rng, k, n);
+        let at = rand_matrix(&mut rng, k, m); // for matmul_tn: (k x m)^T * (k x n)
+        let bt = rand_matrix(&mut rng, n, k); // for matmul_nt: (m x k) * (n x k)^T
+        assert_threadcount_invariant(|| matmul(&a, &b));
+        assert_threadcount_invariant(|| matmul_tiled(&a, &b));
+        assert_threadcount_invariant(|| matmul_tn(&at, &b));
+        assert_threadcount_invariant(|| matmul_nt(&a, &bt));
+    }
+
+    /// Row gathers are pure copies, but the chunk bookkeeping has to place
+    /// every row — exercise lengths around the 256-row block size.
+    #[test]
+    fn gather_rows_bitwise_equal_across_thread_counts(
+        rows in 1usize..30,
+        cols in 1usize..20,
+        picks in 0usize..600,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = rand_matrix(&mut rng, rows, cols);
+        let ids: Vec<u32> =
+            (0..picks).map(|_| rng.random_range(0..rows as u32)).collect();
+        assert_threadcount_invariant(|| m.gather_rows(&ids));
+    }
+}
+
+/// The tiled GEMMs must also agree with the naive `matmul` bit-for-bit:
+/// tiling reorders the *iteration*, never the per-element addition order.
+#[test]
+fn tiled_variants_match_naive_exactly() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for (m, k, n) in [(1, 1, 1), (7, 3, 5), (33, 65, 17), (64, 128, 32), (100, 77, 31)] {
+        let a = rand_matrix(&mut rng, m, k);
+        let b = rand_matrix(&mut rng, k, n);
+        assert_eq!(matmul_tiled(&a, &b), matmul(&a, &b), "{m}x{k}x{n}");
+    }
+}
+
+/// Seeded fanout sampling: per-destination RNGs are split from the batch
+/// seed, so the sampled blocks — ids, dedup order and edge lists — must not
+/// depend on how destinations were distributed over workers.
+#[test]
+fn minibatch_sampling_bitwise_equal_across_thread_counts() {
+    let g = graph();
+    let sampler = FanoutSampler::new(vec![5, 3]);
+    let seeds: Vec<u32> = (0..150).map(|i| (i * 3) % 700).collect();
+    assert_threadcount_invariant(|| {
+        let mb = build_minibatch_par(&g.inn, &seeds, &sampler, 0xBEEF);
+        mb.validate().expect("minibatch invariants");
+        mb
+    });
+}
+
+/// A whole epoch's batch stream, including batch-level parallelism nested
+/// over the per-batch sampling parallelism.
+#[test]
+fn epoch_batches_bitwise_equal_across_thread_counts() {
+    let g = graph();
+    let train = g.train_vertices();
+    let selection = BatchSelection::Random;
+    let schedule = BatchSizeSchedule::Fixed(48);
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let plan = EpochPlan {
+        in_csr: &g.inn,
+        train: &train,
+        selection: &selection,
+        schedule: &schedule,
+        sampler: &sampler,
+        seed: 11,
+    };
+    assert_threadcount_invariant(|| plan.batches(2));
+}
+
+/// Feature gathers through both the nn entry point and the graph-side
+/// extract step.
+#[test]
+fn feature_gather_bitwise_equal_across_thread_counts() {
+    let g = graph();
+    let sampler = FanoutSampler::new(vec![6, 4]);
+    let seeds: Vec<u32> = (0..300).map(|i| (i * 2) % 700).collect();
+    let mb = build_minibatch_par(&g.inn, &seeds, &sampler, 7);
+    assert_threadcount_invariant(|| gather_input_features(&g, &mb));
+    assert_threadcount_invariant(|| g.features.gather(mb.input_ids()));
+}
+
+/// Multilevel partitioning: parallel matching proposals, chunked
+/// contraction and speculate-validate refinement must reproduce the serial
+/// assignment exactly for every constraint variant.
+#[test]
+fn metis_bitwise_equal_across_thread_counts() {
+    let g = graph();
+    for variant in [MetisVariant::V, MetisVariant::VE, MetisVariant::VET] {
+        assert_threadcount_invariant(|| metis_extend(&g, variant, 4, 7).assignment);
+    }
+}
+
+/// The distributed-epoch simulation: per-worker ledgers merge in worker
+/// order into integer counters.
+#[test]
+fn cluster_epoch_bitwise_equal_across_thread_counts() {
+    let g = graph();
+    let part = metis_extend(&g, MetisVariant::V, 4, 3);
+    let sim = gnn_dm::cluster::ClusterSim { graph: &g, part: &part, batch_size: 32, seed: 5 };
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    assert_threadcount_invariant(|| sim.simulate_epoch(&sampler, 1));
+}
