@@ -1,0 +1,83 @@
+//! Chrome-trace export: replays one single-node training epoch and one
+//! cluster epoch on the span timeline and writes the Chrome trace-event
+//! JSON to `results/trace_hetero.json` and `results/trace_cluster.json` —
+//! open either in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing` to see every modelled second on its resource lane.
+//!
+//! Run: `scripts/trace.sh` (or
+//! `cargo run --release -p gnn-dm-bench --bin trace_export`)
+
+use gnn_dm_cluster::ledger::{comm_ledger_from_spans, compute_ledger_from_spans};
+use gnn_dm_cluster::sim::{ClusterSim, TimeModel};
+use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
+use gnn_dm_device::pipeline::PipelineMode;
+use gnn_dm_device::transfer::TransferMethod;
+use gnn_dm_graph::generate::{planted_partition, PplConfig};
+use gnn_dm_nn::{AggKind, GnnModel};
+use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::FanoutSampler;
+use std::fs;
+
+fn main() {
+    fs::create_dir_all("results").expect("create results/");
+    let g = planted_partition(&PplConfig {
+        n: 4000,
+        avg_degree: 15.0,
+        num_classes: 8,
+        feat_dim: 128,
+        skew: 0.8,
+        ..Default::default()
+    });
+
+    // Single-node epoch: zero-copy transfer under the full BP/DT/NN
+    // pipeline, replayed on the CPU / PCIe / GPU lanes.
+    let mut cfg = HeteroTrainerConfig::baseline(&g, 512);
+    cfg.fanouts = vec![10, 5];
+    cfg.transfer = TransferMethod::ZeroCopy;
+    cfg.pipeline = PipelineMode::Full;
+    let mut trainer = HeteroTrainer::new(&g, cfg);
+    let (timings, tl) = trainer.run_epoch_traced(0);
+    fs::write("results/trace_hetero.json", tl.to_chrome_trace()).expect("write trace_hetero");
+    println!(
+        "results/trace_hetero.json: {} spans over {} lanes, ideal makespan {:.4}s \
+         (contended epoch model {:.4}s, {} PCIe bytes)",
+        tl.len(),
+        tl.resources().len(),
+        tl.makespan(),
+        timings.makespan,
+        timings.pcie_bytes,
+    );
+    println!("{}", tl.summary().to_json());
+
+    // Cluster epoch: 4 workers under Metis-V partitioning. The epoch
+    // timeline chains Sample -> Exchange -> NN per worker and ends with
+    // the gradient all-reduce span.
+    let part = partition_graph(&g, PartitionMethod::MetisV, 4, 7);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 256, seed: 3 };
+    let sampler = FanoutSampler::new(vec![10, 5]);
+    let (report, load_tl) = sim.simulate_epoch_traced(&sampler, 0);
+    let model = GnnModel::new(AggKind::Gcn, &[g.feat_dim(), 128, g.num_classes], 1);
+    let tm = TimeModel::paper_default(g.feat_dim(), 128, model.param_bytes());
+    let time_tl = sim.epoch_timeline(&report, &tm);
+    fs::write("results/trace_cluster.json", time_tl.to_chrome_trace())
+        .expect("write trace_cluster");
+    println!(
+        "results/trace_cluster.json: {} spans, epoch time {:.4}s",
+        time_tl.len(),
+        time_tl.makespan(),
+    );
+    println!("{}", time_tl.summary().to_json());
+
+    // Span conservation, demonstrated on the way out: the per-worker
+    // ledgers are exact reductions of the accounting spans.
+    let k = part.k;
+    assert_eq!(compute_ledger_from_spans(&load_tl, k), report.compute);
+    assert_eq!(comm_ledger_from_spans(&load_tl, k), report.comm);
+    println!(
+        "span conservation OK: {} accounting spans reduce to the ledgers \
+         ({} sampled-edge units, {} comm bytes)",
+        load_tl.len(),
+        report.compute.grand_total(),
+        report.comm.total_volume(),
+    );
+}

@@ -5,6 +5,52 @@
 //! *training aggregation*; §5.3.2 counts communication as *remote sampled
 //! subgraphs* plus *vertex features*. These ledgers hold exactly those
 //! counters.
+//!
+//! Both ledgers are column stores over the same worker axis; the shared
+//! aggregation boilerplate (worker totals, grand totals, imbalance) lives
+//! in the generic [`WorkerLedger`] view. Since the span-timeline refactor
+//! the ledgers are also *reductions over spans*: a traced cluster epoch
+//! (`ClusterSim::simulate_epoch_traced`) emits one accounting span per
+//! batch-and-owner, and [`compute_ledger_from_spans`] /
+//! [`comm_ledger_from_spans`] rebuild the exact counters from the
+//! timeline (pinned equal in `tests/trace_goldens.rs`).
+
+use gnn_dm_trace::{Resource, SpanKind, Timeline};
+
+/// A borrowed view over `C` per-worker counter columns — the shared
+/// backing for both ledgers' aggregate methods.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerLedger<'a, const C: usize> {
+    /// The columns, all of length `k` (one counter per worker).
+    pub cols: [&'a [u64]; C],
+}
+
+impl<'a, const C: usize> WorkerLedger<'a, C> {
+    /// Number of workers.
+    pub fn k(&self) -> usize {
+        self.cols.first().map_or(0, |c| c.len())
+    }
+
+    /// Sum of all columns for worker `w`.
+    pub fn worker_total(&self, w: usize) -> u64 {
+        self.cols.iter().map(|c| c[w]).sum()
+    }
+
+    /// Per-worker totals.
+    pub fn totals(&self) -> Vec<u64> {
+        (0..self.k()).map(|w| self.worker_total(w)).collect()
+    }
+
+    /// Sum over workers and columns.
+    pub fn grand_total(&self) -> u64 {
+        self.totals().iter().sum()
+    }
+
+    /// Max-over-average imbalance of per-worker totals.
+    pub fn imbalance(&self) -> f64 {
+        imbalance_u64(&self.totals())
+    }
+}
 
 /// Per-worker computational workload counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,29 +73,36 @@ impl ComputeLedger {
         }
     }
 
+    /// The generic view over all three columns.
+    fn view(&self) -> WorkerLedger<'_, 3> {
+        WorkerLedger {
+            cols: [&self.local_sample_edges, &self.remote_sample_edges, &self.aggregation_edges],
+        }
+    }
+
     /// Number of workers.
     pub fn k(&self) -> usize {
-        self.local_sample_edges.len()
+        self.view().k()
     }
 
     /// Total computational load of worker `w` (sampling + aggregation).
     pub fn worker_total(&self, w: usize) -> u64 {
-        self.local_sample_edges[w] + self.remote_sample_edges[w] + self.aggregation_edges[w]
+        self.view().worker_total(w)
     }
 
     /// Per-worker totals.
     pub fn totals(&self) -> Vec<u64> {
-        (0..self.k()).map(|w| self.worker_total(w)).collect()
+        self.view().totals()
     }
 
     /// Sum over workers (the paper's "total computational load").
     pub fn grand_total(&self) -> u64 {
-        self.totals().iter().sum()
+        self.view().grand_total()
     }
 
     /// Max-over-average imbalance of per-worker totals.
     pub fn imbalance(&self) -> f64 {
-        imbalance_u64(&self.totals())
+        self.view().imbalance()
     }
 }
 
@@ -74,37 +127,93 @@ impl CommLedger {
         }
     }
 
+    /// The send-side columns only (each byte counted once).
+    fn sent_view(&self) -> WorkerLedger<'_, 2> {
+        WorkerLedger { cols: [&self.subgraph_bytes_sent, &self.feature_bytes_sent] }
+    }
+
+    /// All three columns (per-worker traffic = sent + received).
+    fn traffic_view(&self) -> WorkerLedger<'_, 3> {
+        WorkerLedger {
+            cols: [&self.subgraph_bytes_sent, &self.feature_bytes_sent, &self.bytes_received],
+        }
+    }
+
     /// Number of workers.
     pub fn k(&self) -> usize {
-        self.subgraph_bytes_sent.len()
+        self.traffic_view().k()
     }
 
     /// Bytes sent by worker `w`.
     pub fn worker_sent(&self, w: usize) -> u64 {
-        self.subgraph_bytes_sent[w] + self.feature_bytes_sent[w]
+        self.sent_view().worker_total(w)
     }
 
     /// Per-worker traffic (sent + received) — the paper's per-machine
     /// communication load.
     pub fn worker_traffic(&self, w: usize) -> u64 {
-        self.worker_sent(w) + self.bytes_received[w]
+        self.traffic_view().worker_total(w)
     }
 
     /// Per-worker traffic vector.
     pub fn traffic(&self) -> Vec<u64> {
-        (0..self.k()).map(|w| self.worker_traffic(w)).collect()
+        self.traffic_view().totals()
     }
 
     /// Total communication volume (each byte counted once, on the send
     /// side).
     pub fn total_volume(&self) -> u64 {
-        (0..self.k()).map(|w| self.worker_sent(w)).sum()
+        self.sent_view().grand_total()
     }
 
     /// Max-over-average imbalance of per-worker traffic.
     pub fn imbalance(&self) -> f64 {
-        imbalance_u64(&self.traffic())
+        self.traffic_view().imbalance()
     }
+}
+
+/// Rebuilds the compute ledger by reducing a traced epoch's accounting
+/// spans (`LocalSample`/`RemoteSample` on worker CPU lanes, `Aggregate`
+/// on worker GPU lanes).
+pub fn compute_ledger_from_spans(tl: &Timeline, k: usize) -> ComputeLedger {
+    let mut led = ComputeLedger::new(k);
+    for s in tl.spans() {
+        let w = match s.resource {
+            Resource::WorkerCpu(w) | Resource::WorkerGpu(w) => w as usize,
+            _ => continue,
+        };
+        if w >= k {
+            continue;
+        }
+        match s.kind {
+            SpanKind::LocalSample => led.local_sample_edges[w] += s.meta.edges,
+            SpanKind::RemoteSample => led.remote_sample_edges[w] += s.meta.edges,
+            SpanKind::Aggregate => led.aggregation_edges[w] += s.meta.edges,
+            _ => {}
+        }
+    }
+    led
+}
+
+/// Rebuilds the communication ledger by reducing a traced epoch's
+/// accounting spans (`SubgraphSend`/`FeatureSend`/`Recv` on worker NIC
+/// lanes).
+pub fn comm_ledger_from_spans(tl: &Timeline, k: usize) -> CommLedger {
+    let mut led = CommLedger::new(k);
+    for s in tl.spans() {
+        let Resource::WorkerNic(w) = s.resource else { continue };
+        let w = w as usize;
+        if w >= k {
+            continue;
+        }
+        match s.kind {
+            SpanKind::SubgraphSend => led.subgraph_bytes_sent[w] += s.meta.bytes,
+            SpanKind::FeatureSend => led.feature_bytes_sent[w] += s.meta.bytes,
+            SpanKind::Recv => led.bytes_received[w] += s.meta.bytes,
+            _ => {}
+        }
+    }
+    led
 }
 
 fn imbalance_u64(xs: &[u64]) -> f64 {
@@ -127,6 +236,7 @@ fn imbalance_u64(xs: &[u64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gnn_dm_trace::SpanMeta;
 
     #[test]
     fn compute_totals_and_imbalance() {
@@ -154,5 +264,37 @@ mod tests {
     fn zero_ledgers_balanced() {
         assert_eq!(ComputeLedger::new(4).imbalance(), 1.0);
         assert_eq!(CommLedger::new(4).imbalance(), 1.0);
+    }
+
+    #[test]
+    fn generic_view_handles_empty_and_zero_columns() {
+        let view: WorkerLedger<'_, 0> = WorkerLedger { cols: [] };
+        assert_eq!(view.k(), 0);
+        assert_eq!(view.grand_total(), 0);
+        assert_eq!(view.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn ledgers_reduce_from_spans() {
+        let mut tl = Timeline::new();
+        tl.schedule(Resource::WorkerCpu(0), SpanKind::LocalSample, 0.0, 0.0, SpanMeta::edges(7));
+        tl.schedule(Resource::WorkerCpu(1), SpanKind::RemoteSample, 0.0, 0.0, SpanMeta::edges(3));
+        tl.schedule(Resource::WorkerGpu(0), SpanKind::Aggregate, 0.0, 0.0, SpanMeta::edges(11));
+        tl.schedule(Resource::WorkerNic(1), SpanKind::SubgraphSend, 0.0, 0.0, SpanMeta::bytes(24));
+        tl.schedule(Resource::WorkerNic(1), SpanKind::FeatureSend, 0.0, 0.0, SpanMeta::bytes(8));
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Recv, 0.0, 0.0, SpanMeta::bytes(32));
+        // Time-model spans on the same lanes must not perturb the counters.
+        tl.schedule(Resource::WorkerCpu(0), SpanKind::Sample, 0.0, 1.0, SpanMeta::edges(999));
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Exchange, 0.0, 1.0, SpanMeta::bytes(999));
+
+        let compute = compute_ledger_from_spans(&tl, 2);
+        assert_eq!(compute.local_sample_edges, vec![7, 0]);
+        assert_eq!(compute.remote_sample_edges, vec![0, 3]);
+        assert_eq!(compute.aggregation_edges, vec![11, 0]);
+
+        let comm = comm_ledger_from_spans(&tl, 2);
+        assert_eq!(comm.subgraph_bytes_sent, vec![0, 24]);
+        assert_eq!(comm.feature_bytes_sent, vec![0, 8]);
+        assert_eq!(comm.bytes_received, vec![32, 0]);
     }
 }

@@ -15,6 +15,14 @@
 //! * feature rows of non-local input vertices travel from their owner to
 //!   the requester;
 //! * aggregation (training) work executes on the requester.
+//!
+//! Every counter the simulation produces is also emitted as a
+//! zero-duration *accounting span* on the responsible worker's lane
+//! (`simulate_epoch_traced`), so the ledgers are reductions over the span
+//! timeline; the epoch time model is likewise replayed as Sample →
+//! Exchange → NN-compute spans per worker plus a terminal all-reduce span
+//! (`epoch_timeline`), and `epoch_time` is simply that timeline's
+//! makespan.
 
 use crate::ledger::{CommLedger, ComputeLedger};
 use crate::network;
@@ -25,11 +33,13 @@ use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
 use gnn_dm_sampling::BatchSelection;
+use gnn_dm_trace::{Pending, Resource, SpanKind, SpanMeta, Timeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Bytes to encode one sampled edge (two u32 vertex ids).
-pub const BYTES_PER_SAMPLED_EDGE: u64 = 8;
+/// Bytes to encode one sampled edge (two u32 vertex ids) — the same wire
+/// format the single-node PCIe topology transfer uses.
+pub const BYTES_PER_SAMPLED_EDGE: u64 = gnn_dm_sampling::BYTES_PER_EDGE;
 
 /// A cluster-wide epoch simulation over one graph + partitioning.
 pub struct ClusterSim<'g> {
@@ -106,6 +116,26 @@ impl<'g> ClusterSim<'g> {
         sampler: &(dyn NeighborSampler + Sync),
         epoch: usize,
     ) -> EpochLoadReport {
+        self.simulate_epoch_traced(sampler, epoch).0
+    }
+
+    /// Like [`ClusterSim::simulate_epoch`], but also returns the span
+    /// timeline of zero-duration accounting spans the workers emitted —
+    /// one span per batch and responsible worker, carrying the sampled
+    /// edges / transferred bytes in its meta. The ledgers in the report
+    /// are exact reductions of this timeline
+    /// (`ledger::compute_ledger_from_spans` /
+    /// `ledger::comm_ledger_from_spans`).
+    ///
+    /// Workers simulate in parallel and their partial ledgers and span
+    /// lists are merged in worker order; all counters are integers and
+    /// span merging is order-fixed, so the result is bitwise-identical to
+    /// the serial worker loop at any thread count.
+    pub fn simulate_epoch_traced(
+        &self,
+        sampler: &(dyn NeighborSampler + Sync),
+        epoch: usize,
+    ) -> (EpochLoadReport, Timeline) {
         let k = self.part.k;
         let workers: Vec<u32> = (0..k as u32).collect();
         let partials =
@@ -121,7 +151,8 @@ impl<'g> ClusterSim<'g> {
                 *a += b;
             }
         }
-        for p in &partials {
+        let mut tl = Timeline::new();
+        for (p, pendings) in &partials {
             add(&mut report.compute.local_sample_edges, &p.compute.local_sample_edges);
             add(&mut report.compute.remote_sample_edges, &p.compute.remote_sample_edges);
             add(&mut report.compute.aggregation_edges, &p.compute.aggregation_edges);
@@ -132,25 +163,30 @@ impl<'g> ClusterSim<'g> {
             for (a, b) in report.num_batches.iter_mut().zip(&p.num_batches) {
                 *a += b;
             }
+            for pending in pendings {
+                tl.schedule_pending(0.0, pending);
+            }
         }
-        report
+        (report, tl)
     }
 
     /// One worker's contribution to the epoch ledgers (full-width vectors:
     /// remote sampling and feature serving are accounted to the *owner*
-    /// worker, which may differ from `w`).
+    /// worker, which may differ from `w`), plus its per-batch accounting
+    /// spans (zero-duration, on the responsible worker's lane).
     fn simulate_worker(
         &self,
         sampler: &dyn NeighborSampler,
         epoch: usize,
         w: u32,
-    ) -> EpochLoadReport {
+    ) -> (EpochLoadReport, Vec<Pending>) {
         let k = self.part.k;
         let row_bytes = self.graph.features.row_bytes() as u64;
         let mut compute = ComputeLedger::new(k);
         let mut comm = CommLedger::new(k);
         let mut num_batches = vec![0usize; k];
         let mut input_vertices = vec![0u64; k];
+        let mut pendings: Vec<Pending> = Vec::new();
 
         let train_w = self.local_train(w);
         if !train_w.is_empty() {
@@ -164,8 +200,14 @@ impl<'g> ClusterSim<'g> {
             let mut rng = StdRng::seed_from_u64(
                 self.seed ^ 0xC0FF_EE00u64 ^ ((w as u64) << 40) ^ (epoch as u64),
             );
-            for seeds in batches {
+            for (b_idx, seeds) in batches.into_iter().enumerate() {
                 let mb = build_minibatch(&self.graph.inn, &seeds, sampler, &mut rng);
+                let batch = u32::try_from(b_idx).ok();
+                let mut local_edges = 0u64;
+                let mut remote_edges = vec![0u64; k];
+                let mut subgraph_bytes = vec![0u64; k];
+                let mut feature_bytes = vec![0u64; k];
+                let mut recv_bytes = 0u64;
                 // Sampling-request routing, block by block.
                 for block in &mb.blocks {
                     let degs = block.dst_in_degrees();
@@ -175,13 +217,13 @@ impl<'g> ClusterSim<'g> {
                             continue;
                         }
                         if self.part.is_local(w, d) {
-                            compute.local_sample_edges[w as usize] += edges;
+                            local_edges += edges;
                         } else {
                             let owner = self.part.part_of(d) as usize;
-                            compute.remote_sample_edges[owner] += edges;
+                            remote_edges[owner] += edges;
                             let bytes = edges * BYTES_PER_SAMPLED_EDGE;
-                            comm.subgraph_bytes_sent[owner] += bytes;
-                            comm.bytes_received[w as usize] += bytes;
+                            subgraph_bytes[owner] += bytes;
+                            recv_bytes += bytes;
                         }
                     }
                 }
@@ -189,22 +231,53 @@ impl<'g> ClusterSim<'g> {
                 for &v in mb.input_ids() {
                     if !self.part.is_local(w, v) {
                         let owner = self.part.part_of(v) as usize;
-                        comm.feature_bytes_sent[owner] += row_bytes;
-                        comm.bytes_received[w as usize] += row_bytes;
+                        feature_bytes[owner] += row_bytes;
+                        recv_bytes += row_bytes;
                     }
                 }
+                let agg_edges = mb.involved_edges() as u64;
                 input_vertices[w as usize] += mb.involved_vertices() as u64;
-                compute.aggregation_edges[w as usize] += mb.involved_edges() as u64;
+
+                // Fold the batch into the ledgers...
+                compute.local_sample_edges[w as usize] += local_edges;
+                for o in 0..k {
+                    compute.remote_sample_edges[o] += remote_edges[o];
+                    comm.subgraph_bytes_sent[o] += subgraph_bytes[o];
+                    comm.feature_bytes_sent[o] += feature_bytes[o];
+                }
+                comm.bytes_received[w as usize] += recv_bytes;
+                compute.aggregation_edges[w as usize] += agg_edges;
+
+                // ...and emit the same quantities as accounting spans.
+                let meta = |edges: u64, bytes: u64| SpanMeta { bytes, edges, batch, worker: Some(w) };
+                let mut emit = |resource: Resource, kind: SpanKind, edges: u64, bytes: u64| {
+                    if edges > 0 || bytes > 0 {
+                        pendings.push(Pending { resource, kind, dur: 0.0, meta: meta(edges, bytes) });
+                    }
+                };
+                emit(Resource::WorkerCpu(w), SpanKind::LocalSample, local_edges, 0);
+                for o in 0..k {
+                    let ow = o as u32;
+                    emit(Resource::WorkerCpu(ow), SpanKind::RemoteSample, remote_edges[o], 0);
+                    emit(Resource::WorkerNic(ow), SpanKind::SubgraphSend, 0, subgraph_bytes[o]);
+                    emit(Resource::WorkerNic(ow), SpanKind::FeatureSend, 0, feature_bytes[o]);
+                }
+                emit(Resource::WorkerNic(w), SpanKind::Recv, 0, recv_bytes);
+                emit(Resource::WorkerGpu(w), SpanKind::Aggregate, agg_edges, 0);
             }
         }
-        EpochLoadReport { compute, comm, num_batches, input_vertices }
+        (EpochLoadReport { compute, comm, num_batches, input_vertices }, pendings)
     }
 
-    /// Modelled wall-clock time of the simulated epoch: the slowest worker's
-    /// sampling + communication + GPU compute, plus gradient all-reduces.
-    pub fn epoch_time(&self, report: &EpochLoadReport, tm: &TimeModel) -> f64 {
+    /// Replays the epoch time model as a span timeline: per worker a
+    /// Sample → Exchange → NN-compute chain on that worker's CPU / NIC /
+    /// GPU lanes, then one all-reduce span (the per-batch gradient syncs,
+    /// collapsed) that starts when the slowest worker finishes. The
+    /// timeline's makespan is the modelled epoch time; its spans carry
+    /// the per-worker edge and byte loads.
+    pub fn epoch_timeline(&self, report: &EpochLoadReport, tm: &TimeModel) -> Timeline {
         let k = self.part.k;
-        let mut worst = 0.0f64;
+        let mut tl = Timeline::new();
         for w in 0..k {
             let sample_edges =
                 report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
@@ -217,6 +290,78 @@ impl<'g> ClusterSim<'g> {
             );
             // Forward+backward FLOPs: aggregation over block edges at
             // feature width plus hidden width, doubled for backward.
+            let flops = report.compute.aggregation_edges[w] as f64
+                * 2.0
+                * (tm.feat_dim + tm.hidden) as f64
+                * 2.0;
+            let nn_t = tm.gpu.seconds_for_flops(flops);
+            let wid = w as u32;
+            let worker = Some(wid);
+            let s_end = tl.schedule(
+                Resource::WorkerCpu(wid),
+                SpanKind::Sample,
+                0.0,
+                sample_t,
+                SpanMeta { edges: sample_edges, worker, ..SpanMeta::default() },
+            );
+            let c_end = tl.schedule(
+                Resource::WorkerNic(wid),
+                SpanKind::Exchange,
+                s_end,
+                comm_t,
+                SpanMeta { bytes: report.comm.worker_traffic(w), worker, ..SpanMeta::default() },
+            );
+            tl.schedule(
+                Resource::WorkerGpu(wid),
+                SpanKind::NnCompute,
+                c_end,
+                nn_t,
+                SpanMeta {
+                    edges: report.compute.aggregation_edges[w],
+                    worker,
+                    ..SpanMeta::default()
+                },
+            );
+        }
+        let sync_rounds = *report.num_batches.iter().max().unwrap_or(&0);
+        let worst = tl.makespan();
+        let dur = sync_rounds as f64 * network::allreduce_time(&tm.nic, tm.param_bytes, k);
+        tl.schedule(
+            Resource::AllReduce,
+            SpanKind::AllReduce,
+            worst,
+            dur,
+            SpanMeta {
+                bytes: tm.param_bytes * sync_rounds as u64,
+                ..SpanMeta::default()
+            },
+        );
+        tl
+    }
+
+    /// Modelled wall-clock time of the simulated epoch: the slowest worker's
+    /// sampling + communication + GPU compute, plus gradient all-reduces —
+    /// read off the replayed span timeline.
+    pub fn epoch_time(&self, report: &EpochLoadReport, tm: &TimeModel) -> f64 {
+        self.epoch_timeline(report, tm).makespan()
+    }
+
+    /// The pre-timeline closed form of [`ClusterSim::epoch_time`], kept as
+    /// a cross-check: `tests/trace_goldens.rs` pins it bitwise-equal to
+    /// the timeline replay.
+    pub fn epoch_time_closed_form(&self, report: &EpochLoadReport, tm: &TimeModel) -> f64 {
+        let k = self.part.k;
+        let mut worst = 0.0f64;
+        for w in 0..k {
+            let sample_edges =
+                report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
+            let sample_t = sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
+                + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX;
+            let comm_t = network::exchange_time(
+                &tm.nic,
+                report.comm.worker_sent(w),
+                report.comm.bytes_received[w],
+            );
             let flops = report.compute.aggregation_edges[w] as f64
                 * 2.0
                 * (tm.feat_dim + tm.hidden) as f64
@@ -349,5 +494,33 @@ mod tests {
         let sim = ClusterSim { graph: &g, part: &part, batch_size: 50, seed: 9 };
         let sampler = FanoutSampler::new(vec![5, 5]);
         assert_eq!(sim.simulate_epoch(&sampler, 1), sim.simulate_epoch(&sampler, 1));
+    }
+
+    #[test]
+    fn ledgers_are_reductions_of_the_traced_spans() {
+        let g = graph();
+        let part = partition_graph(&g, PartitionMethod::Hash, 4, 7);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        let sampler = FanoutSampler::new(vec![10, 5]);
+        let (report, tl) = sim.simulate_epoch_traced(&sampler, 0);
+        assert!(report.comm.total_volume() > 0, "hash partitioning must communicate");
+        assert_eq!(crate::ledger::compute_ledger_from_spans(&tl, 4), report.compute);
+        assert_eq!(crate::ledger::comm_ledger_from_spans(&tl, 4), report.comm);
+        // Accounting spans are pure bookkeeping: they must not advance time.
+        assert_eq!(tl.makespan().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn epoch_time_is_the_timeline_makespan() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (report, part) = simulate(&g, PartitionMethod::Hash);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        let replayed = sim.epoch_time(&report, &tm);
+        let closed = sim.epoch_time_closed_form(&report, &tm);
+        assert_eq!(replayed.to_bits(), closed.to_bits());
+        // Per-worker chains plus the terminal all-reduce span.
+        let tl = sim.epoch_timeline(&report, &tm);
+        assert_eq!(tl.len(), 3 * 4 + 1);
     }
 }

@@ -10,8 +10,9 @@
 
 use crate::trainer::{HeteroTrainer, HeteroTrainerConfig};
 use gnn_dm_device::compute::{gemm_flops, ComputeModel};
-use gnn_dm_device::LinkModel;
+use gnn_dm_device::{traced, LinkModel};
 use gnn_dm_graph::Graph;
+use gnn_dm_trace::{Resource, SpanKind, SpanMeta, Timeline};
 
 /// Per-step times of one training epoch, in modelled seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,20 +74,48 @@ pub fn dnn_breakdown(graph: &Graph, batch_size: usize, hidden: usize) -> StepBre
     let gpu = ComputeModel::gpu_t4();
     let num_batches = n_train.div_ceil(batch_size.max(1));
 
+    // Replay the epoch on the span timeline and read the breakdown off
+    // the lanes: shuffle on the CPU-sampler lane, one bulk copy per batch
+    // (rows are contiguous after the epoch-level permutation, so no
+    // gather) on the PCIe lane, dense math on the GPU lane.
+    let mut tl = Timeline::new();
     // Shuffle: ~20 ns per index.
-    let batch_prep = n_train as f64 * 20.0e-9;
-    // One bulk copy per batch; rows are contiguous after the epoch-level
-    // permutation, so no gather.
-    let mut transfer = 0.0;
-    let mut nn = 0.0;
+    tl.schedule(
+        Resource::CpuSampler,
+        SpanKind::BatchPrep,
+        0.0,
+        n_train as f64 * 20.0e-9,
+        SpanMeta::default(),
+    );
     for b in 0..num_batches {
         let rows = batch_size.min(n_train - b * batch_size);
-        transfer += pcie.transfer_time(rows as u64 * row_bytes);
+        let batch = u32::try_from(b).ok();
+        traced::link_transfer(
+            &mut tl,
+            Resource::PcieLink,
+            SpanKind::Transfer,
+            0.0,
+            &pcie,
+            rows as u64 * row_bytes,
+            SpanMeta { batch, ..SpanMeta::default() },
+        );
         // Forward + backward + update ≈ 3× forward GEMMs.
         let fwd = gemm_flops(rows, feat, hidden) + gemm_flops(rows, hidden, classes);
-        nn += gpu.seconds_for_flops(3.0 * fwd);
+        traced::gpu_compute(
+            &mut tl,
+            Resource::GpuCompute,
+            0.0,
+            &gpu,
+            3.0 * fwd,
+            SpanMeta { batch, ..SpanMeta::default() },
+        );
     }
-    StepBreakdown { partition: 0.0, batch_prep, transfer, nn }
+    StepBreakdown {
+        partition: 0.0,
+        batch_prep: tl.busy(Resource::CpuSampler),
+        transfer: tl.busy(Resource::PcieLink),
+        nn: tl.busy(Resource::GpuCompute),
+    }
 }
 
 #[cfg(test)]

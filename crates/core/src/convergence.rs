@@ -200,7 +200,7 @@ pub fn train_distributed(
         &[graph.feat_dim(), hidden, graph.num_classes],
         seed,
     );
-    let param_bytes = (model.num_params() * 4) as u64;
+    let param_bytes = model.param_bytes();
     let mut opt = Adam::new(lr);
     let val = graph.val_vertices();
 

@@ -14,12 +14,14 @@ use gnn_dm_device::cache::{CachePolicy, FeatureCache};
 use gnn_dm_device::compute::{self, ComputeModel};
 use gnn_dm_device::memory::DeviceMemory;
 use gnn_dm_device::pipeline::{
-    makespan_with_contention, BatchStageTimes, PipelineMode, DEFAULT_OVERLAP_EFFICIENCY,
+    makespan_with_contention, replay_epoch, BatchMeta, BatchStageTimes, PipelineMode,
+    DEFAULT_OVERLAP_EFFICIENCY,
 };
 use gnn_dm_device::transfer::{BatchTransfer, TransferEngine, TransferMethod};
 use gnn_dm_graph::Graph;
 use gnn_dm_sampling::epoch::{AccessTracker, EpochPlan};
 use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_trace::{Resource, SpanKind, Timeline};
 
 /// Configuration of the heterogeneous trainer.
 #[derive(Debug, Clone)]
@@ -158,6 +160,17 @@ impl<'g> HeteroTrainer<'g> {
     /// Runs one modelled epoch: builds every sampled batch, prices each
     /// pipeline stage, and returns aggregate timings.
     pub fn run_epoch_model(&mut self, epoch: usize) -> EpochTimings {
+        self.run_epoch_traced(epoch).0
+    }
+
+    /// Like [`HeteroTrainer::run_epoch_model`], but also returns the span
+    /// timeline the epoch was replayed on (BP spans on the CPU-sampler
+    /// lane, Gather/Transfer spans on the PCIe lane, NN spans on the GPU
+    /// lane, scheduled under the configured pipeline mode). All aggregate
+    /// timings in [`EpochTimings`] are read back from this timeline, so a
+    /// Chrome-trace export of it accounts for every modelled second and
+    /// byte.
+    pub fn run_epoch_traced(&mut self, epoch: usize) -> (EpochTimings, Timeline) {
         let train = self.graph.train_vertices();
         let sampler = FanoutSampler::new(self.cfg.fanouts.clone());
         let selection = BatchSelection::Random;
@@ -177,23 +190,14 @@ impl<'g> HeteroTrainer<'g> {
         self.cache.reset_stats();
 
         let mut stage_times = Vec::with_capacity(batches.len());
-        let mut totals = EpochTimings {
-            bp: 0.0,
-            dt: 0.0,
-            gather: 0.0,
-            nn: 0.0,
-            makespan: 0.0,
-            pcie_bytes: 0,
-            cache_hit_rate: 0.0,
-            num_batches: batches.len(),
-        };
+        let mut metas = Vec::with_capacity(batches.len());
         for mb in &batches {
             let bp = compute::sampling_seconds(mb);
             let misses = self.cache.filter_misses(mb.input_ids());
             let bt = BatchTransfer {
                 rows: misses.len(),
                 row_bytes,
-                topo_bytes: (mb.involved_edges() * 8) as u64,
+                topo_bytes: mb.topo_bytes(),
             };
             let activity = match self.cfg.transfer {
                 TransferMethod::Hybrid { .. } => {
@@ -203,20 +207,29 @@ impl<'g> HeteroTrainer<'g> {
             };
             let report = self.engine.time(self.cfg.transfer, &bt, activity.as_ref());
             let nn = self.gpu.seconds_for_flops(compute::minibatch_flops(mb, &dims, false));
-            totals.bp += bp;
-            totals.dt += report.total();
-            totals.gather += report.gather_sec;
-            totals.nn += nn;
-            totals.pcie_bytes += report.bytes;
             stage_times.push(BatchStageTimes { bp, dt: report.total(), nn });
+            metas.push(BatchMeta {
+                gather: report.gather_sec,
+                bytes: report.bytes,
+                edges: mb.involved_edges() as u64,
+            });
         }
-        totals.makespan = makespan_with_contention(
-            &stage_times,
-            self.cfg.pipeline,
-            DEFAULT_OVERLAP_EFFICIENCY,
-        );
-        totals.cache_hit_rate = self.cache.hit_rate();
-        totals
+        let tl = replay_epoch(&stage_times, &metas, self.cfg.pipeline);
+        let totals = EpochTimings {
+            bp: tl.busy(Resource::CpuSampler),
+            dt: tl.busy(Resource::PcieLink),
+            gather: tl.busy_of_kind(SpanKind::Gather),
+            nn: tl.busy(Resource::GpuCompute),
+            makespan: makespan_with_contention(
+                &stage_times,
+                self.cfg.pipeline,
+                DEFAULT_OVERLAP_EFFICIENCY,
+            ),
+            pcie_bytes: tl.bytes_on(Resource::PcieLink),
+            cache_hit_rate: self.cache.hit_rate(),
+            num_batches: batches.len(),
+        };
+        (totals, tl)
     }
 
     /// Block activity of the first batch of an epoch (Figures 15/16),

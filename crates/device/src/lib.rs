@@ -15,8 +15,12 @@
 //! * [`cache`] — GPU feature caching with degree-based and
 //!   pre-sampling-based policies (Figure 17);
 //! * [`pipeline`] — the 3-stage (batch preparation / data transfer / NN
-//!   compute) pipeline scheduler (Figures 13/14), plus a real threaded
-//!   executor for the same stage graph;
+//!   compute) pipeline scheduler (Figures 13/14): stage spans replayed on
+//!   `gnn-dm-trace` lanes, plus a real threaded executor for the same
+//!   stage graph;
+//! * [`traced`] — adapters that price link/GPU work and record it as
+//!   timeline spans in one step (lint rule A002 enforces their use
+//!   outside this crate);
 //! * [`memory`] — device memory budgeting for cache sizing.
 
 #![warn(missing_docs)]
@@ -27,9 +31,10 @@ pub mod compute;
 pub mod link;
 pub mod memory;
 pub mod pipeline;
+pub mod traced;
 pub mod transfer;
 
 pub use cache::{CachePolicy, FeatureCache};
-pub use link::LinkModel;
+pub use link::{LinkError, LinkModel};
 pub use pipeline::{makespan, BatchStageTimes, PipelineMode};
 pub use transfer::{TransferEngine, TransferMethod, TransferReport};

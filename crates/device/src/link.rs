@@ -1,7 +1,38 @@
 //! Interconnect cost models: PCIe and the cluster NIC.
 
+use std::fmt;
+
+/// Why a [`LinkModel`] construction was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// Bandwidth must be finite and strictly positive.
+    NonPositiveBandwidth,
+    /// Latency must be finite and non-negative.
+    NegativeLatency,
+    /// Efficiency must be in `(0, 1]`.
+    InvalidEfficiency,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::NonPositiveBandwidth => {
+                write!(f, "link bandwidth must be finite and > 0 bytes/s")
+            }
+            LinkError::NegativeLatency => write!(f, "link latency must be finite and >= 0 s"),
+            LinkError::InvalidEfficiency => write!(f, "link efficiency must be in (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// An analytic link model: each transfer costs a fixed per-transaction
 /// latency plus bytes over (bandwidth × efficiency).
+///
+/// Construct through [`LinkModel::new`] (or a preset) so the parameters
+/// are validated once, up front; the per-transfer pricing methods are
+/// total functions that never panic on hot paths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkModel {
     /// Peak bandwidth in bytes/second.
@@ -13,6 +44,21 @@ pub struct LinkModel {
 }
 
 impl LinkModel {
+    /// A validated link: `bandwidth` finite and positive, `latency` finite
+    /// and non-negative, `efficiency` in `(0, 1]`.
+    pub fn new(bandwidth: f64, latency: f64, efficiency: f64) -> Result<LinkModel, LinkError> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(LinkError::NonPositiveBandwidth);
+        }
+        if !(latency.is_finite() && latency >= 0.0) {
+            return Err(LinkError::NegativeLatency);
+        }
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(LinkError::InvalidEfficiency);
+        }
+        Ok(LinkModel { bandwidth, latency, efficiency })
+    }
+
     /// PCIe 3.0 x16 — the paper's CPU↔GPU interconnect (16 GB/s, §1/§7.1).
     pub fn pcie_gen3_x16() -> Self {
         LinkModel { bandwidth: 16.0e9, latency: 10.0e-6, efficiency: 1.0 }
@@ -24,23 +70,37 @@ impl LinkModel {
     }
 
     /// Time for one bulk transfer of `bytes`.
+    ///
+    /// Total and panic-free: a degenerate link (zero/negative/NaN
+    /// effective bandwidth, only constructible by mutating the public
+    /// fields past [`LinkModel::new`]) prices every transfer at
+    /// `f64::INFINITY` instead of aborting the run.
     pub fn transfer_time(&self, bytes: u64) -> f64 {
-        assert!(self.bandwidth > 0.0 && self.efficiency > 0.0, "link must have bandwidth");
-        self.latency + bytes as f64 / (self.bandwidth * self.efficiency)
+        let bw = self.effective_bandwidth();
+        if !(bw > 0.0) {
+            return f64::INFINITY;
+        }
+        self.latency + bytes as f64 / bw
     }
 
     /// Time for `transactions` separate transfers totalling `bytes`
-    /// (fine-grained access pays latency per transaction).
+    /// (fine-grained access pays latency per transaction). Total and
+    /// panic-free, like [`LinkModel::transfer_time`].
     pub fn transfer_time_transactions(&self, bytes: u64, transactions: u64) -> f64 {
-        assert!(self.bandwidth > 0.0 && self.efficiency > 0.0, "link must have bandwidth");
-        transactions as f64 * self.latency + bytes as f64 / (self.bandwidth * self.efficiency)
+        let bw = self.effective_bandwidth();
+        if !(bw > 0.0) {
+            return f64::INFINITY;
+        }
+        transactions as f64 * self.latency + bytes as f64 / bw
     }
 
     /// A copy of this link with a different efficiency (used by the
     /// zero-copy model, which cannot saturate the bus).
-    pub fn with_efficiency(&self, efficiency: f64) -> LinkModel {
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
-        LinkModel { efficiency, ..self.clone() }
+    pub fn with_efficiency(&self, efficiency: f64) -> Result<LinkModel, LinkError> {
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(LinkError::InvalidEfficiency);
+        }
+        Ok(LinkModel { efficiency, ..self.clone() })
     }
 
     /// Effective bandwidth (bandwidth × efficiency).
@@ -80,15 +140,38 @@ mod tests {
     #[test]
     fn efficiency_slows_transfers() {
         let link = LinkModel::pcie_gen3_x16();
-        let slow = link.with_efficiency(0.5);
+        let slow = link.with_efficiency(0.5).unwrap();
         let b = link.transfer_time(1_000_000_000);
         let s = slow.transfer_time(1_000_000_000);
         assert!((s / b - 2.0).abs() < 0.01, "half efficiency doubles time: {s} vs {b}");
     }
 
     #[test]
-    #[should_panic(expected = "efficiency")]
-    fn efficiency_validated() {
-        let _ = LinkModel::pcie_gen3_x16().with_efficiency(0.0);
+    fn constructor_validates() {
+        assert!(LinkModel::new(16e9, 10e-6, 1.0).is_ok());
+        assert_eq!(LinkModel::new(0.0, 10e-6, 1.0), Err(LinkError::NonPositiveBandwidth));
+        assert_eq!(LinkModel::new(f64::NAN, 10e-6, 1.0), Err(LinkError::NonPositiveBandwidth));
+        assert_eq!(LinkModel::new(16e9, -1.0, 1.0), Err(LinkError::NegativeLatency));
+        assert_eq!(LinkModel::new(16e9, 10e-6, 0.0), Err(LinkError::InvalidEfficiency));
+        assert_eq!(LinkModel::new(16e9, 10e-6, 1.5), Err(LinkError::InvalidEfficiency));
+        assert_eq!(
+            LinkModel::pcie_gen3_x16().with_efficiency(0.0),
+            Err(LinkError::InvalidEfficiency)
+        );
+    }
+
+    #[test]
+    fn degenerate_link_prices_infinite_instead_of_panicking() {
+        let broken = LinkModel { bandwidth: 0.0, latency: 0.0, efficiency: 1.0 };
+        assert!(broken.transfer_time(1).is_infinite());
+        assert!(broken.transfer_time_transactions(1, 2).is_infinite());
+    }
+
+    #[test]
+    fn presets_satisfy_the_constructor() {
+        for preset in [LinkModel::pcie_gen3_x16(), LinkModel::nic_10gbps()] {
+            let rebuilt = LinkModel::new(preset.bandwidth, preset.latency, preset.efficiency);
+            assert_eq!(rebuilt, Ok(preset));
+        }
     }
 }

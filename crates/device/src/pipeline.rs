@@ -4,10 +4,20 @@
 //! on the PCIe bus) and NN computation (NN, on the GPU). With no pipelining
 //! the three run back to back; pipelining lets batch *b+1*'s earlier stages
 //! overlap batch *b*'s later stages, bounded by each resource processing
-//! batches in order. [`makespan`] computes the resulting epoch time for the
-//! three overlap regimes Figure 14 ablates, and [`run_pipelined`] is a real
+//! batches in order.
+//!
+//! Since the span-timeline refactor the source of truth is
+//! [`replay_epoch`]: each stage is scheduled as a [`gnn_dm_trace`] span on
+//! its resource lane (CPU / PCIe / GPU) and the epoch time is the
+//! timeline's makespan. [`makespan`] is a thin wrapper over the replay;
+//! [`makespan_closed_form`] keeps the original recurrences as an
+//! independent cross-check, and the two are pinned bitwise-equal in
+//! `tests/trace_goldens.rs` (the replay performs the *identical* sequence
+//! of floating-point operations, per mode). [`run_pipelined`] is a real
 //! threaded executor with the same stage graph (used to validate the model
 //! and to demonstrate the optimization on actual work).
+
+use gnn_dm_trace::{Resource, SpanKind, SpanMeta, Timeline};
 
 /// Stage durations of one batch, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +61,104 @@ impl PipelineMode {
     }
 }
 
-/// Epoch makespan for a sequence of batches under a pipeline mode.
+/// Per-batch annotations the replay attaches to its spans: the byte/edge
+/// accounting and the gather share of the DT stage. Purely descriptive —
+/// the schedule is driven by [`BatchStageTimes`] alone, so a missing or
+/// defaulted meta never changes any timestamp.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchMeta {
+    /// CPU gather seconds inside the DT stage (extract-load's staging
+    /// copy); the DT lane occupancy is split into a `Gather` sub-span
+    /// followed by the bus `Transfer`.
+    pub gather: f64,
+    /// Bytes the DT stage moved across the bus.
+    pub bytes: u64,
+    /// Edges the BP stage sampled.
+    pub edges: u64,
+}
+
+/// Records one batch's DT-stage occupancy `[dt_start, dt_start + dt)` on
+/// the PCIe lane, split into Gather + Transfer sub-spans when the meta
+/// carries a gather share. The stage end is computed exactly as in the
+/// closed-form recurrence (`dt_start + dt`, one addition); the sub-span
+/// boundary is display-only.
+fn replay_dt(tl: &mut Timeline, dt_start: f64, dt: f64, m: &BatchMeta, batch: Option<u32>) -> f64 {
+    let dt_end = dt_start + dt;
+    let bytes_meta = SpanMeta { bytes: m.bytes, batch, ..SpanMeta::default() };
+    if m.gather > 0.0 {
+        let g_end = (dt_start + m.gather).min(dt_end);
+        let g_meta = SpanMeta { batch, ..SpanMeta::default() };
+        tl.schedule_at(Resource::PcieLink, SpanKind::Gather, dt_start, g_end, g_meta);
+        tl.schedule_at(Resource::PcieLink, SpanKind::Transfer, g_end, dt_end, bytes_meta);
+    } else {
+        tl.schedule_at(Resource::PcieLink, SpanKind::Transfer, dt_start, dt_end, bytes_meta);
+    }
+    dt_end
+}
+
+/// Replays an epoch's BP/DT/NN stages as spans on three FIFO lanes
+/// (CPU sampler, PCIe link, GPU compute) and returns the timeline.
+///
+/// `metas` annotates batch `i` with bytes/edges/gather split
+/// (`metas.get(i)`, defaulting to zero annotations past the end). The
+/// scheduling rule `t_start = lane_free.max(ready)` reproduces, operation
+/// for operation, the closed-form recurrences of
+/// [`makespan_closed_form`], so `replay_epoch(..).makespan()` is
+/// bitwise-equal to it — with overlap now *emerging* from lane placement:
+///
+/// * `None` — every stage depends on the previous stage's end, so the
+///   three lanes serialize into one chain;
+/// * `OverlapBp` — BP spans queue freely on the CPU lane while DT+NN run
+///   back-to-back (the DT start also waits for the previous NN end,
+///   modelling the fused PCIe+GPU resource);
+/// * `Full` — each stage waits only for its own lane and its batch's
+///   previous stage.
+pub fn replay_epoch(
+    batches: &[BatchStageTimes],
+    metas: &[BatchMeta],
+    mode: PipelineMode,
+) -> Timeline {
+    let mut tl = Timeline::new();
+    // `None`'s sequential clock / `OverlapBp`'s fused DT+NN cursor.
+    let mut cursor = 0.0f64;
+    for (i, b) in batches.iter().enumerate() {
+        let m = metas.get(i).copied().unwrap_or_default();
+        let batch = u32::try_from(i).ok();
+        let bp_meta = SpanMeta { edges: m.edges, batch, ..SpanMeta::default() };
+        let nn_meta = SpanMeta { batch, ..SpanMeta::default() };
+        match mode {
+            PipelineMode::None => {
+                let bp_end =
+                    tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, cursor, b.bp, bp_meta);
+                let dt_start = tl.start_time(Resource::PcieLink, bp_end);
+                let dt_end = replay_dt(&mut tl, dt_start, b.dt, &m, batch);
+                cursor =
+                    tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
+            }
+            PipelineMode::OverlapBp => {
+                let bp_end =
+                    tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, 0.0, b.bp, bp_meta);
+                // DT waits for the fused DT+NN cursor, not just the bus.
+                let dt_start = cursor.max(bp_end);
+                let dt_end = replay_dt(&mut tl, dt_start, b.dt, &m, batch);
+                cursor =
+                    tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
+            }
+            PipelineMode::Full => {
+                let bp_end =
+                    tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, 0.0, b.bp, bp_meta);
+                let dt_start = tl.start_time(Resource::PcieLink, bp_end);
+                let dt_end = replay_dt(&mut tl, dt_start, b.dt, &m, batch);
+                tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
+            }
+        }
+    }
+    tl
+}
+
+/// Epoch makespan for a sequence of batches under a pipeline mode,
+/// computed by replaying the stages on the span timeline
+/// ([`replay_epoch`]).
 ///
 /// Each stage runs on its own resource (CPU / PCIe / GPU) and each resource
 /// serves batches in order; a stage starts when both its resource is free
@@ -67,8 +174,26 @@ impl PipelineMode {
 /// assert!((pipelined - 21.5).abs() < 1e-9);
 /// ```
 pub fn makespan(batches: &[BatchStageTimes], mode: PipelineMode) -> f64 {
+    replay_epoch(batches, &[], mode).makespan()
+}
+
+/// The original closed-form makespan recurrences, kept as an independent
+/// cross-check of the timeline replay (`tests/trace_goldens.rs` pins the
+/// two bitwise-equal for every mode).
+pub fn makespan_closed_form(batches: &[BatchStageTimes], mode: PipelineMode) -> f64 {
     match mode {
-        PipelineMode::None => batches.iter().map(BatchStageTimes::total).sum(),
+        PipelineMode::None => {
+            // Sequential accumulation, one addition per stage, mirroring the
+            // lane chain (float addition is not associative, so the fold
+            // order is part of the contract).
+            let mut t = 0.0f64;
+            for b in batches {
+                t += b.bp;
+                t += b.dt;
+                t += b.nn;
+            }
+            t
+        }
         PipelineMode::OverlapBp => {
             // Two resources: CPU for BP, a fused PCIe+GPU resource for DT+NN.
             let mut cpu_free = 0.0f64;
@@ -77,7 +202,8 @@ pub fn makespan(batches: &[BatchStageTimes], mode: PipelineMode) -> f64 {
                 let bp_end = cpu_free + b.bp;
                 cpu_free = bp_end;
                 let start = rest_free.max(bp_end);
-                rest_free = start + b.dt + b.nn;
+                let dt_end = start + b.dt;
+                rest_free = dt_end + b.nn;
             }
             rest_free
         }

@@ -109,6 +109,16 @@ impl Default for TransferEngine {
 }
 
 impl TransferEngine {
+    /// The PCIe link at the zero-copy efficiency discount. An invalid
+    /// configured `zero_copy_efficiency` (only reachable by mutating the
+    /// public field) falls back to the full-efficiency link rather than
+    /// panicking on the hot path.
+    fn zero_copy_link(&self) -> LinkModel {
+        self.pcie
+            .with_efficiency(self.zero_copy_efficiency)
+            .unwrap_or_else(|_| self.pcie.clone())
+    }
+
     /// Prices one batch under the chosen method. `activity` is required for
     /// [`TransferMethod::Hybrid`] (per-block decisions) and ignored
     /// otherwise.
@@ -147,7 +157,7 @@ impl TransferEngine {
     /// UVA zero-copy: no gather; features cross at reduced efficiency.
     /// Topology still moves in bulk (it is packed by construction).
     pub fn time_zero_copy(&self, batch: &BatchTransfer) -> TransferReport {
-        let zc = self.pcie.with_efficiency(self.zero_copy_efficiency);
+        let zc = self.zero_copy_link();
         let link_sec =
             zc.transfer_time(batch.feature_bytes()) + self.pcie.transfer_time(batch.topo_bytes);
         TransferReport { gather_sec: 0.0, link_sec, bytes: batch.feature_bytes() + batch.topo_bytes }
@@ -180,7 +190,7 @@ impl TransferEngine {
             + explicit_rows_active as f64 * self.gather_row_overhead;
         let explicit_bytes = (explicit_rows_total as f64 * row_bytes) as u64;
         let zc_bytes = (zc_rows as f64 * row_bytes) as u64;
-        let zc = self.pcie.with_efficiency(self.zero_copy_efficiency);
+        let zc = self.zero_copy_link();
         let link_sec = self.pcie.transfer_time(explicit_bytes + batch.topo_bytes)
             + zc.transfer_time(zc_bytes);
         TransferReport {

@@ -22,7 +22,7 @@ pub struct Diagnostic {
 
 /// Crates whose outputs must be bit-identical across runs (D002 scope).
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["graph", "partition", "sampling", "device", "cluster", "core"];
+    &["graph", "partition", "sampling", "device", "cluster", "core", "trace"];
 
 /// Identifiers that reach ambient OS entropy (D003 scope).
 const ENTROPY_IDENTS: &[&str] =
@@ -42,6 +42,18 @@ const TRANSFER_IDENTS: &[&str] = &[
     "device_to_host",
     "dma_copy",
     "raw_transfer",
+];
+
+/// Analytic cost-model entry points (A002 scope): pricing a transfer or
+/// batch by calling these directly, instead of going through the
+/// `gnn_dm_device::traced` adapters or another span-emitting entry point,
+/// produces seconds/bytes that never land on the trace timeline.
+const COST_IDENTS: &[&str] = &[
+    "transfer_time",
+    "transfer_time_transactions",
+    "time_extract_load",
+    "time_zero_copy",
+    "time_hybrid",
 ];
 
 /// Macros whose argument lists F001 inspects for float `==`/`!=`.
@@ -82,6 +94,11 @@ pub struct FileCtx {
     /// (T001 scope): the parallel substrate itself and the pipeline
     /// overlap model's dedicated executor.
     pub threads_allowed: bool,
+    /// True where direct cost-model pricing calls are legitimate (A002
+    /// scope): the device crate (where the models and the traced adapters
+    /// live), non-library code, and the cluster network module (a pure
+    /// pricing helper the traced epoch replay is built on).
+    pub cost_calls_allowed: bool,
 }
 
 impl FileCtx {
@@ -112,6 +129,9 @@ impl FileCtx {
             device_crate: in_crate("device"),
             threads_allowed: rel.starts_with("crates/par/")
                 || rel == "crates/device/src/pipeline.rs",
+            cost_calls_allowed: in_crate("device")
+                || non_library
+                || rel == "crates/cluster/src/network.rs",
             crate_dir,
             rel_path: rel,
         }
@@ -132,6 +152,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     check_d003_ambient_entropy(&ctx, &lexed.tokens, &mut diags);
     check_p001_panics(&ctx, &lexed.tokens, &in_test, &mut diags);
     check_a001_transfer_apis(&ctx, &lexed.tokens, &mut diags);
+    check_a002_raw_cost_calls(&ctx, &lexed.tokens, &mut diags);
     check_f001_float_eq(&ctx, &lexed.tokens, &mut diags);
     check_t001_raw_threads(&ctx, &lexed.tokens, &mut diags);
 
@@ -342,6 +363,37 @@ fn check_a001_transfer_apis(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Dia
                 message: format!(
                     "direct transfer API `{}` outside crates/device; route bytes through \
                      gnn-dm-device so the transfer ledger stays exact",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// A002 — direct cost-model pricing calls (`transfer_time*`, the
+/// `TransferEngine::time_*` family) outside the device crate compute
+/// seconds that bypass the span timeline, so the Chrome trace and the
+/// span summaries silently under-report. Library code routes pricing
+/// through the `gnn_dm_device::traced` adapters (or a higher-level traced
+/// entry point such as `pipeline::replay_epoch`), which price the work
+/// and record the span in one step.
+fn check_a002_raw_cost_calls(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    if ctx.cost_calls_allowed {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && COST_IDENTS.contains(&t.text.as_str())
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "(")
+        {
+            diags.push(Diagnostic {
+                rule: "A002",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "raw cost-model call `{}` outside a trace adapter; price the work \
+                     through gnn_dm_device::traced (or a traced entry point) so the \
+                     seconds and bytes land on the span timeline",
                     t.text
                 ),
             });
@@ -589,6 +641,25 @@ mod tests {
         let src = "fn f() { dma_copy(src, dst, n); }";
         assert_eq!(rules_fired("crates/sampling/src/a.rs", src), vec!["A001"]);
         assert!(rules_fired("crates/device/src/transfer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a002_scopes_to_library_code_outside_device() {
+        let src = "fn f(l: &LinkModel) -> f64 { l.transfer_time(n) }";
+        assert_eq!(rules_fired("crates/cluster/src/sim.rs", src), vec!["A002"]);
+        assert_eq!(rules_fired("crates/core/src/breakdown.rs", src), vec!["A002"]);
+        // The models themselves, the pricing helper module, and
+        // non-library code may price directly.
+        assert!(rules_fired("crates/device/src/transfer.rs", src).is_empty());
+        assert!(rules_fired("crates/cluster/src/network.rs", src).is_empty());
+        assert!(rules_fired("crates/cluster/tests/goldens.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/harness.rs", src).is_empty());
+        // Engine dispatch methods are cost entry points too.
+        let engine = "fn f(e: &TransferEngine) -> f64 { e.time_zero_copy(&bt).total() }";
+        assert_eq!(rules_fired("crates/core/src/trainer.rs", engine), vec!["A002"]);
+        // Mentioning the name without calling it (docs, re-exports) is fine.
+        let no_call = "pub use gnn_dm_device::transfer::time_extract_load;";
+        assert!(rules_fired("crates/core/src/trainer.rs", no_call).is_empty());
     }
 
     #[test]

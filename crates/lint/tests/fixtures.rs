@@ -99,6 +99,22 @@ fn a001_fires_and_clean() {
 }
 
 #[test]
+fn a002_fires_and_clean() {
+    let fires = include_str!("fixtures/a002_fires.rs");
+    assert_eq!(rules_fired("crates/core/src/fixture.rs", fires), vec!["A002"]);
+    assert_eq!(count("crates/core/src/fixture.rs", fires, "A002"), 3);
+    // The device crate (where the models and adapters live), the network
+    // pricing helper, and non-library code may price directly.
+    assert!(rules_fired("crates/device/src/fixture.rs", fires).is_empty());
+    assert!(rules_fired("crates/cluster/src/network.rs", fires).is_empty());
+    assert!(rules_fired("crates/core/tests/fixture.rs", fires).is_empty());
+    assert!(rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/a002_clean.rs");
+    assert!(rules_fired("crates/core/src/fixture.rs", clean).is_empty());
+}
+
+#[test]
 fn f001_fires_and_clean() {
     let fires = include_str!("fixtures/f001_fires.rs");
     assert_eq!(rules_fired(LIB_PATH, fires), vec!["F001"]);

@@ -2,7 +2,7 @@
 // ledgered engine; raw API names appear only in prose.
 // cudaMemcpy, host_to_device and dma_copy are only *mentioned* here.
 
-pub fn route(engine: &TransferEngine, batch: &BatchTransfer) -> TransferReport {
+pub fn route(tl: &mut Timeline, link: &LinkModel, bytes: u64) -> f64 {
     let _doc = "gnn-dm-device wraps cudaMemcpyAsync so bytes are accounted";
-    engine.time_extract_load(batch)
+    traced::link_transfer(tl, Resource::PcieLink, SpanKind::Transfer, 0.0, link, bytes, SpanMeta::bytes(bytes))
 }

@@ -1,0 +1,8 @@
+// Fixture: A002 must NOT fire — pricing goes through the traced adapters
+// (LinkModel::transfer_time is only *mentioned* in prose), so every
+// modelled second lands on a timeline lane.
+
+pub fn priced_on_the_timeline(tl: &mut Timeline, link: &LinkModel, bytes: u64) -> f64 {
+    let _doc = "traced::link_transfer wraps LinkModel::transfer_time";
+    traced::link_transfer(tl, Resource::PcieLink, SpanKind::Transfer, 0.0, link, bytes, SpanMeta::bytes(bytes))
+}

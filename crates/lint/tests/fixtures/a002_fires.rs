@@ -1,0 +1,9 @@
+// Fixture: A002 must fire — raw cost-model pricing outside the device
+// crate computes seconds and bytes that never reach the span timeline.
+
+pub fn hand_priced(link: &LinkModel, engine: &TransferEngine, bt: &BatchTransfer) -> f64 {
+    let bulk = link.transfer_time(1 << 20); // A002
+    let fine = link.transfer_time_transactions(4096, 16); // A002
+    let dispatch = engine.time_zero_copy(bt).total(); // A002
+    bulk + fine + dispatch
+}

@@ -115,6 +115,12 @@ impl GnnModel {
         self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
     }
 
+    /// Bytes of one full parameter copy (f32 weights) — the payload of a
+    /// gradient all-reduce round.
+    pub fn param_bytes(&self) -> u64 {
+        self.num_params() as u64 * 4
+    }
+
     /// Mini-batch forward pass. `x_input` holds one feature row per entry of
     /// `mb.input_ids()`, in that order. Returns logits for `mb.seeds` plus
     /// the cache backward needs.

@@ -91,11 +91,22 @@ pub struct MiniBatch {
     pub seeds: Vec<VId>,
 }
 
+/// Bytes to encode one sampled edge on the wire or bus (two u32 vertex
+/// ids) — shared by the PCIe topology-transfer and inter-worker subgraph
+/// exchange models.
+pub const BYTES_PER_EDGE: u64 = 8;
+
 impl MiniBatch {
     /// Global ids whose raw features must be loaded — the sources of the
     /// input-most block.
     pub fn input_ids(&self) -> &[VId] {
         &self.blocks[0].src_ids
+    }
+
+    /// Bytes of sampled topology this batch ships ([`BYTES_PER_EDGE`] per
+    /// message edge).
+    pub fn topo_bytes(&self) -> u64 {
+        self.involved_edges() as u64 * BYTES_PER_EDGE
     }
 
     /// Total distinct vertices appearing anywhere in the batch

@@ -22,7 +22,7 @@ pub mod sampler;
 pub mod schedule;
 pub mod selection;
 
-pub use block::{Block, MiniBatch};
+pub use block::{Block, MiniBatch, BYTES_PER_EDGE};
 pub use sampler::{FanoutSampler, HybridSampler, NeighborSampler, RateSampler};
 pub use schedule::BatchSizeSchedule;
 pub use selection::BatchSelection;

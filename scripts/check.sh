@@ -16,6 +16,9 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> trace goldens (closed form == timeline replay, span conservation)"
+cargo test -q --test trace_goldens
+
 echo "==> gnn-dm-lint"
 cargo run -q -p gnn-dm-lint
 

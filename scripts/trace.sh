@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Chrome-trace export (see crates/bench/src/bin/trace_export.rs).
+#
+#   scripts/trace.sh            # writes results/trace_hetero.json and
+#                               # results/trace_cluster.json
+#
+# Replays one single-node training epoch and one 4-worker cluster epoch on
+# the gnn-dm-trace span timeline and exports them as Chrome trace-event
+# JSON. Open the files in Perfetto (https://ui.perfetto.dev) or
+# chrome://tracing; the console also prints the per-lane span summaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+cargo run --release -q -p gnn-dm-bench --bin trace_export

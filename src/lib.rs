@@ -11,7 +11,9 @@
 //! * [`sampling`] — fanout/rate/hybrid samplers, batch selection, schedules;
 //! * [`device`] — the simulated CPU/GPU substrate (PCIe, caches, pipelines);
 //! * [`cluster`] — the simulated distributed training cluster;
-//! * [`core`] — the end-to-end evaluation harness tying it all together.
+//! * [`core`] — the end-to-end evaluation harness tying it all together;
+//! * [`trace`] — the deterministic span-timeline engine every modelled
+//!   second and byte flows through (Chrome-trace export).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,3 +26,4 @@ pub use gnn_dm_par as par;
 pub use gnn_dm_partition as partition;
 pub use gnn_dm_sampling as sampling;
 pub use gnn_dm_tensor as tensor;
+pub use gnn_dm_trace as trace;

@@ -1,0 +1,200 @@
+//! Golden tests for the span-timeline engine: the closed-form cost models
+//! and the timeline replay must agree BITWISE, the ledgers must be exact
+//! reductions of the accounting spans (span conservation), and the
+//! Chrome-trace export must be byte-identical across runs and thread
+//! counts.
+
+use gnn_dm::cluster::ledger::{comm_ledger_from_spans, compute_ledger_from_spans};
+use gnn_dm::cluster::sim::{ClusterSim, TimeModel};
+use gnn_dm::core::trainer::{HeteroTrainer, HeteroTrainerConfig};
+use gnn_dm::device::pipeline::{
+    makespan, makespan_closed_form, replay_epoch, BatchMeta, BatchStageTimes, PipelineMode,
+};
+use gnn_dm::device::transfer::TransferMethod;
+use gnn_dm::graph::generate::{planted_partition, PplConfig};
+use gnn_dm::graph::Graph;
+use gnn_dm::par::with_threads;
+use gnn_dm::partition::{partition_graph, PartitionMethod};
+use gnn_dm::sampling::FanoutSampler;
+use gnn_dm::trace::{Resource, SpanKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MODES: [PipelineMode; 3] =
+    [PipelineMode::None, PipelineMode::OverlapBp, PipelineMode::Full];
+
+/// Awkward, non-round stage durations: sums of these expose any deviation
+/// in float-op order between the closed form and the replay.
+fn jagged_batches(n: usize, seed: u64) -> Vec<BatchStageTimes> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| BatchStageTimes {
+            bp: rng.random::<f64>() * 0.013 + 1e-7,
+            dt: rng.random::<f64>() * 0.029 + 1e-7,
+            nn: rng.random::<f64>() * 0.017 + 1e-7,
+        })
+        .collect()
+}
+
+#[test]
+fn makespan_replay_matches_closed_form_bitwise() {
+    for seed in [1u64, 7, 42] {
+        for n in [0usize, 1, 2, 13, 100] {
+            let batches = jagged_batches(n, seed);
+            for mode in MODES {
+                let replayed = makespan(&batches, mode);
+                let closed = makespan_closed_form(&batches, mode);
+                assert_eq!(
+                    replayed.to_bits(),
+                    closed.to_bits(),
+                    "mode {mode:?}, n={n}, seed={seed}: replay {replayed} vs closed {closed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_timeline_accounts_every_stage_second() {
+    let batches = jagged_batches(40, 5);
+    let metas: Vec<BatchMeta> = (0..40)
+        .map(|i| BatchMeta { gather: 0.001, bytes: 1000 + i, edges: 10 * i })
+        .collect();
+    for mode in MODES {
+        let tl = replay_epoch(&batches, &metas, mode);
+        // 40 batches × (BP + Gather + Transfer + NN) spans.
+        assert_eq!(tl.len(), 160);
+        let bp: f64 = batches.iter().map(|b| b.bp).sum();
+        let dt: f64 = batches.iter().map(|b| b.dt).sum();
+        let nn: f64 = batches.iter().map(|b| b.nn).sum();
+        assert!((tl.busy(Resource::CpuSampler) - bp).abs() < 1e-9);
+        assert!((tl.busy(Resource::PcieLink) - dt).abs() < 1e-9);
+        assert!((tl.busy(Resource::GpuCompute) - nn).abs() < 1e-9);
+        let bytes: u64 = metas.iter().map(|m| m.bytes).sum();
+        assert_eq!(tl.bytes_on(Resource::PcieLink), bytes);
+        assert_eq!(tl.summary().makespan.to_bits(), tl.makespan().to_bits());
+    }
+}
+
+fn cluster_graph() -> Graph {
+    planted_partition(&PplConfig {
+        n: 1200,
+        avg_degree: 9.0,
+        num_classes: 5,
+        homophily: 0.85,
+        skew: 0.6,
+        feat_dim: 24,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn cluster_span_conservation_at_any_thread_count() {
+    let g = cluster_graph();
+    let part = partition_graph(&g, PartitionMethod::Hash, 4, 11);
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let run = || {
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+        sim.simulate_epoch_traced(&sampler, 0)
+    };
+    let (serial_report, serial_tl) = with_threads(1, run);
+    assert!(serial_report.comm.total_volume() > 0);
+
+    // Conservation: the ledgers are exact reductions of the spans.
+    assert_eq!(compute_ledger_from_spans(&serial_tl, 4), serial_report.compute);
+    assert_eq!(comm_ledger_from_spans(&serial_tl, 4), serial_report.comm);
+    let span_bytes: u64 = serial_tl
+        .spans()
+        .iter()
+        .filter(|s| matches!(s.kind, SpanKind::SubgraphSend | SpanKind::FeatureSend))
+        .map(|s| s.meta.bytes)
+        .sum();
+    assert_eq!(span_bytes, serial_report.comm.total_volume());
+
+    // Bitwise thread-count invariance, down to the exported JSON bytes.
+    let serial_json = serial_tl.to_chrome_trace();
+    for threads in [2usize, 8] {
+        let (report, tl) = with_threads(threads, run);
+        assert_eq!(report, serial_report, "threads={threads} report diverged");
+        assert_eq!(
+            tl.to_chrome_trace(),
+            serial_json,
+            "threads={threads} chrome trace diverged"
+        );
+    }
+    // And across repeated runs in the same process.
+    assert_eq!(with_threads(1, run).1.to_chrome_trace(), serial_json);
+}
+
+#[test]
+fn cluster_epoch_time_matches_closed_form_bitwise() {
+    let g = cluster_graph();
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    for method in [PartitionMethod::Hash, PartitionMethod::MetisV, PartitionMethod::StreamV] {
+        let part = partition_graph(&g, method, 4, 11);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+        let sampler = FanoutSampler::new(vec![8, 4]);
+        let report = sim.simulate_epoch(&sampler, 0);
+        let replayed = sim.epoch_time(&report, &tm);
+        let closed = sim.epoch_time_closed_form(&report, &tm);
+        assert_eq!(replayed.to_bits(), closed.to_bits(), "{method:?}");
+        // The epoch timeline's all-reduce span ends the epoch.
+        let tl = sim.epoch_timeline(&report, &tm);
+        let last = tl.spans().iter().find(|s| s.kind == SpanKind::AllReduce);
+        assert!(last.is_some_and(|s| s.t_end.to_bits() == replayed.to_bits()));
+    }
+}
+
+#[test]
+fn trainer_epoch_bytes_live_on_the_timeline() {
+    let g = planted_partition(&PplConfig {
+        n: 2000,
+        avg_degree: 12.0,
+        num_classes: 6,
+        feat_dim: 64,
+        skew: 0.8,
+        ..Default::default()
+    });
+    for (transfer, pipeline) in [
+        (TransferMethod::ExtractLoad, PipelineMode::None),
+        (TransferMethod::ZeroCopy, PipelineMode::Full),
+    ] {
+        let mut cfg = HeteroTrainerConfig::baseline(&g, 256);
+        cfg.fanouts = vec![10, 5];
+        cfg.transfer = transfer;
+        cfg.pipeline = pipeline;
+        let mut trainer = HeteroTrainer::new(&g, cfg);
+        let (timings, tl) = trainer.run_epoch_traced(0);
+        // The reported byte total IS the timeline's PCIe-lane byte total.
+        assert_eq!(timings.pcie_bytes, tl.bytes_on(Resource::PcieLink));
+        assert_eq!(timings.pcie_bytes, tl.total_bytes());
+        assert!(timings.pcie_bytes > 0);
+        // Stage-total seconds are lane busy times.
+        assert_eq!(timings.bp.to_bits(), tl.busy(Resource::CpuSampler).to_bits());
+        assert_eq!(timings.dt.to_bits(), tl.busy(Resource::PcieLink).to_bits());
+        assert_eq!(timings.nn.to_bits(), tl.busy(Resource::GpuCompute).to_bits());
+        // Export is stable across identical runs.
+        let mut again = HeteroTrainer::new(&g, trainer.cfg.clone());
+        let (_, tl2) = again.run_epoch_traced(0);
+        assert_eq!(tl.to_chrome_trace(), tl2.to_chrome_trace());
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_and_deterministic() {
+    let batches = jagged_batches(6, 3);
+    let metas: Vec<BatchMeta> =
+        (0..6).map(|i| BatchMeta { gather: 0.002, bytes: 512 * (i + 1), edges: 7 * i }).collect();
+    let tl = replay_epoch(&batches, &metas, PipelineMode::Full);
+    let json = tl.to_chrome_trace();
+    assert_eq!(json, replay_epoch(&batches, &metas, PipelineMode::Full).to_chrome_trace());
+    // Structural sanity without a JSON parser: balanced brackets, the
+    // trace-event envelope, one duration event per span, lane metadata.
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), tl.len());
+    assert!(json.contains("\"cpu.sampler\""));
+    assert!(json.contains("\"pcie.link\""));
+    assert!(json.contains("\"gpu.compute\""));
+    assert!(json.contains("\"process_name\""));
+}
