@@ -16,6 +16,7 @@ use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
 use gnn_dm_sampling::BatchSelection;
 use gnn_dm_tensor::ops;
+use gnn_dm_trace::convert::{u32_of_index, u64_of_u32, u64_of_usize};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,7 +68,7 @@ pub fn dist_train_epoch(
     let k = part.k;
     // Per-worker batch schedules from local training vertices.
     let mut schedules: Vec<Vec<Vec<VId>>> = Vec::with_capacity(k);
-    for w in 0..k as u32 {
+    for w in 0..u32_of_index(k) {
         let train_w: Vec<VId> = graph
             .train_vertices()
             .into_iter()
@@ -79,13 +80,13 @@ pub fn dist_train_epoch(
             schedules.push(BatchSelection::Random.select(
                 &train_w,
                 batch_size,
-                seed ^ ((w as u64) << 32),
+                seed ^ (u64_of_u32(w) << 32),
                 epoch,
             ));
         }
     }
     let rounds = schedules.iter().map(Vec::len).max().unwrap_or(0);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C_0B41u64 ^ (epoch as u64) << 8);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C_0B41u64 ^ u64_of_usize(epoch) << 8);
 
     let mut total_loss = 0.0f64;
     let mut total_batches = 0usize;
@@ -151,7 +152,7 @@ pub fn local_sgd_epoch(
     let mut opts: Vec<dist_support::SgdBox> =
         (0..k).map(|_| dist_support::SgdBox::new(lr)).collect();
     let mut schedules: Vec<Vec<Vec<VId>>> = Vec::with_capacity(k);
-    for w in 0..k as u32 {
+    for w in 0..u32_of_index(k) {
         let train_w: Vec<VId> = graph
             .train_vertices()
             .into_iter()
@@ -160,11 +161,11 @@ pub fn local_sgd_epoch(
         schedules.push(if train_w.is_empty() {
             Vec::new()
         } else {
-            BatchSelection::Random.select(&train_w, batch_size, seed ^ ((w as u64) << 32), epoch)
+            BatchSelection::Random.select(&train_w, batch_size, seed ^ (u64_of_u32(w) << 32), epoch)
         });
     }
     let rounds = schedules.iter().map(Vec::len).max().unwrap_or(0);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_15D6u64 ^ (epoch as u64) << 8);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA_15D6u64 ^ u64_of_usize(epoch) << 8);
     let mut total_loss = 0.0f64;
     let mut total_batches = 0usize;
     let mut syncs = 0usize;
@@ -187,7 +188,7 @@ pub fn local_sgd_epoch(
             syncs += 1;
         }
     }
-    // lint:allow(P001) replicas has one entry per worker and workers >= 1 is asserted on entry
+    // lint:allow(P001, U001) replicas has one entry per worker and workers >= 1 is asserted on entry
     *model = replicas.into_iter().next().expect("at least one replica");
     (
         if total_batches == 0 { 0.0 } else { (total_loss / total_batches as f64) as f32 },

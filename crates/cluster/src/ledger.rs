@@ -15,6 +15,7 @@
 //! [`comm_ledger_from_spans`] rebuild the exact counters from the
 //! timeline (pinned equal in `tests/trace_goldens.rs`).
 
+use gnn_dm_trace::convert::usize_of_u32;
 use gnn_dm_trace::{Resource, SpanKind, Timeline};
 
 /// A borrowed view over `C` per-worker counter columns — the shared
@@ -179,7 +180,7 @@ pub fn compute_ledger_from_spans(tl: &Timeline, k: usize) -> ComputeLedger {
     let mut led = ComputeLedger::new(k);
     for s in tl.spans() {
         let w = match s.resource {
-            Resource::WorkerCpu(w) | Resource::WorkerGpu(w) => w as usize,
+            Resource::WorkerCpu(w) | Resource::WorkerGpu(w) => usize_of_u32(w),
             _ => continue,
         };
         if w >= k {
@@ -202,7 +203,7 @@ pub fn comm_ledger_from_spans(tl: &Timeline, k: usize) -> CommLedger {
     let mut led = CommLedger::new(k);
     for s in tl.spans() {
         let Resource::WorkerNic(w) = s.resource else { continue };
-        let w = w as usize;
+        let w = usize_of_u32(w);
         if w >= k {
             continue;
         }
@@ -220,7 +221,7 @@ fn imbalance_u64(xs: &[u64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
-    let max = *xs.iter().max().unwrap() as f64; // lint:allow(P001) xs checked non-empty above
+    let max = xs.iter().max().copied().unwrap_or(0) as f64;
     let avg = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
     if avg == 0.0 {
         if max == 0.0 {

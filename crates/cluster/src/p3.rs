@@ -15,6 +15,7 @@
 
 use crate::sim::ClusterSim;
 use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
+use gnn_dm_trace::convert::{u32_of_index, u64_of_f64_model, u64_of_u32, u64_of_usize};
 use gnn_dm_sampling::BatchSelection;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,13 +54,13 @@ pub fn compare_epoch(
     epoch: usize,
 ) -> P3Comparison {
     let k = sim.part.k;
-    let feat_bytes = sim.graph.features.row_bytes() as u64;
-    let act_bytes = (hidden * std::mem::size_of::<f32>()) as u64;
+    let feat_bytes = u64_of_usize(sim.graph.features.row_bytes());
+    let act_bytes = u64_of_usize(hidden * std::mem::size_of::<f32>());
     let ring = 2.0 * (k as f64 - 1.0) / k as f64;
 
     let mut dp_bytes = 0u64;
     let mut p3_bytes = 0u64;
-    for w in 0..k as u32 {
+    for w in 0..u32_of_index(k) {
         let train_w = sim.local_train(w);
         if train_w.is_empty() {
             continue;
@@ -67,22 +68,22 @@ pub fn compare_epoch(
         let batches = BatchSelection::Random.select(
             &train_w,
             sim.batch_size,
-            sim.seed ^ (w as u64) << 32,
+            sim.seed ^ u64_of_u32(w) << 32,
             epoch,
         );
         let mut rng = StdRng::seed_from_u64(
-            sim.seed ^ 0xC0FF_EE00u64 ^ ((w as u64) << 40) ^ (epoch as u64),
+            sim.seed ^ 0xC0FF_EE00u64 ^ (u64_of_u32(w) << 40) ^ u64_of_usize(epoch),
         );
         for seeds in batches {
             let mb = build_minibatch(&sim.graph.inn, &seeds, sampler, &mut rng);
             // Data parallel: every remote input vertex's raw features move.
             let remote_inputs =
-                mb.input_ids().iter().filter(|&&v| !sim.part.is_local(w, v)).count() as u64;
+                u64_of_usize(mb.input_ids().iter().filter(|&&v| !sim.part.is_local(w, v)).count());
             dp_bytes += remote_inputs * feat_bytes;
             // P3: layer-1 destinations' partial activations are
             // all-reduced across the k feature slices.
-            let layer1_dsts = mb.blocks[0].num_dst() as u64;
-            p3_bytes += (layer1_dsts as f64 * act_bytes as f64 * ring) as u64;
+            let layer1_dsts = u64_of_usize(mb.blocks[0].num_dst());
+            p3_bytes += u64_of_f64_model(layer1_dsts as f64 * act_bytes as f64 * ring);
         }
     }
     P3Comparison { data_parallel_bytes: dp_bytes, p3_bytes, hidden }

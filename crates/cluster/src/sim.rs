@@ -33,6 +33,7 @@ use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
 use gnn_dm_sampling::BatchSelection;
+use gnn_dm_trace::convert::{u32_of_index, u64_of_u32, u64_of_usize, usize_of_u32};
 use gnn_dm_trace::{Pending, Resource, SpanKind, SpanMeta, Timeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,7 +138,7 @@ impl<'g> ClusterSim<'g> {
         epoch: usize,
     ) -> (EpochLoadReport, Timeline) {
         let k = self.part.k;
-        let workers: Vec<u32> = (0..k as u32).collect();
+        let workers: Vec<u32> = (0..u32_of_index(k)).collect();
         let partials =
             gnn_dm_par::par_map_collect(&workers, |_, &w| self.simulate_worker(sampler, epoch, w));
         let mut report = EpochLoadReport {
@@ -181,7 +182,7 @@ impl<'g> ClusterSim<'g> {
         w: u32,
     ) -> (EpochLoadReport, Vec<Pending>) {
         let k = self.part.k;
-        let row_bytes = self.graph.features.row_bytes() as u64;
+        let row_bytes = u64_of_usize(self.graph.features.row_bytes());
         let mut compute = ComputeLedger::new(k);
         let mut comm = CommLedger::new(k);
         let mut num_batches = vec![0usize; k];
@@ -193,12 +194,12 @@ impl<'g> ClusterSim<'g> {
             let batches = BatchSelection::Random.select(
                 &train_w,
                 self.batch_size,
-                self.seed ^ (w as u64) << 32,
+                self.seed ^ u64_of_u32(w) << 32,
                 epoch,
             );
-            num_batches[w as usize] = batches.len();
+            num_batches[usize_of_u32(w)] = batches.len();
             let mut rng = StdRng::seed_from_u64(
-                self.seed ^ 0xC0FF_EE00u64 ^ ((w as u64) << 40) ^ (epoch as u64),
+                self.seed ^ 0xC0FF_EE00u64 ^ (u64_of_u32(w) << 40) ^ u64_of_usize(epoch),
             );
             for (b_idx, seeds) in batches.into_iter().enumerate() {
                 let mb = build_minibatch(&self.graph.inn, &seeds, sampler, &mut rng);
@@ -212,14 +213,14 @@ impl<'g> ClusterSim<'g> {
                 for block in &mb.blocks {
                     let degs = block.dst_in_degrees();
                     for (d_local, &d) in block.dst_ids.iter().enumerate() {
-                        let edges = degs[d_local] as u64;
+                        let edges = u64_of_u32(degs[d_local]);
                         if edges == 0 {
                             continue;
                         }
                         if self.part.is_local(w, d) {
                             local_edges += edges;
                         } else {
-                            let owner = self.part.part_of(d) as usize;
+                            let owner = usize_of_u32(self.part.part_of(d));
                             remote_edges[owner] += edges;
                             let bytes = edges * BYTES_PER_SAMPLED_EDGE;
                             subgraph_bytes[owner] += bytes;
@@ -230,23 +231,23 @@ impl<'g> ClusterSim<'g> {
                 // Feature fetches for non-local input vertices.
                 for &v in mb.input_ids() {
                     if !self.part.is_local(w, v) {
-                        let owner = self.part.part_of(v) as usize;
+                        let owner = usize_of_u32(self.part.part_of(v));
                         feature_bytes[owner] += row_bytes;
                         recv_bytes += row_bytes;
                     }
                 }
-                let agg_edges = mb.involved_edges() as u64;
-                input_vertices[w as usize] += mb.involved_vertices() as u64;
+                let agg_edges = u64_of_usize(mb.involved_edges());
+                input_vertices[usize_of_u32(w)] += u64_of_usize(mb.involved_vertices());
 
                 // Fold the batch into the ledgers...
-                compute.local_sample_edges[w as usize] += local_edges;
+                compute.local_sample_edges[usize_of_u32(w)] += local_edges;
                 for o in 0..k {
                     compute.remote_sample_edges[o] += remote_edges[o];
                     comm.subgraph_bytes_sent[o] += subgraph_bytes[o];
                     comm.feature_bytes_sent[o] += feature_bytes[o];
                 }
-                comm.bytes_received[w as usize] += recv_bytes;
-                compute.aggregation_edges[w as usize] += agg_edges;
+                comm.bytes_received[usize_of_u32(w)] += recv_bytes;
+                compute.aggregation_edges[usize_of_u32(w)] += agg_edges;
 
                 // ...and emit the same quantities as accounting spans.
                 let meta = |edges: u64, bytes: u64| SpanMeta { bytes, edges, batch, worker: Some(w) };
@@ -257,7 +258,7 @@ impl<'g> ClusterSim<'g> {
                 };
                 emit(Resource::WorkerCpu(w), SpanKind::LocalSample, local_edges, 0);
                 for o in 0..k {
-                    let ow = o as u32;
+                    let ow = u32_of_index(o);
                     emit(Resource::WorkerCpu(ow), SpanKind::RemoteSample, remote_edges[o], 0);
                     emit(Resource::WorkerNic(ow), SpanKind::SubgraphSend, 0, subgraph_bytes[o]);
                     emit(Resource::WorkerNic(ow), SpanKind::FeatureSend, 0, feature_bytes[o]);
@@ -295,7 +296,7 @@ impl<'g> ClusterSim<'g> {
                 * (tm.feat_dim + tm.hidden) as f64
                 * 2.0;
             let nn_t = tm.gpu.seconds_for_flops(flops);
-            let wid = w as u32;
+            let wid = u32_of_index(w);
             let worker = Some(wid);
             let s_end = tl.schedule(
                 Resource::WorkerCpu(wid),
@@ -332,7 +333,7 @@ impl<'g> ClusterSim<'g> {
             worst,
             dur,
             SpanMeta {
-                bytes: tm.param_bytes * sync_rounds as u64,
+                bytes: tm.param_bytes * u64_of_usize(sync_rounds),
                 ..SpanMeta::default()
             },
         );

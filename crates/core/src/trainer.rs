@@ -247,7 +247,7 @@ impl<'g> HeteroTrainer<'g> {
             sampler: &sampler,
             seed: self.cfg.seed,
         };
-        // lint:allow(P001) the graph always has train vertices, so an epoch has >= 1 batch
+        // lint:allow(P001, U001) the graph always has train vertices, so an epoch has >= 1 batch
         let mb = plan.batches(epoch).into_iter().next().expect("at least one batch");
         let row_bytes = self.graph.features.row_bytes();
         let n = self.graph.num_vertices();

@@ -7,6 +7,7 @@
 //! activity in 256 KB units, following Pytorch-direct [30].
 
 use gnn_dm_graph::csr::VId;
+use gnn_dm_trace::convert::usize_of_u32;
 
 /// Default block size used by the paper (256 KB).
 pub const PAPER_BLOCK_BYTES: usize = 256 * 1024;
@@ -37,7 +38,7 @@ pub fn block_activity(ids: &[VId], n: usize, row_bytes: usize, block_bytes: usiz
     let mut active = vec![0u32; num_blocks];
     let mut seen = vec![false; n];
     for &v in ids {
-        let vi = v as usize;
+        let vi = usize_of_u32(v);
         assert!(vi < n, "row id {v} out of range for {n} rows");
         if !seen[vi] {
             seen[vi] = true;
@@ -88,7 +89,7 @@ impl BlockActivity {
 
     /// Total active rows across blocks.
     pub fn total_active(&self) -> usize {
-        self.active.iter().map(|&a| a as usize).sum()
+        self.active.iter().map(|&a| usize_of_u32(a)).sum()
     }
 }
 

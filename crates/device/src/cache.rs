@@ -13,6 +13,7 @@
 
 use gnn_dm_graph::csr::{Csr, VId};
 use gnn_dm_sampling::epoch::AccessTracker;
+use gnn_dm_trace::convert::{u32_of_index, usize_of_u32};
 
 /// Which ranking decides cache residency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +62,7 @@ impl FeatureCache {
     /// highest-out-degree vertices.
     pub fn degree_based(out_csr: &Csr, capacity_rows: usize) -> Self {
         let n = out_csr.num_vertices();
-        let mut order: Vec<VId> = (0..n as u32).collect();
+        let mut order: Vec<VId> = (0..u32_of_index(n)).collect();
         order.sort_by(|&a, &b| {
             out_csr.degree(b).cmp(&out_csr.degree(a)).then(a.cmp(&b))
         });
@@ -78,7 +79,7 @@ impl FeatureCache {
     pub fn from_ranking(ranking: &[VId], n: usize, capacity_rows: usize) -> Self {
         let mut cached = vec![false; n];
         for &v in ranking.iter().take(capacity_rows) {
-            cached[v as usize] = true;
+            cached[usize_of_u32(v)] = true;
         }
         FeatureCache { cached, capacity_rows: capacity_rows.min(n), hits: 0, misses: 0 }
     }
@@ -91,7 +92,7 @@ impl FeatureCache {
     /// `true` if `v`'s features are cached.
     #[inline]
     pub fn contains(&self, v: VId) -> bool {
-        self.cached[v as usize]
+        self.cached[usize_of_u32(v)]
     }
 
     /// Filters a batch's feature accesses: returns the ids that **miss**
@@ -99,7 +100,7 @@ impl FeatureCache {
     pub fn filter_misses(&mut self, ids: &[VId]) -> Vec<VId> {
         let mut misses = Vec::with_capacity(ids.len());
         for &v in ids {
-            if self.cached[v as usize] {
+            if self.cached[usize_of_u32(v)] {
                 self.hits += 1;
             } else {
                 self.misses += 1;

@@ -5,6 +5,8 @@
 //! This module turns a memory budget into a cache capacity in rows, the
 //! knob Figure 17 sweeps as "cache ratio".
 
+use gnn_dm_trace::convert::{u64_of_usize, usize_of_f64_model, usize_of_u64_sat};
+
 /// A device memory budget, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceMemory {
@@ -35,14 +37,14 @@ impl DeviceMemory {
     /// How many feature rows fit in the cache budget.
     pub fn cache_capacity_rows(&self, row_bytes: usize) -> usize {
         assert!(row_bytes > 0, "row_bytes must be positive");
-        (self.cache_budget() / row_bytes as u64) as usize
+        usize_of_u64_sat(self.cache_budget() / u64_of_usize(row_bytes))
     }
 
     /// Rows needed to cache `ratio` of an `n`-vertex feature table —
     /// Figure 17's x-axis, clamped to what memory allows.
     pub fn rows_for_ratio(&self, n: usize, row_bytes: usize, ratio: f64) -> usize {
         assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
-        let want = (n as f64 * ratio).round() as usize;
+        let want = usize_of_f64_model((n as f64 * ratio).round());
         want.min(self.cache_capacity_rows(row_bytes))
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::blocks::BlockActivity;
 use crate::link::LinkModel;
+use gnn_dm_trace::convert::{u64_of_u32, u64_of_usize};
 
 /// The transfer workload of one mini-batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +32,7 @@ pub struct BatchTransfer {
 impl BatchTransfer {
     /// Total feature bytes.
     pub fn feature_bytes(&self) -> u64 {
-        (self.rows * self.row_bytes) as u64
+        u64_of_usize(self.rows * self.row_bytes)
     }
 }
 
@@ -137,7 +138,7 @@ impl TransferEngine {
             TransferMethod::ZeroCopy => self.time_zero_copy(batch),
             TransferMethod::Hybrid { threshold } => self.time_hybrid(
                 batch,
-                // lint:allow(P001) documented precondition: the `# Panics` doc requires activity
+                // lint:allow(P001, U001) documented precondition: the `# Panics` doc requires activity
                 activity.expect("hybrid transfer needs block activity"),
                 threshold,
             ),
@@ -180,16 +181,16 @@ impl TransferEngine {
                 continue;
             }
             if activity.active_fraction(b) >= threshold {
-                explicit_rows_active += activity.active[b] as u64;
-                explicit_rows_total += activity.rows_in_block(b) as u64;
+                explicit_rows_active += u64_of_u32(activity.active[b]);
+                explicit_rows_total += u64_of_usize(activity.rows_in_block(b));
             } else {
-                zc_rows += activity.active[b] as u64;
+                zc_rows += u64_of_u32(activity.active[b]);
             }
         }
         let gather_sec = explicit_rows_active as f64 * row_bytes / self.gather_bandwidth
             + explicit_rows_active as f64 * self.gather_row_overhead;
-        let explicit_bytes = (explicit_rows_total as f64 * row_bytes) as u64;
-        let zc_bytes = (zc_rows as f64 * row_bytes) as u64;
+        let explicit_bytes = explicit_rows_total * u64_of_usize(batch.row_bytes);
+        let zc_bytes = zc_rows * u64_of_usize(batch.row_bytes);
         let zc = self.zero_copy_link();
         let link_sec = self.pcie.transfer_time(explicit_bytes + batch.topo_bytes)
             + zc.transfer_time(zc_bytes);

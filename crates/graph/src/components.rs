@@ -83,7 +83,7 @@ pub fn largest_component(csr: &Csr) -> Vec<VId> {
     for &c in &comp {
         sizes[c as usize] += 1;
     }
-    let biggest = (0..k).max_by_key(|&c| sizes[c]).unwrap() as u32; // lint:allow(P001) k > 0 checked above
+    let biggest = (0..k).max_by_key(|&c| sizes[c]).unwrap_or(0) as u32;
     (0..csr.num_vertices() as u32).filter(|&v| comp[v as usize] == biggest).collect()
 }
 

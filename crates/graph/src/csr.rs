@@ -72,8 +72,7 @@ impl Csr {
     pub fn from_parts(offsets: Vec<usize>, targets: Vec<VId>) -> Self {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
         assert_eq!(offsets[0], 0, "offsets[0] must be 0");
-        // lint:allow(P001) last() exists: non-emptiness asserted one line up, fn documents its panics
-        assert_eq!(*offsets.last().unwrap(), targets.len(), "offsets must end at targets.len()");
+        assert_eq!(offsets.last().copied(), Some(targets.len()), "offsets must end at targets.len()");
         assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
         let csr = Csr { offsets, targets };
         for v in 0..csr.num_vertices() {

@@ -77,7 +77,7 @@ impl WeightedSampler {
 
     /// Draws one item proportionally to its weight.
     pub fn sample(&self, rng: &mut impl Rng) -> VId {
-        let total = *self.cumulative.last().unwrap(); // lint:allow(P001) constructor rejects empty item sets
+        let total = self.cumulative.last().copied().unwrap_or(0.0);
         let x = rng.random::<f64>() * total;
         let idx = self.cumulative.partition_point(|&c| c <= x).min(self.items.len() - 1);
         self.items[idx]

@@ -1,0 +1,506 @@
+//! A lightweight *item* parser over the token stream.
+//!
+//! The semantic rules (L001's layering check, the workspace symbol table)
+//! need to know **what a file declares** — functions, types, traits, impls
+//! and `use` imports, with their spans and visibility — but not full Rust
+//! semantics. This parser recovers exactly that from [`crate::tokenizer`]'s
+//! output. Like the tokenizer it is *total*: any byte sequence produces a
+//! (possibly empty) item list, never a panic, so it is safe to run on
+//! arbitrary files.
+//!
+//! Heuristics are deliberately shallow and err towards silence: a keyword
+//! is only treated as an item head when it sits in item position (after
+//! `;`, a brace, an attribute, or declaration modifiers), which filters out
+//! `-> impl Trait`, `fn(u32)` pointer types, `*const T` and friends.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// What kind of declaration an [`Item`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free function or method).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `trait`.
+    Trait,
+    /// `impl` block (name = the implemented-for type).
+    Impl,
+    /// `mod` declaration or block.
+    Mod,
+    /// `use` import (name = the full path, `::`-joined).
+    Use,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static,
+    /// `type` alias (including associated types).
+    TypeAlias,
+}
+
+/// One declared item with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Declaration kind.
+    pub kind: ItemKind,
+    /// Declared name. For [`ItemKind::Use`] this is the imported path
+    /// (e.g. `gnn_dm_graph::csr::Csr`); for [`ItemKind::Impl`] the type
+    /// the block implements for.
+    pub name: String,
+    /// True when declared `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// 1-based line of the item keyword.
+    pub line: usize,
+    /// 1-based line of the item's closing `}` or terminating `;` (equal to
+    /// `line` for items that end on the same line; `line` if the file ends
+    /// mid-item).
+    pub end_line: usize,
+    /// Brace depth the item was declared at (0 = file top level).
+    pub depth: usize,
+}
+
+/// Declaration modifiers that may precede an item keyword.
+const MODIFIERS: &[&str] = &["pub", "unsafe", "async", "extern", "default", "const"];
+
+/// Maps an item keyword to its [`ItemKind`]; `None` for every other word.
+fn keyword_kind(word: &str) -> Option<ItemKind> {
+    Some(match word {
+        "fn" => ItemKind::Fn,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "trait" => ItemKind::Trait,
+        "impl" => ItemKind::Impl,
+        "mod" => ItemKind::Mod,
+        "use" => ItemKind::Use,
+        "const" => ItemKind::Const,
+        "static" => ItemKind::Static,
+        "type" => ItemKind::TypeAlias,
+        _ => return None,
+    })
+}
+
+/// Parses the item list out of a lexed token stream. Total: any input
+/// yields a result, unrecognized constructs are skipped.
+pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
+    let mut items: Vec<Item> = Vec::new();
+    // Indices into `items` for brace-delimited items still awaiting their
+    // closing brace, with the depth their body opened at.
+    let mut open: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    while let Some(&(idx, d)) = open.last() {
+                        if d > depth {
+                            items[idx].end_line = t.line;
+                            open.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        let kind = if t.kind == TokenKind::Ident { keyword_kind(&t.text) } else { None };
+        let Some(kind) = kind else {
+            i += 1;
+            continue;
+        };
+        // `const` directly before `fn` is a modifier, not an item head.
+        if kind == ItemKind::Const
+            && matches!(tokens.get(i + 1), Some(n) if n.kind == TokenKind::Ident && n.text == "fn")
+        {
+            i += 1;
+            continue;
+        }
+        if !in_item_position(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let (name, after_name) = match kind {
+            ItemKind::Use => use_path(tokens, i + 1),
+            ItemKind::Impl => impl_name(tokens, i + 1),
+            _ => plain_name(tokens, i + 1),
+        };
+        let Some(name) = name else {
+            // Nameless construct (`fn(u32)` pointer type, `impl Trait` in
+            // type position that slipped the position filter, …): skip.
+            i += 1;
+            continue;
+        };
+        // Walk from the name to the item's body `{` or terminator `;`,
+        // skipping balanced (), <> and [] groups (params, generics, where
+        // clauses can contain braces only inside nested items, which the
+        // outer scan handles anyway).
+        let mut j = after_name;
+        let mut ended_at: Option<usize> = None;
+        let mut body = false;
+        while j < tokens.len() {
+            let tj = &tokens[j];
+            if tj.kind == TokenKind::Op {
+                match tj.text.as_str() {
+                    ";" => {
+                        ended_at = Some(tj.line);
+                        break;
+                    }
+                    "=" if kind != ItemKind::Impl => {
+                        // `const X: T = …;` / `type A = …;`: scan on to `;`.
+                    }
+                    "{" => {
+                        body = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let idx = items.len();
+        items.push(Item {
+            kind,
+            name,
+            is_pub: has_pub_modifier(tokens, i),
+            line: t.line,
+            end_line: ended_at.unwrap_or(t.line),
+            depth,
+        });
+        if body {
+            // Body opens at `j`; the `{` itself is processed on the next
+            // loop iteration, so register with the depth it will create.
+            open.push((idx, depth + 1));
+            i = j;
+        } else {
+            i = j.max(i + 1);
+        }
+    }
+    items
+}
+
+/// True when the keyword at `tokens[i]` sits in item position: walking back
+/// through declaration modifiers (and `pub(crate)`-style groups), the
+/// preceding token is a statement boundary (`;`, `{`, `}`, an attribute's
+/// `]`), or the file start.
+fn in_item_position(tokens: &[Token], i: usize) -> bool {
+    let mut k = i;
+    loop {
+        if k == 0 {
+            return true;
+        }
+        let p = &tokens[k - 1];
+        match p.kind {
+            TokenKind::Ident if MODIFIERS.contains(&p.text.as_str()) => k -= 1,
+            // `extern "C" fn`: the ABI string rides between modifiers.
+            TokenKind::Str => k -= 1,
+            TokenKind::Op if p.text == ")" => {
+                // Possibly a `pub(crate)` / `pub(in path)` group: walk to
+                // its `(` and require `pub` before it.
+                let mut d = 1usize;
+                let mut m = k - 1;
+                while m > 0 && d > 0 {
+                    m -= 1;
+                    match (tokens[m].kind, tokens[m].text.as_str()) {
+                        (TokenKind::Op, ")") => d += 1,
+                        (TokenKind::Op, "(") => d -= 1,
+                        _ => {}
+                    }
+                }
+                if d == 0
+                    && m > 0
+                    && tokens[m - 1].kind == TokenKind::Ident
+                    && tokens[m - 1].text == "pub"
+                {
+                    k = m; // continue walking back from before the `(`
+                } else {
+                    return false;
+                }
+            }
+            TokenKind::Op if matches!(p.text.as_str(), ";" | "{" | "}" | "]") => return true,
+            _ => return false,
+        }
+    }
+}
+
+/// True when the declaration at `tokens[i]` carries a `pub` modifier.
+fn has_pub_modifier(tokens: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        let p = &tokens[k - 1];
+        match p.kind {
+            TokenKind::Ident if p.text == "pub" => return true,
+            TokenKind::Ident if MODIFIERS.contains(&p.text.as_str()) => k -= 1,
+            TokenKind::Str => k -= 1,
+            TokenKind::Op if p.text == ")" => {
+                let mut d = 1usize;
+                let mut m = k - 1;
+                while m > 0 && d > 0 {
+                    m -= 1;
+                    match (tokens[m].kind, tokens[m].text.as_str()) {
+                        (TokenKind::Op, ")") => d += 1,
+                        (TokenKind::Op, "(") => d -= 1,
+                        _ => {}
+                    }
+                }
+                if d == 0
+                    && m > 0
+                    && tokens[m - 1].kind == TokenKind::Ident
+                    && tokens[m - 1].text == "pub"
+                {
+                    return true;
+                }
+                return false;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Name of a plain item: the first identifier after the keyword.
+/// Returns `(name, index after the name)`.
+fn plain_name(tokens: &[Token], from: usize) -> (Option<String>, usize) {
+    match tokens.get(from) {
+        Some(t) if t.kind == TokenKind::Ident => (Some(t.text.clone()), from + 1),
+        _ => (None, from),
+    }
+}
+
+/// Path of a `use` item: identifiers and `::` joined up to `;`, `{`
+/// (grouped import — the common prefix is the interesting part), or `as`.
+fn use_path(tokens: &[Token], from: usize) -> (Option<String>, usize) {
+    let mut path = String::new();
+    let mut j = from;
+    while let Some(t) = tokens.get(j) {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, ";" | "{") => break,
+            (TokenKind::Ident, "as") => break,
+            (TokenKind::Ident, id) => path.push_str(id),
+            (TokenKind::Op, "::") => path.push_str("::"),
+            (TokenKind::Op, "*") => path.push('*'),
+            _ => break,
+        }
+        j += 1;
+    }
+    if path.is_empty() {
+        (None, j)
+    } else {
+        (Some(path), j)
+    }
+}
+
+/// Name of an `impl` block: the last path segment of the implemented-for
+/// type — after `for` when present (`impl Trait for Type`), otherwise the
+/// head type (`impl Type`). Generics are skipped.
+fn impl_name(tokens: &[Token], from: usize) -> (Option<String>, usize) {
+    let mut j = from;
+    // Skip the generic parameter list `<…>` if present.
+    if matches!(tokens.get(j), Some(t) if t.kind == TokenKind::Op && t.text == "<") {
+        let mut d = 1usize;
+        j += 1;
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokenKind::Op {
+                match t.text.as_str() {
+                    "<" => d += 1,
+                    ">" => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    ">>" => {
+                        d = d.saturating_sub(2);
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect idents up to `{` / `where`, remembering the segment after
+    // `for` when one appears. Nested `<…>` groups (`Holder<T>`) are
+    // skipped so type arguments don't shadow the type name.
+    let mut last: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while let Some(t) = tokens.get(j) {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, "{") | (TokenKind::Op, ";") => break,
+            (TokenKind::Op, "<") => {
+                let mut d = 1usize;
+                j += 1;
+                while let Some(g) = tokens.get(j) {
+                    if g.kind == TokenKind::Op {
+                        match g.text.as_str() {
+                            "<" => d += 1,
+                            ">" => d -= 1,
+                            ">>" => d = d.saturating_sub(2),
+                            _ => {}
+                        }
+                    }
+                    if d == 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            (TokenKind::Ident, "where") => break,
+            (TokenKind::Ident, "for") => saw_for = true,
+            (TokenKind::Ident, id) => {
+                if saw_for {
+                    after_for = Some(id.to_string());
+                } else {
+                    last = Some(id.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (after_for.or(last), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::lex;
+
+    fn items_of(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn recognizes_every_item_kind() {
+        let src = "\
+pub fn f() {}\n\
+struct S { x: u32 }\n\
+pub enum E { A, B }\n\
+trait T { fn m(&self); }\n\
+impl T for S { fn m(&self) {} }\n\
+mod inner { pub use std::mem; }\n\
+use gnn_dm_graph::csr::Csr;\n\
+pub const N: usize = 3;\n\
+static G: u8 = 0;\n\
+type Alias = u32;\n";
+        let its = items_of(src);
+        let kinds: Vec<ItemKind> = its.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Fn,
+                ItemKind::Struct,
+                ItemKind::Enum,
+                ItemKind::Trait,
+                ItemKind::Fn, // trait method
+                ItemKind::Impl,
+                ItemKind::Fn, // impl method
+                ItemKind::Mod,
+                ItemKind::Use,
+                ItemKind::Use,
+                ItemKind::Const,
+                ItemKind::Static,
+                ItemKind::TypeAlias,
+            ]
+        );
+        let by_name = |n: &str| {
+            its.iter()
+                .find(|i| i.name == n)
+                .unwrap_or_else(|| panic!("item {n} missing"))
+        };
+        assert!(by_name("f").is_pub && by_name("f").line == 1);
+        assert!(!by_name("S").is_pub);
+        assert_eq!(by_name("gnn_dm_graph::csr::Csr").kind, ItemKind::Use);
+        assert_eq!(by_name("Alias").kind, ItemKind::TypeAlias);
+    }
+
+    #[test]
+    fn spans_cover_bodies() {
+        let src = "pub fn long() {\n    let x = 1;\n    x;\n}\nfn next() {}\n";
+        let its = items_of(src);
+        assert_eq!(its[0].name, "long");
+        assert_eq!((its[0].line, its[0].end_line), (1, 4));
+        assert_eq!((its[1].line, its[1].end_line), (5, 5));
+    }
+
+    #[test]
+    fn nested_items_carry_depth() {
+        let src = "mod m {\n    pub fn inner() {}\n}\nfn outer() {}\n";
+        let its = items_of(src);
+        assert_eq!(its[0].kind, ItemKind::Mod);
+        assert_eq!(its[0].end_line, 3);
+        assert_eq!(its[1].name, "inner");
+        assert_eq!(its[1].depth, 1);
+        assert_eq!(its[2].name, "outer");
+        assert_eq!(its[2].depth, 0);
+    }
+
+    #[test]
+    fn type_positions_are_not_items() {
+        // `fn` pointer type, `-> impl Trait`, `*const T`, `&dyn Fn` — none
+        // of these declare an item beyond the outer function.
+        let src = "pub fn f(cb: fn(u32) -> u32, p: *const u8) -> impl Iterator<Item = u32> { (0..3).map(move |x| cb(x)) }\n";
+        let its = items_of(src);
+        assert_eq!(its.len(), 1);
+        assert_eq!(its[0].name, "f");
+    }
+
+    #[test]
+    fn const_fn_is_a_fn() {
+        let its = items_of("pub const fn cf() -> u32 { 1 }\nconst K: u32 = 2;\n");
+        assert_eq!(its[0].kind, ItemKind::Fn);
+        assert_eq!(its[0].name, "cf");
+        assert!(its[0].is_pub);
+        assert_eq!(its[1].kind, ItemKind::Const);
+        assert_eq!(its[1].name, "K");
+    }
+
+    #[test]
+    fn pub_crate_visibility_counts_as_pub() {
+        let its = items_of("pub(crate) fn g() {}\n#[inline]\npub fn h() {}\n");
+        assert!(its[0].is_pub && its[0].name == "g");
+        assert!(its[1].is_pub && its[1].name == "h");
+    }
+
+    #[test]
+    fn impl_names_use_the_implemented_type() {
+        let its = items_of(
+            "impl Timeline {}\nimpl fmt::Display for Timeline {}\nimpl<T: Clone> Holder<T> {}\n",
+        );
+        assert_eq!(its[0].name, "Timeline");
+        assert_eq!(its[1].name, "Timeline");
+        assert_eq!(its[2].name, "Holder");
+    }
+
+    #[test]
+    fn use_groups_and_renames_keep_the_prefix() {
+        let its = items_of("use gnn_dm_par::{par_map_collect, split_seed};\nuse std::fmt::Write as _;\n");
+        assert_eq!(its[0].name, "gnn_dm_par::");
+        assert_eq!(its[1].name, "std::fmt::Write");
+    }
+
+    #[test]
+    fn total_on_garbage_input() {
+        for src in [
+            "", "}}}", "{{{", "fn", "pub", "use ;;", "impl<<", "struct 1.5", "€🦀 fn ü() {}",
+            "fn f( { ) }", "const", "type =",
+        ] {
+            let _ = items_of(src); // must not panic
+        }
+        // A non-ASCII identifier still parses as a name.
+        let its = items_of("fn übung() {}");
+        assert_eq!(its[0].name, "übung");
+    }
+}

@@ -10,8 +10,10 @@
 //!
 //! Run it directly with `cargo run -p gnn-dm-lint`.
 
+pub mod items;
 pub mod rules;
 pub mod tokenizer;
+pub mod workspace;
 
 pub use rules::{lint_source, Diagnostic};
 
@@ -48,6 +50,40 @@ impl Report {
         self.diagnostics.iter().filter(|d| d.rule == rule).count()
     }
 
+    /// Full machine-readable report: the summary fields plus every
+    /// diagnostic and read error, as one JSON object. Diagnostics appear
+    /// in report order (sorted by file, line, rule), so the output is
+    /// byte-stable across runs.
+    pub fn to_json(&self) -> String {
+        let diags: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                    json_str(&d.file),
+                    d.line,
+                    json_str(d.rule),
+                    json_str(&d.message)
+                )
+            })
+            .collect();
+        let errs: Vec<String> = self
+            .read_errors
+            .iter()
+            .map(|(f, e)| format!("{{\"file\":{},\"error\":{}}}", json_str(f), json_str(e)))
+            .collect();
+        let summary = self.summary_json();
+        // Splice the diagnostics/read_errors arrays into the summary object
+        // so both forms share one set of top-level fields.
+        format!(
+            "{},\"diagnostics\":[{}],\"read_errors\":[{}]}}",
+            &summary[..summary.len() - 1],
+            diags.join(","),
+            errs.join(",")
+        )
+    }
+
     /// Machine-readable one-line JSON summary:
     /// `{"files_scanned":N,"violations":N,"by_rule":{"D001":n,...}}`.
     pub fn summary_json(&self) -> String {
@@ -68,6 +104,25 @@ impl Report {
     }
 }
 
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Lints every workspace `.rs` file under `root`'s scan roots.
 pub fn lint_workspace(root: &Path) -> Report {
     let mut files = Vec::new();
@@ -86,6 +141,10 @@ pub fn lint_workspace(root: &Path) -> Report {
             Err(e) => report.read_errors.push((rel, e.to_string())),
         }
     }
+    // Workspace phase: manifests + symbol model on top of the per-file
+    // passes (L001's dependency-graph half).
+    let ws = workspace::Workspace::load(root);
+    report.diagnostics.extend(ws.check_manifests(workspace::ALLOWED_EDGES));
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -93,7 +152,7 @@ pub fn lint_workspace(root: &Path) -> Report {
 }
 
 /// Recursively gathers `.rs` files, skipping [`SKIP_DIRS`] and dotdirs.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else { return };
     for entry in entries.flatten() {
         let path = entry.path();
@@ -112,7 +171,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 
 /// Workspace-relative `/`-separated path (falls back to the full path if
 /// `file` is not under `root`).
-fn relative_path(root: &Path, file: &Path) -> String {
+pub(crate) fn relative_path(root: &Path, file: &Path) -> String {
     let rel = file.strip_prefix(root).unwrap_or(file);
     rel.components()
         .map(|c| c.as_os_str().to_string_lossy().into_owned())
@@ -141,6 +200,29 @@ mod tests {
         );
         assert!(!report.is_clean());
         assert_eq!(report.count("D001"), 2);
+    }
+
+    #[test]
+    fn full_json_escapes_and_nests() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "P001",
+                file: "a.rs".into(),
+                line: 4,
+                message: "avoid `panic!(\"boom\")`".into(),
+            }],
+            files_scanned: 1,
+            read_errors: vec![("b.rs".into(), "io\nerror".into())],
+        };
+        assert_eq!(
+            report.to_json(),
+            concat!(
+                "{\"files_scanned\":1,\"violations\":1,\"by_rule\":{\"P001\":1},",
+                "\"diagnostics\":[{\"file\":\"a.rs\",\"line\":4,\"rule\":\"P001\",",
+                "\"message\":\"avoid `panic!(\\\"boom\\\")`\"}],",
+                "\"read_errors\":[{\"file\":\"b.rs\",\"error\":\"io\\nerror\"}]}"
+            )
+        );
     }
 
     #[test]

@@ -1,30 +1,68 @@
-//! CLI entry point: `cargo run -p gnn-dm-lint [workspace-root]`.
+//! CLI entry point: `cargo run -p gnn-dm-lint -- [--format=text|json] [ROOT]`.
 //!
-//! Prints one `file:line [RULE] message` diagnostic per violation, then a
-//! one-line JSON summary on stdout. Exits non-zero when any rule fired.
+//! * `--format=text` (default) prints one `file:line [RULE] message` line
+//!   per diagnostic, then the one-line JSON summary.
+//! * `--format=json` prints a single JSON object with the summary fields
+//!   plus every diagnostic and read error — the form `scripts/check.sh`
+//!   consumes.
+//!
+//! Exit codes: `0` clean, `1` at least one diagnostic, `2` usage or I/O
+//! error (unknown flag, extra arguments, or no `.rs` files under ROOT).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: gnn-dm-lint [--format=text|json] [ROOT]";
+
 fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--format=text" => format = Format::Text,
+            "--format=json" => format = Format::Json,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("error: unknown flag `{arg}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("error: more than one ROOT argument\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // Default to the workspace root this crate was compiled in; an explicit
     // argument overrides (useful for linting a checkout from elsewhere).
-    let root = std::env::args().nth(1).map_or_else(
-        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
-        PathBuf::from,
-    );
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
     let report = gnn_dm_lint::lint_workspace(&root);
     if report.files_scanned == 0 {
         eprintln!("error: no .rs files found under {} — wrong workspace root?", root.display());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
-    for (file, err) in &report.read_errors {
-        eprintln!("warning: could not read {file}: {err}");
+    match format {
+        Format::Text => {
+            for (file, err) in &report.read_errors {
+                eprintln!("warning: could not read {file}: {err}");
+            }
+            for d in &report.diagnostics {
+                println!("{}:{} [{}] {}", d.file, d.line, d.rule, d.message);
+            }
+            println!("{}", report.summary_json());
+        }
+        Format::Json => println!("{}", report.to_json()),
     }
-    for d in &report.diagnostics {
-        println!("{}:{} [{}] {}", d.file, d.line, d.rule, d.message);
-    }
-    println!("{}", report.summary_json());
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {

@@ -72,6 +72,12 @@ const ASSERT_MACROS: &[&str] = &[
 /// Panic-family macros banned from library code (P001 scope).
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 
+/// Integer type names a narrowing-or-reinterpreting `as` cast can target
+/// (C001 scope). `as f64` widening for ratio math is not in scope.
+const INT_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
 /// What kind of file a path denotes, for rule scoping.
 #[derive(Debug, Clone)]
 pub struct FileCtx {
@@ -99,6 +105,9 @@ pub struct FileCtx {
     /// live), non-library code, and the cluster network module (a pure
     /// pricing helper the traced epoch replay is built on).
     pub cost_calls_allowed: bool,
+    /// True for crates whose integer arithmetic *is* the paper's byte and
+    /// edge accounting (C001 scope): `device`, `trace`, `cluster`.
+    pub accounting_crate: bool,
 }
 
 impl FileCtx {
@@ -132,9 +141,16 @@ impl FileCtx {
             cost_calls_allowed: in_crate("device")
                 || non_library
                 || rel == "crates/cluster/src/network.rs",
+            accounting_crate: in_crate("device") || in_crate("trace") || in_crate("cluster"),
             crate_dir,
             rel_path: rel,
         }
+    }
+
+    /// Key of this file's crate in the layering DAG: the `crates/` dir
+    /// name, or [`crate::workspace::ROOT_KEY`] for root-package files.
+    pub fn layer_key(&self) -> &str {
+        self.crate_dir.as_deref().unwrap_or(crate::workspace::ROOT_KEY)
     }
 }
 
@@ -151,10 +167,13 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     check_d002_hash_collections(&ctx, &lexed.tokens, &mut diags);
     check_d003_ambient_entropy(&ctx, &lexed.tokens, &mut diags);
     check_p001_panics(&ctx, &lexed.tokens, &in_test, &mut diags);
+    check_u001_unwraps(&ctx, &lexed.tokens, &in_test, &mut diags);
     check_a001_transfer_apis(&ctx, &lexed.tokens, &mut diags);
     check_a002_raw_cost_calls(&ctx, &lexed.tokens, &mut diags);
+    check_c001_narrowing_casts(&ctx, &lexed.tokens, &in_test, &mut diags);
     check_f001_float_eq(&ctx, &lexed.tokens, &mut diags);
     check_t001_raw_threads(&ctx, &lexed.tokens, &mut diags);
+    check_l001_layering(&ctx, &lexed.tokens, &mut diags);
 
     apply_suppressions(&ctx, &lexed, diags)
 }
@@ -347,6 +366,120 @@ fn check_p001_panics(
     }
 }
 
+/// U001 — `.unwrap()` / `.expect()` in *deterministic-crate* library code.
+/// Complement to P001's macro/abort focus: a deterministic pipeline that
+/// can still die on a `None` mid-epoch isn't reproducible, it's merely
+/// repeatable until the first edge case. Sites that are unreachable by
+/// construction carry `lint:allow(P001, U001) <invariant>`; everything
+/// else restructures (`unwrap_or`, `copied().unwrap_or`, `ok_or`) or
+/// returns a `Result`.
+fn check_u001_unwraps(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if ctx.non_library || !ctx.deterministic_crate {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_method = (t.text == "unwrap" || t.text == "expect")
+            && matches!(tokens.get(i.wrapping_sub(1)), Some(p) if p.text == "." && i > 0)
+            && matches!(tokens.get(i + 1), Some(n) if n.text == "(");
+        if is_method {
+            diags.push(Diagnostic {
+                rule: "U001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` in a deterministic crate's library code; restructure \
+                     (`unwrap_or`, `ok_or`, `Result`) or justify with \
+                     `lint:allow(P001, U001) <invariant>`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// C001 — `as <int>` casts in accounting crates (`device`, `trace`,
+/// `cluster`). The paper's conclusions are byte-accounting arguments; a
+/// silently-truncating `as usize`/`as u32` on a byte or edge counter turns
+/// an overflow into a wrong figure instead of an error. Counters widen (or
+/// saturate explicitly) through `gnn_dm_trace::convert`; `as f64` for
+/// ratio math stays out of scope.
+fn check_c001_narrowing_casts(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if ctx.non_library || !ctx.accounting_crate {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test.get(i).copied().unwrap_or(false) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text != "as" {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else { continue };
+        if target.kind == TokenKind::Ident && INT_CAST_TARGETS.contains(&target.text.as_str()) {
+            diags.push(Diagnostic {
+                rule: "C001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`as {}` on an accounting-crate counter can truncate silently; \
+                     use gnn_dm_trace::convert (guarded widening / explicit \
+                     saturation) or `try_into` with a ledger error",
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+/// L001 (source half) — a `gnn_dm_*` identifier in crate X's sources is an
+/// inter-crate edge; it must be a self-reference or an edge of the
+/// layering DAG ([`crate::workspace::ALLOWED_EDGES`], the table DESIGN.md
+/// §10 documents). The manifest half lives in
+/// [`crate::workspace::Workspace::check_manifests`].
+fn check_l001_layering(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnostic>) {
+    let from = ctx.layer_key();
+    for t in tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(to) = t.text.strip_prefix("gnn_dm_").filter(|r| !r.is_empty()) else {
+            continue;
+        };
+        if !crate::workspace::edge_allowed(from, to) {
+            let hint = if crate::workspace::allowed_deps(from).is_none() {
+                format!(
+                    "crate `{from}` is not in the layering DAG; add it to ALLOWED_EDGES \
+                     (crates/lint/src/workspace.rs) and DESIGN.md §10"
+                )
+            } else {
+                format!(
+                    "`{from}` → `{to}` is not an edge of the layering DAG; route through \
+                     an allowed layer or amend ALLOWED_EDGES and DESIGN.md §10 deliberately"
+                )
+            };
+            diags.push(Diagnostic {
+                rule: "L001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: hint,
+            });
+        }
+    }
+}
+
 /// A001 — raw host↔device transfer APIs outside `gnn-dm-device` bypass the
 /// transfer ledger, silently corrupting the paper's byte accounting
 /// (Figures 9/12 reproduce measured PCIe traffic).
@@ -486,8 +619,9 @@ fn check_f001_float_eq(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnost
     let _ = ctx;
 }
 
-/// Filters diagnostics through `lint:allow` suppressions and reports S001
-/// for suppressions that carry no justification. A suppression covers its
+/// Filters diagnostics through `lint:allow` suppressions, reports S001 for
+/// suppressions that carry no justification, and S002 for reasoned
+/// suppressions that no longer suppress anything. A suppression covers its
 /// own line and the next line that carries any token (so it works both as a
 /// trailing comment and as a comment on the line above the code).
 fn apply_suppressions(
@@ -498,6 +632,8 @@ fn apply_suppressions(
     let mut out = Vec::new();
     // (rule, line) pairs each suppression covers.
     let mut covered: Vec<(String, usize)> = Vec::new();
+    // (suppression line, rule) pairs awaiting a matching diagnostic (S002).
+    let mut reasoned: Vec<(usize, String, Vec<usize>)> = Vec::new();
     for sup in &lexed.suppressions {
         if sup.reason.is_empty() {
             out.push(Diagnostic {
@@ -515,11 +651,32 @@ fn apply_suppressions(
             .iter()
             .map(|t| t.line)
             .find(|&l| l > sup.line);
+        let lines: Vec<usize> = [Some(sup.line), next_token_line].into_iter().flatten().collect();
         for rule in &sup.rules {
-            covered.push((rule.clone(), sup.line));
-            if let Some(next) = next_token_line {
-                covered.push((rule.clone(), next));
+            for &line in &lines {
+                covered.push((rule.clone(), line));
             }
+            reasoned.push((sup.line, rule.clone(), lines.clone()));
+        }
+    }
+    // S002 — a reasoned `lint:allow(RULE)` that suppresses nothing is stale:
+    // either the site was fixed (delete the marker) or the marker names the
+    // wrong rule (so the real diagnostic is NOT being suppressed).
+    for (sup_line, rule, lines) in &reasoned {
+        let live = diags
+            .iter()
+            .any(|d| d.rule == rule && lines.contains(&d.line));
+        if !live {
+            out.push(Diagnostic {
+                rule: "S002",
+                file: ctx.rel_path.clone(),
+                line: *sup_line,
+                message: format!(
+                    "stale suppression: `lint:allow({rule})` here no longer \
+                     suppresses any {rule} diagnostic; delete it (or name the \
+                     rule that actually fires)"
+                ),
+            });
         }
     }
     for d in diags {
@@ -566,36 +723,110 @@ mod tests {
         let src = "fn lib() { let x: Option<u32> = None; }\n\
                    #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
         assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+        // In a deterministic crate an unwrap trips both P001 and U001.
         let bad = "fn lib(o: Option<u32>) -> u32 { o.unwrap() }\n";
-        assert_eq!(rules_fired("crates/core/src/x.rs", bad), vec!["P001"]);
+        assert_eq!(rules_fired("crates/core/src/x.rs", bad), vec!["P001", "U001"]);
+        // In a non-deterministic library crate only P001 applies.
+        assert_eq!(rules_fired("crates/nn/src/x.rs", bad), vec!["P001"]);
     }
 
     #[test]
     fn cfg_not_test_is_not_a_test_region() {
         let src = "#[cfg(not(test))]\nfn lib(o: Option<u32>) -> u32 { o.unwrap() }\n";
-        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001"]);
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001", "U001"]);
     }
 
     #[test]
     fn suppression_covers_same_and_next_line() {
-        let trailing = "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint:allow(P001) checked above\n";
+        let trailing =
+            "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint:allow(P001, U001) checked above\n";
         assert!(rules_fired("crates/core/src/x.rs", trailing).is_empty());
-        let above = "// lint:allow(P001) index is bounds-checked by the caller\n\
+        let above = "// lint:allow(P001, U001) index is bounds-checked by the caller\n\
                      fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
         assert!(rules_fired("crates/core/src/x.rs", above).is_empty());
     }
 
     #[test]
     fn suppression_without_reason_is_s001_and_does_not_suppress() {
-        let src = "// lint:allow(P001)\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
-        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001", "S001"]);
+        let src = "// lint:allow(P001, U001)\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001", "S001", "U001"]);
     }
 
     #[test]
     fn suppression_is_rule_specific() {
+        // The D002 marker suppresses nothing here: the real P001/U001
+        // diagnostics pass through AND the marker itself is stale (S002).
         let src = "// lint:allow(D002) only P001 fires here\n\
                    fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
-        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001"]);
+        assert_eq!(rules_fired("crates/core/src/x.rs", src), vec!["P001", "S002", "U001"]);
+    }
+
+    #[test]
+    fn u001_scopes_to_deterministic_library_code() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.expect(\"set by caller\") }\n";
+        assert_eq!(rules_fired("crates/sampling/src/a.rs", src), vec!["P001", "U001"]);
+        assert_eq!(rules_fired("crates/nn/src/a.rs", src), vec!["P001"]);
+        assert!(rules_fired("crates/sampling/tests/a.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c001_flags_integer_casts_in_accounting_crates() {
+        let src = "fn f(n: usize) -> u64 { n as u64 }\n";
+        assert_eq!(rules_fired("crates/device/src/memory.rs", src), vec!["C001"]);
+        assert_eq!(rules_fired("crates/trace/src/lib.rs", src), vec!["C001"]);
+        assert_eq!(rules_fired("crates/cluster/src/sim.rs", src), vec!["C001"]);
+        // Non-accounting crates, tests and non-library code are out of scope.
+        assert!(rules_fired("crates/graph/src/csr.rs", src).is_empty());
+        assert!(rules_fired("crates/device/tests/a.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn c001_ignores_float_casts_and_import_renames() {
+        let float = "fn f(n: u64) -> f64 { n as f64 }\n";
+        assert!(rules_fired("crates/cluster/src/sim.rs", float).is_empty());
+        let rename = "use std::fmt::Write as _;\nuse std::fmt::Write as W;\n";
+        assert!(rules_fired("crates/trace/src/lib.rs", rename).is_empty());
+        #[rustfmt::skip]
+        let test_region = "#[cfg(test)]\nmod tests {\n    fn h(n: usize) -> u32 { n as u32 }\n}\n";
+        assert!(rules_fired("crates/device/src/cache.rs", test_region).is_empty());
+    }
+
+    #[test]
+    fn s002_flags_stale_suppressions() {
+        // Fixed site, marker left behind: stale.
+        let stale = "// lint:allow(D001) measured once at startup\n\
+                     fn f() -> u64 { 42 }\n";
+        assert_eq!(rules_fired("crates/graph/src/a.rs", stale), vec!["S002"]);
+        // Live suppression: clean.
+        let live = "// lint:allow(D001) measured once at startup\n\
+                    fn f() { let t = Instant::now(); }\n";
+        assert!(rules_fired("crates/graph/src/a.rs", live).is_empty());
+        // A multi-rule marker is audited per rule.
+        let mixed = "// lint:allow(D001, D002) timing map\n\
+                     fn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_fired("crates/graph/src/a.rs", mixed), vec!["S002"]);
+    }
+
+    #[test]
+    fn l001_enforces_the_layering_dag_in_sources() {
+        // partition may not reach up into nn, even in its tests.
+        let src = "use gnn_dm_nn::GnnModel;\n";
+        assert_eq!(rules_fired("crates/partition/src/metrics.rs", src), vec!["L001"]);
+        assert_eq!(rules_fired("crates/partition/tests/a.rs", src), vec!["L001"]);
+        // cluster may: nn is one of its allowed edges. Self-references and
+        // root-package files (which compose everything) are always fine.
+        assert!(rules_fired("crates/cluster/src/dist.rs", src).is_empty());
+        assert!(rules_fired("crates/nn/src/model.rs", src).is_empty());
+        assert!(rules_fired("tests/paper_shapes.rs", src).is_empty());
+        assert!(rules_fired("src/main.rs", src).is_empty());
+        // Qualified paths count, not just `use` items.
+        let call = "fn f() { let m = gnn_dm_core::trainer::defaults(); }\n";
+        assert_eq!(rules_fired("crates/device/src/cache.rs", call), vec!["L001"]);
+        // An unknown crate dir is itself a finding: place it in the DAG.
+        let unknown = rules_fired("crates/newcomer/src/lib.rs", "use gnn_dm_par::pool;\n");
+        assert_eq!(unknown, vec!["L001"]);
     }
 
     #[test]

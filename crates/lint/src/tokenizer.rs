@@ -28,7 +28,7 @@ pub enum TokenKind {
 }
 
 /// One lexed token with its 1-based source line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Lexical class.
     pub kind: TokenKind,
@@ -123,8 +123,13 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
-        if let Some(sup) = parse_suppression(&text, line) {
-            self.out.suppressions.push(sup);
+        // Doc comments (`///`, `//!`) are documentation, not directives:
+        // prose *describing* the suppression syntax must not suppress.
+        let is_doc = text.starts_with("///") || text.starts_with("//!");
+        if !is_doc {
+            if let Some(sup) = parse_suppression(&text, line) {
+                self.out.suppressions.push(sup);
+            }
         }
     }
 
@@ -383,7 +388,10 @@ impl<'a> Lexer<'a> {
     }
 }
 
-/// Parses `lint:allow(R1, R2) reason…` out of a line comment's text.
+/// Parses `lint:allow(P001, F001) reason…` out of a line comment's text.
+/// Only rule-ID-shaped names (uppercase letters then digits, e.g. `D001`)
+/// count, so prose like `lint:allow(RULE)` in an ordinary comment is not a
+/// directive; a comment with no valid rule IDs is not a suppression.
 fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
     let idx = comment.find("lint:allow(")?;
     let after = &comment[idx + "lint:allow(".len()..];
@@ -391,10 +399,21 @@ fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
     let rules: Vec<String> = after[..close]
         .split(',')
         .map(|r| r.trim().to_string())
-        .filter(|r| !r.is_empty())
+        .filter(|r| is_rule_id(r))
         .collect();
+    if rules.is_empty() {
+        return None;
+    }
     let reason = after[close + 1..].trim().to_string();
     Some(Suppression { line, rules, reason })
+}
+
+/// True for rule-ID-shaped names: one or more uppercase ASCII letters
+/// followed by one or more ASCII digits (`P001`, `C001`, …).
+fn is_rule_id(s: &str) -> bool {
+    let letters: String = s.chars().take_while(|c| c.is_ascii_uppercase()).collect();
+    let rest = &s[letters.len()..];
+    !letters.is_empty() && !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
 }
 
 #[cfg(test)]

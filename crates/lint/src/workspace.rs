@@ -1,0 +1,492 @@
+//! The workspace model: manifests, symbol table, and the layering DAG.
+//!
+//! [`Workspace::load`] parses every crate's `Cargo.toml` (a deliberately
+//! small TOML subset — exactly what this workspace uses) plus all of its
+//! sources into per-crate [`CrateModel`]s: declared dependencies with
+//! manifest line numbers, the `gnn_dm_*` crates the sources actually
+//! reference, and a table of `pub` symbols from the item parser.
+//!
+//! On top of the model, [`check_manifests`](Workspace::check_manifests)
+//! enforces **L001**: every declared `gnn-dm-*` dependency must be an edge
+//! of [`ALLOWED_EDGES`] — the normative layering DAG, rendered into
+//! DESIGN.md §10 by [`allowed_edges_markdown`] and pinned byte-for-byte by
+//! a tier-1 test — and must actually be referenced by the crate's sources
+//! (a declared-but-unused edge is layering erosion waiting to happen).
+
+use crate::items::parse_items;
+use crate::rules::Diagnostic;
+use crate::tokenizer::{lex, TokenKind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Key used for the workspace's root package in all edge tables.
+pub const ROOT_KEY: &str = "gnn-dm";
+
+/// The layering DAG: for each crate key, the `gnn-dm` crates it may depend
+/// on (declare in `Cargo.toml` or reference as `gnn_dm_*` in source).
+/// Self-references are always allowed and not listed.
+///
+/// Layers (documented in DESIGN.md §10; rendered by
+/// [`allowed_edges_markdown`]):
+/// 0 substrate (`par`, `trace`) → 1 data (`tensor`, `graph`) →
+/// 2 preparation (`partition`, `sampling`) → 3 execution (`nn`, `device`) →
+/// 4 distribution (`cluster`) → 5 composition (`core`) →
+/// 6 harness (`bench`, root). `lint` is standalone tooling.
+pub const ALLOWED_EDGES: &[(&str, &[&str])] = &[
+    ("par", &[]),
+    ("trace", &[]),
+    ("tensor", &["par"]),
+    ("graph", &["par"]),
+    ("partition", &["par", "graph"]),
+    ("sampling", &["par", "graph"]),
+    ("nn", &["par", "tensor", "graph", "sampling"]),
+    ("device", &["trace", "graph", "sampling"]),
+    ("cluster", &["par", "trace", "tensor", "graph", "partition", "sampling", "nn", "device"]),
+    ("core", &["trace", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster"]),
+    ("bench", &["par", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
+    (ROOT_KEY, &["par", "trace", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
+    ("lint", &[]),
+];
+
+/// Human-readable layer label for each crate key (DESIGN.md §10 table).
+const LAYERS: &[(&str, &str)] = &[
+    ("par", "0 · substrate"),
+    ("trace", "0 · substrate"),
+    ("tensor", "1 · data"),
+    ("graph", "1 · data"),
+    ("partition", "2 · preparation"),
+    ("sampling", "2 · preparation"),
+    ("nn", "3 · execution"),
+    ("device", "3 · execution"),
+    ("cluster", "4 · distribution"),
+    ("core", "5 · composition"),
+    ("bench", "6 · harness"),
+    (ROOT_KEY, "6 · harness"),
+    ("lint", "tooling"),
+];
+
+/// Allowed dependency keys for `key`, or `None` when the crate is not in
+/// the table (which L001 reports: new crates must be placed in the DAG).
+pub fn allowed_deps(key: &str) -> Option<&'static [&'static str]> {
+    ALLOWED_EDGES.iter().find(|(k, _)| *k == key).map(|(_, deps)| *deps)
+}
+
+/// True when crate `from` may depend on crate `to` (self-edges allowed).
+pub fn edge_allowed(from: &str, to: &str) -> bool {
+    from == to || allowed_deps(from).is_some_and(|deps| deps.contains(&to))
+}
+
+/// Renders [`ALLOWED_EDGES`] as the markdown table DESIGN.md §10 embeds.
+/// `tests/workspace_clean.rs` asserts DESIGN.md contains this rendering
+/// byte-for-byte, so the documented DAG and the enforced DAG cannot drift.
+pub fn allowed_edges_markdown() -> String {
+    let mut out = String::from("| crate | layer | may depend on |\n|---|---|---|\n");
+    for (key, deps) in ALLOWED_EDGES {
+        let layer = LAYERS
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or("?", |(_, l)| l);
+        let deps = if deps.is_empty() {
+            "—".to_string()
+        } else {
+            deps.iter().map(|d| format!("`{d}`")).collect::<Vec<_>>().join(", ")
+        };
+        out.push_str(&format!("| `{key}` | {layer} | {deps} |\n"));
+    }
+    out
+}
+
+/// One dependency declaration in a `Cargo.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepDecl {
+    /// Package name as written (`gnn-dm-graph`, `rand`, …).
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// True for `[dev-dependencies]` entries.
+    pub dev: bool,
+}
+
+/// Parsed subset of one crate's `Cargo.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct CrateManifest {
+    /// `package.name` (empty if the manifest declares none).
+    pub package_name: String,
+    /// Workspace-relative manifest path, `/`-separated.
+    pub path: String,
+    /// All `[dependencies]` / `[dev-dependencies]` entries in order.
+    pub deps: Vec<DepDecl>,
+}
+
+/// One `pub` item in a crate's sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Declared name (see [`crate::items::Item::name`]).
+    pub name: String,
+    /// Workspace-relative file, `/`-separated.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// One workspace crate: manifest + what its sources reference and export.
+#[derive(Debug, Clone, Default)]
+pub struct CrateModel {
+    /// Crate key: directory name under `crates/`, or [`ROOT_KEY`].
+    pub key: String,
+    /// Parsed manifest.
+    pub manifest: CrateManifest,
+    /// Keys of `gnn-dm` crates the sources reference (via `gnn_dm_*`
+    /// identifier tokens — comments and strings never count), excluding
+    /// self-references. Sorted, deduped.
+    pub refs: Vec<String>,
+    /// `pub` items declared anywhere in the crate's sources.
+    pub symbols: Vec<Symbol>,
+}
+
+/// The whole workspace: every crate model, keyed by crate key.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Crate models in key order.
+    pub crates: BTreeMap<String, CrateModel>,
+}
+
+impl Workspace {
+    /// Loads the workspace under `root`: the root package plus every
+    /// `crates/*` member. Missing or unreadable manifests and sources are
+    /// skipped (the per-file lint pass reports read errors separately).
+    pub fn load(root: &Path) -> Workspace {
+        let mut ws = Workspace::default();
+        // Root package: Cargo.toml + src/, tests/, examples/.
+        if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+            let manifest = parse_manifest("Cargo.toml", &text);
+            let mut model = CrateModel {
+                key: ROOT_KEY.to_string(),
+                manifest,
+                ..CrateModel::default()
+            };
+            for top in ["src", "tests", "examples"] {
+                scan_sources(root, &root.join(top), &mut model);
+            }
+            finish(&mut model);
+            ws.crates.insert(model.key.clone(), model);
+        }
+        // Member crates: crates/*/Cargo.toml.
+        let Ok(entries) = fs::read_dir(root.join("crates")) else { return ws };
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            if !dir.is_dir() {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(dir.join("Cargo.toml")) else { continue };
+            let key = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let rel_manifest = format!("crates/{key}/Cargo.toml");
+            let mut model = CrateModel {
+                key: key.clone(),
+                manifest: parse_manifest(&rel_manifest, &text),
+                ..CrateModel::default()
+            };
+            scan_sources(root, &dir, &mut model);
+            finish(&mut model);
+            ws.crates.insert(key, model);
+        }
+        ws
+    }
+
+    /// Looks up one crate by key.
+    pub fn get(&self, key: &str) -> Option<&CrateModel> {
+        self.crates.get(key)
+    }
+
+    /// All `pub` symbols named `name`, across crates, as
+    /// `(crate key, symbol)` — the cross-crate symbol-table query.
+    pub fn find_symbol(&self, name: &str) -> Vec<(&str, &Symbol)> {
+        let mut hits = Vec::new();
+        for (key, model) in &self.crates {
+            for sym in model.symbols.iter().filter(|s| s.name == name) {
+                hits.push((key.as_str(), sym));
+            }
+        }
+        hits
+    }
+
+    /// L001 manifest pass over `edges` (parameterized so fixture
+    /// workspaces can exercise it): flags declared `gnn-dm` dependencies
+    /// that are not DAG edges, declared edges the sources never reference,
+    /// and crates missing from the table entirely.
+    pub fn check_manifests(&self, edges: &[(&str, &[&str])]) -> Vec<Diagnostic> {
+        let allowed = |from: &str, to: &str| {
+            from == to
+                || edges
+                    .iter()
+                    .find(|(k, _)| *k == from)
+                    .is_some_and(|(_, deps)| deps.contains(&to))
+        };
+        let mut diags = Vec::new();
+        for (key, model) in &self.crates {
+            if !edges.iter().any(|(k, _)| k == key) {
+                diags.push(Diagnostic {
+                    rule: "L001",
+                    file: model.manifest.path.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{key}` is not in the layering DAG; add it to \
+                         ALLOWED_EDGES (crates/lint/src/workspace.rs) and the \
+                         DESIGN.md §10 table"
+                    ),
+                });
+                continue;
+            }
+            for dep in &model.manifest.deps {
+                let Some(dep_key) = gnn_dep_key(&dep.name) else { continue };
+                if !allowed(key, dep_key) {
+                    diags.push(Diagnostic {
+                        rule: "L001",
+                        file: model.manifest.path.clone(),
+                        line: dep.line,
+                        message: format!(
+                            "`{}` → `{}` is not an edge of the layering DAG; \
+                             route through an allowed layer or amend ALLOWED_EDGES \
+                             and DESIGN.md §10 deliberately",
+                            key, dep_key
+                        ),
+                    });
+                }
+                if !model.refs.iter().any(|r| r == dep_key) {
+                    diags.push(Diagnostic {
+                        rule: "L001",
+                        file: model.manifest.path.clone(),
+                        line: dep.line,
+                        message: format!(
+                            "declared {}dependency `{}` is never referenced by \
+                             `{}` sources; delete the declaration",
+                            if dep.dev { "dev-" } else { "" },
+                            dep.name,
+                            key
+                        ),
+                    });
+                }
+            }
+        }
+        diags
+    }
+}
+
+/// Maps a `gnn-dm` package name to its crate key (`gnn-dm-graph` →
+/// `graph`); `None` for external packages.
+fn gnn_dep_key(package: &str) -> Option<&str> {
+    if package == ROOT_KEY {
+        return Some(ROOT_KEY);
+    }
+    package.strip_prefix("gnn-dm-")
+}
+
+/// Maps a `gnn_dm_*` source identifier to its crate key.
+fn gnn_ident_key(ident: &str) -> Option<&str> {
+    ident.strip_prefix("gnn_dm_").filter(|rest| !rest.is_empty())
+}
+
+/// Walks `dir` for `.rs` sources (skipping the same dirs as the file
+/// scan), lexing each into `model.refs` and `model.symbols`.
+fn scan_sources(root: &Path, dir: &Path, model: &mut CrateModel) {
+    let mut files = Vec::new();
+    crate::collect_rs_files(dir, &mut files);
+    files.sort();
+    for file in files {
+        let Ok(src) = fs::read_to_string(&file) else { continue };
+        let rel = crate::relative_path(root, &file);
+        let lexed = lex(&src);
+        for t in &lexed.tokens {
+            if t.kind == TokenKind::Ident {
+                if let Some(key) = gnn_ident_key(&t.text) {
+                    if key != model.key {
+                        model.refs.push(key.to_string());
+                    }
+                }
+            }
+        }
+        for item in parse_items(&lexed.tokens) {
+            if item.is_pub {
+                model.symbols.push(Symbol { name: item.name, file: rel.clone(), line: item.line });
+            }
+        }
+    }
+}
+
+/// Sorts and dedups the accumulated refs.
+fn finish(model: &mut CrateModel) {
+    model.refs.sort();
+    model.refs.dedup();
+}
+
+/// Parses the `Cargo.toml` subset this workspace uses: `[package] name`,
+/// and one-line entries under exactly `[dependencies]` /
+/// `[dev-dependencies]` (so `[workspace.dependencies]` is ignored).
+pub fn parse_manifest(rel_path: &str, text: &str) -> CrateManifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut manifest = CrateManifest { path: rel_path.to_string(), ..CrateManifest::default() };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps,
+                "[dev-dependencies]" => Section::DevDeps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        match section {
+            Section::Package => {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(value) = rest.strip_prefix('=') {
+                        manifest.package_name =
+                            value.trim().trim_matches('"').to_string();
+                    }
+                }
+            }
+            Section::Deps | Section::DevDeps => {
+                let name: String = line
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    manifest.deps.push(DepDecl {
+                        name,
+                        line: idx + 1,
+                        dev: section == Section::DevDeps,
+                    });
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parser_reads_names_and_sections() {
+        let toml = "\
+[workspace]\nmembers = [\"crates/*\"]\n\n\
+[workspace.dependencies]\ngnn-dm-par = { path = \"crates/par\" }\n\n\
+[package]\nname = \"gnn-dm\" # the root package\n\n\
+[dependencies]\ngnn-dm-graph.workspace = true\nrand = { path = \"vendor/rand\" }\n\n\
+[dev-dependencies]\nproptest.workspace = true\n";
+        let m = parse_manifest("Cargo.toml", toml);
+        assert_eq!(m.package_name, "gnn-dm");
+        // The [workspace.dependencies] entry must NOT be picked up.
+        let names: Vec<(&str, bool)> =
+            m.deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            names,
+            vec![("gnn-dm-graph", false), ("rand", false), ("proptest", true)]
+        );
+        assert_eq!(m.deps[0].line, 11);
+    }
+
+    #[test]
+    fn dep_keys_strip_the_prefix() {
+        assert_eq!(gnn_dep_key("gnn-dm-graph"), Some("graph"));
+        assert_eq!(gnn_dep_key("gnn-dm"), Some(ROOT_KEY));
+        assert_eq!(gnn_dep_key("rand"), None);
+        assert_eq!(gnn_ident_key("gnn_dm_par"), Some("par"));
+        assert_eq!(gnn_ident_key("gnn_dm"), None);
+        assert_eq!(gnn_ident_key("other"), None);
+    }
+
+    #[test]
+    fn edge_queries_match_the_table() {
+        assert!(edge_allowed("cluster", "device"));
+        assert!(edge_allowed("graph", "graph"), "self-edges always allowed");
+        assert!(!edge_allowed("graph", "cluster"), "no upward edges");
+        assert!(!edge_allowed("device", "par"), "device stays off the pool");
+        assert!(!edge_allowed("unknown-crate", "par"));
+        assert_eq!(allowed_deps("trace"), Some(&[][..]));
+        assert_eq!(allowed_deps("nope"), None);
+    }
+
+    #[test]
+    fn every_crate_has_a_layer_label() {
+        for (key, _) in ALLOWED_EDGES {
+            assert!(
+                LAYERS.iter().any(|(k, _)| k == key),
+                "crate `{key}` missing from LAYERS"
+            );
+        }
+        let md = allowed_edges_markdown();
+        assert!(md.starts_with("| crate | layer | may depend on |"));
+        assert!(md.contains("| `cluster` | 4 · distribution |"));
+        assert!(!md.contains("| ? |"), "unlabeled crate in rendering:\n{md}");
+    }
+
+    #[test]
+    fn check_manifests_flags_forbidden_and_unused_edges() {
+        let mut ws = Workspace::default();
+        ws.crates.insert(
+            "partition".to_string(),
+            CrateModel {
+                key: "partition".to_string(),
+                manifest: CrateManifest {
+                    package_name: "gnn-dm-partition".to_string(),
+                    path: "crates/partition/Cargo.toml".to_string(),
+                    deps: vec![
+                        DepDecl { name: "gnn-dm-nn".to_string(), line: 9, dev: false },
+                        DepDecl { name: "gnn-dm-graph".to_string(), line: 10, dev: false },
+                        DepDecl { name: "rand".to_string(), line: 11, dev: false },
+                    ],
+                },
+                refs: vec!["graph".to_string()],
+                symbols: vec![],
+            },
+        );
+        let diags = ws.check_manifests(ALLOWED_EDGES);
+        // gnn-dm-nn: forbidden edge AND unused → two diagnostics; graph is
+        // fine; rand is not a gnn-dm dep.
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "L001"));
+        assert!(diags.iter().all(|d| d.file == "crates/partition/Cargo.toml"));
+        assert!(diags.iter().any(|d| d.message.contains("not an edge")));
+        assert!(diags.iter().any(|d| d.message.contains("never referenced")));
+    }
+
+    #[test]
+    fn check_manifests_flags_crates_missing_from_the_dag() {
+        let mut ws = Workspace::default();
+        ws.crates.insert(
+            "newcomer".to_string(),
+            CrateModel {
+                key: "newcomer".to_string(),
+                manifest: CrateManifest {
+                    package_name: "gnn-dm-newcomer".to_string(),
+                    path: "crates/newcomer/Cargo.toml".to_string(),
+                    deps: vec![],
+                },
+                refs: vec![],
+                symbols: vec![],
+            },
+        );
+        let diags = ws.check_manifests(ALLOWED_EDGES);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("not in the layering DAG"));
+    }
+}

@@ -67,9 +67,12 @@ fn d003_fires_and_clean() {
 
 #[test]
 fn p001_fires_and_clean() {
+    // Linted as nn-crate library code: outside the deterministic crates,
+    // so P001 fires alone (no U001 double report).
+    let nn_path = "crates/nn/src/fixture.rs";
     let fires = include_str!("fixtures/p001_fires.rs");
-    assert_eq!(rules_fired(LIB_PATH, fires), vec!["P001"]);
-    assert_eq!(count(LIB_PATH, fires, "P001"), 4);
+    assert_eq!(rules_fired(nn_path, fires), vec!["P001"]);
+    assert_eq!(count(nn_path, fires, "P001"), 4);
     // Non-library scopes may panic freely.
     for path in [
         "crates/graph/tests/fixture.rs",
@@ -83,7 +86,69 @@ fn p001_fires_and_clean() {
     }
 
     let clean = include_str!("fixtures/p001_clean.rs");
+    assert!(rules_fired(nn_path, clean).is_empty());
     assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn u001_fires_and_clean() {
+    let fires = include_str!("fixtures/u001_fires.rs");
+    // Deterministic-crate library code: the unwrap and the expect each
+    // trip both the panic rule and the unwrap rule.
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["P001", "U001"]);
+    assert_eq!(count(LIB_PATH, fires, "U001"), 2);
+    // Outside the deterministic crates U001 does not apply…
+    assert_eq!(rules_fired("crates/nn/src/fixture.rs", fires), vec!["P001"]);
+    // …and non-library scopes are exempt entirely.
+    assert!(rules_fired("crates/graph/tests/fixture.rs", fires).is_empty());
+    assert!(rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/u001_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn c001_fires_and_clean() {
+    let fires = include_str!("fixtures/c001_fires.rs");
+    // Accounting crates: every integer-target `as` cast is reported.
+    for path in [
+        "crates/device/src/fixture.rs",
+        "crates/trace/src/fixture.rs",
+        "crates/cluster/src/fixture.rs",
+    ] {
+        assert_eq!(rules_fired(path, fires), vec!["C001"], "{path}");
+        assert_eq!(count(path, fires, "C001"), 3, "{path}");
+    }
+    // Outside the accounting crates the same casts are legal…
+    assert!(rules_fired(LIB_PATH, fires).is_empty());
+    // …as is accounting-crate test code.
+    assert!(rules_fired("crates/device/tests/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/c001_clean.rs");
+    assert!(rules_fired("crates/device/src/fixture.rs", clean).is_empty());
+}
+
+#[test]
+fn s002_fires_and_clean() {
+    let fires = include_str!("fixtures/s002_fires.rs");
+    assert_eq!(rules_fired(LIB_PATH, fires), vec!["S002"]);
+    assert_eq!(count(LIB_PATH, fires, "S002"), 1);
+
+    let clean = include_str!("fixtures/s002_clean.rs");
+    assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn l001_fires_and_clean() {
+    let fires = include_str!("fixtures/l001_fires.rs");
+    // partition (preparation layer) must not reach up into nn (execution).
+    let part_path = "crates/partition/src/fixture.rs";
+    assert_eq!(rules_fired(part_path, fires), vec!["L001"]);
+    // cluster sits above nn in the DAG, so the same source is legal there.
+    assert!(rules_fired("crates/cluster/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/l001_clean.rs");
+    assert!(rules_fired(part_path, clean).is_empty());
 }
 
 #[test]
@@ -150,10 +215,37 @@ fn suppressions_round_trip() {
 
     // …while reason-less or mis-targeted ones leave the violation standing.
     let bad = include_str!("fixtures/suppression_bad.rs");
-    assert_eq!(rules_fired(LIB_PATH, bad), vec!["P001", "S001"]);
-    // Both unwraps still reported: neither suppression was valid for it.
+    assert_eq!(rules_fired(LIB_PATH, bad), vec!["P001", "S001", "S002", "U001"]);
+    // Both unwraps still reported twice over: neither suppression was
+    // valid for them, and U001 piles on in a deterministic crate.
     assert_eq!(count(LIB_PATH, bad, "P001"), 2);
+    assert_eq!(count(LIB_PATH, bad, "U001"), 2);
+    // One reason-less marker (S001), one reasoned marker naming a rule
+    // that never fires on its lines (S002).
     assert_eq!(count(LIB_PATH, bad, "S001"), 1);
+    assert_eq!(count(LIB_PATH, bad, "S002"), 1);
+}
+
+#[test]
+fn l001_mini_workspaces() {
+    use gnn_dm_lint::workspace::{Workspace, ALLOWED_EDGES};
+    use std::path::PathBuf;
+
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+
+    // Fires: gnn-dm-nn is a forbidden edge AND unused (two diagnostics),
+    // gnn-dm-graph is allowed but unused (one diagnostic).
+    let ws = Workspace::load(&fixtures.join("l001_ws_fires"));
+    let diags = ws.check_manifests(ALLOWED_EDGES);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "L001"));
+    assert!(diags.iter().all(|d| d.file == "crates/partition/Cargo.toml"));
+    assert_eq!(diags.iter().filter(|d| d.message.contains("not an edge")).count(), 1);
+    assert_eq!(diags.iter().filter(|d| d.message.contains("never referenced")).count(), 2);
+
+    // Clean: the one declared gnn-dm dep is allowed and referenced.
+    let ws = Workspace::load(&fixtures.join("l001_ws_clean"));
+    assert!(ws.check_manifests(ALLOWED_EDGES).is_empty());
 }
 
 #[test]

@@ -1,0 +1,21 @@
+// Fixture: C001 must stay silent — float casts, import renames, checked
+// conversions, and test-region casts are all fine.
+
+use std::collections::BTreeMap as _;
+
+pub fn ratio(hits: u64, total: u64) -> f64 {
+    hits as f64 / total as f64
+}
+
+pub fn checked(bytes: u64) -> u32 {
+    u32::try_from(bytes).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        let n: usize = 7;
+        assert_eq!(n as u32, 7);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: C001 must fire — `as` casts onto integer counter types in the
+// accounting crates can silently truncate byte/edge totals.
+
+pub fn bytes_to_u32(bytes: u64) -> u32 {
+    bytes as u32 // C001: can truncate
+}
+
+pub fn rows_to_u64(rows: usize) -> u64 {
+    rows as u64 // C001: widen through gnn_dm_trace::convert instead
+}
+
+pub fn edges_to_index(edges: u64) -> usize {
+    edges as usize // C001: can truncate on 32-bit hosts
+}

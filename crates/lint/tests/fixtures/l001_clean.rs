@@ -1,0 +1,9 @@
+// Fixture: L001 must stay silent — a preparation-layer crate using the
+// substrate and data layers below it follows the DAG.
+
+use gnn_dm_graph::csr::Csr;
+use gnn_dm_par::par_map_collect;
+
+pub fn allowed(csr: &Csr) -> usize {
+    par_map_collect(&[0u32], |_, _| csr.num_vertices()).len()
+}

@@ -1,0 +1,8 @@
+// Fixture: L001 must fire — a preparation-layer crate reaching *up* into
+// the execution layer inverts the layering DAG.
+
+use gnn_dm_nn::GcnLayer; // L001 when linted as a partition-crate file
+
+pub fn forbidden() -> &'static str {
+    "partition must not depend on nn"
+}

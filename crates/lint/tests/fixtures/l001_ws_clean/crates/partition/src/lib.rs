@@ -1,0 +1,7 @@
+//! Uses its one declared gnn-dm dependency, along the allowed DAG edge.
+
+use gnn_dm_graph::csr::Csr;
+
+pub fn vertices(csr: &Csr) -> usize {
+    csr.num_vertices()
+}

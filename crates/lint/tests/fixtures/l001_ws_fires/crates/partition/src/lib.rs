@@ -1,0 +1,3 @@
+//! References neither declared gnn-dm dependency.
+
+pub fn noop() {}

@@ -1,16 +1,16 @@
-// Fixture: reasoned suppressions silence exactly their rule on their own
+// Fixture: reasoned suppressions silence exactly their rules on their own
 // line and the next code line.
 
 pub fn trailing(xs: &[u32]) -> u32 {
-    *xs.first().unwrap() // lint:allow(P001) caller guarantees non-empty input
+    *xs.first().unwrap() // lint:allow(P001, U001) caller guarantees non-empty input
 }
 
 pub fn preceding(xs: &[u32]) -> u32 {
-    // lint:allow(P001) caller guarantees non-empty input
+    // lint:allow(P001, U001) caller guarantees non-empty input
     *xs.first().unwrap()
 }
 
-pub fn multi_rule() -> f64 {
-    // lint:allow(D001, P001) measuring a documented one-off calibration step
-    Instant::now().elapsed().as_secs_f64()
+pub fn multi_rule(xs: &[u32]) -> f64 {
+    // lint:allow(D001, P001, U001) measuring a documented one-off calibration step
+    Instant::now().elapsed().as_secs_f64() + *xs.first().unwrap() as f64
 }

@@ -1,0 +1,22 @@
+// Fixture: U001 must stay silent — fallbacks, pattern matches, and
+// test-region unwraps are all fine.
+
+pub fn head_or_zero(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

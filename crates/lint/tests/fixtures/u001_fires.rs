@@ -1,0 +1,10 @@
+// Fixture: U001 must fire — unwrap/expect in deterministic-crate library
+// code turns a recoverable error into an abort.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // U001 (and P001)
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("must be set") // U001 (and P001)
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the lint front end: the tokenizer and the item
+//! parser are *total* — any byte sequence, valid Rust or not, lexes and
+//! parses without panicking, deterministically, with sane line numbers.
+//!
+//! The linter runs over every workspace file on every `cargo test`, so a
+//! panic on a weird-but-legal source (multibyte idents, unterminated
+//! strings mid-edit, stray carriage returns) would take the whole tier-1
+//! gate down with it.
+
+use gnn_dm_lint::items::parse_items;
+use gnn_dm_lint::tokenizer::lex;
+use proptest::prelude::*;
+
+/// Rust-ish source fragments, including the constructs the tokenizer has
+/// special cases for: comments, suppressions, strings, raw strings, chars,
+/// lifetimes, non-ASCII text, and unterminated delimiters.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {",
+    "}",
+    "pub struct S;",
+    "// lint:allow(P001) caller guarantees non-empty input",
+    "// lint:allow(D001)",
+    "/// doc about lint:allow(RULE) syntax",
+    "let x = y.unwrap();",
+    "\"string with // not a comment\"",
+    "r#\"raw \"quoted\" string\"#",
+    "'c'",
+    "'static",
+    "/* block",
+    "*/",
+    "enum E { A, B }",
+    "impl<T: Clone> Holder<T> {",
+    "0xFF_u64 as u32",
+    "1.5e-3",
+    "use gnn_dm_par::scope;",
+    "グラフ // 日本語のコメント",
+    "émoji_😀_ident",
+    "b'\\xff'",
+    "\"unterminated",
+    "\\",
+    "#",
+];
+
+/// Structured-ish sources: random fragment sequences with mixed separators.
+fn arb_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0usize..FRAGMENTS.len(), 0usize..3), 0..40).prop_map(|picks| {
+        let mut src = String::new();
+        for (idx, sep) in picks {
+            src.push_str(FRAGMENTS[idx]);
+            src.push_str(match sep {
+                0 => "\n",
+                1 => " ",
+                _ => "\r\n",
+            });
+        }
+        src
+    })
+}
+
+/// Adversarial sources: arbitrary bytes forced into UTF-8 (replacement
+/// characters included), so multibyte boundaries land everywhere.
+fn arb_byte_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..=255u8, 0..256)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Shared invariant check: lexing and item parsing are total, repeatable,
+/// and report 1-based line numbers that never exceed the line count and
+/// never decrease token-to-token.
+fn check_front_end_total(src: &str) {
+    let lexed = lex(src);
+    let num_lines = src.split('\n').count();
+    let mut prev_line = 1;
+    for t in &lexed.tokens {
+        prop_assert!(t.line >= 1, "line numbers are 1-based");
+        prop_assert!(
+            t.line <= num_lines,
+            "token line {} beyond {} source lines",
+            t.line,
+            num_lines
+        );
+        prop_assert!(t.line >= prev_line, "token lines must be nondecreasing");
+        prev_line = t.line;
+    }
+    for s in &lexed.suppressions {
+        prop_assert!(s.line >= 1 && s.line <= num_lines);
+    }
+
+    // Determinism: the same source lexes to the same stream.
+    let again = lex(src);
+    prop_assert_eq!(&lexed.tokens, &again.tokens);
+    prop_assert_eq!(
+        format!("{:?}", lexed.suppressions),
+        format!("{:?}", again.suppressions)
+    );
+
+    // The item parser is total over any token stream and keeps spans sane.
+    let items = parse_items(&lexed.tokens);
+    for it in &items {
+        prop_assert!(it.line >= 1 && it.line <= it.end_line);
+        prop_assert!(it.end_line <= num_lines);
+    }
+    prop_assert_eq!(format!("{:?}", items), format!("{:?}", parse_items(&again.tokens)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn front_end_total_on_rust_ish_sources(src in arb_source()) {
+        check_front_end_total(&src);
+    }
+
+    #[test]
+    fn front_end_total_on_arbitrary_bytes(src in arb_byte_source()) {
+        check_front_end_total(&src);
+    }
+}

@@ -33,3 +33,16 @@ fn workspace_has_zero_violations() {
         report.summary_json()
     );
 }
+
+#[test]
+fn design_doc_carries_the_normative_dag_table() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let design = std::fs::read_to_string(root.join("DESIGN.md"))
+        .expect("DESIGN.md must exist at the workspace root");
+    let table = gnn_dm_lint::workspace::allowed_edges_markdown();
+    assert!(
+        design.contains(&table),
+        "DESIGN.md §10 must contain the ALLOWED_EDGES table byte-for-byte; \
+         re-render it with workspace::allowed_edges_markdown():\n{table}"
+    );
+}

@@ -24,7 +24,7 @@ pub fn imbalance(counts: &[usize]) -> f64 {
     if counts.is_empty() {
         return 1.0;
     }
-    let max = *counts.iter().max().unwrap() as f64; // lint:allow(P001) counts checked non-empty above
+    let max = counts.iter().max().copied().unwrap_or(0) as f64;
     let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
     if avg == 0.0 {
         if max == 0.0 {

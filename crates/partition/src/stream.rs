@@ -284,8 +284,8 @@ fn stream_b_impl(
         }
         let p = best
             .map(|(p, _)| p)
-            // lint:allow(P001) k >= 1, so min_by_key over 0..k always yields a partition
-            .unwrap_or_else(|| (0..k).min_by_key(|&p| counts[p][0]).unwrap());
+            .or_else(|| (0..k).min_by_key(|&p| counts[p][0]))
+            .unwrap_or(0);
         for &v in block {
             assignment[v as usize] = p as u32;
             assigned[v as usize] = true;

@@ -28,6 +28,8 @@
 //! `chrome://tracing`; [`Timeline::summary`] gives the aggregate
 //! per-resource busy/idle/bytes view used by reports and tests.
 
+pub mod convert;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 

@@ -20,7 +20,12 @@ echo "==> trace goldens (closed form == timeline replay, span conservation)"
 cargo test -q --test trace_goldens
 
 echo "==> gnn-dm-lint"
-cargo run -q -p gnn-dm-lint
+lint_json="$(cargo run -q -p gnn-dm-lint -- --format=json)"
+echo "${lint_json}"
+if ! grep -q '"violations":0' <<<"${lint_json}"; then
+    echo "FAIL: lint reported violations" >&2
+    exit 1
+fi
 
 echo "OK: build, tests and lint all green"
 echo "(speedup numbers: scripts/bench.sh times the parallel substrate and writes BENCH_par.json)"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Workspace lint, standalone.
+#
+#   scripts/lint.sh           # human-readable diagnostics + summary
+#   scripts/lint.sh --json    # full JSON report (diagnostics included)
+#
+# Exit codes follow the binary: 0 clean, 1 violations, 2 usage/I-O error.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+format="text"
+if [[ "${1:-}" == "--json" ]]; then
+    format="json"
+fi
+
+exec cargo run -q --release -p gnn-dm-lint -- "--format=${format}"
