@@ -1,0 +1,88 @@
+//! Extension — epoch time under injected faults, across partitionings.
+//!
+//! Sweeps the one-knob [`FaultPlan::uniform`] stress rate over the
+//! Figure-8 setting (every partitioning method, four workers): stragglers
+//! stretch the slowest worker, flaky NICs retransmit exchanges after
+//! timeout + backoff, and crashed workers restore the last every-8-batches
+//! checkpoint and replay the lost batches. Epoch time is still just the
+//! makespan of the span timeline, so the slowdown decomposes exactly into
+//! retry bytes, backoff waits and replayed work ([`ResilienceReport`]).
+//!
+//! Expected shape: at rate 0 every method matches Figure 8 bitwise; as the
+//! rate rises, methods with higher communication volume (Hash, Stream-B)
+//! degrade fastest because retransmissions re-price their dominant cost.
+//!
+//! Also exports one faulted timeline as `results/trace_faults.json`
+//! (Chrome trace, canonical bytes — pinned by `scripts/check.sh`).
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin ext_faults_epoch_time`
+
+use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
+use gnn_dm_cluster::sim::TimeModel;
+use gnn_dm_cluster::ClusterSim;
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_faults::FaultPlan;
+use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::FanoutSampler;
+use std::fs;
+
+/// Fault seed for the sweep (any fixed value; part of the experiment id —
+/// chosen so the preset actually exercises all three fault classes at the
+/// top stress rate: stragglers, retries and a crash with replayed work).
+const FAULT_SEED: u64 = 13;
+/// Stress rates swept per method. The fault draws are pure functions of
+/// `(seed, epoch, worker)`, so every method faces the *same* degradation
+/// schedule at a given rate — a controlled comparison.
+const RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.25, 0.5];
+
+fn main() {
+    let sampler = FanoutSampler::new(vec![25, 10]);
+    let mut table = Table::new(&[
+        "dataset",
+        "method",
+        "fault_rate",
+        "healthy_s",
+        "faulted_s",
+        "slowdown",
+        "retry_mb",
+        "replayed",
+    ]);
+    let mut export: Option<String> = None;
+    for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
+        let tm = TimeModel::paper_default(g.feat_dim(), 128, 1_000_000);
+        for method in PartitionMethod::all() {
+            let part = partition_graph(&g, method, 4, 7);
+            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
+            let report = sim.simulate_epoch(&sampler, 0);
+            for rate in RATES {
+                let plan = FaultPlan::uniform(FAULT_SEED, rate);
+                let res = sim.resilience(&report, &tm, &plan, 0);
+                table.row(&[
+                    name.into(),
+                    method.name().into(),
+                    format!("{rate:.2}"),
+                    f(res.healthy_s),
+                    f(res.faulted_s),
+                    format!("{:.2}x", res.slowdown()),
+                    format!("{:.2}", res.retry_bytes as f64 / 1e6),
+                    res.replayed_batches.to_string(),
+                ]);
+                // Export the most stressed Metis timeline as the canonical
+                // faulted trace (one representative, not one per row).
+                if export.is_none() && method == PartitionMethod::MetisV && rate >= 0.25 {
+                    let tl = sim.epoch_timeline_faulted(&report, &tm, &plan, 0);
+                    export = Some(tl.to_chrome_trace());
+                }
+            }
+        }
+    }
+    table.print("Extension: modelled epoch time under injected faults");
+    if let Some(json) = export {
+        fs::create_dir_all("results").expect("create results dir");
+        fs::write("results/trace_faults.json", json).expect("write trace_faults.json");
+        println!("Faulted timeline exported to results/trace_faults.json");
+    }
+    println!(
+        "Expected shape: rate 0 reproduces Figure 8; communication-heavy methods degrade fastest."
+    );
+}

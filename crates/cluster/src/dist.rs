@@ -146,7 +146,10 @@ pub fn local_sgd_epoch(
     seed: u64,
     epoch: usize,
 ) -> (f32, usize) {
-    assert!(sync_every >= 1, "sync_every must be at least 1");
+    // Saturate instead of asserting (library panic-freedom, P001):
+    // `sync_every = 0` has no meaning of its own, so it behaves like the
+    // densest schedule, synchronizing every round.
+    let sync_every = sync_every.max(1);
     let k = part.k;
     let mut replicas: Vec<GnnModel> = (0..k).map(|_| model.clone()).collect();
     let mut opts: Vec<dist_support::SgdBox> =

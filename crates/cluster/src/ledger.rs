@@ -217,6 +217,35 @@ pub fn comm_ledger_from_spans(tl: &Timeline, k: usize) -> CommLedger {
     led
 }
 
+/// Per-worker bytes retransmitted by failed NIC exchanges, reduced from a
+/// faulted epoch timeline's `Retry` spans (one span per failed attempt,
+/// each carrying the full retransmitted exchange). With a neutral fault
+/// plan the timeline has no such spans and every entry is zero.
+pub fn retry_bytes_from_spans(tl: &Timeline, k: usize) -> Vec<u64> {
+    bytes_by_worker(tl, k, |kind| kind == SpanKind::Retry)
+}
+
+/// Per-worker checkpoint-traffic bytes (snapshot writes plus
+/// crash-recovery restores), reduced from a faulted epoch timeline's
+/// `Checkpoint` and `Restore` spans.
+pub fn checkpoint_bytes_from_spans(tl: &Timeline, k: usize) -> Vec<u64> {
+    bytes_by_worker(tl, k, |kind| matches!(kind, SpanKind::Checkpoint | SpanKind::Restore))
+}
+
+/// Shared reduction: sums `meta.bytes` of the selected span kinds on each
+/// worker's NIC lane.
+fn bytes_by_worker(tl: &Timeline, k: usize, select: impl Fn(SpanKind) -> bool) -> Vec<u64> {
+    let mut out = vec![0u64; k];
+    for s in tl.spans() {
+        let Resource::WorkerNic(w) = s.resource else { continue };
+        let w = usize_of_u32(w);
+        if w < k && select(s.kind) {
+            out[w] += s.meta.bytes;
+        }
+    }
+    out
+}
+
 fn imbalance_u64(xs: &[u64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
@@ -297,5 +326,18 @@ mod tests {
         assert_eq!(comm.subgraph_bytes_sent, vec![0, 24]);
         assert_eq!(comm.feature_bytes_sent, vec![0, 8]);
         assert_eq!(comm.bytes_received, vec![32, 0]);
+    }
+
+    #[test]
+    fn fault_byte_ledgers_reduce_from_spans() {
+        let mut tl = Timeline::new();
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Retry, 0.0, 0.1, SpanMeta::bytes(50));
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Retry, 0.0, 0.1, SpanMeta::bytes(50));
+        tl.schedule(Resource::WorkerNic(1), SpanKind::Checkpoint, 0.0, 0.1, SpanMeta::bytes(30));
+        tl.schedule(Resource::WorkerNic(1), SpanKind::Restore, 0.0, 0.1, SpanMeta::bytes(10));
+        // Ordinary exchange bytes must not leak into the fault ledgers.
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Exchange, 0.0, 1.0, SpanMeta::bytes(999));
+        assert_eq!(retry_bytes_from_spans(&tl, 2), vec![100, 0]);
+        assert_eq!(checkpoint_bytes_from_spans(&tl, 2), vec![0, 40]);
     }
 }

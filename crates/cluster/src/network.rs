@@ -4,15 +4,25 @@ use gnn_dm_device::LinkModel;
 
 /// Time for a synchronous ring all-reduce of `bytes` across `workers`
 /// nodes: each node sends and receives `2 (W-1)/W · bytes`.
+///
+/// Total on degenerate worker counts (library panic-freedom, P001): with
+/// zero or one participant there is no peer to exchange gradients with, so
+/// the collective saturates to 0 seconds instead of asserting.
 pub fn allreduce_time(link: &LinkModel, bytes: u64, workers: usize) -> f64 {
-    assert!(workers >= 1, "need at least one worker");
-    if workers == 1 {
+    if workers <= 1 {
         return 0.0;
     }
     let w = workers as f64;
     let wire_bytes = 2.0 * (w - 1.0) / w * bytes as f64;
     // 2(W-1) latency-bound steps plus the bandwidth term.
     2.0 * (w - 1.0) * link.latency + wire_bytes / link.effective_bandwidth()
+}
+
+/// Time for `count` sequential full-size parameter snapshots of `bytes`
+/// each over the link — the cost model for checkpoint writes and
+/// crash-recovery restores (each snapshot is one bulk transfer).
+pub fn snapshot_time(link: &LinkModel, bytes: u64, count: u64) -> f64 {
+    count as f64 * link.transfer_time(bytes)
 }
 
 /// Time for worker `w` to exchange its epoch traffic over the NIC
@@ -27,9 +37,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn allreduce_single_worker_is_free() {
+    fn allreduce_degenerate_worker_counts_are_free() {
         let nic = LinkModel::nic_10gbps();
-        assert_eq!(allreduce_time(&nic, 1_000_000, 1), 0.0);
+        assert_eq!(allreduce_time(&nic, 1_000_000, 1).to_bits(), 0.0f64.to_bits());
+        assert_eq!(allreduce_time(&nic, 1_000_000, 0).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn snapshots_price_linearly() {
+        let nic = LinkModel::nic_10gbps();
+        let one = snapshot_time(&nic, 1_000_000, 1);
+        assert!((one - nic.transfer_time(1_000_000)).abs() < 1e-12);
+        assert!((snapshot_time(&nic, 1_000_000, 3) - 3.0 * one).abs() < 1e-12);
+        assert_eq!(snapshot_time(&nic, 1_000_000, 0).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
 use gnn_dm_sampling::BatchSelection;
+use gnn_dm_faults::{FaultPlan, ResilienceReport};
 use gnn_dm_trace::convert::{u32_of_index, u64_of_u32, u64_of_usize, usize_of_u32};
 use gnn_dm_trace::{Pending, Resource, SpanKind, SpanMeta, Timeline};
 use rand::rngs::StdRng;
@@ -276,28 +277,73 @@ impl<'g> ClusterSim<'g> {
     /// collapsed) that starts when the slowest worker finishes. The
     /// timeline's makespan is the modelled epoch time; its spans carry
     /// the per-worker edge and byte loads.
+    ///
+    /// Delegates to [`ClusterSim::epoch_timeline_faulted`] with the
+    /// neutral plan: `FaultPlan::none()` injects no spans and multiplies
+    /// every stage by exactly 1.0, so this is bitwise-identical to the
+    /// pre-fault replay (pinned against the unchanged
+    /// [`ClusterSim::epoch_time_closed_form`] in `tests/trace_goldens.rs`).
     pub fn epoch_timeline(&self, report: &EpochLoadReport, tm: &TimeModel) -> Timeline {
+        self.epoch_timeline_faulted(report, tm, &FaultPlan::none(), 0)
+    }
+
+    /// [`ClusterSim::epoch_timeline`] under a fault plan.
+    ///
+    /// Injected degradations, all on the responsible worker's own lanes:
+    ///
+    /// * **stragglers** — the worker's Sample/NN durations stretch by
+    ///   `plan.compute_slowdown`, its Exchange by
+    ///   `plan.bandwidth_slowdown`;
+    /// * **flaky NIC** — each failed exchange attempt burns the wire for
+    ///   the full exchange duration plus the detection timeout (a `Retry`
+    ///   span carrying the retransmitted bytes), then waits out the capped
+    ///   exponential backoff (a `Backoff` span) before the successful
+    ///   `Exchange`;
+    /// * **checkpoints** — every-N-batches parameter snapshots priced as
+    ///   NIC transfers (`Checkpoint` span, bytes = snapshots ×
+    ///   `param_bytes`);
+    /// * **crash + recovery** — a crashed worker restores the last
+    ///   snapshot (`Restore` span, `param_bytes` over the NIC) and
+    ///   re-executes the batches since it (`Replay` span; `meta.edges`
+    ///   carries the replayed batch count, its duration is that fraction
+    ///   of the worker's epoch work).
+    ///
+    /// Epoch time under faults is still just the timeline's makespan, and
+    /// every injected second and byte is a span — the ledgers stay exact
+    /// reductions (`ledger::retry_bytes_from_spans`,
+    /// `ledger::checkpoint_bytes_from_spans`).
+    pub fn epoch_timeline_faulted(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+    ) -> Timeline {
         let k = self.part.k;
         let mut tl = Timeline::new();
         for w in 0..k {
+            let wid = u32_of_index(w);
+            let worker = Some(wid);
+            let cf = plan.compute_slowdown(epoch, wid);
+            let bf = plan.bandwidth_slowdown(epoch, wid);
             let sample_edges =
                 report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
-            let sample_t = sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
-                + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX;
+            let sample_t = (sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
+                + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX)
+                * cf;
             let comm_t = network::exchange_time(
                 &tm.nic,
                 report.comm.worker_sent(w),
                 report.comm.bytes_received[w],
-            );
+            ) * bf;
             // Forward+backward FLOPs: aggregation over block edges at
             // feature width plus hidden width, doubled for backward.
             let flops = report.compute.aggregation_edges[w] as f64
                 * 2.0
                 * (tm.feat_dim + tm.hidden) as f64
                 * 2.0;
-            let nn_t = tm.gpu.seconds_for_flops(flops);
-            let wid = u32_of_index(w);
-            let worker = Some(wid);
+            let nn_t = tm.gpu.seconds_for_flops(flops) * cf;
+            let traffic = report.comm.worker_traffic(w);
             let s_end = tl.schedule(
                 Resource::WorkerCpu(wid),
                 SpanKind::Sample,
@@ -305,14 +351,31 @@ impl<'g> ClusterSim<'g> {
                 sample_t,
                 SpanMeta { edges: sample_edges, worker, ..SpanMeta::default() },
             );
+            let mut ready = s_end;
+            for attempt in 0..plan.nic_failures(epoch, wid) {
+                let retry_end = tl.schedule(
+                    Resource::WorkerNic(wid),
+                    SpanKind::Retry,
+                    ready,
+                    comm_t + plan.link.retry.timeout_s,
+                    SpanMeta { bytes: traffic, worker, ..SpanMeta::default() },
+                );
+                ready = tl.schedule(
+                    Resource::WorkerNic(wid),
+                    SpanKind::Backoff,
+                    retry_end,
+                    plan.link.retry.backoff_delay(attempt),
+                    SpanMeta { worker, ..SpanMeta::default() },
+                );
+            }
             let c_end = tl.schedule(
                 Resource::WorkerNic(wid),
                 SpanKind::Exchange,
-                s_end,
+                ready,
                 comm_t,
-                SpanMeta { bytes: report.comm.worker_traffic(w), worker, ..SpanMeta::default() },
+                SpanMeta { bytes: traffic, worker, ..SpanMeta::default() },
             );
-            tl.schedule(
+            let n_end = tl.schedule(
                 Resource::WorkerGpu(wid),
                 SpanKind::NnCompute,
                 c_end,
@@ -323,6 +386,37 @@ impl<'g> ClusterSim<'g> {
                     ..SpanMeta::default()
                 },
             );
+            let mut w_end = n_end;
+            let snapshots = plan.crash.checkpoint.snapshots(report.num_batches[w]);
+            if snapshots > 0 {
+                let n_snap = u64_of_usize(snapshots);
+                w_end = tl.schedule(
+                    Resource::WorkerNic(wid),
+                    SpanKind::Checkpoint,
+                    w_end,
+                    network::snapshot_time(&tm.nic, tm.param_bytes, n_snap),
+                    SpanMeta { bytes: tm.param_bytes * n_snap, worker, ..SpanMeta::default() },
+                );
+            }
+            if let Some(crash_batch) = plan.crash_batch(epoch, wid, report.num_batches[w]) {
+                let replayed = plan.crash.checkpoint.replayed_batches(crash_batch);
+                let r_end = tl.schedule(
+                    Resource::WorkerNic(wid),
+                    SpanKind::Restore,
+                    w_end,
+                    network::snapshot_time(&tm.nic, tm.param_bytes, 1),
+                    SpanMeta { bytes: tm.param_bytes, worker, ..SpanMeta::default() },
+                );
+                // crash_batch is Some only when num_batches[w] > 0.
+                let per_batch = (sample_t + comm_t + nn_t) / report.num_batches[w] as f64;
+                tl.schedule(
+                    Resource::WorkerGpu(wid),
+                    SpanKind::Replay,
+                    r_end,
+                    replayed as f64 * per_batch,
+                    SpanMeta { edges: u64_of_usize(replayed), worker, ..SpanMeta::default() },
+                );
+            }
         }
         let sync_rounds = *report.num_batches.iter().max().unwrap_or(&0);
         let worst = tl.makespan();
@@ -372,6 +466,90 @@ impl<'g> ClusterSim<'g> {
         }
         let sync_rounds = *report.num_batches.iter().max().unwrap_or(&0);
         worst + sync_rounds as f64 * network::allreduce_time(&tm.nic, tm.param_bytes, k)
+    }
+
+    /// Modelled epoch wall-clock under a fault plan — still defined as
+    /// the makespan of the (faulted) span timeline.
+    pub fn epoch_time_faulted(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+    ) -> f64 {
+        self.epoch_timeline_faulted(report, tm, plan, epoch).makespan()
+    }
+
+    /// Closed form of [`ClusterSim::epoch_time_faulted`], mirroring the
+    /// faulted timeline operation-for-operation (each worker's chain is a
+    /// straight sum because its CPU/NIC/GPU lanes never contend with each
+    /// other). `tests/trace_goldens.rs` pins it bitwise-equal to the
+    /// timeline replay across seeds and fault rates.
+    pub fn epoch_time_faulted_closed_form(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+    ) -> f64 {
+        let k = self.part.k;
+        let mut worst = 0.0f64;
+        for w in 0..k {
+            let wid = u32_of_index(w);
+            let cf = plan.compute_slowdown(epoch, wid);
+            let bf = plan.bandwidth_slowdown(epoch, wid);
+            let sample_edges =
+                report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
+            let sample_t = (sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
+                + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX)
+                * cf;
+            let comm_t = network::exchange_time(
+                &tm.nic,
+                report.comm.worker_sent(w),
+                report.comm.bytes_received[w],
+            ) * bf;
+            let flops = report.compute.aggregation_edges[w] as f64
+                * 2.0
+                * (tm.feat_dim + tm.hidden) as f64
+                * 2.0;
+            let nn_t = tm.gpu.seconds_for_flops(flops) * cf;
+            let mut t = sample_t;
+            for attempt in 0..plan.nic_failures(epoch, wid) {
+                t += comm_t + plan.link.retry.timeout_s;
+                t += plan.link.retry.backoff_delay(attempt);
+            }
+            t += comm_t;
+            t += nn_t;
+            let snapshots = plan.crash.checkpoint.snapshots(report.num_batches[w]);
+            if snapshots > 0 {
+                t += network::snapshot_time(&tm.nic, tm.param_bytes, u64_of_usize(snapshots));
+            }
+            if let Some(crash_batch) = plan.crash_batch(epoch, wid, report.num_batches[w]) {
+                let replayed = plan.crash.checkpoint.replayed_batches(crash_batch);
+                t += network::snapshot_time(&tm.nic, tm.param_bytes, 1);
+                let per_batch = (sample_t + comm_t + nn_t) / report.num_batches[w] as f64;
+                t += replayed as f64 * per_batch;
+            }
+            worst = worst.max(t);
+        }
+        let sync_rounds = *report.num_batches.iter().max().unwrap_or(&0);
+        worst + sync_rounds as f64 * network::allreduce_time(&tm.nic, tm.param_bytes, k)
+    }
+
+    /// Healthy-vs-faulted comparison of one simulated epoch: replays the
+    /// time model with and without the plan and reduces the fault spans
+    /// (retries, backoff, checkpoints, restores, replays) into a
+    /// [`ResilienceReport`].
+    pub fn resilience(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+    ) -> ResilienceReport {
+        let healthy = self.epoch_timeline(report, tm);
+        let faulted = self.epoch_timeline_faulted(report, tm, plan, epoch);
+        ResilienceReport::compare(&healthy, &faulted)
     }
 }
 

@@ -14,10 +14,11 @@ use gnn_dm_device::cache::{CachePolicy, FeatureCache};
 use gnn_dm_device::compute::{self, ComputeModel};
 use gnn_dm_device::memory::DeviceMemory;
 use gnn_dm_device::pipeline::{
-    makespan_with_contention, replay_epoch, BatchMeta, BatchStageTimes, PipelineMode,
-    DEFAULT_OVERLAP_EFFICIENCY,
+    makespan_with_contention_faulted, replay_epoch_faulted, BatchMeta, BatchStageTimes,
+    PipelineMode, DEFAULT_OVERLAP_EFFICIENCY,
 };
 use gnn_dm_device::transfer::{BatchTransfer, TransferEngine, TransferMethod};
+use gnn_dm_faults::FaultPlan;
 use gnn_dm_graph::Graph;
 use gnn_dm_sampling::epoch::{AccessTracker, EpochPlan};
 use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
@@ -171,6 +172,22 @@ impl<'g> HeteroTrainer<'g> {
     /// Chrome-trace export of it accounts for every modelled second and
     /// byte.
     pub fn run_epoch_traced(&mut self, epoch: usize) -> (EpochTimings, Timeline) {
+        self.run_epoch_faulted(epoch, &FaultPlan::none())
+    }
+
+    /// [`HeteroTrainer::run_epoch_traced`] under a fault plan: each
+    /// batch's PCIe transfer may suffer planned failed attempts, replayed
+    /// as `Retry`/`Backoff` spans on the PCIe lane before the real
+    /// transfer. Under faults `EpochTimings::dt` (PCIe-lane busy time)
+    /// therefore includes the retransmissions and backoff waits, and
+    /// `pcie_bytes` counts every retransmitted byte — the timeline stays
+    /// the single source of truth. The neutral plan injects nothing, so
+    /// [`HeteroTrainer::run_epoch_traced`] delegates here bitwise-intact.
+    pub fn run_epoch_faulted(
+        &mut self,
+        epoch: usize,
+        faults: &FaultPlan,
+    ) -> (EpochTimings, Timeline) {
         let train = self.graph.train_vertices();
         let sampler = FanoutSampler::new(self.cfg.fanouts.clone());
         let selection = BatchSelection::Random;
@@ -214,16 +231,18 @@ impl<'g> HeteroTrainer<'g> {
                 edges: mb.involved_edges() as u64,
             });
         }
-        let tl = replay_epoch(&stage_times, &metas, self.cfg.pipeline);
+        let tl = replay_epoch_faulted(&stage_times, &metas, self.cfg.pipeline, faults, epoch);
         let totals = EpochTimings {
             bp: tl.busy(Resource::CpuSampler),
             dt: tl.busy(Resource::PcieLink),
             gather: tl.busy_of_kind(SpanKind::Gather),
             nn: tl.busy(Resource::GpuCompute),
-            makespan: makespan_with_contention(
+            makespan: makespan_with_contention_faulted(
                 &stage_times,
                 self.cfg.pipeline,
                 DEFAULT_OVERLAP_EFFICIENCY,
+                faults,
+                epoch,
             ),
             pcie_bytes: tl.bytes_on(Resource::PcieLink),
             cache_hit_rate: self.cache.hit_rate(),

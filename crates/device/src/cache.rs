@@ -13,7 +13,7 @@
 
 use gnn_dm_graph::csr::{Csr, VId};
 use gnn_dm_sampling::epoch::AccessTracker;
-use gnn_dm_trace::convert::{u32_of_index, usize_of_u32};
+use gnn_dm_trace::convert::{u32_of_index, u64_of_usize, usize_of_u32};
 
 /// Which ranking decides cache residency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +32,19 @@ impl CachePolicy {
             CachePolicy::PreSample => "sample",
         }
     }
+}
+
+/// Outcome of classifying one batch of feature accesses against the
+/// cache ([`FeatureCache::classify`]): a pure value, no statistics
+/// mutated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheClassification {
+    /// Ids whose features are not resident (must cross the bus).
+    pub misses: Vec<VId>,
+    /// How many of the batch's accesses hit.
+    pub hit_count: u64,
+    /// How many missed (`misses.len()`, pre-widened).
+    pub miss_count: u64,
 }
 
 /// A static GPU feature cache with hit/miss accounting.
@@ -95,19 +108,31 @@ impl FeatureCache {
         self.cached[usize_of_u32(v)]
     }
 
-    /// Filters a batch's feature accesses: returns the ids that **miss**
-    /// (must be transferred) and records hit/miss statistics.
-    pub fn filter_misses(&mut self, ids: &[VId]) -> Vec<VId> {
+    /// Classifies a batch's feature accesses **without mutating** the
+    /// cache: the ids that miss (must be transferred) plus exact hit/miss
+    /// counts, widened once per batch through the guarded
+    /// [`gnn_dm_trace::convert`] layer instead of incremented element by
+    /// element.
+    pub fn classify(&self, ids: &[VId]) -> CacheClassification {
         let mut misses = Vec::with_capacity(ids.len());
         for &v in ids {
-            if self.cached[usize_of_u32(v)] {
-                self.hits += 1;
-            } else {
-                self.misses += 1;
+            if !self.cached[usize_of_u32(v)] {
                 misses.push(v);
             }
         }
-        misses
+        let miss_count = u64_of_usize(misses.len());
+        let hit_count = u64_of_usize(ids.len() - misses.len());
+        CacheClassification { misses, hit_count, miss_count }
+    }
+
+    /// Filters a batch's feature accesses: returns the ids that **miss**
+    /// (must be transferred) and records hit/miss statistics
+    /// (saturating, so the running counters can never wrap).
+    pub fn filter_misses(&mut self, ids: &[VId]) -> Vec<VId> {
+        let c = self.classify(ids);
+        self.hits = self.hits.saturating_add(c.hit_count);
+        self.misses = self.misses.saturating_add(c.miss_count);
+        c.misses
     }
 
     /// Hits recorded so far.
@@ -184,6 +209,21 @@ mod tests {
     fn capacity_clamped_to_n() {
         let c = FeatureCache::from_ranking(&[0, 1], 2, 10);
         assert_eq!(c.capacity_rows(), 2);
+    }
+
+    #[test]
+    fn classify_is_pure_and_matches_filter() {
+        let c = FeatureCache::degree_based(&star(), 1);
+        let cls = c.classify(&[0, 1, 2, 0]);
+        assert_eq!(cls.misses, vec![1, 2]);
+        assert_eq!(cls.hit_count, 2);
+        assert_eq!(cls.miss_count, 2);
+        assert_eq!(c.hits(), 0, "classify must not touch running statistics");
+        assert_eq!(c.misses(), 0);
+        let mut m = c.clone();
+        assert_eq!(m.filter_misses(&[0, 1, 2, 0]), cls.misses);
+        assert_eq!(m.hits(), cls.hit_count);
+        assert_eq!(m.misses(), cls.miss_count);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! threaded executor with the same stage graph (used to validate the model
 //! and to demonstrate the optimization on actual work).
 
+use gnn_dm_faults::FaultPlan;
 use gnn_dm_trace::{Resource, SpanKind, SpanMeta, Timeline};
 
 /// Stage durations of one batch, in seconds.
@@ -96,6 +97,42 @@ fn replay_dt(tl: &mut Timeline, dt_start: f64, dt: f64, m: &BatchMeta, batch: Op
     dt_end
 }
 
+/// [`replay_dt`] behind a flaky PCIe link: each failed attempt occupies the
+/// bus for the full transfer plus the detection timeout (a `Retry` span
+/// carrying the retransmitted bytes), then waits out the capped exponential
+/// backoff (a `Backoff` span) before the real transfer starts. With zero
+/// planned failures this is exactly [`replay_dt`] at `dt_ready`.
+#[allow(clippy::too_many_arguments)]
+fn replay_dt_faulted(
+    tl: &mut Timeline,
+    dt_ready: f64,
+    dt: f64,
+    m: &BatchMeta,
+    batch: Option<u32>,
+    plan: &FaultPlan,
+    epoch: usize,
+    index: usize,
+) -> f64 {
+    let mut ready = dt_ready;
+    for attempt in 0..plan.pcie_failures(epoch, index) {
+        let retry_end = tl.schedule(
+            Resource::PcieLink,
+            SpanKind::Retry,
+            ready,
+            dt + plan.link.retry.timeout_s,
+            SpanMeta { bytes: m.bytes, batch, ..SpanMeta::default() },
+        );
+        ready = tl.schedule(
+            Resource::PcieLink,
+            SpanKind::Backoff,
+            retry_end,
+            plan.link.retry.backoff_delay(attempt),
+            SpanMeta { batch, ..SpanMeta::default() },
+        );
+    }
+    replay_dt(tl, ready, dt, m, batch)
+}
+
 /// Replays an epoch's BP/DT/NN stages as spans on three FIFO lanes
 /// (CPU sampler, PCIe link, GPU compute) and returns the timeline.
 ///
@@ -118,6 +155,22 @@ pub fn replay_epoch(
     metas: &[BatchMeta],
     mode: PipelineMode,
 ) -> Timeline {
+    replay_epoch_faulted(batches, metas, mode, &FaultPlan::none(), 0)
+}
+
+/// [`replay_epoch`] behind a fault plan: batch `i`'s data transfer may
+/// suffer `plan.pcie_failures(epoch, i)` failed attempts first, each
+/// replayed as a `Retry` + `Backoff` span pair on the PCIe lane
+/// ([`replay_dt_faulted`]). The neutral plan injects nothing, so
+/// `replay_epoch` delegates here and stays bitwise-identical to its
+/// pre-fault behavior (pinned in `tests/robustness.rs`).
+pub fn replay_epoch_faulted(
+    batches: &[BatchStageTimes],
+    metas: &[BatchMeta],
+    mode: PipelineMode,
+    plan: &FaultPlan,
+    epoch: usize,
+) -> Timeline {
     let mut tl = Timeline::new();
     // `None`'s sequential clock / `OverlapBp`'s fused DT+NN cursor.
     let mut cursor = 0.0f64;
@@ -131,7 +184,7 @@ pub fn replay_epoch(
                 let bp_end =
                     tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, cursor, b.bp, bp_meta);
                 let dt_start = tl.start_time(Resource::PcieLink, bp_end);
-                let dt_end = replay_dt(&mut tl, dt_start, b.dt, &m, batch);
+                let dt_end = replay_dt_faulted(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i);
                 cursor =
                     tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
             }
@@ -140,7 +193,7 @@ pub fn replay_epoch(
                     tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, 0.0, b.bp, bp_meta);
                 // DT waits for the fused DT+NN cursor, not just the bus.
                 let dt_start = cursor.max(bp_end);
-                let dt_end = replay_dt(&mut tl, dt_start, b.dt, &m, batch);
+                let dt_end = replay_dt_faulted(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i);
                 cursor =
                     tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
             }
@@ -148,7 +201,7 @@ pub fn replay_epoch(
                 let bp_end =
                     tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, 0.0, b.bp, bp_meta);
                 let dt_start = tl.start_time(Resource::PcieLink, bp_end);
-                let dt_end = replay_dt(&mut tl, dt_start, b.dt, &m, batch);
+                let dt_end = replay_dt_faulted(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i);
                 tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
             }
         }
@@ -175,6 +228,17 @@ pub fn replay_epoch(
 /// ```
 pub fn makespan(batches: &[BatchStageTimes], mode: PipelineMode) -> f64 {
     replay_epoch(batches, &[], mode).makespan()
+}
+
+/// Epoch makespan under a pipeline mode and a fault plan
+/// ([`replay_epoch_faulted`] with no batch annotations).
+pub fn makespan_faulted(
+    batches: &[BatchStageTimes],
+    mode: PipelineMode,
+    plan: &FaultPlan,
+    epoch: usize,
+) -> f64 {
+    replay_epoch_faulted(batches, &[], mode, plan, epoch).makespan()
 }
 
 /// The original closed-form makespan recurrences, kept as an independent
@@ -236,15 +300,32 @@ pub const DEFAULT_OVERLAP_EFFICIENCY: f64 = 0.6;
 /// Epoch makespan under a pipeline mode with imperfect overlap: only
 /// `overlap_efficiency` of the ideal saving (sequential − ideal makespan)
 /// is realized.
+///
+/// The efficiency is saturated into `[0, 1]` instead of asserted (library
+/// panic-freedom, P001); `NaN` saturates to 0, the no-overlap end.
 pub fn makespan_with_contention(
     batches: &[BatchStageTimes],
     mode: PipelineMode,
     overlap_efficiency: f64,
 ) -> f64 {
-    assert!((0.0..=1.0).contains(&overlap_efficiency), "efficiency must be in [0, 1]");
-    let seq = makespan(batches, PipelineMode::None);
-    let ideal = makespan(batches, mode);
-    seq - (seq - ideal) * overlap_efficiency
+    makespan_with_contention_faulted(batches, mode, overlap_efficiency, &FaultPlan::none(), 0)
+}
+
+/// [`makespan_with_contention`] under a fault plan: both the sequential
+/// baseline and the ideal pipelined makespan are replayed with the plan's
+/// PCIe faults, then the contention discount interpolates between them.
+pub fn makespan_with_contention_faulted(
+    batches: &[BatchStageTimes],
+    mode: PipelineMode,
+    overlap_efficiency: f64,
+    plan: &FaultPlan,
+    epoch: usize,
+) -> f64 {
+    // `max` then `min` is total: a NaN efficiency lands on 0.0.
+    let eff = overlap_efficiency.max(0.0).min(1.0);
+    let seq = makespan_faulted(batches, PipelineMode::None, plan, epoch);
+    let ideal = makespan_faulted(batches, mode, plan, epoch);
+    seq - (seq - ideal) * eff
 }
 
 /// Fraction of the makespan each resource is busy under full pipelining —

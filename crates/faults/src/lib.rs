@@ -1,0 +1,539 @@
+//! `gnn-dm-faults` — deterministic, seeded fault injection for the cost
+//! simulators.
+//!
+//! The paper's epoch-time and communication-load results (Figures 5/8,
+//! §5.3) assume a perfectly healthy cluster, but its own conclusion — that
+//! distributed GNN training is dominated by who moves how many bytes over
+//! which link — is exactly the regime real clusters degrade in. This crate
+//! models the three classic degradations:
+//!
+//! * **stragglers** — a planned subset of workers runs its compute and/or
+//!   its NIC at a constant slowdown factor for the epoch;
+//! * **flaky links** — a transfer may fail and be retried after a
+//!   deterministic timeout plus capped exponential backoff; every
+//!   retransmitted byte and every backoff wait becomes a `Retry` /
+//!   `Backoff` span on the cost timeline, so the byte ledgers stay exact
+//!   reductions over spans;
+//! * **worker crash + recovery** — a worker dies at a planned batch
+//!   boundary; a [`CheckpointPolicy`] (every-N-batches parameter snapshot
+//!   priced over the NIC) bounds how many batches are replayed.
+//!
+//! Everything a [`FaultPlan`] decides is a pure function of
+//! `(seed, epoch, worker/link id, attempt)` via the splitmix-style
+//! [`gnn_dm_par::split_seed`] — no ambient entropy, no wall clock, no
+//! global state — so a faulted epoch is exactly as reproducible (and
+//! thread-count-independent) as a healthy one. [`FaultPlan::none`] is the
+//! neutral element: zero fault rates inject no spans and every slowdown
+//! factor is 1.0 (an exact multiplicative identity for finite IEEE-754
+//! costs), so the healthy simulators delegate to the faulted ones and stay
+//! bitwise-identical to their pre-fault behavior.
+
+use gnn_dm_par::split_seed;
+use gnn_dm_trace::{SpanKind, Timeline};
+
+/// Domain separator for straggler membership draws.
+const DOMAIN_STRAGGLER: u64 = 0x5354_5241_4747_4C45; // "STRAGGLE"
+/// Domain separator for NIC transfer-failure draws.
+const DOMAIN_LINK_NIC: u64 = 0x4E49_434C_494E_4B00; // "NICLINK"
+/// Domain separator for PCIe transfer-failure draws.
+const DOMAIN_LINK_PCIE: u64 = 0x5043_4945_4C4E_4B00; // "PCIELNK"
+/// Domain separator for crash-occurrence draws.
+const DOMAIN_CRASH: u64 = 0x4352_4153_4845_5330; // "CRASHES0"
+/// Domain separator for crash-position draws.
+const DOMAIN_CRASH_BATCH: u64 = 0x4352_4153_4842_4154; // "CRASHBAT"
+
+/// One deterministic draw for `(seed, domain, epoch, unit)`.
+fn mix(seed: u64, domain: u64, epoch: usize, unit: u64) -> u64 {
+    split_seed(split_seed(seed ^ domain, epoch as u64), unit)
+}
+
+/// Maps draw bits to a uniform `f64` in `[0, 1)` using the top 53 bits —
+/// the standard exact construction (every representable value is a
+/// multiple of 2⁻⁵³), so thresholds compare deterministically.
+fn unit_from_bits(x: u64) -> f64 {
+    const SCALE: f64 = 1.0 / 9_007_199_254_740_992.0; // 2^-53
+    (x >> 11) as f64 * SCALE
+}
+
+/// Per-worker straggler model: with probability `rate` (drawn once per
+/// `(epoch, worker)`), the worker's compute stages stretch by
+/// `compute_factor` and its link stages by `bandwidth_factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerModel {
+    /// Probability a worker straggles in a given epoch, in `[0, 1]`.
+    pub rate: f64,
+    /// Multiplier on sampling / NN-compute stage durations (≥ 1 to model
+    /// degradation; 1.0 is a no-op).
+    pub compute_factor: f64,
+    /// Multiplier on link-stage durations (effective bandwidth shrinks by
+    /// this factor; 1.0 is a no-op).
+    pub bandwidth_factor: f64,
+}
+
+impl StragglerModel {
+    /// No stragglers: zero rate, identity factors.
+    pub const fn none() -> StragglerModel {
+        StragglerModel { rate: 0.0, compute_factor: 1.0, bandwidth_factor: 1.0 }
+    }
+}
+
+/// Retry discipline for a failed transfer: each failed attempt costs the
+/// full transfer duration plus `timeout_s` (the failure is only detected
+/// at the timeout), then waits `backoff_delay(attempt)` before retrying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum failed attempts per transfer; the attempt after the last
+    /// allowed failure always succeeds (the plan never livelocks).
+    pub max_retries: u32,
+    /// Seconds until a failed transfer is detected.
+    pub timeout_s: f64,
+    /// First backoff wait in seconds; doubles per failed attempt.
+    pub backoff_base_s: f64,
+    /// Upper bound on a single backoff wait, in seconds.
+    pub backoff_cap_s: f64,
+}
+
+impl RetryPolicy {
+    /// A TCP-flavored default: up to 4 retries, 50 ms timeout, 10 ms base
+    /// backoff capped at 500 ms.
+    pub const fn paper_default() -> RetryPolicy {
+        RetryPolicy { max_retries: 4, timeout_s: 0.05, backoff_base_s: 0.01, backoff_cap_s: 0.5 }
+    }
+
+    /// Backoff wait after failed attempt `attempt` (0-based):
+    /// `min(backoff_base_s · 2^attempt, backoff_cap_s)`. The doubling is
+    /// computed by an integer shift, so the sequence is exact until the
+    /// cap takes over.
+    pub fn backoff_delay(&self, attempt: u32) -> f64 {
+        let doublings = 1u64 << attempt.min(62);
+        (self.backoff_base_s * doublings as f64).min(self.backoff_cap_s)
+    }
+}
+
+/// Flaky-link model: each transfer fails independently with
+/// `failure_rate`, recovered per `retry`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultModel {
+    /// Per-attempt transfer failure probability, in `[0, 1]`.
+    pub failure_rate: f64,
+    /// Recovery discipline.
+    pub retry: RetryPolicy,
+}
+
+impl LinkFaultModel {
+    /// Reliable links: zero failure rate.
+    pub const fn none() -> LinkFaultModel {
+        LinkFaultModel { failure_rate: 0.0, retry: RetryPolicy::paper_default() }
+    }
+}
+
+/// Every-N-batches parameter snapshot. A snapshot costs `param_bytes`
+/// over the NIC; on a crash, only the batches since the last snapshot are
+/// replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot cadence in batches; 0 disables checkpointing (a crash
+    /// then replays the whole epoch so far).
+    pub every_batches: usize,
+}
+
+impl CheckpointPolicy {
+    /// No checkpointing.
+    pub const fn disabled() -> CheckpointPolicy {
+        CheckpointPolicy { every_batches: 0 }
+    }
+
+    /// Snapshot every `n` batches (`0` is [`CheckpointPolicy::disabled`]).
+    pub const fn every(n: usize) -> CheckpointPolicy {
+        CheckpointPolicy { every_batches: n }
+    }
+
+    /// Snapshots taken over an epoch of `batches` batches.
+    pub fn snapshots(&self, batches: usize) -> usize {
+        if self.every_batches == 0 {
+            0
+        } else {
+            batches / self.every_batches
+        }
+    }
+
+    /// Batches lost (to be replayed) when a worker dies right before
+    /// completing batch `crash_batch`: everything since the last snapshot.
+    pub fn replayed_batches(&self, crash_batch: usize) -> usize {
+        if self.every_batches == 0 {
+            crash_batch
+        } else {
+            crash_batch % self.every_batches
+        }
+    }
+}
+
+/// Worker-crash model: with probability `rate` (drawn once per
+/// `(epoch, worker)`), the worker dies at a planned batch boundary and
+/// recovers by restoring the last snapshot and replaying lost batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashModel {
+    /// Probability a worker crashes in a given epoch, in `[0, 1]`.
+    pub rate: f64,
+    /// Snapshot cadence and cost model for recovery.
+    pub checkpoint: CheckpointPolicy,
+}
+
+impl CrashModel {
+    /// No crashes, no checkpoint overhead.
+    pub const fn none() -> CrashModel {
+        CrashModel { rate: 0.0, checkpoint: CheckpointPolicy::disabled() }
+    }
+}
+
+/// The complete fault schedule of a simulation run. Pure data plus pure
+/// functions: every decision derives from `seed` and the coordinates of
+/// the question (`epoch`, worker or batch index, attempt number), so two
+/// evaluations can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed all fault draws derive from.
+    pub seed: u64,
+    /// Straggler injection.
+    pub straggler: StragglerModel,
+    /// Flaky-link injection (NIC and PCIe).
+    pub link: LinkFaultModel,
+    /// Crash + recovery injection.
+    pub crash: CrashModel,
+}
+
+impl FaultPlan {
+    /// The neutral plan: no stragglers, reliable links, no crashes, no
+    /// checkpoint overhead. Simulators fed this plan perform the exact
+    /// floating-point operation sequence of their pre-fault versions.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            straggler: StragglerModel::none(),
+            link: LinkFaultModel::none(),
+            crash: CrashModel::none(),
+        }
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_none(&self) -> bool {
+        self.straggler.rate <= 0.0
+            && self.link.failure_rate <= 0.0
+            && self.crash.rate <= 0.0
+            && self.crash.checkpoint.every_batches == 0
+    }
+
+    /// A one-knob stress preset: straggler and link-failure probability
+    /// `rate`, crash probability `rate / 2`, checkpoints every 8 batches
+    /// (disabled at `rate <= 0` so the zero-rate plan is neutral).
+    /// Severities are fixed: 2.5× compute and 2× bandwidth degradation.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        let checkpoint =
+            if rate > 0.0 { CheckpointPolicy::every(8) } else { CheckpointPolicy::disabled() };
+        FaultPlan {
+            seed,
+            straggler: StragglerModel { rate, compute_factor: 2.5, bandwidth_factor: 2.0 },
+            link: LinkFaultModel { failure_rate: rate, retry: RetryPolicy::paper_default() },
+            crash: CrashModel { rate: rate * 0.5, checkpoint },
+        }
+    }
+
+    /// True when worker `worker` straggles in `epoch`.
+    pub fn is_straggler(&self, epoch: usize, worker: u32) -> bool {
+        self.straggler.rate > 0.0
+            && unit_from_bits(mix(self.seed, DOMAIN_STRAGGLER, epoch, u64::from(worker)))
+                < self.straggler.rate
+    }
+
+    /// Duration multiplier for worker `worker`'s compute stages in
+    /// `epoch` (1.0 unless the worker straggles).
+    pub fn compute_slowdown(&self, epoch: usize, worker: u32) -> f64 {
+        if self.is_straggler(epoch, worker) {
+            self.straggler.compute_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Duration multiplier for worker `worker`'s link stages in `epoch`
+    /// (1.0 unless the worker straggles).
+    pub fn bandwidth_slowdown(&self, epoch: usize, worker: u32) -> f64 {
+        if self.is_straggler(epoch, worker) {
+            self.straggler.bandwidth_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Failed attempts before worker `worker`'s epoch NIC exchange goes
+    /// through (0 ⇒ first attempt succeeds; capped at
+    /// `retry.max_retries`).
+    pub fn nic_failures(&self, epoch: usize, worker: u32) -> u32 {
+        self.link_failures(DOMAIN_LINK_NIC, epoch, u64::from(worker))
+    }
+
+    /// Failed attempts before batch `batch`'s PCIe transfer goes through.
+    pub fn pcie_failures(&self, epoch: usize, batch: usize) -> u32 {
+        self.link_failures(DOMAIN_LINK_PCIE, epoch, batch as u64)
+    }
+
+    /// Consecutive failure draws below `failure_rate`, capped at
+    /// `max_retries` (so the attempt after the last allowed failure always
+    /// succeeds and the retry loop provably terminates).
+    fn link_failures(&self, domain: u64, epoch: usize, unit: u64) -> u32 {
+        let rate = self.link.failure_rate;
+        if rate <= 0.0 {
+            return 0;
+        }
+        let base = mix(self.seed, domain, epoch, unit);
+        let mut failures = 0u32;
+        while failures < self.link.retry.max_retries {
+            if unit_from_bits(split_seed(base, u64::from(failures))) < rate {
+                failures += 1;
+            } else {
+                break;
+            }
+        }
+        failures
+    }
+
+    /// The batch boundary at which worker `worker` dies in `epoch`, if it
+    /// crashes at all. `None` when the worker survives or ran no batches.
+    /// The returned index is in `0..num_batches`: the worker completes
+    /// that many batches before dying.
+    pub fn crash_batch(&self, epoch: usize, worker: u32, num_batches: usize) -> Option<usize> {
+        if num_batches == 0 || self.crash.rate <= 0.0 {
+            return None;
+        }
+        let occurs = unit_from_bits(mix(self.seed, DOMAIN_CRASH, epoch, u64::from(worker)));
+        if occurs >= self.crash.rate {
+            return None;
+        }
+        let pick = mix(self.seed, DOMAIN_CRASH_BATCH, epoch, u64::from(worker));
+        // Modulo keeps the choice an exact integer function of the draw;
+        // num_batches > 0 was checked above.
+        Some((pick % num_batches as u64) as usize)
+    }
+}
+
+/// Healthy-vs-faulted comparison of two epoch timelines, read entirely
+/// off the fault spans (`Retry` / `Backoff` / `Checkpoint` / `Restore` /
+/// `Replay`) — the timelines stay the single source of truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Healthy epoch makespan in seconds.
+    pub healthy_s: f64,
+    /// Faulted epoch makespan in seconds.
+    pub faulted_s: f64,
+    /// Bytes retransmitted by failed transfers (`Retry` span bytes).
+    pub retry_bytes: u64,
+    /// Number of failed transfer attempts (`Retry` span count).
+    pub retry_spans: usize,
+    /// Seconds spent waiting in backoff (`Backoff` span durations).
+    pub backoff_s: f64,
+    /// Bytes written by parameter snapshots (`Checkpoint` span bytes).
+    pub checkpoint_bytes: u64,
+    /// Bytes read back restoring snapshots after crashes (`Restore`).
+    pub restore_bytes: u64,
+    /// Batches re-executed after crashes (`Replay` span edge counts —
+    /// the replay spans carry the batch count in `meta.edges`).
+    pub replayed_batches: u64,
+    /// Seconds spent re-executing lost batches (`Replay` durations).
+    pub replay_s: f64,
+}
+
+impl ResilienceReport {
+    /// Builds the report from a healthy and a faulted timeline of the
+    /// same epoch.
+    pub fn compare(healthy: &Timeline, faulted: &Timeline) -> ResilienceReport {
+        ResilienceReport {
+            healthy_s: healthy.makespan(),
+            faulted_s: faulted.makespan(),
+            retry_bytes: faulted.bytes_of_kind(SpanKind::Retry),
+            retry_spans: faulted.spans().iter().filter(|s| s.kind == SpanKind::Retry).count(),
+            backoff_s: faulted.busy_of_kind(SpanKind::Backoff),
+            checkpoint_bytes: faulted.bytes_of_kind(SpanKind::Checkpoint),
+            restore_bytes: faulted.bytes_of_kind(SpanKind::Restore),
+            replayed_batches: faulted.edges_of_kind(SpanKind::Replay),
+            replay_s: faulted.busy_of_kind(SpanKind::Replay),
+        }
+    }
+
+    /// Faulted over healthy makespan (1.0 when the healthy epoch is
+    /// empty).
+    pub fn slowdown(&self) -> f64 {
+        if self.healthy_s > 0.0 {
+            self.faulted_s / self.healthy_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of the faulted wall-clock that was useful work: healthy
+    /// over faulted makespan, clamped to `[0, 1]` (1.0 for an empty
+    /// faulted epoch).
+    pub fn goodput(&self) -> f64 {
+        if self.faulted_s > 0.0 {
+            (self.healthy_s / self.faulted_s).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_dm_trace::{Resource, SpanMeta};
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for epoch in 0..4 {
+            for w in 0..8 {
+                assert_eq!(p.compute_slowdown(epoch, w).to_bits(), 1.0f64.to_bits());
+                assert_eq!(p.bandwidth_slowdown(epoch, w).to_bits(), 1.0f64.to_bits());
+                assert_eq!(p.nic_failures(epoch, w), 0);
+                assert_eq!(p.crash_batch(epoch, w, 100), None);
+            }
+            assert_eq!(p.pcie_failures(epoch, 17), 0);
+        }
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_the_coordinates() {
+        let p = FaultPlan::uniform(42, 0.3);
+        let q = FaultPlan::uniform(42, 0.3);
+        for epoch in 0..3 {
+            for w in 0..6 {
+                assert_eq!(p.is_straggler(epoch, w), q.is_straggler(epoch, w));
+                assert_eq!(p.nic_failures(epoch, w), q.nic_failures(epoch, w));
+                assert_eq!(p.crash_batch(epoch, w, 37), q.crash_batch(epoch, w, 37));
+            }
+        }
+        // A different seed decorrelates: at 30% rates, 24 coordinates
+        // should not all agree between two independent plans.
+        let r = FaultPlan::uniform(43, 0.3);
+        let same = (0..3)
+            .flat_map(|e| (0..8).map(move |w| (e, w)))
+            .filter(|&(e, w)| p.is_straggler(e, w) == r.is_straggler(e, w))
+            .count();
+        assert!(same < 24, "seed change flipped no straggler draws");
+    }
+
+    #[test]
+    fn failure_count_is_monotone_in_rate() {
+        let seeds = [1u64, 7, 99];
+        let rates = [0.0, 0.1, 0.3, 0.5, 0.8, 1.0];
+        for &seed in &seeds {
+            for w in 0..8 {
+                let mut prev = 0;
+                for &rate in &rates {
+                    let p = FaultPlan::uniform(seed, rate);
+                    let f = p.nic_failures(0, w);
+                    assert!(
+                        f >= prev,
+                        "failures dropped from {prev} to {f} raising rate to {rate}"
+                    );
+                    prev = f;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certain_failure_saturates_at_max_retries() {
+        let p = FaultPlan::uniform(5, 1.0);
+        assert_eq!(p.nic_failures(0, 0), p.link.retry.max_retries);
+        assert_eq!(p.pcie_failures(3, 12), p.link.retry.max_retries);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let r = RetryPolicy::paper_default();
+        assert!((r.backoff_delay(0) - 0.01).abs() < 1e-15);
+        assert!((r.backoff_delay(1) - 0.02).abs() < 1e-15);
+        assert!((r.backoff_delay(2) - 0.04).abs() < 1e-15);
+        assert_eq!(r.backoff_delay(10).to_bits(), 0.5f64.to_bits(), "capped");
+        assert_eq!(r.backoff_delay(400).to_bits(), 0.5f64.to_bits(), "shift saturates");
+    }
+
+    #[test]
+    fn checkpoint_policy_arithmetic() {
+        let c = CheckpointPolicy::every(8);
+        assert_eq!(c.snapshots(0), 0);
+        assert_eq!(c.snapshots(7), 0);
+        assert_eq!(c.snapshots(8), 1);
+        assert_eq!(c.snapshots(25), 3);
+        assert_eq!(c.replayed_batches(0), 0);
+        assert_eq!(c.replayed_batches(7), 7);
+        assert_eq!(c.replayed_batches(8), 0);
+        assert_eq!(c.replayed_batches(21), 5);
+        let d = CheckpointPolicy::disabled();
+        assert_eq!(d.snapshots(100), 0);
+        assert_eq!(d.replayed_batches(42), 42, "no snapshots: replay everything");
+    }
+
+    #[test]
+    fn crash_batch_is_in_range_and_gated_by_rate() {
+        // `uniform(_, 1.0)` halves the crash rate to 0.5, so build a
+        // certain-crash plan explicitly.
+        let certain = FaultPlan {
+            crash: CrashModel { rate: 1.0, checkpoint: CheckpointPolicy::every(8) },
+            ..FaultPlan::uniform(11, 1.0)
+        };
+        for w in 0..16 {
+            let cb = certain.crash_batch(0, w, 13);
+            assert!(cb.is_some_and(|b| b < 13), "crash batch out of range: {cb:?}");
+        }
+        assert_eq!(certain.crash_batch(0, 0, 0), None, "no batches, no crash");
+        let sometimes = FaultPlan::uniform(11, 0.4); // crash rate 0.2
+        let crashes = (0..64).filter(|&w| sometimes.crash_batch(0, w, 13).is_some()).count();
+        assert!(crashes > 0 && crashes < 64, "crash rate 0.2 hit {crashes}/64 workers");
+    }
+
+    #[test]
+    fn unit_draws_live_in_the_half_open_interval() {
+        for i in 0..1000u64 {
+            let u = unit_from_bits(split_seed(77, i));
+            assert!((0.0..1.0).contains(&u), "draw {u} out of [0,1)");
+        }
+        assert_eq!(unit_from_bits(0).to_bits(), 0.0f64.to_bits());
+        assert!(unit_from_bits(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn resilience_report_reads_fault_spans() {
+        let mut healthy = Timeline::new();
+        healthy.schedule(Resource::WorkerCpu(0), SpanKind::Sample, 0.0, 2.0, SpanMeta::default());
+        let mut faulted = Timeline::new();
+        // Chain the fault spans after the base work so the faulted
+        // makespan actually stretches (as it does in the simulators).
+        let mut t =
+            faulted.schedule(Resource::WorkerCpu(0), SpanKind::Sample, 0.0, 2.0, SpanMeta::default());
+        t = faulted.schedule(Resource::WorkerNic(0), SpanKind::Retry, t, 0.5, SpanMeta::bytes(100));
+        t = faulted.schedule(Resource::WorkerNic(0), SpanKind::Backoff, t, 0.25, SpanMeta::default());
+        t = faulted.schedule(Resource::WorkerNic(0), SpanKind::Checkpoint, t, 0.1, SpanMeta::bytes(40));
+        t = faulted.schedule(Resource::WorkerNic(0), SpanKind::Restore, t, 0.1, SpanMeta::bytes(40));
+        faulted.schedule(Resource::WorkerGpu(0), SpanKind::Replay, t, 1.05, SpanMeta::edges(3));
+        let r = ResilienceReport::compare(&healthy, &faulted);
+        assert_eq!(r.retry_bytes, 100);
+        assert_eq!(r.retry_spans, 1);
+        assert!((r.backoff_s - 0.25).abs() < 1e-12);
+        assert_eq!(r.checkpoint_bytes, 40);
+        assert_eq!(r.restore_bytes, 40);
+        assert_eq!(r.replayed_batches, 3);
+        assert!((r.replay_s - 1.05).abs() < 1e-12);
+        assert!(r.slowdown() > 1.0);
+        assert!(r.goodput() < 1.0 && r.goodput() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_report_ratios_are_total() {
+        let empty = Timeline::new();
+        let r = ResilienceReport::compare(&empty, &empty);
+        assert_eq!(r.slowdown().to_bits(), 1.0f64.to_bits());
+        assert_eq!(r.goodput().to_bits(), 1.0f64.to_bits());
+    }
+}

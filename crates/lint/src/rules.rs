@@ -22,7 +22,7 @@ pub struct Diagnostic {
 
 /// Crates whose outputs must be bit-identical across runs (D002 scope).
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["graph", "partition", "sampling", "device", "cluster", "core", "trace"];
+    &["graph", "partition", "sampling", "device", "cluster", "core", "trace", "faults"];
 
 /// Identifiers that reach ambient OS entropy (D003 scope).
 const ENTROPY_IDENTS: &[&str] =

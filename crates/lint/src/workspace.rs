@@ -29,23 +29,25 @@ pub const ROOT_KEY: &str = "gnn-dm";
 ///
 /// Layers (documented in DESIGN.md §10; rendered by
 /// [`allowed_edges_markdown`]):
-/// 0 substrate (`par`, `trace`) → 1 data (`tensor`, `graph`) →
+/// 0 substrate (`par`, `trace`, then `faults`, which builds on both — the
+/// substrate layer is internally ordered) → 1 data (`tensor`, `graph`) →
 /// 2 preparation (`partition`, `sampling`) → 3 execution (`nn`, `device`) →
 /// 4 distribution (`cluster`) → 5 composition (`core`) →
 /// 6 harness (`bench`, root). `lint` is standalone tooling.
 pub const ALLOWED_EDGES: &[(&str, &[&str])] = &[
     ("par", &[]),
     ("trace", &[]),
+    ("faults", &["par", "trace"]),
     ("tensor", &["par"]),
     ("graph", &["par"]),
     ("partition", &["par", "graph"]),
     ("sampling", &["par", "graph"]),
     ("nn", &["par", "tensor", "graph", "sampling"]),
-    ("device", &["trace", "graph", "sampling"]),
-    ("cluster", &["par", "trace", "tensor", "graph", "partition", "sampling", "nn", "device"]),
-    ("core", &["trace", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster"]),
-    ("bench", &["par", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
-    (ROOT_KEY, &["par", "trace", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
+    ("device", &["trace", "faults", "graph", "sampling"]),
+    ("cluster", &["par", "trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device"]),
+    ("core", &["trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster"]),
+    ("bench", &["par", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
+    (ROOT_KEY, &["par", "trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
     ("lint", &[]),
 ];
 
@@ -53,6 +55,7 @@ pub const ALLOWED_EDGES: &[(&str, &[&str])] = &[
 const LAYERS: &[(&str, &str)] = &[
     ("par", "0 · substrate"),
     ("trace", "0 · substrate"),
+    ("faults", "0 · substrate"),
     ("tensor", "1 · data"),
     ("graph", "1 · data"),
     ("partition", "2 · preparation"),

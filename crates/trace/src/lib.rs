@@ -100,6 +100,19 @@ pub enum SpanKind {
     Exchange,
     /// A gradient all-reduce round.
     AllReduce,
+    /// A failed transfer attempt: the bytes burned the wire for the full
+    /// transfer duration plus the detection timeout, then were discarded.
+    Retry,
+    /// Waiting out the capped exponential backoff before a retry.
+    Backoff,
+    /// A parameter snapshot written over the NIC (crash-recovery
+    /// checkpointing).
+    Checkpoint,
+    /// Reading the last parameter snapshot back after a crash.
+    Restore,
+    /// Re-executing batches lost to a crash; `meta.edges` carries the
+    /// replayed batch count.
+    Replay,
 }
 
 impl SpanKind {
@@ -119,6 +132,11 @@ impl SpanKind {
             SpanKind::Sample => "sample",
             SpanKind::Exchange => "exchange",
             SpanKind::AllReduce => "allreduce",
+            SpanKind::Retry => "retry",
+            SpanKind::Backoff => "backoff",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Restore => "restore",
+            SpanKind::Replay => "replay",
         }
     }
 }

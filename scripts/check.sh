@@ -19,6 +19,23 @@ cargo test --workspace -q
 echo "==> trace goldens (closed form == timeline replay, span conservation)"
 cargo test -q --test trace_goldens
 
+echo "==> fault suite (neutral plan is bitwise no-op, monotone fault cost)"
+cargo test -q --test robustness
+
+if [ -f results/trace_faults.json ]; then
+    echo "==> faulted-trace golden (results/trace_faults.json is canonical)"
+    tmpdir="$(mktemp -d)"
+    cp results/trace_faults.json "${tmpdir}/trace_faults.golden.json"
+    cargo run --release -q -p gnn-dm-bench --bin ext_faults_epoch_time >/dev/null
+    if ! cmp -s results/trace_faults.json "${tmpdir}/trace_faults.golden.json"; then
+        cp "${tmpdir}/trace_faults.golden.json" results/trace_faults.json
+        rm -rf "${tmpdir}"
+        echo "FAIL: regenerated trace_faults.json differs from the checked-in golden" >&2
+        exit 1
+    fi
+    rm -rf "${tmpdir}"
+fi
+
 echo "==> gnn-dm-lint"
 lint_json="$(cargo run -q -p gnn-dm-lint -- --format=json)"
 echo "${lint_json}"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Fault-injection experiment: epoch time under seeded stragglers, flaky
+# links and worker crashes, swept across the Figure-8 partitionings.
+#
+#   scripts/faults.sh
+#
+# Writes results/ext_faults_epoch_time.txt (the sweep table) and
+# results/trace_faults.json (one canonical faulted timeline as a Chrome
+# trace; scripts/check.sh pins it byte-for-byte against regeneration).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+cargo run --release -q -p gnn-dm-bench --bin ext_faults_epoch_time \
+    | tee results/ext_faults_epoch_time.txt
+
+echo "Wrote results/ext_faults_epoch_time.txt and results/trace_faults.json"

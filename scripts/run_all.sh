@@ -37,6 +37,7 @@ targets=(
   ext_sampling_algorithms
   ext_p3_hybrid
   ext_local_sgd
+  ext_faults_epoch_time
 )
 cargo build --release -p gnn-dm-bench --bins
 for t in "${targets[@]}"; do

@@ -13,13 +13,16 @@
 //! * [`cluster`] — the simulated distributed training cluster;
 //! * [`core`] — the end-to-end evaluation harness tying it all together;
 //! * [`trace`] — the deterministic span-timeline engine every modelled
-//!   second and byte flows through (Chrome-trace export).
+//!   second and byte flows through (Chrome-trace export);
+//! * [`faults`] — deterministic fault injection (stragglers, flaky links
+//!   with retry/backoff, worker crash + checkpoint recovery).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use gnn_dm_cluster as cluster;
 pub use gnn_dm_core as core;
 pub use gnn_dm_device as device;
+pub use gnn_dm_faults as faults;
 pub use gnn_dm_graph as graph;
 pub use gnn_dm_nn as nn;
 pub use gnn_dm_par as par;

@@ -174,3 +174,24 @@ fn cluster_epoch_bitwise_equal_across_thread_counts() {
     let sampler = FanoutSampler::new(vec![4, 4]);
     assert_threadcount_invariant(|| sim.simulate_epoch(&sampler, 1));
 }
+
+/// Fault injection sits on top of the same substrate: a faulted epoch
+/// timeline — straggler slowdowns, retry/backoff spans, checkpoint and
+/// crash-replay spans included — must export byte-identical Chrome traces
+/// at every thread count, because every fault draw is a pure function of
+/// `(seed, epoch, worker)` and never of scheduling.
+#[test]
+fn faulted_epoch_timeline_bitwise_equal_across_thread_counts() {
+    use gnn_dm::cluster::sim::TimeModel;
+    use gnn_dm::faults::FaultPlan;
+    let g = graph();
+    let part = metis_extend(&g, MetisVariant::V, 4, 3);
+    let sim = gnn_dm::cluster::ClusterSim { graph: &g, part: &part, batch_size: 32, seed: 5 };
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let tm = TimeModel::paper_default(g.feat_dim(), 64, 50_000);
+    let plan = FaultPlan::uniform(9, 0.4);
+    assert_threadcount_invariant(|| {
+        let report = sim.simulate_epoch(&sampler, 1);
+        sim.epoch_timeline_faulted(&report, &tm, &plan, 1).to_chrome_trace()
+    });
+}

@@ -1,8 +1,19 @@
 //! Robustness and failure-injection tests: degenerate inputs that a
-//! production library must survive (or reject loudly), across every crate.
+//! production library must survive (or reject loudly), across every crate —
+//! plus the fault-injection contract of `gnn-dm-faults`: the neutral plan
+//! is a bitwise no-op, fault cost is monotone in the fault rate, and every
+//! injected byte/second reduces exactly from the emitted spans.
 
+use gnn_dm::cluster::ledger::{checkpoint_bytes_from_spans, retry_bytes_from_spans};
+use gnn_dm::cluster::sim::TimeModel;
+use gnn_dm::cluster::ClusterSim;
 use gnn_dm::core::config::ModelKind;
 use gnn_dm::core::convergence::train_single;
+use gnn_dm::core::trainer::{HeteroTrainer, HeteroTrainerConfig};
+use gnn_dm::device::pipeline::{
+    makespan_faulted, replay_epoch, replay_epoch_faulted, BatchMeta, BatchStageTimes, PipelineMode,
+};
+use gnn_dm::faults::FaultPlan;
 use gnn_dm::graph::csr::Csr;
 use gnn_dm::graph::generate::{planted_partition, PplConfig};
 use gnn_dm::graph::{io, GraphBuilder, SplitMask};
@@ -10,6 +21,7 @@ use gnn_dm::nn::{AggKind, GnnModel};
 use gnn_dm::partition::{partition_graph, PartitionMethod};
 use gnn_dm::sampling::sampler::{build_minibatch, FanoutSampler};
 use gnn_dm::sampling::{BatchSelection, BatchSizeSchedule};
+use gnn_dm::trace::{Resource, SpanKind};
 use rand::SeedableRng;
 
 #[test]
@@ -195,4 +207,181 @@ fn extreme_feature_values_stay_finite() {
     let (loss, grad) = gnn_dm::nn::loss::softmax_cross_entropy(&logits, &labels);
     assert!(loss.is_finite());
     assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection contract (gnn-dm-faults).
+// ---------------------------------------------------------------------------
+
+fn fault_graph() -> gnn_dm::graph::Graph {
+    planted_partition(&PplConfig {
+        n: 1200,
+        avg_degree: 9.0,
+        num_classes: 5,
+        homophily: 0.85,
+        skew: 0.6,
+        feat_dim: 24,
+        ..Default::default()
+    })
+}
+
+fn jagged_batches(n: usize, seed: u64) -> Vec<BatchStageTimes> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use rand::Rng;
+    (0..n)
+        .map(|_| BatchStageTimes {
+            bp: rng.random::<f64>() * 0.013 + 1e-7,
+            dt: rng.random::<f64>() * 0.029 + 1e-7,
+            nn: rng.random::<f64>() * 0.017 + 1e-7,
+        })
+        .collect()
+}
+
+const MODES: [PipelineMode; 3] =
+    [PipelineMode::None, PipelineMode::OverlapBp, PipelineMode::Full];
+
+/// The neutral plan is a bitwise no-op on every traced epoch: the healthy
+/// entry points delegate to the faulted ones, so this pins the delegation
+/// (and hence all pre-fault behavior) exactly.
+#[test]
+fn zero_fault_plan_is_bitwise_identity() {
+    let none = FaultPlan::none();
+
+    // Device pipeline replay, every mode.
+    let batches = jagged_batches(30, 9);
+    let metas: Vec<BatchMeta> = (0..30)
+        .map(|i| BatchMeta { gather: 0.001, bytes: 700 + i, edges: 3 * i })
+        .collect();
+    for mode in MODES {
+        let healthy = replay_epoch(&batches, &metas, mode);
+        let faulted = replay_epoch_faulted(&batches, &metas, mode, &none, 4);
+        assert_eq!(healthy.to_chrome_trace(), faulted.to_chrome_trace(), "{mode:?}");
+    }
+
+    // Cluster epoch timeline.
+    let g = fault_graph();
+    let part = partition_graph(&g, PartitionMethod::Hash, 4, 11);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let report = sim.simulate_epoch(&sampler, 0);
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    assert_eq!(
+        sim.epoch_timeline(&report, &tm).to_chrome_trace(),
+        sim.epoch_timeline_faulted(&report, &tm, &none, 2).to_chrome_trace()
+    );
+
+    // Heterogeneous trainer.
+    let cfg = HeteroTrainerConfig::baseline(&g, 128);
+    let (t_healthy, tl_healthy) = HeteroTrainer::new(&g, cfg.clone()).run_epoch_traced(0);
+    let (t_faulted, tl_faulted) = HeteroTrainer::new(&g, cfg).run_epoch_faulted(0, &none);
+    assert_eq!(t_healthy, t_faulted);
+    assert_eq!(tl_healthy.to_chrome_trace(), tl_faulted.to_chrome_trace());
+}
+
+/// Raising the one-knob stress rate can only add failed attempts, longer
+/// slowdowns and more replayed work — makespans are monotone
+/// non-decreasing in the rate, for the cluster epoch and for every
+/// pipeline mode.
+#[test]
+fn makespan_is_monotone_in_the_fault_rate() {
+    let rates = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0];
+
+    let g = fault_graph();
+    let part = partition_graph(&g, PartitionMethod::MetisV, 4, 11);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let report = sim.simulate_epoch(&sampler, 0);
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    for seed in [3u64, 11, 77] {
+        let mut prev = 0.0f64;
+        for rate in rates {
+            let t = sim.epoch_time_faulted(&report, &tm, &FaultPlan::uniform(seed, rate), 0);
+            assert!(
+                t >= prev,
+                "seed {seed}: epoch time dropped from {prev} to {t} at rate {rate}"
+            );
+            prev = t;
+        }
+    }
+
+    let batches = jagged_batches(25, 13);
+    for mode in MODES {
+        let mut prev = 0.0f64;
+        for rate in rates {
+            let t = makespan_faulted(&batches, mode, &FaultPlan::uniform(5, rate), 0);
+            assert!(t >= prev, "{mode:?}: makespan dropped from {prev} to {t} at rate {rate}");
+            prev = t;
+        }
+    }
+}
+
+/// A crashed worker replays exactly the batches since its last
+/// checkpoint, and the `Replay` span advertises that count.
+#[test]
+fn crash_recovery_replays_exactly_the_uncheckpointed_batches() {
+    let g = fault_graph();
+    let part = partition_graph(&g, PartitionMethod::Hash, 4, 11);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let report = sim.simulate_epoch(&sampler, 0);
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    let plan = FaultPlan::uniform(21, 1.0); // crash rate 0.5: some workers die
+    let tl = sim.epoch_timeline_faulted(&report, &tm, &plan, 0);
+    let mut crashes = 0;
+    for w in 0..4u32 {
+        let planned = plan.crash_batch(0, w, report.num_batches[w as usize]);
+        let replay = tl
+            .spans()
+            .iter()
+            .find(|s| s.kind == SpanKind::Replay && s.resource == Resource::WorkerGpu(w));
+        match planned {
+            Some(crash_batch) => {
+                crashes += 1;
+                let expect = plan.crash.checkpoint.replayed_batches(crash_batch) as u64;
+                let got = replay.expect("crashed worker must emit a Replay span").meta.edges;
+                assert_eq!(got, expect, "worker {w}: crash at batch {crash_batch}");
+                assert_eq!(expect, (crash_batch % 8) as u64, "uniform plan checkpoints every 8");
+            }
+            None => assert!(replay.is_none(), "worker {w} survived but has a Replay span"),
+        }
+    }
+    assert!(crashes > 0, "crash rate 0.5 over 4 workers planned no crashes");
+}
+
+/// Fault byte accounting is exact: retransmitted bytes reduce from the
+/// `Retry` spans to failures × exchange traffic, and checkpoint traffic to
+/// snapshots (+ restore) × param_bytes — per worker, as integers.
+#[test]
+fn fault_bytes_reduce_exactly_from_spans() {
+    let g = fault_graph();
+    let part = partition_graph(&g, PartitionMethod::Hash, 4, 11);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let report = sim.simulate_epoch(&sampler, 0);
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    let plan = FaultPlan::uniform(7, 0.6);
+    let tl = sim.epoch_timeline_faulted(&report, &tm, &plan, 0);
+
+    let retry = retry_bytes_from_spans(&tl, 4);
+    let ckpt = checkpoint_bytes_from_spans(&tl, 4);
+    let mut total_failures = 0u64;
+    for w in 0..4usize {
+        let wid = w as u32;
+        let failures = u64::from(plan.nic_failures(0, wid));
+        total_failures += failures;
+        assert_eq!(retry[w], failures * report.comm.worker_traffic(w), "worker {w} retry bytes");
+        let nb = report.num_batches[w];
+        let mut expect = plan.crash.checkpoint.snapshots(nb) as u64 * tm.param_bytes;
+        if plan.crash_batch(0, wid, nb).is_some() {
+            expect += tm.param_bytes; // the restore read-back
+        }
+        assert_eq!(ckpt[w], expect, "worker {w} checkpoint bytes");
+    }
+    assert!(total_failures > 0, "rate 0.6 planned no NIC failures at all");
+    // The resilience report reads the same spans.
+    let res = sim.resilience(&report, &tm, &plan, 0);
+    assert_eq!(res.retry_bytes, retry.iter().sum::<u64>());
+    assert_eq!(res.checkpoint_bytes + res.restore_bytes, ckpt.iter().sum::<u64>());
+    assert!(res.slowdown() >= 1.0);
+    assert!(res.goodput() <= 1.0);
 }

@@ -8,9 +8,11 @@ use gnn_dm::cluster::ledger::{comm_ledger_from_spans, compute_ledger_from_spans}
 use gnn_dm::cluster::sim::{ClusterSim, TimeModel};
 use gnn_dm::core::trainer::{HeteroTrainer, HeteroTrainerConfig};
 use gnn_dm::device::pipeline::{
-    makespan, makespan_closed_form, replay_epoch, BatchMeta, BatchStageTimes, PipelineMode,
+    makespan, makespan_closed_form, makespan_faulted, replay_epoch, BatchMeta, BatchStageTimes,
+    PipelineMode,
 };
 use gnn_dm::device::transfer::TransferMethod;
+use gnn_dm::faults::FaultPlan;
 use gnn_dm::graph::generate::{planted_partition, PplConfig};
 use gnn_dm::graph::Graph;
 use gnn_dm::par::with_threads;
@@ -142,6 +144,53 @@ fn cluster_epoch_time_matches_closed_form_bitwise() {
         let tl = sim.epoch_timeline(&report, &tm);
         let last = tl.spans().iter().find(|s| s.kind == SpanKind::AllReduce);
         assert!(last.is_some_and(|s| s.t_end.to_bits() == replayed.to_bits()));
+    }
+}
+
+/// The faulted timeline and its closed form perform the identical
+/// floating-point operation sequence, so they agree bitwise across seeds
+/// and fault rates — and at rate 0 both collapse onto the healthy pair.
+#[test]
+fn faulted_cluster_epoch_time_matches_closed_form_bitwise() {
+    let g = cluster_graph();
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    for method in [PartitionMethod::Hash, PartitionMethod::MetisV] {
+        let part = partition_graph(&g, method, 4, 11);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+        let sampler = FanoutSampler::new(vec![8, 4]);
+        let report = sim.simulate_epoch(&sampler, 0);
+        for seed in [1u64, 9, 33] {
+            for rate in [0.0, 0.1, 0.3, 0.8] {
+                let plan = FaultPlan::uniform(seed, rate);
+                for epoch in [0usize, 3] {
+                    let replayed = sim.epoch_time_faulted(&report, &tm, &plan, epoch);
+                    let closed = sim.epoch_time_faulted_closed_form(&report, &tm, &plan, epoch);
+                    assert_eq!(
+                        replayed.to_bits(),
+                        closed.to_bits(),
+                        "{method:?} seed={seed} rate={rate} epoch={epoch}"
+                    );
+                }
+            }
+        }
+        // Rate 0 ≡ the healthy pair, bitwise.
+        let healthy = sim.epoch_time(&report, &tm);
+        let zero = sim.epoch_time_faulted(&report, &tm, &FaultPlan::uniform(1, 0.0), 0);
+        assert_eq!(healthy.to_bits(), zero.to_bits(), "{method:?}");
+    }
+}
+
+/// The faulted pipeline makespan with the neutral plan is the healthy
+/// closed form, bitwise — the delegation chain adds no float ops.
+#[test]
+fn faulted_pipeline_makespan_none_plan_matches_closed_form_bitwise() {
+    for seed in [2u64, 19] {
+        let batches = jagged_batches(35, seed);
+        for mode in MODES {
+            let faulted = makespan_faulted(&batches, mode, &FaultPlan::none(), 6);
+            let closed = makespan_closed_form(&batches, mode);
+            assert_eq!(faulted.to_bits(), closed.to_bits(), "{mode:?} seed={seed}");
+        }
     }
 }
 
