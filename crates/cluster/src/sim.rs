@@ -129,8 +129,11 @@ impl<'g> ClusterSim<'g> {
     /// (`ledger::compute_ledger_from_spans` /
     /// `ledger::comm_ledger_from_spans`).
     ///
-    /// Workers simulate in parallel and their partial ledgers and span
-    /// lists are merged in worker order; all counters are integers and
+    /// Batch selection runs serially per worker up front; the parallel
+    /// phase then samples each worker's batches with an RNG seeded by
+    /// `split_seed(split_seed(seed, epoch), worker)`, so every stream is a
+    /// pure function of (seed, epoch, worker) and the partial ledgers and
+    /// span lists merge in worker order; all counters are integers and
     /// span merging is order-fixed, so the result is bitwise-identical to
     /// the serial worker loop at any thread count.
     pub fn simulate_epoch_traced(
@@ -140,8 +143,26 @@ impl<'g> ClusterSim<'g> {
     ) -> (EpochLoadReport, Timeline) {
         let k = self.part.k;
         let workers: Vec<u32> = (0..u32_of_index(k)).collect();
-        let partials =
-            gnn_dm_par::par_map_collect(&workers, |_, &w| self.simulate_worker(sampler, epoch, w));
+        let worker_batches: Vec<Vec<Vec<VId>>> = workers
+            .iter()
+            .map(|&w| {
+                let train_w = self.local_train(w);
+                if train_w.is_empty() {
+                    return Vec::new();
+                }
+                BatchSelection::Random.select(
+                    &train_w,
+                    self.batch_size,
+                    self.seed ^ u64_of_u32(w) << 32,
+                    epoch,
+                )
+            })
+            .collect();
+        let epoch_seed = gnn_dm_par::split_seed(self.seed, u64_of_usize(epoch));
+        let partials = gnn_dm_par::par_map_collect(&worker_batches, |i, batches| {
+            let mut rng = StdRng::seed_from_u64(gnn_dm_par::split_seed(epoch_seed, u64_of_usize(i)));
+            self.simulate_worker(sampler, u32_of_index(i), batches, &mut rng)
+        });
         let mut report = EpochLoadReport {
             compute: ComputeLedger::new(k),
             comm: CommLedger::new(k),
@@ -175,12 +196,15 @@ impl<'g> ClusterSim<'g> {
     /// One worker's contribution to the epoch ledgers (full-width vectors:
     /// remote sampling and feature serving are accounted to the *owner*
     /// worker, which may differ from `w`), plus its per-batch accounting
-    /// spans (zero-duration, on the responsible worker's lane).
+    /// spans (zero-duration, on the responsible worker's lane). The batch
+    /// list and the sampling RNG are prepared by the caller so that every
+    /// seed derivation happens outside the parallel region (R002).
     fn simulate_worker(
         &self,
         sampler: &dyn NeighborSampler,
-        epoch: usize,
         w: u32,
+        batches: &[Vec<VId>],
+        rng: &mut StdRng,
     ) -> (EpochLoadReport, Vec<Pending>) {
         let k = self.part.k;
         let row_bytes = u64_of_usize(self.graph.features.row_bytes());
@@ -190,20 +214,10 @@ impl<'g> ClusterSim<'g> {
         let mut input_vertices = vec![0u64; k];
         let mut pendings: Vec<Pending> = Vec::new();
 
-        let train_w = self.local_train(w);
-        if !train_w.is_empty() {
-            let batches = BatchSelection::Random.select(
-                &train_w,
-                self.batch_size,
-                self.seed ^ u64_of_u32(w) << 32,
-                epoch,
-            );
+        if !batches.is_empty() {
             num_batches[usize_of_u32(w)] = batches.len();
-            let mut rng = StdRng::seed_from_u64(
-                self.seed ^ 0xC0FF_EE00u64 ^ (u64_of_u32(w) << 40) ^ u64_of_usize(epoch),
-            );
-            for (b_idx, seeds) in batches.into_iter().enumerate() {
-                let mb = build_minibatch(&self.graph.inn, &seeds, sampler, &mut rng);
+            for (b_idx, seeds) in batches.iter().enumerate() {
+                let mb = build_minibatch(&self.graph.inn, seeds, sampler, rng);
                 let batch = u32::try_from(b_idx).ok();
                 let mut local_edges = 0u64;
                 let mut remote_edges = vec![0u64; k];

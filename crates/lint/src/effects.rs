@@ -1,0 +1,511 @@
+//! Fixpoint effect inference over the call graph.
+//!
+//! Every fn gets a bitmask over {alloc, io, entropy, panic, lock}, seeded
+//! from leaf intrinsics in its own body and closed transitively over the
+//! call graph (a monotone fixpoint on a finite lattice, so iteration
+//! terminates). An empty mask renders as `pure`.
+//!
+//! The mask deliberately reflects *unvouched* behavior: a panic site
+//! carrying a reasoned `lint:allow(P001/U001/E001)` marker is vouched
+//! unreachable by a human and contributes no `panic` bit — that is what
+//! lets **E001** upgrade P001 from syntactic to transitive without every
+//! suppressed leaf re-firing at every public entry point. E001 then flags
+//! any `pub` fn of library code whose transitive effects still include
+//! `panic`, with a witness path to the leaf.
+//!
+//! Alongside the mask, the pass derives a `raw_entropy` flag — the fn body
+//! constructs an RNG whose seed expression involves neither
+//! `split_seed(..)` nor a binding derived from one. The flag propagates to
+//! callers like an effect and is what R002 (crate::seeds) checks inside
+//! parallel regions.
+
+use crate::callgraph::{CallGraph, FileSet};
+use crate::rules::Diagnostic;
+use crate::tokenizer::{Lexed, TokenKind};
+use std::collections::BTreeSet;
+
+/// Heap allocation (growable containers, formatting).
+pub const ALLOC: u8 = 1;
+/// Filesystem or console traffic.
+pub const IO: u8 = 2;
+/// Pseudo-random draws or RNG construction.
+pub const ENTROPY: u8 = 4;
+/// Can abort the process (unvouched unwrap/expect/panic-family).
+pub const PANIC: u8 = 8;
+/// Synchronization: locks, channels, atomics.
+pub const LOCK: u8 = 16;
+
+/// Idents whose presence in a body implies allocation.
+const ALLOC_IDENTS: &[&str] =
+    &["Vec", "vec", "Box", "String", "format", "to_vec", "to_string", "with_capacity", "collect"];
+
+/// Idents implying filesystem / console IO (plus the `fs::` path segment
+/// and the print-macro family, matched separately).
+const IO_IDENTS: &[&str] = &[
+    "File", "OpenOptions", "stdout", "stderr", "stdin", "read_to_string", "write_all",
+    "create_dir_all", "remove_file", "read_dir",
+];
+const IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+/// Method names that draw from an RNG (`.gen_range(…)`, …).
+const ENTROPY_METHODS: &[&str] = &[
+    "gen", "gen_range", "gen_bool", "sample", "shuffle", "choose", "next_u32", "next_u64",
+    "fill_bytes",
+];
+/// RNG constructors (associated fns).
+const SEED_CTORS: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// Synchronization type names (plus the `Atomic*` prefix family).
+const LOCK_IDENTS: &[&str] =
+    &["Mutex", "RwLock", "Condvar", "Once", "OnceLock", "Barrier", "sync_channel", "channel"];
+/// Synchronization method names.
+const LOCK_METHODS: &[&str] = &[
+    "lock", "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_max", "fetch_min",
+    "compare_exchange", "compare_exchange_weak",
+];
+
+/// Panic-capable method / macro names (P001's set).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Inferred effects for every node of a [`CallGraph`].
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Transitive effect mask per node id.
+    pub mask: Vec<u8>,
+    /// Direct (own-body, pre-fixpoint) effect mask per node id.
+    pub base: Vec<u8>,
+    /// Node body directly contains an unvouched panic intrinsic (with its
+    /// line) — the witness leaves for E001.
+    pub own_panic: Vec<Option<usize>>,
+    /// Transitive raw-seed flag per node id (see module docs).
+    pub raw_entropy: Vec<bool>,
+    /// Direct raw-seed site line per node, when any.
+    pub own_raw_seed: Vec<Option<usize>>,
+}
+
+/// Renders a mask as `pure` or a `+`-joined effect list, stable order.
+pub fn mask_names(mask: u8) -> String {
+    let mut names = Vec::new();
+    for (bit, name) in
+        [(ALLOC, "alloc"), (IO, "io"), (ENTROPY, "entropy"), (PANIC, "panic"), (LOCK, "lock")]
+    {
+        if mask & bit != 0 {
+            names.push(name);
+        }
+    }
+    if names.is_empty() {
+        "pure".to_string()
+    } else {
+        names.join("+")
+    }
+}
+
+/// Lines of `lexed` on which a *reasoned* suppression for any of `rules`
+/// applies (its own line plus the next token-bearing line — the same cover
+/// the per-file suppression pass uses).
+fn vouched_lines(lexed: &Lexed, rules: &[&str]) -> BTreeSet<usize> {
+    let mut lines = BTreeSet::new();
+    for sup in &lexed.suppressions {
+        if sup.reason.is_empty() || !sup.rules.iter().any(|r| rules.contains(&r.as_str())) {
+            continue;
+        }
+        lines.insert(sup.line);
+        if let Some(next) = lexed.tokens.iter().map(|t| t.line).find(|&l| l > sup.line) {
+            lines.insert(next);
+        }
+    }
+    lines
+}
+
+/// Identifiers bound in `lexed` by a `let` whose initializer mentions
+/// `split_seed` — the (file-local, flow-insensitive) seed-taint set.
+pub(crate) fn split_seed_tainted(lexed: &Lexed) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
+    let mut tainted = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && toks[i].text == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if matches!(toks.get(j), Some(t) if t.text == "mut") {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Scan the initializer (through `=` to `;`) for a split_seed call.
+        let mut derived = false;
+        let mut k = j + 1;
+        let mut saw_eq = false;
+        while let Some(t) = toks.get(k) {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Op, ";") => break,
+                (TokenKind::Op, "=") => saw_eq = true,
+                (TokenKind::Ident, "split_seed") if saw_eq => derived = true,
+                (TokenKind::Ident, "let") => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if derived {
+            tainted.insert(name.text.clone());
+        }
+        i = j + 1;
+    }
+    tainted
+}
+
+/// Token span of the balanced `(…)` argument list opening at `open` (the
+/// index of the `(`); returns the exclusive end index.
+pub(crate) fn balanced_args_end(lexed: &Lexed, open: usize) -> usize {
+    let toks = &lexed.tokens;
+    let mut depth = 0usize;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Direct (leaf) effects of the token range `body` in `lexed`.
+/// `vouched` lists the lines whose panic intrinsics carry a reasoned
+/// suppression; `tainted` is the file's seed-taint set.
+fn base_effects(
+    lexed: &Lexed,
+    body: (usize, usize),
+    vouched: &BTreeSet<usize>,
+    tainted: &BTreeSet<String>,
+    skip: &[bool],
+) -> (u8, Option<usize>, Option<usize>) {
+    let toks = &lexed.tokens;
+    let mut mask = 0u8;
+    let mut panic_line = None;
+    let mut raw_seed_line = None;
+    for i in body.0..body.1.min(toks.len()) {
+        if skip.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let after_dot =
+            i > 0 && toks[i - 1].kind == TokenKind::Op && toks[i - 1].text == ".";
+        let calls = matches!(toks.get(i + 1), Some(n) if n.text == "(");
+        let bangs = matches!(toks.get(i + 1), Some(n) if n.text == "!");
+
+        if ALLOC_IDENTS.contains(&name) {
+            mask |= ALLOC;
+        }
+        if IO_IDENTS.contains(&name) || name == "fs" || (IO_MACROS.contains(&name) && bangs) {
+            mask |= IO;
+        }
+        if LOCK_IDENTS.contains(&name)
+            || name.starts_with("Atomic")
+            || (LOCK_METHODS.contains(&name) && after_dot && calls)
+        {
+            mask |= LOCK;
+        }
+        if (ENTROPY_METHODS.contains(&name) && after_dot && calls)
+            || crate::rules::is_entropy_ident(name)
+        {
+            mask |= ENTROPY;
+        }
+        if SEED_CTORS.contains(&name) && calls {
+            mask |= ENTROPY;
+            let end = balanced_args_end(lexed, i + 1);
+            let disciplined = (i + 1..end).any(|k| {
+                toks[k].kind == TokenKind::Ident
+                    && (toks[k].text == "split_seed" || tainted.contains(&toks[k].text))
+            });
+            if !disciplined && raw_seed_line.is_none() {
+                raw_seed_line = Some(t.line);
+            }
+        }
+        let is_panic = (PANIC_METHODS.contains(&name) && after_dot && calls)
+            || (PANIC_MACROS.contains(&name) && bangs);
+        if is_panic && !vouched.contains(&t.line) {
+            mask |= PANIC;
+            if panic_line.is_none() {
+                panic_line = Some(t.line);
+            }
+        }
+    }
+    (mask, panic_line, raw_seed_line)
+}
+
+/// Runs the inference: base effects per node, then the fixpoint closure
+/// over call-graph edges.
+pub fn infer(set: &FileSet, g: &CallGraph) -> Effects {
+    let mut fx = Effects {
+        mask: vec![0; g.nodes.len()],
+        base: vec![0; g.nodes.len()],
+        own_panic: vec![None; g.nodes.len()],
+        raw_entropy: vec![false; g.nodes.len()],
+        own_raw_seed: vec![None; g.nodes.len()],
+    };
+    for file in set.files.values() {
+        let vouched = vouched_lines(&file.lexed, &["P001", "U001", "E001"]);
+        let tainted = split_seed_tainted(&file.lexed);
+        let ids = g.nodes_in_file(&file.rel_path);
+        // A nested fn's tokens belong to the nested fn only.
+        for &id in ids {
+            let (s, e) = g.nodes[id].body;
+            let mut skip = vec![false; file.lexed.tokens.len()];
+            for &other in ids {
+                if other == id {
+                    continue;
+                }
+                let (os, oe) = g.nodes[other].body;
+                if s < os && oe <= e {
+                    let end = oe.min(skip.len());
+                    for slot in skip.iter_mut().take(end).skip(os) {
+                        *slot = true;
+                    }
+                }
+            }
+            let (mask, panic_line, raw_line) =
+                base_effects(&file.lexed, (s, e), &vouched, &tainted, &skip);
+            fx.mask[id] = mask;
+            fx.base[id] = mask;
+            fx.own_panic[id] = panic_line;
+            fx.own_raw_seed[id] = raw_line;
+            fx.raw_entropy[id] = raw_line.is_some();
+        }
+    }
+    // Fixpoint: effects and the raw-seed flag flow from callee to caller.
+    loop {
+        let mut changed = false;
+        for id in 0..g.nodes.len() {
+            let mut mask = fx.mask[id];
+            let mut raw = fx.raw_entropy[id];
+            for &callee in &g.edges[id] {
+                mask |= fx.mask[callee];
+                raw |= fx.raw_entropy[callee];
+            }
+            if mask != fx.mask[id] || raw != fx.raw_entropy[id] {
+                fx.mask[id] = mask;
+                fx.raw_entropy[id] = raw;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    fx
+}
+
+/// Shortest call path (BFS over edge order, so deterministic) from `from`
+/// to a node with a direct panic site, rendered `a -> b -> c`.
+fn panic_witness(g: &CallGraph, fx: &Effects, from: usize) -> String {
+    let mut prev: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut seen = vec![false; g.nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    let mut leaf = None;
+    'bfs: while let Some(n) = queue.pop_front() {
+        if fx.own_panic[n].is_some() {
+            leaf = Some(n);
+            break 'bfs;
+        }
+        for &next in &g.edges[n] {
+            if !seen[next] && fx.mask[next] & PANIC != 0 {
+                seen[next] = true;
+                prev[next] = Some(n);
+                queue.push_back(next);
+            }
+        }
+    }
+    let Some(leaf) = leaf else { return g.nodes[from].name.clone() };
+    let mut path = vec![leaf];
+    while let Some(p) = prev[*path.last().unwrap_or(&leaf)] {
+        path.push(p);
+    }
+    path.reverse();
+    let names: Vec<&str> = path.iter().map(|&n| g.nodes[n].name.as_str()).collect();
+    let site = fx.own_panic[leaf].map(|l| format!(" (panic site {}:{})", g.nodes[leaf].file, l));
+    format!("{}{}", names.join(" -> "), site.unwrap_or_default())
+}
+
+/// E001 — transitive panic reachability: a `pub` fn of library code whose
+/// effect mask still carries `panic` after the fixpoint. One diagnostic per
+/// entry point, at the fn declaration, with a witness path.
+pub fn check_e001(set: &FileSet, g: &CallGraph, fx: &Effects) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (id, n) in g.nodes.iter().enumerate() {
+        if !n.is_pub || n.in_test || fx.mask[id] & PANIC == 0 {
+            continue;
+        }
+        let Some(file) = set.files.get(&n.file) else { continue };
+        if file.ctx.non_library {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "E001",
+            file: n.file.clone(),
+            line: n.line,
+            message: format!(
+                "pub fn `{}` can reach a panic: {}; make the path infallible, return a \
+                 Result, or vouch the leaf site with `lint:allow(P001) <invariant>`",
+                n.name,
+                panic_witness(g, fx, id)
+            ),
+        });
+    }
+    diags
+}
+
+/// Markdown effect table for one crate's `pub` fns (name-sorted): the
+/// golden surface pinning `gnn-dm-par`'s public API effects.
+pub fn effects_table(g: &CallGraph, fx: &Effects, crate_key: &str) -> String {
+    let mut rows: Vec<(String, String, bool)> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.crate_key == crate_key && n.is_pub && !n.in_test)
+        .map(|(id, n)| (n.name.clone(), mask_names(fx.mask[id]), fx.raw_entropy[id]))
+        .collect();
+    rows.sort();
+    rows.dedup();
+    let mut out = String::from("| fn | effects | raw-seed |\n|---|---|---|\n");
+    for (name, effects, raw) in rows {
+        out.push_str(&format!("| `{name}` | {effects} | {} |\n", if raw { "yes" } else { "no" }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{CallGraph, FileSet};
+
+    fn analyze(sources: &[(&str, &str)]) -> (FileSet, CallGraph, Effects) {
+        let set = FileSet::from_sources(sources);
+        let g = CallGraph::build(&set);
+        let fx = infer(&set, &g);
+        (set, g, fx)
+    }
+
+    fn mask_of(g: &CallGraph, fx: &Effects, name: &str) -> u8 {
+        let id = g.nodes.iter().position(|n| n.name == name).expect("node");
+        fx.mask[id]
+    }
+
+    #[test]
+    fn leaf_effects_classify_intrinsics() {
+        let (_, g, fx) = analyze(&[(
+            "crates/graph/src/lib.rs",
+            "pub fn pure_math(x: u32) -> u32 { x + 1 }\n\
+             pub fn allocs() -> Vec<u32> { vec![1] }\n\
+             pub fn does_io() { let _ = std::fs::read_to_string(\"x\"); }\n\
+             pub fn locks(m: &std::sync::Mutex<u32>) { let _ = m.lock(); }\n\
+             pub fn draws(rng: &mut StdRng) -> u32 { rng.gen_range(0..9) }\n",
+        )]);
+        assert_eq!(mask_of(&g, &fx, "pure_math"), 0);
+        assert_eq!(mask_names(mask_of(&g, &fx, "pure_math")), "pure");
+        assert_eq!(mask_of(&g, &fx, "allocs"), ALLOC);
+        assert_ne!(mask_of(&g, &fx, "does_io") & IO, 0);
+        assert_ne!(mask_of(&g, &fx, "locks") & LOCK, 0);
+        assert_eq!(mask_of(&g, &fx, "draws"), ENTROPY);
+    }
+
+    #[test]
+    fn effects_propagate_to_fixpoint() {
+        let (_, g, fx) = analyze(&[(
+            "crates/graph/src/lib.rs",
+            "fn leaf() { println!(\"io\"); }\n\
+             fn mid() { leaf(); }\n\
+             pub fn entry() { mid(); }\n",
+        )]);
+        assert_ne!(mask_of(&g, &fx, "entry") & IO, 0, "io must flow two hops up");
+    }
+
+    #[test]
+    fn vouched_panics_do_not_count() {
+        let (set, g, fx) = analyze(&[(
+            "crates/graph/src/lib.rs",
+            "fn checked(o: Option<u32>) -> u32 {\n\
+                 o.unwrap() // lint:allow(P001, U001) verified non-empty by caller\n\
+             }\n\
+             pub fn entry(o: Option<u32>) -> u32 { checked(o) }\n",
+        )]);
+        assert_eq!(mask_of(&g, &fx, "entry") & PANIC, 0);
+        assert!(check_e001(&set, &g, &fx).is_empty());
+    }
+
+    #[test]
+    fn e001_reports_transitive_panics_with_witness() {
+        let (set, g, fx) = analyze(&[(
+            "crates/graph/src/lib.rs",
+            "fn helper(o: Option<u32>) -> u32 { o.unwrap() }\n\
+             pub fn entry(o: Option<u32>) -> u32 { helper(o) }\n",
+        )]);
+        let diags = check_e001(&set, &g, &fx);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "E001");
+        assert_eq!(diags[0].line, 2, "reported at the pub entry point");
+        assert!(diags[0].message.contains("entry -> helper"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("panic site crates/graph/src/lib.rs:1"));
+    }
+
+    #[test]
+    fn e001_skips_tests_and_non_library_code() {
+        let (set, g, fx) = analyze(&[
+            ("crates/graph/tests/t.rs", "pub fn check(o: Option<u32>) -> u32 { o.unwrap() }\n"),
+            (
+                "crates/graph/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n    pub fn h(o: Option<u32>) -> u32 { o.unwrap() }\n}\n",
+            ),
+        ]);
+        assert!(check_e001(&set, &g, &fx).is_empty());
+    }
+
+    #[test]
+    fn raw_seed_flag_tracks_split_seed_discipline() {
+        let (_, g, fx) = analyze(&[(
+            "crates/sampling/src/lib.rs",
+            "pub fn disciplined(seed: u64, i: u64) -> StdRng { StdRng::seed_from_u64(gnn_dm_par::split_seed(seed, i)) }\n\
+             pub fn derived(seed: u64, i: u64) -> StdRng { let s = gnn_dm_par::split_seed(seed, i); StdRng::seed_from_u64(s) }\n\
+             pub fn raw(seed: u64, w: u64) -> StdRng { StdRng::seed_from_u64(seed ^ (w << 32)) }\n\
+             pub fn inherits(seed: u64, w: u64) -> StdRng { raw(seed, w) }\n",
+        )]);
+        let raw_of = |name: &str| {
+            fx.raw_entropy[g.nodes.iter().position(|n| n.name == name).expect("node")]
+        };
+        assert!(!raw_of("disciplined"));
+        assert!(!raw_of("derived"));
+        assert!(raw_of("raw"));
+        assert!(raw_of("inherits"), "raw-seed flag must propagate to callers");
+    }
+
+    #[test]
+    fn effect_table_renders_sorted() {
+        let (_, g, fx) = analyze(&[(
+            "crates/par/src/lib.rs",
+            "pub fn b() -> Vec<u32> { vec![] }\npub fn a(x: u32) -> u32 { x }\n",
+        )]);
+        assert_eq!(
+            effects_table(&g, &fx, "par"),
+            "| fn | effects | raw-seed |\n|---|---|---|\n| `a` | pure | no |\n| `b` | alloc | no |\n"
+        );
+    }
+}

@@ -59,6 +59,12 @@ pub struct Item {
     pub end_line: usize,
     /// Brace depth the item was declared at (0 = file top level).
     pub depth: usize,
+    /// Index of the item keyword in the token stream.
+    pub tok_start: usize,
+    /// Index one past the item's closing `}` / terminating `;` in the token
+    /// stream (`tok_start + 1` if the file ends mid-item). The dataflow
+    /// passes slice `tokens[tok_start..tok_end]` to scan a fn body.
+    pub tok_end: usize,
 }
 
 /// Declaration modifiers that may precede an item keyword.
@@ -100,6 +106,7 @@ pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
                     while let Some(&(idx, d)) = open.last() {
                         if d > depth {
                             items[idx].end_line = t.line;
+                            items[idx].tok_end = i + 1;
                             open.pop();
                         } else {
                             break;
@@ -143,14 +150,14 @@ pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
         // clauses can contain braces only inside nested items, which the
         // outer scan handles anyway).
         let mut j = after_name;
-        let mut ended_at: Option<usize> = None;
+        let mut ended_at: Option<(usize, usize)> = None;
         let mut body = false;
         while j < tokens.len() {
             let tj = &tokens[j];
             if tj.kind == TokenKind::Op {
                 match tj.text.as_str() {
                     ";" => {
-                        ended_at = Some(tj.line);
+                        ended_at = Some((tj.line, j));
                         break;
                     }
                     "=" if kind != ItemKind::Impl => {
@@ -171,8 +178,10 @@ pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
             name,
             is_pub: has_pub_modifier(tokens, i),
             line: t.line,
-            end_line: ended_at.unwrap_or(t.line),
+            end_line: ended_at.map_or(t.line, |(l, _)| l),
             depth,
+            tok_start: i,
+            tok_end: ended_at.map_or(i + 1, |(_, j)| j + 1),
         });
         if body {
             // Body opens at `j`; the `{` itself is processed on the next

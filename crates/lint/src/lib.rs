@@ -10,8 +10,12 @@
 //!
 //! Run it directly with `cargo run -p gnn-dm-lint`.
 
+pub mod callgraph;
+pub mod effects;
 pub mod items;
+pub mod races;
 pub mod rules;
+pub mod seeds;
 pub mod tokenizer;
 pub mod workspace;
 
@@ -21,7 +25,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Top-level directories scanned relative to the workspace root.
-const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+pub(crate) const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 
 /// Directory names skipped wherever they appear: build output, vendored
 /// stand-in deps (external idiom, not project code), and lint fixtures
@@ -105,7 +109,7 @@ impl Report {
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -123,24 +127,18 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Lints every workspace `.rs` file under `root`'s scan roots.
+/// Lints every workspace `.rs` file under `root`'s scan roots: the
+/// per-file rules, then the interprocedural dataflow passes (call graph →
+/// effect inference → E001/R001/R002), with suppressions applied once over
+/// the combined per-file sets.
 pub fn lint_workspace(root: &Path) -> Report {
-    let mut files = Vec::new();
-    for top in SCAN_ROOTS {
-        collect_rs_files(&root.join(top), &mut files);
-    }
-    files.sort();
-    let mut report = Report::default();
-    for file in files {
-        let rel = relative_path(root, &file);
-        match fs::read_to_string(&file) {
-            Ok(src) => {
-                report.files_scanned += 1;
-                report.diagnostics.extend(lint_source(&rel, &src));
-            }
-            Err(e) => report.read_errors.push((rel, e.to_string())),
-        }
-    }
+    let (set, read_errors) = callgraph::FileSet::load(root);
+    let mut report = Report {
+        files_scanned: set.files.len(),
+        read_errors,
+        ..Report::default()
+    };
+    report.diagnostics = dataflow_lint(&set);
     // Workspace phase: manifests + symbol model on top of the per-file
     // passes (L001's dependency-graph half).
     let ws = workspace::Workspace::load(root);
@@ -149,6 +147,47 @@ pub fn lint_workspace(root: &Path) -> Report {
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     report
+}
+
+/// Runs the full per-file + interprocedural pipeline over in-memory
+/// sources: `(rel_path, source)` pairs. This is what fixtures and property
+/// tests drive; [`lint_workspace`] is the same pipeline fed from disk.
+pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+    let mut diags = dataflow_lint(&callgraph::FileSet::from_sources(sources));
+    diags.sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    diags
+}
+
+/// Shared core: per-file checks, dataflow passes, then one suppression
+/// application per file over the merged diagnostics (so a `lint:allow`
+/// covers a site no matter which pass flagged it, and S002 sees the full
+/// picture).
+fn dataflow_lint(set: &callgraph::FileSet) -> Vec<Diagnostic> {
+    use std::collections::BTreeMap;
+    let mut per_file: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();
+    for file in set.files.values() {
+        per_file.insert(
+            file.rel_path.as_str(),
+            rules::file_checks(&file.ctx, &file.lexed, &file.in_test),
+        );
+    }
+    let graph = callgraph::CallGraph::build(set);
+    let fx = effects::infer(set, &graph);
+    let interprocedural = effects::check_e001(set, &graph, &fx)
+        .into_iter()
+        .chain(races::check_r001(set, &graph, &fx))
+        .chain(seeds::check_r002(set, &graph, &fx));
+    for d in interprocedural {
+        if let Some(bucket) = per_file.get_mut(d.file.as_str()) {
+            bucket.push(d);
+        }
+    }
+    let mut out = Vec::new();
+    for file in set.files.values() {
+        let diags = per_file.remove(file.rel_path.as_str()).unwrap_or_default();
+        out.extend(rules::apply_suppressions(&file.ctx, &file.lexed, diags));
+    }
+    out
 }
 
 /// Recursively gathers `.rs` files, skipping [`SKIP_DIRS`] and dotdirs.

@@ -1,13 +1,21 @@
-//! CLI entry point: `cargo run -p gnn-dm-lint -- [--format=text|json] [ROOT]`.
+//! CLI entry point:
+//! `cargo run -p gnn-dm-lint -- [--format=text|json] [--rule=ID[,ID…]]
+//! [--callgraph=json|dot] [--explain ID] [ROOT]`.
 //!
 //! * `--format=text` (default) prints one `file:line [RULE] message` line
 //!   per diagnostic, then the one-line JSON summary.
 //! * `--format=json` prints a single JSON object with the summary fields
 //!   plus every diagnostic and read error — the form `scripts/check.sh`
 //!   consumes.
+//! * `--rule=E001,R001` keeps only the listed rules' diagnostics; the exit
+//!   code reflects the filtered set (so CI can gate on a rule subset).
+//! * `--callgraph=json|dot` skips linting and dumps the workspace call
+//!   graph (deterministic node/edge order; `dot` feeds Graphviz).
+//! * `--explain ID` prints rule ID's row of the DESIGN.md §7 catalog.
 //!
 //! Exit codes: `0` clean, `1` at least one diagnostic, `2` usage or I/O
-//! error (unknown flag, extra arguments, or no `.rs` files under ROOT).
+//! error (unknown flag, unknown rule, extra arguments, or no `.rs` files
+//! under ROOT).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,15 +26,69 @@ enum Format {
     Json,
 }
 
-const USAGE: &str = "usage: gnn-dm-lint [--format=text|json] [ROOT]";
+const USAGE: &str = "usage: gnn-dm-lint [--format=text|json] [--rule=ID[,ID...]] \
+                     [--callgraph=json|dot] [--explain ID] [ROOT]";
+
+/// The design document is compiled in so `--explain` works from any
+/// working directory (the binary is its own documentation).
+const DESIGN_MD: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
+
+/// Prints the `| ID | scope | what it flags |` row of the §7 rule catalog.
+fn explain(rule: &str) -> Result<String, String> {
+    let needle = format!("| {rule} |");
+    for line in DESIGN_MD.lines() {
+        if let Some(rest) = line.strip_prefix(&needle) {
+            let mut cols = rest.trim_end_matches('|').splitn(2, '|');
+            let scope = cols.next().unwrap_or("").trim();
+            let what = cols.next().unwrap_or("").trim();
+            return Ok(format!("{rule}\n  scope: {scope}\n  flags: {what}"));
+        }
+    }
+    Err(format!("unknown rule `{rule}` — no row in the DESIGN.md rule catalog"))
+}
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
+    let mut rules: Option<Vec<String>> = None;
+    let mut callgraph: Option<Format> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
             "--format=text" => format = Format::Text,
             "--format=json" => format = Format::Json,
+            "--callgraph=json" => callgraph = Some(Format::Json),
+            "--callgraph=dot" => callgraph = Some(Format::Text),
+            "--explain" => {
+                let Some(rule) = args.get(i + 1) else {
+                    eprintln!("error: --explain needs a rule id\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                return match explain(rule) {
+                    Ok(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
+            _ if arg.starts_with("--rule=") => {
+                let list: Vec<String> = arg["--rule=".len()..]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if list.is_empty() {
+                    eprintln!("error: --rule needs at least one rule id\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                rules = Some(list);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -41,15 +103,34 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        i += 1;
     }
     // Default to the workspace root this crate was compiled in; an explicit
     // argument overrides (useful for linting a checkout from elsewhere).
     let root =
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
-    let report = gnn_dm_lint::lint_workspace(&root);
+
+    if let Some(cg_format) = callgraph {
+        let (set, _) = gnn_dm_lint::callgraph::FileSet::load(&root);
+        if set.files.is_empty() {
+            eprintln!("error: no .rs files found under {} — wrong workspace root?", root.display());
+            return ExitCode::from(2);
+        }
+        let graph = gnn_dm_lint::callgraph::CallGraph::build(&set);
+        match cg_format {
+            Format::Json => println!("{}", graph.to_json()),
+            Format::Text => println!("{}", graph.to_dot()),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut report = gnn_dm_lint::lint_workspace(&root);
     if report.files_scanned == 0 {
         eprintln!("error: no .rs files found under {} — wrong workspace root?", root.display());
         return ExitCode::from(2);
+    }
+    if let Some(keep) = &rules {
+        report.diagnostics.retain(|d| keep.iter().any(|r| r == d.rule));
     }
     match format {
         Format::Text => {

@@ -1,0 +1,442 @@
+//! R001 — shared mutable state in parallel closures.
+//!
+//! The `gnn-dm-par` dispatchers (`par_chunks_mut`, `par_map_collect`,
+//! `par_reduce`) guarantee serial≡parallel equivalence only when each work
+//! unit touches disjoint state: the chunk argument it was handed, plus its
+//! own locals. A closure that reaches for anything else mutable — a
+//! captured `&mut`, a `static mut`, interior mutability (`Cell`,
+//! `RefCell`, `Mutex`, atomics), or a call into a fn whose effects include
+//! io/lock — either races or serializes, and both break the bitwise
+//! reproducibility the paper's experiments are pinned on.
+//!
+//! This module also hosts the parallel-closure finder that R002
+//! ([`crate::seeds`]) reuses.
+
+use crate::callgraph::{CallGraph, FileSet, SourceFile};
+use crate::effects::{Effects, IO, LOCK};
+use crate::rules::Diagnostic;
+use crate::tokenizer::{Lexed, TokenKind};
+use std::collections::BTreeSet;
+
+/// The dispatch entry points whose closure arguments run on worker threads.
+pub(crate) const PAR_FNS: &[&str] = &["par_chunks_mut", "par_map_collect", "par_reduce"];
+
+/// One closure argument of a par-dispatch call site.
+#[derive(Debug)]
+pub(crate) struct ParClosure {
+    /// Which dispatcher the closure was passed to.
+    pub dispatcher: &'static str,
+    /// Closure parameter names.
+    pub params: BTreeSet<String>,
+    /// Token range of the closure body (after the params, to the end of
+    /// the argument), exclusive end.
+    pub body: (usize, usize),
+}
+
+/// Finds every closure passed (at top argument level) to a [`PAR_FNS`]
+/// call in `lexed`.
+pub(crate) fn find_par_closures(lexed: &Lexed) -> Vec<ParClosure> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(dispatcher) = PAR_FNS.iter().find(|p| **p == t.text) else { continue };
+        if !matches!(toks.get(i + 1), Some(n) if n.kind == TokenKind::Op && n.text == "(") {
+            continue;
+        }
+        // Walk the argument list; depth 1 is the call's own arg level.
+        let end = crate::effects::balanced_args_end(lexed, i + 1);
+        let mut depth = 0usize;
+        let mut k = i + 1;
+        while k < end {
+            let tk = &toks[k];
+            if tk.kind == TokenKind::Op {
+                match tk.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    "|" | "||" if depth == 1 => {
+                        let mut params = BTreeSet::new();
+                        let mut b = k + 1;
+                        if tk.text == "|" {
+                            // Params run to the closing `|`.
+                            while b < end && !(toks[b].kind == TokenKind::Op && toks[b].text == "|")
+                            {
+                                if toks[b].kind == TokenKind::Ident && toks[b].text != "mut" {
+                                    params.insert(toks[b].text.clone());
+                                }
+                                b += 1;
+                            }
+                            b += 1; // past the closing `|`
+                        }
+                        // Body runs to this argument's end: a `,` back at
+                        // depth 1 or the call's closing `)`.
+                        let body_start = b;
+                        let mut bd = depth;
+                        while b < end {
+                            let tb = &toks[b];
+                            if tb.kind == TokenKind::Op {
+                                match tb.text.as_str() {
+                                    "(" | "[" | "{" => bd += 1,
+                                    ")" | "]" | "}" => {
+                                        bd = bd.saturating_sub(1);
+                                        if bd == 0 {
+                                            break;
+                                        }
+                                    }
+                                    "," if bd == 1 => break,
+                                    _ => {}
+                                }
+                            }
+                            b += 1;
+                        }
+                        out.push(ParClosure { dispatcher, params, body: (body_start, b) });
+                        k = b;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Names bound locally inside the body range: `let` patterns, `for`
+/// patterns, and nested-closure parameters. Over-approximate (pattern
+/// constructors like `Some` land in the set too), which only ever makes
+/// R001 quieter, never noisier about genuinely local state.
+pub(crate) fn local_bindings(lexed: &Lexed, body: (usize, usize)) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
+    let mut locals = BTreeSet::new();
+    let mut i = body.0;
+    while i < body.1.min(toks.len()) {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "let") => {
+                let mut j = i + 1;
+                while j < body.1
+                    && !(toks[j].kind == TokenKind::Op
+                        && (toks[j].text == "=" || toks[j].text == ";"))
+                {
+                    if toks[j].kind == TokenKind::Ident && toks[j].text != "mut" {
+                        locals.insert(toks[j].text.clone());
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            (TokenKind::Ident, "for") => {
+                let mut j = i + 1;
+                while j < body.1 && !(toks[j].kind == TokenKind::Ident && toks[j].text == "in") {
+                    if toks[j].kind == TokenKind::Ident {
+                        locals.insert(toks[j].text.clone());
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            (TokenKind::Op, "|") => {
+                // Nested closure params up to the closing `|` (same-line
+                // heuristic keeps a stray bit-or from swallowing the body).
+                let open_line = t.line;
+                let mut j = i + 1;
+                while j < body.1
+                    && toks[j].line == open_line
+                    && !(toks[j].kind == TokenKind::Op && toks[j].text == "|")
+                {
+                    if toks[j].kind == TokenKind::Ident && toks[j].text != "mut" {
+                        locals.insert(toks[j].text.clone());
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    locals
+}
+
+/// Names declared `static mut` anywhere in the file.
+fn static_mut_names(lexed: &Lexed) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "static"
+            && matches!(toks.get(i + 1), Some(t) if t.text == "mut")
+        {
+            if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokenKind::Ident) {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Interior-mutability / synchronization type names R001 refuses inside a
+/// parallel closure (plus the `Atomic*` prefix family).
+const SHARED_STATE_TYPES: &[&str] = &["Cell", "RefCell", "Mutex", "RwLock"];
+
+/// Method names that synchronize when called inside a parallel closure.
+const SYNC_METHODS: &[&str] = &[
+    "lock", "borrow_mut", "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_max",
+    "fetch_min", "compare_exchange", "compare_exchange_weak",
+];
+
+/// Per-node reachability of `bit` (io or lock) along call paths that never
+/// enter the `par` crate — the dispatcher's own channels and joins are the
+/// sanctioned mechanism, so effects inherited *through* `par` (e.g. from a
+/// nested parallel section) don't count against the closure.
+fn reaches_effect_outside_par(g: &CallGraph, fx: &Effects, bit: u8) -> Vec<bool> {
+    let mut reach: Vec<bool> = (0..g.nodes.len())
+        .map(|id| g.nodes[id].crate_key != "par" && fx.base[id] & bit != 0)
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..g.nodes.len() {
+            if reach[id] || g.nodes[id].crate_key == "par" {
+                continue;
+            }
+            if g.edges[id].iter().any(|&m| g.nodes[m].crate_key != "par" && reach[m]) {
+                reach[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    reach
+}
+
+fn diag(file: &SourceFile, line: usize, message: String) -> Diagnostic {
+    Diagnostic { rule: "R001", file: file.rel_path.clone(), line, message }
+}
+
+/// R001 over the whole file set. `gnn-dm-par`'s own sources are exempt —
+/// they *implement* the dispatch machinery being protected.
+pub fn check_r001(set: &FileSet, g: &CallGraph, fx: &Effects) -> Vec<Diagnostic> {
+    let io_reach = reaches_effect_outside_par(g, fx, IO);
+    let lock_reach = reaches_effect_outside_par(g, fx, LOCK);
+    let mut diags = Vec::new();
+    for file in set.files.values() {
+        if file.ctx.layer_key() == "par" {
+            continue;
+        }
+        let statics = static_mut_names(&file.lexed);
+        for cl in find_par_closures(&file.lexed) {
+            let toks = &file.lexed.tokens;
+            let locals = local_bindings(&file.lexed, cl.body);
+            let is_local = |name: &str| cl.params.contains(name) || locals.contains(name);
+            for i in cl.body.0..cl.body.1.min(toks.len()) {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = t.text.as_str();
+                // Captured `&mut <nonlocal>` — writes shared state. Skip
+                // reborrow derefs so `&mut *shared` still names `shared`.
+                if name == "mut"
+                    && i > 0
+                    && toks[i - 1].kind == TokenKind::Op
+                    && toks[i - 1].text == "&"
+                {
+                    let mut j = i + 1;
+                    while matches!(toks.get(j), Some(t) if t.kind == TokenKind::Op && t.text == "*")
+                    {
+                        j += 1;
+                    }
+                    if let Some(target) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) {
+                        if !is_local(&target.text) && target.text != "self" {
+                            diags.push(diag(
+                                file,
+                                target.line,
+                                format!(
+                                    "`&mut {}` inside a `{}` closure mutates state shared \
+                                     across work units; pass disjoint chunks instead",
+                                    target.text, cl.dispatcher
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if statics.contains(name) {
+                    diags.push(diag(
+                        file,
+                        t.line,
+                        format!(
+                            "`static mut {name}` accessed inside a `{}` closure: unsynchronized \
+                             shared mutable state",
+                            cl.dispatcher
+                        ),
+                    ));
+                }
+                if SHARED_STATE_TYPES.contains(&name) || name.starts_with("Atomic") {
+                    diags.push(diag(
+                        file,
+                        t.line,
+                        format!(
+                            "interior mutability (`{name}`) inside a `{}` closure: work units \
+                             must not coordinate through shared cells; return per-unit values \
+                             and merge serially",
+                            cl.dispatcher
+                        ),
+                    ));
+                }
+                // Direct synchronization method calls (`.lock()`,
+                // `.borrow_mut()`, atomics) on captured values.
+                let after_dot =
+                    i > 0 && toks[i - 1].kind == TokenKind::Op && toks[i - 1].text == ".";
+                let calls = matches!(toks.get(i + 1), Some(n) if n.text == "(");
+                if after_dot && calls && SYNC_METHODS.contains(&name) {
+                    diags.push(diag(
+                        file,
+                        t.line,
+                        format!(
+                            "`.{name}()` inside a `{}` closure synchronizes across work units; \
+                             make the units independent and merge their results serially",
+                            cl.dispatcher
+                        ),
+                    ));
+                }
+            }
+            // Calls out of the closure into io/lock-effect fns.
+            let Some(owner) = g.owner_of(&file.rel_path, cl.body.0) else { continue };
+            for site in &g.calls[owner] {
+                if site.tok < cl.body.0 || site.tok >= cl.body.1 {
+                    continue;
+                }
+                for &target in &site.targets {
+                    let (io, lk) = (io_reach[target], lock_reach[target]);
+                    if !io && !lk {
+                        continue;
+                    }
+                    diags.push(diag(
+                        file,
+                        site.line,
+                        format!(
+                            "`{}` (called inside a `{}` closure) has {} effects; parallel work \
+                             units must stay free of side channels",
+                            site.name,
+                            cl.dispatcher,
+                            match (io, lk) {
+                                (true, true) => "io+lock",
+                                (true, false) => "io",
+                                _ => "lock",
+                            }
+                        ),
+                    ));
+                    break; // one diagnostic per call site
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{CallGraph, FileSet};
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let set = FileSet::from_sources(sources);
+        let g = CallGraph::build(&set);
+        let fx = crate::effects::infer(&set, &g);
+        check_r001(&set, &g, &fx)
+    }
+
+    #[test]
+    fn closure_finder_extracts_params_and_bodies() {
+        let lexed = crate::tokenizer::lex(
+            "par_reduce(&xs, 64, |_, c| c.iter().sum::<f32>(), |a, b| a + b);",
+        );
+        let cls = find_par_closures(&lexed);
+        assert_eq!(cls.len(), 2);
+        assert!(cls[0].params.contains("c"));
+        assert!(cls[1].params.contains("a") && cls[1].params.contains("b"));
+    }
+
+    #[test]
+    fn disjoint_chunk_closures_are_clean() {
+        let diags = run(&[(
+            "crates/tensor/src/ops.rs",
+            "pub fn scale(xs: &mut [f32], k: f32) {\n\
+                 gnn_dm_par::par_chunks_mut(xs, 64, |_ci, chunk| {\n\
+                     let mut acc = 0.0;\n\
+                     for v in chunk.iter_mut() { acc += *v; *v *= k; }\n\
+                     let _ = acc;\n\
+                 });\n\
+             }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn captured_mut_and_interior_mutability_fire() {
+        let diags = run(&[(
+            "crates/tensor/src/ops.rs",
+            "pub fn bad(xs: &[f32], total: &mut f32, cell: &std::sync::Mutex<f32>) {\n\
+                 let _ = gnn_dm_par::par_map_collect(xs, |_, &x| {\n\
+                     *(&mut *total) += x;\n\
+                     cell.lock();\n\
+                     x\n\
+                 });\n\
+             }\n",
+        )]);
+        assert!(diags.iter().any(|d| d.message.contains("&mut total")), "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains(".lock()")), "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "R001"));
+    }
+
+    #[test]
+    fn static_mut_access_fires() {
+        let diags = run(&[(
+            "crates/tensor/src/ops.rs",
+            "static mut COUNTER: u64 = 0;\n\
+             pub fn bad(xs: &[f32]) -> Vec<f32> {\n\
+                 gnn_dm_par::par_map_collect(xs, |_, &x| { unsafe { COUNTER += 1 }; x })\n\
+             }\n",
+        )]);
+        assert!(diags.iter().any(|d| d.message.contains("COUNTER")), "{diags:?}");
+    }
+
+    #[test]
+    fn io_effect_calls_fire_but_par_internals_do_not() {
+        let diags = run(&[(
+            "crates/graph/src/lib.rs",
+            "fn log_it(x: u32) { println!(\"{x}\"); }\n\
+             pub fn bad(xs: &[u32]) -> Vec<u32> {\n\
+                 gnn_dm_par::par_map_collect(xs, |_, &x| { log_it(x); x })\n\
+             }\n",
+        )]);
+        assert!(diags.iter().any(|d| d.message.contains("log_it")), "{diags:?}");
+
+        // A nested parallel call inherits lock effects only *through* the
+        // par crate, which is sanctioned.
+        let diags = run(&[
+            (
+                "crates/par/src/lib.rs",
+                "pub fn par_map_collect(xs: &[u32]) -> Vec<u32> {\n\
+                     let m = std::sync::Mutex::new(0);\n\
+                     let _ = m.lock();\n\
+                     xs.to_vec()\n\
+                 }\n",
+            ),
+            (
+                "crates/graph/src/lib.rs",
+                "fn nested(xs: &[u32]) -> Vec<u32> { gnn_dm_par::par_map_collect(xs) }\n\
+                 pub fn ok(xs: &[u32]) -> Vec<u32> {\n\
+                     gnn_dm_par::par_map_collect(xs, |_, &x| nested(&[x])[0])\n\
+                 }\n",
+            ),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -161,27 +161,45 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let ctx = FileCtx::from_rel_path(rel_path);
     let lexed = lex(src);
     let in_test = test_region_marks(&lexed.tokens);
-    let mut diags = Vec::new();
-
-    check_d001_wall_clock(&ctx, &lexed.tokens, &mut diags);
-    check_d002_hash_collections(&ctx, &lexed.tokens, &mut diags);
-    check_d003_ambient_entropy(&ctx, &lexed.tokens, &mut diags);
-    check_p001_panics(&ctx, &lexed.tokens, &in_test, &mut diags);
-    check_u001_unwraps(&ctx, &lexed.tokens, &in_test, &mut diags);
-    check_a001_transfer_apis(&ctx, &lexed.tokens, &mut diags);
-    check_a002_raw_cost_calls(&ctx, &lexed.tokens, &mut diags);
-    check_c001_narrowing_casts(&ctx, &lexed.tokens, &in_test, &mut diags);
-    check_f001_float_eq(&ctx, &lexed.tokens, &mut diags);
-    check_t001_raw_threads(&ctx, &lexed.tokens, &mut diags);
-    check_l001_layering(&ctx, &lexed.tokens, &mut diags);
-
+    let diags = file_checks(&ctx, &lexed, &in_test);
     apply_suppressions(&ctx, &lexed, diags)
+}
+
+/// Runs every per-file (intraprocedural) rule; suppressions NOT applied.
+/// The workspace driver calls this, merges in the interprocedural rules
+/// (E001/R001/R002 from [`crate::effects`] and [`crate::races`]), and
+/// applies suppressions once over the combined set — so one `lint:allow`
+/// covers a site regardless of which pass flagged it.
+pub(crate) fn file_checks(
+    ctx: &FileCtx,
+    lexed: &crate::tokenizer::Lexed,
+    in_test: &[bool],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_d001_wall_clock(ctx, &lexed.tokens, &mut diags);
+    check_d002_hash_collections(ctx, &lexed.tokens, &mut diags);
+    check_d003_ambient_entropy(ctx, &lexed.tokens, &mut diags);
+    check_p001_panics(ctx, &lexed.tokens, in_test, &mut diags);
+    check_u001_unwraps(ctx, &lexed.tokens, in_test, &mut diags);
+    check_a001_transfer_apis(ctx, &lexed.tokens, &mut diags);
+    check_a002_raw_cost_calls(ctx, &lexed.tokens, &mut diags);
+    check_c001_narrowing_casts(ctx, &lexed.tokens, in_test, &mut diags);
+    check_f001_float_eq(ctx, &lexed.tokens, &mut diags);
+    check_t001_raw_threads(ctx, &lexed.tokens, &mut diags);
+    check_l001_layering(ctx, &lexed.tokens, &mut diags);
+    diags
+}
+
+/// True for identifiers D003 treats as ambient-entropy sources (shared
+/// with the effect-inference pass).
+pub(crate) fn is_entropy_ident(name: &str) -> bool {
+    ENTROPY_IDENTS.contains(&name)
 }
 
 /// Marks tokens inside `#[cfg(test)]` / `#[test]` items. The mark covers
 /// the attribute through the item's matching close brace (or terminating
 /// semicolon for brace-less items).
-fn test_region_marks(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_region_marks(tokens: &[Token]) -> Vec<bool> {
     let mut marks = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -624,7 +642,7 @@ fn check_f001_float_eq(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagnost
 /// suppressions that no longer suppress anything. A suppression covers its
 /// own line and the next line that carries any token (so it works both as a
 /// trailing comment and as a comment on the line above the code).
-fn apply_suppressions(
+pub(crate) fn apply_suppressions(
     ctx: &FileCtx,
     lexed: &crate::tokenizer::Lexed,
     diags: Vec<Diagnostic>,

@@ -183,7 +183,11 @@ impl<'a> Lexer<'a> {
             hashes += 1;
             self.bump();
         }
-        debug_assert_eq!(self.peek(0), Some(b'"'));
+        if self.peek(0) != Some(b'"') {
+            // Callers verify the opening quote; never scan for a terminator
+            // that was never opened (that would swallow the rest of the file).
+            return;
+        }
         self.bump();
         'scan: while let Some(b) = self.bump() {
             if b == b'"' {
@@ -237,55 +241,59 @@ impl<'a> Lexer<'a> {
     fn ident_or_prefixed_literal(&mut self) {
         let line = self.line;
         let start = self.pos;
-        // Raw-string / raw-ident prefixes.
+        // Raw-string / raw-ident prefixes. The dispatch must only commit to
+        // a literal when the *entire* opener is present — `r#` followed by
+        // anything but `#`s-then-a-quote is not a raw string, and treating
+        // it as one would swallow the rest of the file while hunting for a
+        // terminator that was never opened (token-splitting everything
+        // after it, or tripping a totality assertion).
         let b0 = self.peek(0).unwrap_or(0);
         if matches!(b0, b'r' | b'b' | b'c') {
-            let (p1, p2) = (self.peek(1), self.peek(2));
+            let p1 = self.peek(1);
             let two = matches!((b0, p1), (b'b', Some(b'r')) | (b'c', Some(b'r')));
-            let quote_at = if two { p2 } else { p1 };
-            let after_prefix_hash_or_quote =
-                matches!(quote_at, Some(b'"')) || (b0 != b'b' || two) && matches!(quote_at, Some(b'#'));
-            if after_prefix_hash_or_quote {
-                // Distinguish r#"…"# (raw string) from r#ident (raw ident).
-                let hash_then = if two { self.peek(3) } else { self.peek(2) };
-                let is_raw_ident = matches!(quote_at, Some(b'#'))
-                    && hash_then.is_some_and(|b| b.is_ascii_alphabetic() || b == b'_');
-                if !is_raw_ident && (b0 == b'r' || two || quote_at == Some(b'"')) {
-                    self.bump();
-                    if two {
-                        self.bump();
-                    }
-                    if b0 == b'b' && !two && quote_at == Some(b'"') {
-                        // b"…": plain byte string.
-                        self.string_literal();
-                        return;
-                    }
-                    if b0 == b'c' && !two && quote_at == Some(b'"') {
-                        self.string_literal();
-                        return;
-                    }
-                    if b0 == b'r' && quote_at == Some(b'"') && self.peek(0) == Some(b'"') {
-                        self.raw_string_literal(line);
-                        return;
-                    }
-                    self.raw_string_literal(line);
-                    return;
+            let prefix = if two { 2 } else { 1 };
+            // `r`, `br`, `cr` admit hash-delimited raw strings; count the
+            // hashes and look for the opening quote after them.
+            let raw_capable = b0 == b'r' || two;
+            let mut hashes = 0usize;
+            if raw_capable {
+                while self.peek(prefix + hashes) == Some(b'#') {
+                    hashes += 1;
                 }
-                if is_raw_ident {
-                    // r#type → identifier "type".
+            }
+            if (b0 == b'b' || b0 == b'c') && !two && p1 == Some(b'"') {
+                // b"…" / c"…": plain (escaped) byte / C string.
+                self.bump();
+                self.string_literal();
+                return;
+            }
+            if raw_capable && self.peek(prefix + hashes) == Some(b'"') {
+                for _ in 0..prefix {
                     self.bump();
-                    self.bump();
-                    let id_start = self.pos;
-                    while self
-                        .peek(0)
-                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
-                    {
-                        self.bump();
-                    }
-                    let text = String::from_utf8_lossy(&self.src[id_start..self.pos]).into_owned();
-                    self.push(TokenKind::Ident, text, line);
-                    return;
                 }
+                self.raw_string_literal(line);
+                return;
+            }
+            if b0 == b'r'
+                && !two
+                && hashes == 1
+                && self
+                    .peek(2)
+                    .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+            {
+                // r#type → identifier "type".
+                self.bump();
+                self.bump();
+                let id_start = self.pos;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80)
+                {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[id_start..self.pos]).into_owned();
+                self.push(TokenKind::Ident, text, line);
+                return;
             }
             if b0 == b'b' && p1 == Some(b'\'') {
                 // b'x' byte char literal.
@@ -453,6 +461,40 @@ mod tests {
     #[test]
     fn raw_ident_is_ident() {
         assert_eq!(idents("r#type r#match"), vec!["type", "match"]);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate_correctly() {
+        // `"#` inside an `r##…##` string is content, not a terminator.
+        let toks = lex("let s = r##\"a \"# b\"##; x");
+        let kinds: Vec<TokenKind> = toks.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TokenKind::Ident, TokenKind::Ident, TokenKind::Op, TokenKind::Str, TokenKind::Op, TokenKind::Ident]
+        );
+        // Terminator directly after a shorter quote-hash run.
+        assert_eq!(idents("let s = r###\"ab\"## c\"###; x"), vec!["let", "s", "x"]);
+    }
+
+    #[test]
+    fn block_comment_openers_inside_raw_strings_are_content() {
+        // An (even unbalanced) `/*` inside a raw string must not start a
+        // comment; the tokens after the literal survive.
+        assert_eq!(idents("let s = r#\"has /* nested /* cm */ inside\"#; x"), vec!["let", "s", "x"]);
+        assert_eq!(idents("let s = r#\"open /* only\"#; tail"), vec!["let", "s", "tail"]);
+        // And a raw string inside a nested block comment stays comment text.
+        assert_eq!(idents("/* a /* r#\"q\"# */ b */ x"), vec!["x"]);
+    }
+
+    #[test]
+    fn incomplete_raw_prefixes_do_not_swallow_the_file() {
+        // `r#` not followed by hashes-then-quote is NOT a raw-string opener;
+        // the lexer previously committed to one and token-split (or, in
+        // debug builds, panicked on) everything after it.
+        assert_eq!(idents("r# x"), vec!["r", "x"]);
+        assert_eq!(idents("r#1 x"), vec!["r", "x"]);
+        assert_eq!(idents("r#"), vec!["r"]);
+        assert_eq!(idents("br## y"), vec!["br", "y"]);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Golden effect table for the parallel substrate's public API.
+//!
+//! `gnn-dm-par` sits under every hot path, so its effect signature is a
+//! workspace-wide contract: the dispatchers may allocate and take the
+//! pool's locks, but none of them may touch io or entropy, panic on the
+//! library path, or seed an RNG outside the `split_seed` discipline. If a
+//! change grows one of those effects, this test names it before any
+//! experiment misbehaves.
+
+use gnn_dm_lint::callgraph::{CallGraph, FileSet};
+use gnn_dm_lint::effects::{effects_table, infer};
+use std::path::PathBuf;
+
+const GOLDEN: &str = "\
+| fn | effects | raw-seed |
+|---|---|---|
+| `par_chunks_mut` | lock | no |
+| `par_map_collect` | alloc+lock | no |
+| `par_reduce` | alloc+lock | no |
+| `split_seed` | pure | no |
+| `thread_count` | pure | no |
+| `with_threads` | pure | no |
+";
+
+#[test]
+fn par_public_api_effects_are_pinned() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (set, read_errors) = FileSet::load(&root);
+    assert!(read_errors.is_empty(), "{read_errors:?}");
+    let g = CallGraph::build(&set);
+    let fx = infer(&set, &g);
+    assert_eq!(effects_table(&g, &fx, "par"), GOLDEN);
+}

@@ -5,7 +5,7 @@
 //! skips, since they contain violations on purpose) and are linted under a
 //! synthetic workspace-relative path that selects the scope being tested.
 
-use gnn_dm_lint::lint_source;
+use gnn_dm_lint::{lint_source, lint_sources};
 
 /// Rules fired for `src` when linted as `rel_path`, deduplicated + sorted.
 fn rules_fired(rel_path: &str, src: &str) -> Vec<&'static str> {
@@ -19,6 +19,21 @@ fn rules_fired(rel_path: &str, src: &str) -> Vec<&'static str> {
 /// Count of diagnostics for one rule.
 fn count(rel_path: &str, src: &str, rule: &str) -> usize {
     lint_source(rel_path, src).iter().filter(|d| d.rule == rule).count()
+}
+
+/// Full pipeline (per-file + dataflow rules) for one fixture source,
+/// deduplicated + sorted rule ids — the dataflow analogue of `rules_fired`.
+fn df_rules_fired(rel_path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> =
+        lint_sources(&[(rel_path, src)]).into_iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+/// Count of diagnostics for one rule under the full pipeline.
+fn df_count(rel_path: &str, src: &str, rule: &str) -> usize {
+    lint_sources(&[(rel_path, src)]).iter().filter(|d| d.rule == rule).count()
 }
 
 const LIB_PATH: &str = "crates/graph/src/fixture.rs";
@@ -205,6 +220,57 @@ fn t001_fires_and_clean() {
 
     let clean = include_str!("fixtures/t001_clean.rs");
     assert!(rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn e001_fires_and_clean() {
+    let fires = include_str!("fixtures/e001_fires.rs");
+    // The panic site trips the intraprocedural rules where it stands, and
+    // E001 surfaces it once at the pub entry point with a witness chain.
+    assert_eq!(df_rules_fired(LIB_PATH, fires), vec!["E001", "P001", "U001"]);
+    assert_eq!(df_count(LIB_PATH, fires, "E001"), 1);
+    let diags = lint_sources(&[(LIB_PATH, fires)]);
+    let e001 = diags.iter().find(|d| d.rule == "E001").expect("E001 diagnostic");
+    assert!(e001.message.contains("entry"), "{}", e001.message);
+    assert!(e001.message.contains("panic site"), "{}", e001.message);
+    // Non-library scopes may panic freely — no effect rule either.
+    assert!(df_rules_fired("crates/graph/tests/fixture.rs", fires).is_empty());
+    assert!(df_rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
+
+    // Error propagation, a vouched panic site, and prose mentions are clean.
+    let clean = include_str!("fixtures/e001_clean.rs");
+    assert!(df_rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn r001_fires_and_clean() {
+    let fires = include_str!("fixtures/r001_fires.rs");
+    assert_eq!(df_rules_fired(LIB_PATH, fires), vec!["R001"]);
+    // One lock call, one `&mut` capture, one io-reaching call.
+    assert_eq!(df_count(LIB_PATH, fires, "R001"), 3);
+    // The substrate's own internals are exempt.
+    assert!(df_rules_fired("crates/par/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/r001_clean.rs");
+    assert!(df_rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn r002_fires_and_clean() {
+    let fires = include_str!("fixtures/r002_fires.rs");
+    assert_eq!(df_rules_fired(LIB_PATH, fires), vec!["R002"]);
+    // Raw expression, unit-free split, outer split reuse, raw helper call.
+    assert_eq!(df_count(LIB_PATH, fires, "R002"), 4);
+    let diags = lint_sources(&[(LIB_PATH, fires)]);
+    // The transitive diagnostic points at the helper's own seeding site.
+    assert!(
+        diags.iter().any(|d| d.message.contains("make_rng")),
+        "{diags:?}"
+    );
+    assert!(df_rules_fired("crates/par/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/r002_clean.rs");
+    assert!(df_rules_fired(LIB_PATH, clean).is_empty());
 }
 
 #[test]

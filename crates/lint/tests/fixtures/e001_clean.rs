@@ -1,0 +1,25 @@
+// Fixture: E001 clean — pub entries propagate errors, vouched panics do
+// not poison callers, and prose mentions of panicking calls stay silent.
+
+fn leaf(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn entry(v: &[u32]) -> Option<u32> {
+    // prose: calling `.unwrap()` here would panic — we return the Option.
+    let _doc = "v.first().unwrap()";
+    leaf(v)
+}
+
+fn vouched(v: &[u32]) -> u32 {
+    // lint:allow(P001, U001) fixture: caller checks non-emptiness first
+    *v.first().unwrap()
+}
+
+pub fn entry_vouched(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        0
+    } else {
+        vouched(v)
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: E001 must fire — a panic effect two calls below a pub entry
+// point, invisible to any single-file scan.
+
+fn panic_site(v: &[u32]) -> u32 {
+    *v.first().unwrap() // the concrete panic site (also P001/U001)
+}
+
+fn leaf(v: &[u32]) -> u32 {
+    v[0].wrapping_add(panic_site(v))
+}
+
+pub fn entry(v: &[u32]) -> u32 {
+    leaf(v)
+}

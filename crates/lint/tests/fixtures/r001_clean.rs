@@ -1,0 +1,19 @@
+// Fixture: R001 clean — per-unit mutation through closure params and pure
+// closures are the sanctioned patterns; prose mentions stay silent.
+
+pub fn squares(items: &[u64]) -> Vec<u64> {
+    gnn_dm_par::par_map_collect(items, |_i, x| x.wrapping_mul(*x))
+}
+
+pub fn scale_chunks(data: &mut [f32], k: f32) {
+    gnn_dm_par::par_chunks_mut(data, 64, |_c, chunk| {
+        for v in chunk.iter_mut() {
+            *v *= k; // mutation only through the closure's own chunk
+        }
+    });
+}
+
+pub fn prose() -> &'static str {
+    // par_map_collect(items, |i, x| *total.lock().unwrap() + x) — prose.
+    "par_chunks_mut(data, 1, |_, c| shared.fetch_add(1))"
+}

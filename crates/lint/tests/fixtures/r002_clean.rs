@@ -1,0 +1,23 @@
+// Fixture: R002 clean — every worker RNG derives from `split_seed`
+// applied to the unit index, directly or through a binding chain.
+
+pub fn direct(seed: u64, items: &[u64]) -> Vec<u64> {
+    gnn_dm_par::par_map_collect(items, |i, _x| {
+        let mut rng = StdRng::seed_from_u64(gnn_dm_par::split_seed(seed, i as u64));
+        rng.next_u64()
+    })
+}
+
+pub fn via_binding_chain(seed: u64, items: &[u64]) -> Vec<u64> {
+    gnn_dm_par::par_map_collect(items, |i, _x| {
+        let unit = gnn_dm_par::split_seed(seed, i as u64);
+        let nested = gnn_dm_par::split_seed(unit, 1); // re-split of a per-unit seed
+        let mut rng = StdRng::seed_from_u64(nested);
+        rng.next_u64()
+    })
+}
+
+pub fn prose() -> &'static str {
+    // StdRng::seed_from_u64(42) inside par_map_collect would fire — prose.
+    "par_map_collect(items, |i, x| StdRng::seed_from_u64(seed))"
+}

@@ -1,0 +1,35 @@
+// Fixture: R002 must fire — seeding disciplines that break per-unit
+// stream independence inside parallel closures.
+
+pub fn raw_expression(seed: u64, items: &[u64]) -> Vec<u64> {
+    gnn_dm_par::par_map_collect(items, |i, _x| {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 32)); // ad-hoc mixing
+        rng.next_u64()
+    })
+}
+
+pub fn split_ignores_unit(seed: u64, items: &[u64]) -> Vec<u64> {
+    gnn_dm_par::par_map_collect(items, |_i, _x| {
+        let mut rng = StdRng::seed_from_u64(gnn_dm_par::split_seed(seed, 7));
+        rng.next_u64()
+    })
+}
+
+pub fn outer_split_reused(seed: u64, items: &[u64]) -> Vec<u64> {
+    let worker_seed = gnn_dm_par::split_seed(seed, 1);
+    gnn_dm_par::par_map_collect(items, |_i, _x| {
+        let mut rng = StdRng::seed_from_u64(worker_seed); // one stream for all units
+        rng.next_u64()
+    })
+}
+
+fn make_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9)) // raw seeding helper
+}
+
+pub fn hidden_behind_a_call(seed: u64, items: &[u64]) -> Vec<u64> {
+    gnn_dm_par::par_map_collect(items, |i, _x| {
+        let mut rng = make_rng(seed.wrapping_add(i as u64));
+        rng.next_u64()
+    })
+}

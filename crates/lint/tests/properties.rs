@@ -7,6 +7,7 @@
 //! strings mid-edit, stray carriage returns) would take the whole tier-1
 //! gate down with it.
 
+use gnn_dm_lint::callgraph::{CallGraph, FileSet};
 use gnn_dm_lint::items::parse_items;
 use gnn_dm_lint::tokenizer::lex;
 use proptest::prelude::*;
@@ -39,7 +40,25 @@ const FRAGMENTS: &[&str] = &[
     "\"unterminated",
     "\\",
     "#",
+    // Raw-string torture: multi-hash delimiters, block-comment openers as
+    // string *content*, and incomplete prefixes that must not be mistaken
+    // for raw-string openers (regressions for the `r#`-swallows-the-file
+    // tokenizer bug).
+    "r##\"a \"# b\"##",
+    "r###\"ab\"## c\"###",
+    "r#\"has /* nested /* cm */ inside\"#",
+    "br#\"bytes \" here\"#",
+    "cr#\"c-string\"#",
+    "r#",
+    "r#1",
+    "br##",
+    "r#\"unterminated raw",
 ];
+
+/// Character pool for raw-string contents: quotes, hashes, comment openers
+/// and closers — everything the lexer has special cases for.
+const RAW_POOL: &[char] =
+    &['a', 'b', 'z', ' ', '"', '#', '/', '*', '!', '(', ')', '\n', '\\'];
 
 /// Structured-ish sources: random fragment sequences with mixed separators.
 fn arb_source() -> impl Strategy<Value = String> {
@@ -114,5 +133,152 @@ proptest! {
     #[test]
     fn front_end_total_on_arbitrary_bytes(src in arb_byte_source()) {
         check_front_end_total(&src);
+    }
+
+    /// Any content that cannot contain the closing delimiter, wrapped in an
+    /// `r##"…"##` literal, lexes to exactly one `Str` token — nothing inside
+    /// (quotes, `//`, `/*`, `lint:allow`) may leak tokens or suppressions —
+    /// and code after the literal still lexes.
+    #[test]
+    fn raw_strings_with_hashes_are_opaque(picks in proptest::collection::vec(0usize..RAW_POOL.len(), 0..40)) {
+        let content: String = picks.iter().map(|&i| RAW_POOL[i]).collect();
+        let content = content.replace("\"##", "'");
+        let src = format!("let s = r##\"{content}\"##; tail");
+        let lexed = lex(&src);
+        prop_assert!(lexed.suppressions.is_empty());
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(texts, vec!["let", "s", "=", "", ";", "tail"]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural layer: the call graph and effect inference are total over
+// arbitrary sources, deterministic, and independent of file order.
+// ---------------------------------------------------------------------------
+
+/// Function-name pool for generated mini-workspaces. Includes names that
+/// collide with effect witnesses (`unwrap` is a *method* witness only, so a
+/// free fn named `lock` must not confuse the passes).
+const FN_POOL: &[&str] = &["alpha", "beta", "gamma", "delta", "lock", "unwrap_all"];
+
+/// Files generated workspaces spread their fns across — two crates plus a
+/// test tree, so cross-crate and test-visibility rules are exercised.
+const FILE_POOL: &[&str] = &[
+    "crates/graph/src/gen_a.rs",
+    "crates/graph/src/gen_b.rs",
+    "crates/sampling/src/gen_c.rs",
+    "crates/graph/tests/gen_t.rs",
+];
+
+/// One generated fn: (file, pub?, panics?, callee picks from FN_POOL).
+type GenFn = (usize, usize, usize, Vec<usize>);
+
+fn arb_mini_workspace() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(
+        (0usize..FILE_POOL.len(), 0usize..2, 0usize..2, proptest::collection::vec(0usize..FN_POOL.len(), 0..3)),
+        0..FN_POOL.len(),
+    )
+    .prop_map(|fns: Vec<GenFn>| {
+        let mut files: Vec<(String, String)> =
+            FILE_POOL.iter().map(|p| (p.to_string(), String::new())).collect();
+        for (i, (file, is_pub, panics, callees)) in fns.iter().enumerate() {
+            let src = &mut files[*file].1;
+            let vis = if *is_pub == 1 { "pub " } else { "" };
+            src.push_str(&format!("{vis}fn {}() -> u32 {{\n", FN_POOL[i]));
+            if *panics == 1 {
+                src.push_str("    let v: Option<u32> = None;\n    v.unwrap();\n");
+            }
+            for c in callees {
+                src.push_str(&format!("    {}();\n", FN_POOL[*c]));
+            }
+            src.push_str("    0\n}\n");
+        }
+        files
+    })
+}
+
+/// Deterministic permutation of `files` driven by generated swap indices.
+fn permute(files: &[(String, String)], swaps: &[usize]) -> Vec<(String, String)> {
+    let mut out = files.to_vec();
+    for (i, s) in swaps.iter().enumerate() {
+        if !out.is_empty() {
+            let (a, b) = (i % out.len(), s % out.len());
+            out.swap(a, b);
+        }
+    }
+    out
+}
+
+fn build(files: &[(String, String)]) -> (FileSet, CallGraph) {
+    let borrowed: Vec<(&str, &str)> =
+        files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+    let set = FileSet::from_sources(&borrowed);
+    let graph = CallGraph::build(&set);
+    (set, graph)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The graph builder and effect inference never panic, even on sources
+    /// that are not valid Rust, and every edge/call target is in bounds.
+    #[test]
+    fn call_graph_total_on_arbitrary_sources(src in arb_source(), src2 in arb_byte_source()) {
+        let files = vec![
+            ("crates/graph/src/gen_a.rs".to_string(), src),
+            ("crates/sampling/src/gen_c.rs".to_string(), src2),
+        ];
+        let (set, graph) = build(&files);
+        let n = graph.nodes.len();
+        for targets in &graph.edges {
+            prop_assert!(targets.iter().all(|&t| t < n));
+        }
+        for sites in &graph.calls {
+            for site in sites {
+                prop_assert!(site.targets.iter().all(|&t| t < n));
+            }
+        }
+        let fx = gnn_dm_lint::effects::infer(&set, &graph);
+        prop_assert_eq!(fx.mask.len(), n);
+        // The fixpoint only ever adds effects to a node's own base mask.
+        for id in 0..n {
+            prop_assert_eq!(fx.mask[id] & fx.base[id], fx.base[id]);
+        }
+    }
+
+    /// Building twice from the same sources yields byte-identical JSON and
+    /// DOT dumps (BTreeMap ordering, no iteration-order leaks).
+    #[test]
+    fn call_graph_deterministic(files in arb_mini_workspace()) {
+        let (set_a, graph_a) = build(&files);
+        let (_, graph_b) = build(&files);
+        prop_assert_eq!(graph_a.to_json(), graph_b.to_json());
+        prop_assert_eq!(graph_a.to_dot(), graph_b.to_dot());
+        let fx_a = gnn_dm_lint::effects::infer(&set_a, &graph_a);
+        let fx_b = gnn_dm_lint::effects::infer(&set_a, &graph_a);
+        prop_assert_eq!(fx_a.mask, fx_b.mask);
+        prop_assert_eq!(fx_a.raw_entropy, fx_b.raw_entropy);
+    }
+
+    /// The graph is a function of the file *set*, not the order files are
+    /// fed in: any permutation produces byte-identical dumps and the same
+    /// dataflow diagnostics.
+    #[test]
+    fn call_graph_independent_of_file_order(
+        files in arb_mini_workspace(),
+        swaps in proptest::collection::vec(0usize..16, 0..8),
+    ) {
+        let shuffled = permute(&files, &swaps);
+        let (_, graph_a) = build(&files);
+        let (_, graph_b) = build(&shuffled);
+        prop_assert_eq!(graph_a.to_json(), graph_b.to_json());
+        let borrowed_a: Vec<(&str, &str)> =
+            files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+        let borrowed_b: Vec<(&str, &str)> =
+            shuffled.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+        prop_assert_eq!(
+            format!("{:?}", gnn_dm_lint::lint_sources(&borrowed_a)),
+            format!("{:?}", gnn_dm_lint::lint_sources(&borrowed_b))
+        );
     }
 }

@@ -10,8 +10,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace -q
@@ -43,6 +43,16 @@ if ! grep -q '"violations":0' <<<"${lint_json}"; then
     echo "FAIL: lint reported violations" >&2
     exit 1
 fi
+scripts/lint_schema.sh <<<"${lint_json}"
+
+echo "==> gnn-dm-lint dataflow rules (E001/R001/R002 subset must be clean)"
+df_json="$(cargo run -q -p gnn-dm-lint -- --rule=E001,R001,R002 --format=json)"
+grep -q '"violations":0' <<<"${df_json}" || {
+    echo "${df_json}"
+    echo "FAIL: interprocedural rules reported violations" >&2
+    exit 1
+}
+scripts/lint_schema.sh <<<"${df_json}" >/dev/null
 
 echo "OK: build, tests and lint all green"
 echo "(speedup numbers: scripts/bench.sh times the parallel substrate and writes BENCH_par.json)"

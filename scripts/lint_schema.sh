@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Minimal schema validation for the lint's `--format=json` output, in pure
+# bash/grep so CI needs no JSON tooling.
+#
+#   cargo run -q -p gnn-dm-lint -- --format=json | scripts/lint_schema.sh
+#   scripts/lint_schema.sh report.json
+#
+# Checks: the report is one object carrying every top-level field the
+# tooling relies on, the counters are numeric, and every diagnostic object
+# carries file/line/rule/message with a rule-shaped id. Exit 0 on a
+# conforming report, 1 with a message otherwise.
+
+set -euo pipefail
+
+if [[ $# -gt 0 ]]; then
+    json="$(cat "$1")"
+else
+    json="$(cat)"
+fi
+
+fail() {
+    echo "lint_schema: $1" >&2
+    exit 1
+}
+
+[[ "${json}" == \{* ]] || fail "report does not start with '{'"
+
+# Required top-level fields with numeric counters.
+grep -q '"files_scanned":[0-9]\+' <<<"${json}" || fail 'missing numeric "files_scanned"'
+grep -q '"violations":[0-9]\+' <<<"${json}" || fail 'missing numeric "violations"'
+grep -q '"by_rule":{' <<<"${json}" || fail 'missing "by_rule" object'
+grep -q '"diagnostics":\[' <<<"${json}" || fail 'missing "diagnostics" array'
+grep -q '"read_errors":\[' <<<"${json}" || fail 'missing "read_errors" array'
+
+# Every by_rule key is a rule-shaped id with a numeric count.
+if grep -o '"by_rule":{[^}]*}' <<<"${json}" \
+        | grep -o '"[^"]*":[^,}]*' \
+        | grep -v '^"by_rule"' \
+        | grep -qv '^"[A-Z][A-Z]*[0-9][0-9]*":[0-9]\+$'; then
+    fail 'malformed "by_rule" entry (want "RULE":count)'
+fi
+
+# The violation counter equals the number of diagnostic objects.
+count="$(grep -o '"violations":[0-9]\+' <<<"${json}" | head -1 | grep -o '[0-9]\+$')"
+diags="$( (grep -o '{"file":' <<<"${json}" || true) | wc -l | tr -d ' ')"
+[[ "${count}" == "${diags}" ]] \
+    || fail "\"violations\":${count} but ${diags} diagnostic objects"
+
+# Every diagnostic carries the full field set, in report order.
+if grep -o '{"file":"[^"]*"[^}]*}' <<<"${json}" \
+        | grep -qv '^{"file":"[^"]*","line":[0-9]\+,"rule":"[A-Z][A-Z]*[0-9][0-9]*","message":'; then
+    fail 'diagnostic missing file/line/rule/message or rule id malformed'
+fi
+
+echo "lint_schema: ok (${count} violations, ${diags} diagnostic objects)"
