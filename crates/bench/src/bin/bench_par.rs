@@ -1,68 +1,124 @@
-//! Parallel-substrate speedup benchmark: the three hot paths the paper's
+//! Parallel-substrate speedup benchmark: the hot paths the paper's
 //! data-management pipeline spends its time in — dense GEMM (NN compute),
-//! seeded neighbor sampling (batch preparation) and a Figure-8-class
-//! cluster epoch simulation — each timed at one thread and at
-//! `GNN_DM_THREADS` (default: all cores) in the same process.
+//! seeded neighbor sampling (batch preparation), epoch mini-batch
+//! construction and a Figure-8-class cluster epoch simulation — each timed
+//! at one thread and at `GNN_DM_THREADS` (default: all cores) in the same
+//! process.
 //!
-//! Besides the timings, every workload's parallel output is checked
-//! *bitwise* against its serial output — the substrate's determinism
-//! contract means the speedup is free of result drift by construction, and
-//! this binary demonstrates it on real workloads, not toy kernels.
+//! Three kinds of evidence per row:
+//!
+//! * **speedup** — serial vs. parallel wall time (warmup + median-of-N);
+//! * **bitwise_identical** — the parallel output is compared *bitwise*
+//!   against the serial output, demonstrating the substrate's determinism
+//!   contract on real workloads;
+//! * **speedup_vs_seed** — where a frozen copy of the repo's seed kernel
+//!   exists ([`gnn_dm_bench::seed_baseline`]), the seed implementation is
+//!   timed on the same inputs in the same process. For the sampler and
+//!   epoch rows the seed output is additionally asserted bitwise-equal to
+//!   the current output (the scratch-arena refactor changed allocation, not
+//!   results); the GEMM row's values differ in float rounding (the
+//!   register-tiled kernel fuses multiply-adds), so only time is compared.
 //!
 //! Run: `scripts/bench.sh`, or directly
 //! `cargo run --release -p gnn-dm-bench --bin bench_par`.
-//! Writes `BENCH_par.json` to the current directory.
+//! Writes `BENCH_par.json` and appends one line to `BENCH_history.jsonl`
+//! in the current directory.
 //!
-//! On a single-core container the speedups hover at 1.0x (the pool still
-//! pays its queueing overhead); the acceptance numbers in DESIGN.md are
-//! stated for a 4+-core host.
+//! `--smoke`: tiny sizes, no timing, no files — asserts every bitwise
+//! serial≡parallel (and seed≡current) contract and exits. Wired into
+//! `scripts/check.sh` so the determinism gates run on every check.
+//!
+//! On a single-core container the thread speedups hover at 1.0x (the pool
+//! still pays its queueing overhead); `speedup_vs_seed` is the
+//! machine-independent number, and the acceptance thresholds in DESIGN.md
+//! are stated against it plus a 4+-core host for thread scaling.
 
+use gnn_dm_bench::seed_baseline::{seed_build_minibatch_par, seed_epoch_batches, seed_matmul_tiled};
 use gnn_dm_bench::SCALE_LOAD;
 use gnn_dm_cluster::ClusterSim;
 use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
+use gnn_dm_nn::optim::{Adam, Optimizer, Sgd};
 use gnn_dm_par::{thread_count, with_threads};
 use gnn_dm_partition::{partition_graph, PartitionMethod};
+use gnn_dm_sampling::epoch::EpochPlan;
 use gnn_dm_sampling::sampler::build_minibatch_par;
-use gnn_dm_sampling::FanoutSampler;
-use gnn_dm_tensor::ops::matmul_tiled;
+use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_tensor::ops::{matmul, matmul_nt, matmul_tiled, matmul_tn};
 use gnn_dm_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-/// Times `f` as the minimum of `reps` runs (after one warmup), returning
-/// seconds and the last result for the equality check.
-fn time_min<T>(reps: usize, f: impl Fn() -> T) -> (f64, T) {
+/// Times `f` as the median of `reps` runs (after one warmup), returning
+/// seconds and the last result for the equality check. Median, not mean:
+/// robust to the one-off scheduling hiccups shared containers produce.
+fn time_med<T>(reps: usize, f: impl Fn() -> T) -> (f64, T) {
     let mut out = f(); // warmup
-    let mut best = f64::INFINITY;
+    let mut times = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
         out = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        times.push(t0.elapsed().as_secs_f64());
     }
-    (best, out)
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], out)
 }
 
-/// One workload's serial/parallel pair, with the bitwise-equality verdict.
+/// One workload's serial/parallel pair, with the bitwise-equality verdict
+/// and (where a frozen baseline exists) the seed kernel's serial time.
 struct Row {
     name: &'static str,
     serial_s: f64,
     par_s: f64,
     identical: bool,
+    seed_serial_s: Option<f64>,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.serial_s / self.par_s
     }
+
+    fn speedup_vs_seed(&self) -> Option<f64> {
+        self.seed_serial_s.map(|s| s / self.par_s)
+    }
+
+    fn json(&self) -> String {
+        let mut s = format!(
+            "\"{}\":{{\"serial_s\":{:.6},\"par_s\":{:.6},\"speedup\":{:.3},\"bitwise_identical\":{}",
+            self.name,
+            self.serial_s,
+            self.par_s,
+            self.speedup(),
+            self.identical
+        );
+        if let (Some(seed_s), Some(vs)) = (self.seed_serial_s, self.speedup_vs_seed()) {
+            s.push_str(&format!(",\"seed_serial_s\":{seed_s:.6},\"speedup_vs_seed\":{vs:.3}"));
+        }
+        s.push('}');
+        s
+    }
 }
 
-fn run<T: PartialEq>(name: &'static str, threads: usize, reps: usize, f: impl Fn() -> T) -> Row {
-    let (serial_s, serial_out) = with_threads(1, || time_min(reps, &f));
-    let (par_s, par_out) = with_threads(threads, || time_min(reps, &f));
-    let row = Row { name, serial_s, par_s, identical: par_out == serial_out };
+/// Benchmarks `f` serial and at `threads`, optionally timing a frozen seed
+/// implementation `seed_f` (serial) on the same inputs.
+fn run<T: PartialEq>(
+    name: &'static str,
+    threads: usize,
+    reps: usize,
+    f: impl Fn() -> T,
+    seed_f: Option<&dyn Fn()>,
+) -> Row {
+    let (serial_s, serial_out) = with_threads(1, || time_med(reps, &f));
+    let (par_s, par_out) = with_threads(threads, || time_med(reps, &f));
+    let seed_serial_s = seed_f.map(|sf| with_threads(1, || time_med(reps, sf).0));
+    let row = Row { name, serial_s, par_s, identical: par_out == serial_out, seed_serial_s };
+    let vs = row
+        .speedup_vs_seed()
+        .map(|v| format!("   vs-seed {v:>5.2}x"))
+        .unwrap_or_default();
     println!(
-        "  {:<10} serial {:>9.4}s   threads={threads} {:>9.4}s   speedup {:>5.2}x   bitwise-identical: {}",
+        "  {:<8} serial {:>9.4}s   threads={threads} {:>9.4}s   speedup {:>5.2}x{vs}   bitwise-identical: {}",
         row.name,
         row.serial_s,
         row.par_s,
@@ -72,18 +128,115 @@ fn run<T: PartialEq>(name: &'static str, threads: usize, reps: usize, f: impl Fn
     row
 }
 
+/// `--smoke`: tiny inputs, every determinism contract asserted, no timing.
+fn smoke() {
+    let t = 4;
+
+    // GEMM routes: serial ≡ parallel bitwise on ragged shapes that straddle
+    // the register-tile grid (NR=32, MR=8) unevenly.
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::from_fn(37, 29, |_, _| rng.random::<f64>() as f32 - 0.5);
+    let b = Matrix::from_fn(29, 33, |_, _| rng.random::<f64>() as f32 - 0.5);
+    let at = Matrix::from_fn(29, 37, |_, _| rng.random::<f64>() as f32 - 0.5);
+    let bt = Matrix::from_fn(33, 29, |_, _| rng.random::<f64>() as f32 - 0.5);
+    for (name, f) in [
+        ("matmul", Box::new(|| matmul(&a, &b)) as Box<dyn Fn() -> Matrix>),
+        ("matmul_tiled", Box::new(|| matmul_tiled(&a, &b))),
+        ("matmul_tn", Box::new(|| matmul_tn(&at, &b))),
+        ("matmul_nt", Box::new(|| matmul_nt(&a, &bt))),
+    ] {
+        let serial = with_threads(1, &f);
+        let par = with_threads(t, &f);
+        assert_eq!(serial.as_slice(), par.as_slice(), "{name}: serial ≢ parallel");
+    }
+
+    // Sampler: serial ≡ parallel, and frozen seed implementation ≡ current.
+    let spec = DatasetSpec::get(DatasetId::Reddit);
+    let g = spec.generate_scaled(800, 42);
+    let sampler = FanoutSampler::new(vec![5, 3]);
+    let seeds: Vec<u32> = {
+        let mut srng = StdRng::seed_from_u64(7);
+        (0..128).map(|_| srng.random_range(0..g.num_vertices() as u32)).collect()
+    };
+    let mb_serial = with_threads(1, || build_minibatch_par(&g.inn, &seeds, &sampler, 99));
+    let mb_par = with_threads(t, || build_minibatch_par(&g.inn, &seeds, &sampler, 99));
+    assert_eq!(mb_serial, mb_par, "sampler: serial ≢ parallel");
+    let mb_seed = with_threads(t, || seed_build_minibatch_par(&g.inn, &seeds, &sampler, 99));
+    assert_eq!(mb_seed, mb_par, "sampler: seed baseline ≢ current (refactor changed results)");
+
+    // Epoch plan: serial ≡ parallel ≡ seed implementation.
+    let train = g.train_vertices();
+    let selection = BatchSelection::Random;
+    let schedule = BatchSizeSchedule::Fixed(64);
+    let plan = EpochPlan {
+        in_csr: &g.inn,
+        train: &train,
+        selection: &selection,
+        schedule: &schedule,
+        sampler: &sampler,
+        seed: 3,
+    };
+    let ep_serial = with_threads(1, || plan.batches(0));
+    let ep_par = with_threads(t, || plan.batches(0));
+    assert_eq!(ep_serial, ep_par, "epoch: serial ≢ parallel");
+    let ep_seed = with_threads(t, || seed_epoch_batches(&g.inn, &train, 64, &sampler, 3, 0));
+    assert_eq!(ep_seed, ep_par, "epoch: seed baseline ≢ current (refactor changed results)");
+
+    // Optimizers: parallel chunked updates ≡ serial bitwise.
+    let mut vrng = StdRng::seed_from_u64(11);
+    let p0: Vec<f32> = (0..10_000).map(|_| vrng.random::<f64>() as f32 - 0.5).collect();
+    let gr: Vec<f32> = (0..10_000).map(|_| vrng.random::<f64>() as f32 - 0.5).collect();
+    let step_sgd = |threads: usize| {
+        with_threads(threads, || {
+            let mut p = p0.clone();
+            let mut opt = Sgd { lr: 0.05, weight_decay: 0.01 };
+            opt.step(vec![&mut p], vec![&gr]);
+            opt.step(vec![&mut p], vec![&gr]);
+            p
+        })
+    };
+    assert_eq!(step_sgd(1), step_sgd(t), "sgd: serial ≢ parallel");
+    let step_adam = |threads: usize| {
+        with_threads(threads, || {
+            let mut p = p0.clone();
+            let mut opt = Adam::new(0.01);
+            opt.step(vec![&mut p], vec![&gr]);
+            opt.step(vec![&mut p], vec![&gr]);
+            p
+        })
+    };
+    assert_eq!(step_adam(1), step_adam(t), "adam: serial ≢ parallel");
+
+    println!("bench_par --smoke: all serial≡parallel and seed≡current bitwise checks passed");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
     let threads = thread_count();
     println!("bench_par: {threads} thread(s) (set GNN_DM_THREADS to override)\n");
 
-    // GEMM micro: 384^3 straddles the 32-row chunk grid unevenly (384/32 =
-    // 12 chunks across the pool) and is big enough to amortize spawn cost.
+    // GEMM micro: 512^3 spans eight 64-row chunks (amortizes dispatch) and
+    // is large enough that cache behaviour, not the timer, dominates. The
+    // frozen seed kernel runs on the same inputs.
     let mut rng = StdRng::seed_from_u64(13);
-    let a = Matrix::from_fn(384, 384, |_, _| rng.random::<f64>() as f32 - 0.5);
-    let b = Matrix::from_fn(384, 384, |_, _| rng.random::<f64>() as f32 - 0.5);
-    let gemm = run("gemm", threads, 5, || matmul_tiled(&a, &b));
+    let a = Matrix::from_fn(512, 512, |_, _| rng.random::<f64>() as f32 - 0.5);
+    let b = Matrix::from_fn(512, 512, |_, _| rng.random::<f64>() as f32 - 0.5);
+    let gemm = run(
+        "gemm",
+        threads,
+        7,
+        || matmul_tiled(&a, &b),
+        Some(&|| {
+            seed_matmul_tiled(&a, &b);
+        }),
+    );
 
     // Sampler throughput: one large fanout batch on a load-scale graph.
+    // Seed ≡ current bitwise — asserted, not assumed.
     let spec = DatasetSpec::get(DatasetId::Reddit);
     let g = spec.generate_scaled(SCALE_LOAD, 42);
     let sampler = FanoutSampler::new(vec![25, 10]);
@@ -91,31 +244,79 @@ fn main() {
         let mut srng = StdRng::seed_from_u64(7);
         (0..2048).map(|_| srng.random_range(0..g.num_vertices() as u32)).collect()
     };
-    let sample = run("sampler", threads, 5, || build_minibatch_par(&g.inn, &seeds, &sampler, 99));
+    assert_eq!(
+        seed_build_minibatch_par(&g.inn, &seeds, &sampler, 99),
+        build_minibatch_par(&g.inn, &seeds, &sampler, 99),
+        "sampler: seed baseline ≢ current"
+    );
+    let sample = run(
+        "sampler",
+        threads,
+        5,
+        || build_minibatch_par(&g.inn, &seeds, &sampler, 99),
+        Some(&|| {
+            seed_build_minibatch_par(&g.inn, &seeds, &sampler, 99);
+        }),
+    );
 
-    // Figure-8-class epoch: Metis-V partitioning, 4 workers, full epoch of
-    // per-worker sampling + load accounting.
+    // Epoch: every mini-batch of one epoch over the train set (the
+    // data-management half of an epoch; model compute excluded). Seed ≡
+    // current bitwise here too.
+    let train = g.train_vertices();
+    let selection = BatchSelection::Random;
+    let schedule = BatchSizeSchedule::Fixed(512);
+    let plan = EpochPlan {
+        in_csr: &g.inn,
+        train: &train,
+        selection: &selection,
+        schedule: &schedule,
+        sampler: &sampler,
+        seed: 3,
+    };
+    assert_eq!(
+        seed_epoch_batches(&g.inn, &train, 512, &sampler, 3, 0),
+        plan.batches(0),
+        "epoch: seed baseline ≢ current"
+    );
+    let epoch = run(
+        "epoch",
+        threads,
+        3,
+        || plan.batches(0),
+        Some(&|| {
+            seed_epoch_batches(&g.inn, &train, 512, &sampler, 3, 0);
+        }),
+    );
+
+    // Figure-8-class cluster epoch: Metis-V partitioning, 4 workers, full
+    // epoch of per-worker sampling + load accounting. No frozen baseline —
+    // the sim's serial sampler path is already covered by the golden traces.
     let part = partition_graph(&g, PartitionMethod::MetisV, 4, 7);
     let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-    let epoch = run("epoch", threads, 3, || sim.simulate_epoch(&sampler, 0));
+    let cluster = run("cluster", threads, 3, || sim.simulate_epoch(&sampler, 0), None);
 
-    let rows = [gemm, sample, epoch];
+    let rows = [gemm, sample, epoch, cluster];
     let all_identical = rows.iter().all(|r| r.identical);
-    let fields: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "\"{}\":{{\"serial_s\":{:.6},\"par_s\":{:.6},\"speedup\":{:.3},\"bitwise_identical\":{}}}",
-                r.name,
-                r.serial_s,
-                r.par_s,
-                r.speedup(),
-                r.identical
-            )
-        })
-        .collect();
-    let json = format!("{{\"threads\":{threads},{}}}\n", fields.join(","));
-    std::fs::write("BENCH_par.json", &json).expect("write BENCH_par.json");
+    let fields: Vec<String> = rows.iter().map(Row::json).collect();
+    let body = format!("\"threads\":{threads},{}", fields.join(","));
+    std::fs::write("BENCH_par.json", format!("{{{body}}}\n")).expect("write BENCH_par.json");
     println!("\nwrote BENCH_par.json");
+
+    // One append-only history line per run, so regressions are visible as
+    // a time series rather than overwritten.
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!("{{\"unix_s\":{unix_s},{body}}}\n");
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_history.jsonl")
+        .and_then(|mut fh| fh.write_all(line.as_bytes()))
+        .expect("append BENCH_history.jsonl");
+    println!("appended BENCH_history.jsonl");
+
     assert!(all_identical, "parallel output diverged from serial — determinism contract broken");
 }

@@ -5,6 +5,8 @@
 //! stand-ins for the paper's datasets; the *shapes* of the results — who
 //! wins, by what factor, where crossovers fall — are what reproduce.
 
+pub mod seed_baseline;
+
 use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
 use gnn_dm_graph::Graph;
 

@@ -31,7 +31,7 @@ use gnn_dm_device::LinkModel;
 use gnn_dm_graph::csr::VId;
 use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
-use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
+use gnn_dm_sampling::sampler::{build_minibatch_with, NeighborSampler, SampleScratch};
 use gnn_dm_sampling::BatchSelection;
 use gnn_dm_faults::{FaultPlan, ResilienceReport};
 use gnn_dm_trace::convert::{u32_of_index, u64_of_u32, u64_of_usize, usize_of_u32};
@@ -216,8 +216,12 @@ impl<'g> ClusterSim<'g> {
 
         if !batches.is_empty() {
             num_batches[usize_of_u32(w)] = batches.len();
+            // One sampling arena for the worker's whole epoch: identical
+            // batches (the scratch never changes what is drawn), no
+            // per-batch map/buffer churn.
+            let mut scratch = SampleScratch::new();
             for (b_idx, seeds) in batches.iter().enumerate() {
-                let mb = build_minibatch(&self.graph.inn, seeds, sampler, rng);
+                let mb = build_minibatch_with(&self.graph.inn, seeds, sampler, rng, &mut scratch);
                 let batch = u32::try_from(b_idx).ok();
                 let mut local_edges = 0u64;
                 let mut remote_edges = vec![0u64; k];

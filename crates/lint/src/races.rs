@@ -19,7 +19,14 @@ use crate::tokenizer::{Lexed, TokenKind};
 use std::collections::BTreeSet;
 
 /// The dispatch entry points whose closure arguments run on worker threads.
-pub(crate) const PAR_FNS: &[&str] = &["par_chunks_mut", "par_map_collect", "par_reduce"];
+pub(crate) const PAR_FNS: &[&str] = &[
+    "par_chunks_mut",
+    "par_for_each_init",
+    "par_map_collect",
+    "par_map_collect_init",
+    "par_reduce",
+    "par_zip_chunks_mut",
+];
 
 /// One closure argument of a par-dispatch call site.
 #[derive(Debug)]

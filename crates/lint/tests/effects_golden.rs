@@ -11,12 +11,22 @@ use gnn_dm_lint::callgraph::{CallGraph, FileSet};
 use gnn_dm_lint::effects::{effects_table, infer};
 use std::path::PathBuf;
 
+// `claim` and `dispatch` are the persistent pool's pub(crate) internals —
+// the item parser treats any `pub` visibility as public, which is useful
+// here: the pool's dispatch path is pinned to alloc+lock (spawn bookkeeping
+// and the state mutex) and the cursor to lock-free-but-atomic `lock`, with
+// io/entropy/panic forever off-limits.
 const GOLDEN: &str = "\
 | fn | effects | raw-seed |
 |---|---|---|
-| `par_chunks_mut` | lock | no |
+| `claim` | lock | no |
+| `dispatch` | alloc+lock | no |
+| `par_chunks_mut` | alloc+lock | no |
+| `par_for_each_init` | alloc+lock | no |
 | `par_map_collect` | alloc+lock | no |
+| `par_map_collect_init` | alloc+lock | no |
 | `par_reduce` | alloc+lock | no |
+| `par_zip_chunks_mut` | alloc+lock | no |
 | `split_seed` | pure | no |
 | `thread_count` | pure | no |
 | `with_threads` | pure | no |

@@ -4,6 +4,14 @@
 //! order produced by `GnnModel::param_views_mut` / `Gradients::flat_views`,
 //! so the optimizer stays independent of model structure (and is reused for
 //! the MLP/DNN baseline of Figure 2).
+//!
+//! Updates are element-wise with no cross-element dependency, so both
+//! optimizers run through the `gnn-dm-par` substrate over fixed
+//! [`OPT_CHUNK`]-sized chunks: identical bits at any thread count.
+
+/// Elements per parallel optimizer chunk. Fixed — never derived from the
+/// thread count — so chunk boundaries (and therefore bits) are invariant.
+const OPT_CHUNK: usize = 1 << 12;
 
 /// An optimizer updates parameters in place from gradients.
 pub trait Optimizer {
@@ -50,11 +58,15 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>) {
         assert_eq!(params.len(), grads.len(), "parameter/gradient list mismatch");
+        let (lr, wd) = (self.lr, self.weight_decay);
         for (p, g) in params.into_iter().zip(grads) {
             assert_eq!(p.len(), g.len(), "parameter/gradient length mismatch");
-            for (x, &d) in p.iter_mut().zip(g) {
-                *x -= self.lr * (d + self.weight_decay * *x);
-            }
+            gnn_dm_par::par_chunks_mut(p, OPT_CHUNK, |ci, chunk| {
+                let (off, len) = (ci * OPT_CHUNK, chunk.len());
+                for (x, &d) in chunk.iter_mut().zip(&g[off..off + len]) {
+                    *x -= lr * (d + wd * *x);
+                }
+            });
         }
     }
 }
@@ -71,7 +83,9 @@ pub struct Adam {
     /// Numerical-stability epsilon.
     pub eps: f32,
     t: u32,
-    state: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Interleaved moments: `state[k][i]` is `[m, v]` for element `i` of
+    /// parameter tensor `k` (one cache line serves both moments).
+    state: Vec<Vec<[f32; 2]>>,
 }
 
 impl Adam {
@@ -90,21 +104,27 @@ impl Optimizer for Adam {
     fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>) {
         assert_eq!(params.len(), grads.len(), "parameter/gradient list mismatch");
         if self.state.is_empty() {
-            self.state = params.iter().map(|p| (vec![0.0; p.len()], vec![0.0; p.len()])).collect();
+            self.state = params.iter().map(|p| vec![[0.0f32; 2]; p.len()]).collect();
         }
         assert_eq!(self.state.len(), params.len(), "parameter list changed between steps");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in params.into_iter().zip(grads).zip(self.state.iter_mut()) {
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        for ((p, g), mv) in params.into_iter().zip(grads).zip(self.state.iter_mut()) {
             assert_eq!(p.len(), g.len(), "parameter/gradient length mismatch");
-            for i in 0..p.len() {
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
-                let m_hat = m[i] / bc1;
-                let v_hat = v[i] / bc2;
-                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            gnn_dm_par::par_zip_chunks_mut(p, mv.as_mut_slice(), OPT_CHUNK, |ci, pc, mvc| {
+                let (off, len) = (ci * OPT_CHUNK, pc.len());
+                let gc = &g[off..off + len];
+                for i in 0..len {
+                    let s = &mut mvc[i];
+                    s[0] = b1 * s[0] + (1.0 - b1) * gc[i];
+                    s[1] = b2 * s[1] + (1.0 - b2) * gc[i] * gc[i];
+                    let m_hat = s[0] / bc1;
+                    let v_hat = s[1] / bc2;
+                    pc[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
         }
     }
 }

@@ -21,17 +21,27 @@
 //! execution at any thread count** — the scheduler decides only *when* a
 //! chunk runs, never *what* it computes or *where* the result lands.
 //!
-//! The pool is a scoped worker pool: `std::thread::scope` workers pull chunk
-//! indices from a shared queue (work stealing by index claiming), and
-//! [`par_map_collect`] returns results over a bounded `std::sync::mpsc`
-//! channel. Thread count comes from `GNN_DM_THREADS` (default: available
-//! parallelism; `1` forces the fully serial path with no pool at all), or
-//! from the scoped [`with_threads`] override used by tests.
+//! Execution is a persistent worker pool ([`pool`]): workers are spawned
+//! lazily once per process, park on a condvar between dispatches, and claim
+//! chunk indices from an atomic cursor (one `fetch_add` per chunk — no
+//! queue lock, no per-call thread spawns). Results land in per-chunk slots
+//! and are reassembled in index order by the caller. Thread count comes
+//! from `GNN_DM_THREADS` (default: available parallelism; `1` forces the
+//! fully serial path with no pool at all), or from the scoped
+//! [`with_threads`] override used by tests.
+//!
+//! The `_init` dispatchers additionally give each participating thread a
+//! private scratch state built by an `init` closure and reused across every
+//! chunk that thread claims — an allocation arena for workloads (minibatch
+//! sampling, packing buffers) that would otherwise churn per-task `Vec`s.
+//! Which tasks share an arena is a scheduling accident, so the contract is:
+//! observable output must depend only on the task index and inputs, never
+//! on arena contents a previous task left behind.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::sync_channel;
 use std::sync::{Mutex, PoisonError};
+
+mod pool;
 
 /// Environment variable controlling the worker-pool size.
 pub const THREADS_ENV: &str = "GNN_DM_THREADS";
@@ -89,7 +99,7 @@ pub fn split_seed(seed: u64, index: u64) -> u64 {
 }
 
 /// Marks the current thread as a pool worker: nested substrate calls on
-/// this thread run serially instead of spawning a second pool
+/// this thread run serially instead of re-entering the pool
 /// (oversubscription). Purely a scheduling decision — results are
 /// thread-count-independent by contract, so flattening nested parallelism
 /// cannot change them.
@@ -98,10 +108,10 @@ fn pin_worker_serial() {
 }
 
 fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    // The queue holds no invariant a panicked worker could have broken
-    // half-way (claiming an item is a single `next()` call), so a poisoned
-    // lock is safe to recover; the panic itself still propagates when the
-    // scope joins.
+    // Pool state and result slots hold no invariant a panicked worker could
+    // have broken half-way (every critical section is a few field updates or
+    // a single slot store), so a poisoned lock is safe to recover; the panic
+    // itself still propagates when the generation drains.
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -125,19 +135,14 @@ where
         }
         return;
     }
-    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                pin_worker_serial();
-                loop {
-                    let item = lock_or_recover(&queue).next();
-                    match item {
-                        Some((i, c)) => f(i, c),
-                        None => break,
-                    }
-                }
-            });
+    // One slot per chunk; each is locked exactly once, by whichever
+    // participant claims its index, so the locks are always uncontended —
+    // they exist to hand `&mut` access across threads safely.
+    let slots: Vec<Mutex<&mut [T]>> = data.chunks_mut(chunk_len).map(Mutex::new).collect();
+    pool::dispatch(threads, num_chunks, |cursor| {
+        while let Some(ci) = cursor.claim() {
+            let mut guard = lock_or_recover(&slots[ci]);
+            f(ci, &mut **guard);
         }
     });
 }
@@ -146,57 +151,121 @@ where
 /// order. `f` is pure per element (it sees only the index and the item), and
 /// reassembly is by index, so the output is bitwise-identical to
 /// `items.iter().enumerate().map(...).collect()` at any thread count.
-///
-/// Workers process fixed-size index ranges claimed from an atomic cursor and
-/// stream the per-range result vectors back over a bounded mpsc channel; the
-/// caller's thread splices them into place.
 pub fn par_map_collect<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
     I: Sync,
     O: Send,
     F: Fn(usize, &I) -> O + Sync,
 {
+    par_map_collect_init(items, || (), |(), i, x| f(i, x))
+}
+
+/// [`par_map_collect`] with a per-thread scratch state: each participating
+/// thread builds `state = init()` once and `f(&mut state, index, &item)`
+/// reuses it across every item that thread processes. The arena contract
+/// from the crate docs applies: output must depend only on `(index, item)`,
+/// never on leftover state — which items share a state instance is a
+/// scheduling accident.
+pub fn par_map_collect_init<I, O, S, N, F>(items: &[I], init: N, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &I) -> O + Sync,
+{
     let n = items.len();
     let threads = thread_count().min(n);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, x)| f(&mut state, i, x)).collect();
     }
-    // Granularity: enough chunks for load balancing, few enough that the
-    // channel traffic is negligible. Chunking cannot affect the output
+    // Granularity: enough chunks for load balancing, few enough that slot
+    // bookkeeping is negligible. Chunking cannot affect the output
     // (reassembly is by index), only scheduling.
     let chunk_len = n.div_ceil(threads * 8).max(1);
     let num_chunks = n.div_ceil(chunk_len);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = sync_channel::<(usize, Vec<O>)>(threads * 2);
-    let mut slots: Vec<Option<Vec<O>>> = Vec::new();
-    slots.resize_with(num_chunks, || None);
-    std::thread::scope(|s| {
-        let (cursor, f) = (&cursor, &f);
-        for _ in 0..threads {
-            let tx = tx.clone();
-            s.spawn(move || {
-                pin_worker_serial();
-                loop {
-                    let ci = cursor.fetch_add(1, Ordering::Relaxed);
-                    if ci >= num_chunks {
-                        break;
-                    }
-                    let lo = ci * chunk_len;
-                    let hi = (lo + chunk_len).min(n);
-                    let out: Vec<O> =
-                        items[lo..hi].iter().enumerate().map(|(off, x)| f(lo + off, x)).collect();
-                    if tx.send((ci, out)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        while let Ok((ci, out)) = rx.recv() {
-            slots[ci] = Some(out);
+    let mut slots: Vec<Mutex<Vec<O>>> = Vec::new();
+    slots.resize_with(num_chunks, || Mutex::new(Vec::new()));
+    pool::dispatch(threads, num_chunks, |cursor| {
+        let mut state = init();
+        while let Some(ci) = cursor.claim() {
+            let lo = ci * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            let mut out = Vec::with_capacity(hi - lo);
+            for (off, x) in items[lo..hi].iter().enumerate() {
+                out.push(f(&mut state, lo + off, x));
+            }
+            *lock_or_recover(&slots[ci]) = out;
         }
     });
-    slots.into_iter().flatten().flatten().collect()
+    let mut result = Vec::with_capacity(n);
+    for slot in slots {
+        result.append(&mut slot.into_inner().unwrap_or_else(PoisonError::into_inner));
+    }
+    result
+}
+
+/// Runs `f(&mut state, task_index)` for every index in `0..num_tasks`,
+/// where each participating thread builds a private `state = init()` once
+/// and reuses it across all tasks it claims (the scratch-arena contract
+/// from the crate docs). Tasks are claimed individually, so they should be
+/// coarse — a whole minibatch, a row panel — not single elements. `f`
+/// communicates results through whatever disjoint-write structure it
+/// captures; the helper itself imposes ordering only on task indices, not
+/// on completion.
+pub fn par_for_each_init<S, N, F>(num_tasks: usize, init: N, f: F)
+where
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let threads = thread_count().min(num_tasks);
+    if threads <= 1 {
+        let mut state = init();
+        for i in 0..num_tasks {
+            f(&mut state, i);
+        }
+        return;
+    }
+    pool::dispatch(threads, num_tasks, |cursor| {
+        let mut state = init();
+        while let Some(i) = cursor.claim() {
+            f(&mut state, i);
+        }
+    });
+}
+
+/// Applies `f(chunk_index, a_chunk, b_chunk)` to aligned disjoint chunks of
+/// two equal-length slices — the optimizer's parameter/state pairing. Same
+/// determinism contract as [`par_chunks_mut`]: fixed split points, each
+/// chunk pair owned exclusively by one invocation.
+pub fn par_zip_chunks_mut<A, B, F>(a: &mut [A], b: &mut [B], chunk_len: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_chunks_mut length mismatch");
+    let chunk_len = chunk_len.max(1);
+    let num_chunks = a.len().div_ceil(chunk_len);
+    let threads = thread_count().min(num_chunks);
+    if threads <= 1 {
+        for (i, (ca, cb)) in a.chunks_mut(chunk_len).zip(b.chunks_mut(chunk_len)).enumerate() {
+            f(i, ca, cb);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<(&mut [A], &mut [B])>> = a
+        .chunks_mut(chunk_len)
+        .zip(b.chunks_mut(chunk_len))
+        .map(|(ca, cb)| Mutex::new((ca, cb)))
+        .collect();
+    pool::dispatch(threads, num_chunks, |cursor| {
+        while let Some(ci) = cursor.claim() {
+            let mut guard = lock_or_recover(&slots[ci]);
+            let pair = &mut *guard;
+            f(ci, &mut *pair.0, &mut *pair.1);
+        }
+    });
 }
 
 /// Deterministic ordered reduction: maps each fixed `chunk_len`-sized chunk
@@ -311,5 +380,124 @@ mod tests {
         // exercise the override path plus the pure parse logic instead.
         assert!(thread_count() >= 1);
         with_threads(0, || assert_eq!(thread_count(), 1));
+    }
+
+    #[test]
+    fn pool_reuse_is_deterministic_across_dispatches() {
+        // Two consecutive dispatches on the persistent pool must equal the
+        // serial result (the pool's generation/seat machinery resets
+        // cleanly between them), interleaving both dispatcher families so
+        // generations actually turn over.
+        let len = 1000;
+        let mut expect = vec![0u64; len];
+        serial_chunks(&mut expect, 7);
+        let expect_map: Vec<u64> = (0..len as u64).map(|x| split_seed(9, x)).collect();
+        for round in 0..3 {
+            with_threads(4, || {
+                let mut got = vec![0u64; len];
+                par_chunks_mut(&mut got, 7, |i, c| {
+                    for (j, x) in c.iter_mut().enumerate() {
+                        *x = split_seed(i as u64, j as u64);
+                    }
+                });
+                assert_eq!(got, expect, "round {round}");
+                let items: Vec<u64> = (0..len as u64).collect();
+                let mapped = par_map_collect(&items, |_, &x| split_seed(9, x));
+                assert_eq!(mapped, expect_map, "round {round}");
+            });
+        }
+    }
+
+    #[test]
+    fn init_state_is_reused_but_never_observable() {
+        // The scratch arena is cleared per task here; results must match
+        // the stateless map at every thread count even though threads
+        // share state instances across tasks.
+        let items: Vec<u32> = (0..500).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| u64::from(x) * 7).collect();
+        for &t in &[1usize, 2, 3, 8] {
+            let got = with_threads(t, || {
+                par_map_collect_init(
+                    &items,
+                    Vec::<u64>::new,
+                    |scratch, _, &x| {
+                        scratch.clear();
+                        scratch.extend((0..7).map(|_| u64::from(x)));
+                        scratch.iter().sum::<u64>()
+                    },
+                )
+            });
+            assert_eq!(got, expect, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_init_covers_every_task_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..300).map(|_| AtomicU32::new(0)).collect();
+        with_threads(4, || {
+            par_for_each_init(hits.len(), || (), |(), i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_zip_chunks_mut_matches_serial() {
+        let n = 777;
+        let mut a1: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let mut b1: Vec<f32> = (0..n).map(|i| (n - i) as f32).collect();
+        let (mut a2, mut b2) = (a1.clone(), b1.clone());
+        let step = |i: usize, ca: &mut [f32], cb: &mut [f32]| {
+            for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                *y = 0.9 * *y + 0.1 * *x;
+                *x -= 0.01 * *y + i as f32 * 0.0;
+            }
+        };
+        with_threads(1, || par_zip_chunks_mut(&mut a1, &mut b1, 64, step));
+        with_threads(8, || par_zip_chunks_mut(&mut a2, &mut b2, 64, step));
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let mut data = vec![0u8; 64];
+                par_chunks_mut(&mut data, 1, |i, _| {
+                    assert!(i != 13, "boom at chunk 13");
+                });
+            });
+        });
+        assert!(result.is_err(), "panic inside a chunk must reach the caller");
+        // The pool must still be usable afterwards.
+        with_threads(4, || {
+            let got = par_map_collect(&[1u64, 2, 3], |_, &x| x + 1);
+            assert_eq!(got, vec![2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_without_deadlock() {
+        // Two OS threads dispatching at once must queue on the job slot
+        // and both complete with correct results.
+        let run = || {
+            with_threads(3, || {
+                let items: Vec<u64> = (0..400).collect();
+                par_map_collect(&items, |_, &x| split_seed(1, x))
+            })
+        };
+        let expect = run();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2).map(|_| s.spawn(run)).collect();
+            for h in handles {
+                match h.join() {
+                    Ok(got) => assert_eq!(got, expect),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
     }
 }

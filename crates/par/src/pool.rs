@@ -1,0 +1,262 @@
+//! The persistent worker pool behind the `par_*` dispatchers.
+//!
+//! Workers are spawned lazily, once per process, and park on a condvar
+//! between dispatches. A dispatch installs one **generation** of work —
+//! a lifetime-erased participant closure plus an atomic chunk [`Cursor`] —
+//! wakes the workers, and runs the closure on the submitting thread too.
+//! Each participant loops on `Cursor::claim`, so chunk distribution is a
+//! single `fetch_add` per chunk instead of the global mutex the scoped
+//! pool took per claim, and thread spawn/join cost is paid once per
+//! process instead of once per kernel call.
+//!
+//! Determinism is untouched by any of this: the cursor only decides *which
+//! thread* runs a chunk, never what the chunk computes or where its result
+//! lands (fixed split points + disjoint writes + ordered reassembly, see
+//! the crate docs). The pool could hand every chunk to one worker or
+//! spread them over sixteen and the output bits would be identical.
+//!
+//! Protocol invariants (all guarded by the single state mutex):
+//!
+//! * At most one generation is in flight; later submitters queue on
+//!   `done_cv` until `job` clears.
+//! * A worker joins a generation at most once (it records the generation
+//!   counter) and only while `seats > 0`; the submitter zeroes `seats`
+//!   before draining so no worker can join a generation whose closure is
+//!   about to leave scope.
+//! * The submitter returns only after `running == 0`, so the erased
+//!   closure and cursor on its stack strictly outlive every worker access
+//!   — this is the whole safety argument for the `unsafe` below.
+//! * Worker panics are caught, stashed, and re-raised on the submitting
+//!   thread after the generation drains, matching the scoped pool's
+//!   propagate-on-join behavior.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::lock_or_recover;
+
+/// Chunk-index dispenser for one dispatch generation: participants claim
+/// strictly increasing indices until the range is exhausted.
+pub(crate) struct Cursor {
+    next: AtomicUsize,
+    num_chunks: usize,
+}
+
+impl Cursor {
+    fn new(num_chunks: usize) -> Self {
+        Cursor { next: AtomicUsize::new(0), num_chunks }
+    }
+
+    /// Claims the next unprocessed chunk index, or `None` once the
+    /// generation is exhausted. Relaxed ordering suffices: the index is
+    /// only a work ticket — every byte written under it is published to
+    /// the submitter by the state mutex when the generation drains.
+    pub(crate) fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.num_chunks).then_some(i)
+    }
+}
+
+/// Lifetime-erased handle to the submitter's participant closure: a thin
+/// data pointer plus a monomorphized call thunk (avoids fat-pointer
+/// lifetime transmutes). The referent lives on the submitting thread's
+/// stack; the dispatch protocol keeps it alive for every call (see the
+/// module docs).
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: fn(*const ()),
+}
+
+// SAFETY: the pointer crosses to worker threads, but the referent is
+// `Sync` (enforced by `erase`'s bound) and outlives every access by the
+// drain invariant above.
+unsafe impl Send for Job {}
+
+fn erase<F: Fn() + Sync>(f: &F) -> Job {
+    fn call<F: Fn()>(data: *const ()) {
+        // SAFETY: `data` was erased from a live `&F` by `erase`, and the
+        // dispatch protocol keeps that referent alive until the last
+        // worker finishes this call.
+        unsafe { (*data.cast::<F>())() }
+    }
+    Job { data: (f as *const F).cast(), call: call::<F> }
+}
+
+struct State {
+    /// Monotone dispatch counter; a worker joins a generation at most once.
+    generation: u64,
+    /// The in-flight generation's job, if any. Doubles as the "slot busy"
+    /// flag that serializes submitters.
+    job: Option<Job>,
+    /// Worker seats still open in the in-flight generation (the
+    /// submitter's own seat is not counted).
+    seats: usize,
+    /// Workers currently executing the in-flight generation's closure.
+    running: usize,
+    /// First worker panic captured this generation.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Worker threads spawned so far; grows lazily, never shrinks.
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers park here between generations.
+    work_cv: Condvar,
+    /// Submitters park here, waiting for the job slot or for their
+    /// generation's workers to drain.
+    done_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads; guards against re-entrant dispatch.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            generation: 0,
+            job: None,
+            seats: 0,
+            running: 0,
+            panic: None,
+            workers: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+fn wait<'a>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, State>,
+) -> std::sync::MutexGuard<'a, State> {
+    // Same poisoning argument as `lock_or_recover`: every invariant is
+    // re-checked in a loop after waking, so a poisoned guard is usable.
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    }
+}
+
+fn worker_main() {
+    IS_POOL_WORKER.with(|c| c.set(true));
+    // Nested substrate calls on a worker run serially instead of
+    // re-entering the pool — pure scheduling, results are
+    // thread-count-independent by contract.
+    crate::pin_worker_serial();
+    let p = pool();
+    let mut last_gen = 0u64;
+    let mut st = lock_or_recover(&p.state);
+    loop {
+        if st.generation != last_gen {
+            // Observe the generation exactly once, joining it if seats
+            // remain; either way, never re-examine it.
+            last_gen = st.generation;
+            if st.seats > 0 {
+                if let Some(job) = st.job {
+                    st.seats -= 1;
+                    st.running += 1;
+                    drop(st);
+                    let result = catch_unwind(AssertUnwindSafe(|| (job.call)(job.data)));
+                    st = lock_or_recover(&p.state);
+                    if let Err(payload) = result {
+                        if st.panic.is_none() {
+                            st.panic = Some(payload);
+                        }
+                    }
+                    st.running -= 1;
+                    if st.running == 0 {
+                        p.done_cv.notify_all();
+                    }
+                    // Re-check immediately: a new generation may already
+                    // be installed.
+                    continue;
+                }
+            }
+        }
+        st = wait(&p.work_cv, st);
+    }
+}
+
+/// Runs `participant` on the calling thread plus up to `threads - 1` pool
+/// workers, each looping on [`Cursor::claim`] over `num_chunks` chunks.
+/// Returns once every participant has finished; the first panic (caller's
+/// own first, then any worker's) is re-raised on the caller.
+///
+/// The submitting thread participates with the thread count pinned to 1,
+/// so nested `par_*` calls inside `participant` take their serial paths —
+/// exactly the behavior of the old scoped pool, where closures only ever
+/// ran on pinned workers.
+pub(crate) fn dispatch<F>(threads: usize, num_chunks: usize, participant: F)
+where
+    F: Fn(&Cursor) + Sync,
+{
+    debug_assert!(threads >= 2, "serial work must not reach the pool");
+    let cursor = Cursor::new(num_chunks);
+    if IS_POOL_WORKER.with(Cell::get) {
+        // Re-entrant dispatch from inside a worker (possible only if user
+        // code overrides the serial pin with `with_threads`): running it
+        // on the pool would deadlock on the job slot, so run serially.
+        // Identical results, by the fixed-split contract.
+        participant(&cursor);
+        return;
+    }
+    let body = || participant(&cursor);
+    let job = erase(&body);
+    let p = pool();
+
+    let mut st = lock_or_recover(&p.state);
+    // One generation at a time: queue behind any in-flight dispatch from
+    // another thread.
+    while st.job.is_some() {
+        st = wait(&p.done_cv, st);
+    }
+    let extra = threads - 1;
+    while st.workers < extra {
+        // A failed spawn (resource exhaustion) is not fatal: the submitter
+        // participates regardless, so the dispatch still completes — on
+        // fewer threads, with identical results.
+        let spawned = std::thread::Builder::new()
+            .name(format!("gnn-dm-par-{}", st.workers))
+            .spawn(worker_main);
+        if spawned.is_err() {
+            break;
+        }
+        st.workers += 1;
+    }
+    st.generation = st.generation.wrapping_add(1);
+    st.job = Some(job);
+    st.seats = extra.min(st.workers);
+    st.panic = None;
+    drop(st);
+    p.work_cv.notify_all();
+
+    let own = catch_unwind(AssertUnwindSafe(|| crate::with_threads(1, &body)));
+
+    let mut st = lock_or_recover(&p.state);
+    // Close the remaining seats first: `body` and `cursor` live on this
+    // stack frame, so no worker may join once the drain below can return.
+    st.seats = 0;
+    while st.running > 0 {
+        st = wait(&p.done_cv, st);
+    }
+    st.job = None;
+    let worker_panic = st.panic.take();
+    drop(st);
+    // Free the job slot for any queued submitter.
+    p.done_cv.notify_all();
+
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}

@@ -148,6 +148,59 @@ impl MiniBatch {
     }
 }
 
+/// Stamp-versioned dense map from global vertex id to a `u32` payload.
+///
+/// The batch builders look up and assign block-local indices for every
+/// sampled vertex; a tree map pays an allocation per node and a pointer
+/// chase per probe, every batch. This map instead keeps two flat arrays
+/// indexed by vertex id — a payload and a generation stamp — so a probe is
+/// one compare and "clear" is a generation bump ([`DenseMap::begin`],
+/// O(1)). The arrays grow lazily to the largest id touched and are then
+/// recycled for every subsequent batch by the scratch arenas in
+/// [`crate::sampler::SampleScratch`].
+///
+/// Behavior is identical to a fresh map per batch: an entry is visible
+/// only when its stamp equals the current generation, and the stamp space
+/// is wiped on the (u32) generation wraparound.
+#[derive(Debug, Default)]
+pub(crate) struct DenseMap {
+    stamp: Vec<u32>,
+    val: Vec<u32>,
+    gen: u32,
+}
+
+impl DenseMap {
+    pub(crate) fn new() -> Self {
+        DenseMap::default()
+    }
+
+    /// Starts a fresh logical map. Must be called before the first probe;
+    /// `gen` starts at 0, which no stamp can match after this runs.
+    pub(crate) fn begin(&mut self) {
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    pub(crate) fn get(&self, v: VId) -> Option<u32> {
+        let i = v as usize;
+        (self.stamp.get(i) == Some(&self.gen)).then(|| self.val[i])
+    }
+
+    pub(crate) fn insert(&mut self, v: VId, x: u32) {
+        let i = v as usize;
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+            self.val.resize(i + 1, 0);
+        }
+        self.stamp[i] = self.gen;
+        self.val[i] = x;
+    }
+}
+
 /// Builds the local-index mapping for one block: destinations first (in
 /// order), then each new sampled source. Returns `(src_ids, local_of)`.
 pub(crate) struct LocalIndexer {
@@ -221,6 +274,22 @@ mod tests {
         let mut b = simple_block();
         b.edges.push((9, 0));
         assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn dense_map_generations_reset_in_o1() {
+        let mut m = DenseMap::new();
+        m.begin();
+        assert_eq!(m.get(5), None);
+        m.insert(5, 2);
+        assert_eq!(m.get(5), Some(2));
+        m.insert(5, 3);
+        assert_eq!(m.get(5), Some(3));
+        m.begin();
+        assert_eq!(m.get(5), None, "generation bump hides old entries");
+        m.insert(9, 1);
+        assert_eq!(m.get(9), Some(1));
+        assert_eq!(m.get(1_000), None, "out-of-range probe is a miss");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! policy (§7.3.3).
 
 use crate::block::MiniBatch;
-use crate::sampler::{build_minibatch_par, NeighborSampler};
+use crate::sampler::{build_minibatch_par_with, NeighborSampler, SampleScratch};
 use crate::schedule::BatchSizeSchedule;
 use crate::selection::BatchSelection;
 use gnn_dm_graph::csr::{Csr, VId};
@@ -103,19 +103,23 @@ pub struct EpochPlan<'a> {
 
 impl<'a> EpochPlan<'a> {
     /// Materializes every mini-batch of `epoch`, in order. Batches are
-    /// built in parallel through [`build_minibatch_par`]: each batch gets
-    /// an independent seed split from the epoch seed, so the result
-    /// depends only on `(plan, epoch)` — never on the thread count.
+    /// built in parallel through [`build_minibatch_par_with`]: each batch
+    /// gets an independent seed split from the epoch seed, so the result
+    /// depends only on `(plan, epoch)` — never on the thread count. Each
+    /// worker carries one [`SampleScratch`] arena across all the batches
+    /// it builds, so the per-batch maps and buffers are allocated once per
+    /// epoch instead of once per batch.
     pub fn batches(&self, epoch: usize) -> Vec<MiniBatch> {
         let batch_size = self.schedule.batch_size_at(epoch);
         let batch_seeds = self.selection.select(self.train, batch_size, self.seed, epoch);
         let epoch_seed = self.seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(epoch as u64 + 1);
-        gnn_dm_par::par_map_collect(&batch_seeds, |b, seeds| {
-            build_minibatch_par(
+        gnn_dm_par::par_map_collect_init(&batch_seeds, SampleScratch::new, |scratch, b, seeds| {
+            build_minibatch_par_with(
                 self.in_csr,
                 seeds,
                 self.sampler,
                 gnn_dm_par::split_seed(epoch_seed, b as u64),
+                scratch,
             )
         })
     }

@@ -8,11 +8,30 @@
 //! uses — while [`LayerwiseSampler`] and [`subgraph_restricted_minibatch`]
 //! cover the two alternatives the taxonomy lists.
 
-use crate::block::{Block, LocalIndexer, MiniBatch};
+use crate::block::{Block, DenseMap, LocalIndexer, MiniBatch};
 use gnn_dm_graph::csr::{Csr, VId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Reusable buffers for the per-vertex draw routines. One lives per
+/// sampling thread for a whole epoch (inside [`SampleScratch`]), so the
+/// partial-Fisher–Yates and exponential-key temporaries are allocated once
+/// instead of once per sampled vertex.
+#[derive(Debug, Default)]
+pub struct SamplerScratch {
+    /// Partial Fisher–Yates working copy for [`sample_k_into`].
+    buf: Vec<VId>,
+    /// Exponential-key buffer for [`ImportanceSampler`].
+    keyed: Vec<(f64, VId)>,
+}
+
+impl SamplerScratch {
+    /// Empty buffers; they grow to the largest neighborhood touched.
+    pub fn new() -> Self {
+        SamplerScratch::default()
+    }
+}
 
 /// Decides which in-neighbors of a vertex participate in one layer's
 /// aggregation.
@@ -24,18 +43,35 @@ pub trait NeighborSampler {
     /// `layer` into `out`. `layer` counts from the *output*: layer 0 samples
     /// for the seeds themselves.
     fn sample_neighbors(&self, csr: &Csr, v: VId, layer: usize, rng: &mut StdRng, out: &mut Vec<VId>);
+
+    /// [`NeighborSampler::sample_neighbors`] with caller-owned scratch
+    /// buffers. Draws the *same* vertices from the same RNG stream; the
+    /// scratch only replaces per-call temporaries. Samplers that need no
+    /// temporaries keep this default.
+    fn sample_neighbors_with(
+        &self,
+        csr: &Csr,
+        v: VId,
+        layer: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<VId>,
+        _scratch: &mut SamplerScratch,
+    ) {
+        self.sample_neighbors(csr, v, layer, rng, out);
+    }
 }
 
 /// Reservoir-samples `k` items from `items` into `out` (all of them when
-/// `k >= items.len()`).
-fn sample_k(items: &[VId], k: usize, rng: &mut StdRng, out: &mut Vec<VId>) {
+/// `k >= items.len()`), using `buf` as the working copy.
+fn sample_k_into(items: &[VId], k: usize, rng: &mut StdRng, buf: &mut Vec<VId>, out: &mut Vec<VId>) {
     if k >= items.len() {
         out.extend_from_slice(items);
         return;
     }
     // Partial Fisher–Yates: deterministic for a given RNG stream (a HashSet
     // of indices would leak process-random iteration order into results).
-    let mut buf: Vec<VId> = items.to_vec();
+    buf.clear();
+    buf.extend_from_slice(items);
     for i in 0..k {
         let j = rng.random_range(i..buf.len());
         buf.swap(i, j);
@@ -73,7 +109,19 @@ impl NeighborSampler for FanoutSampler {
     }
 
     fn sample_neighbors(&self, csr: &Csr, v: VId, layer: usize, rng: &mut StdRng, out: &mut Vec<VId>) {
-        sample_k(csr.neighbors(v), self.fanouts[layer], rng, out);
+        self.sample_neighbors_with(csr, v, layer, rng, out, &mut SamplerScratch::new());
+    }
+
+    fn sample_neighbors_with(
+        &self,
+        csr: &Csr,
+        v: VId,
+        layer: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<VId>,
+        scratch: &mut SamplerScratch,
+    ) {
+        sample_k_into(csr.neighbors(v), self.fanouts[layer], rng, &mut scratch.buf, out);
     }
 }
 
@@ -104,6 +152,18 @@ impl NeighborSampler for RateSampler {
     }
 
     fn sample_neighbors(&self, csr: &Csr, v: VId, layer: usize, rng: &mut StdRng, out: &mut Vec<VId>) {
+        self.sample_neighbors_with(csr, v, layer, rng, out, &mut SamplerScratch::new());
+    }
+
+    fn sample_neighbors_with(
+        &self,
+        csr: &Csr,
+        v: VId,
+        layer: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<VId>,
+        scratch: &mut SamplerScratch,
+    ) {
         let nbrs = csr.neighbors(v);
         if nbrs.is_empty() {
             return;
@@ -111,7 +171,7 @@ impl NeighborSampler for RateSampler {
         let k = ((nbrs.len() as f64 * self.rates[layer]).round() as usize)
             .max(self.min_neighbors)
             .min(nbrs.len());
-        sample_k(nbrs, k, rng, out);
+        sample_k_into(nbrs, k, rng, &mut scratch.buf, out);
     }
 }
 
@@ -142,12 +202,24 @@ impl NeighborSampler for HybridSampler {
     }
 
     fn sample_neighbors(&self, csr: &Csr, v: VId, layer: usize, rng: &mut StdRng, out: &mut Vec<VId>) {
+        self.sample_neighbors_with(csr, v, layer, rng, out, &mut SamplerScratch::new());
+    }
+
+    fn sample_neighbors_with(
+        &self,
+        csr: &Csr,
+        v: VId,
+        layer: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<VId>,
+        scratch: &mut SamplerScratch,
+    ) {
         let nbrs = csr.neighbors(v);
         if nbrs.len() <= self.degree_threshold {
-            sample_k(nbrs, self.fanouts[layer], rng, out);
+            sample_k_into(nbrs, self.fanouts[layer], rng, &mut scratch.buf, out);
         } else {
             let k = ((nbrs.len() as f64 * self.rates[layer]).round() as usize).clamp(1, nbrs.len());
-            sample_k(nbrs, k, rng, out);
+            sample_k_into(nbrs, k, rng, &mut scratch.buf, out);
         }
     }
 }
@@ -207,6 +279,18 @@ impl NeighborSampler for ImportanceSampler {
     }
 
     fn sample_neighbors(&self, csr: &Csr, v: VId, layer: usize, rng: &mut StdRng, out: &mut Vec<VId>) {
+        self.sample_neighbors_with(csr, v, layer, rng, out, &mut SamplerScratch::new());
+    }
+
+    fn sample_neighbors_with(
+        &self,
+        csr: &Csr,
+        v: VId,
+        layer: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<VId>,
+        scratch: &mut SamplerScratch,
+    ) {
         let nbrs = csr.neighbors(v);
         let k = self.fanouts[layer];
         if k >= nbrs.len() {
@@ -216,17 +300,16 @@ impl NeighborSampler for ImportanceSampler {
         // Weighted sampling without replacement via the exponential-key
         // trick (Efraimidis–Spirakis): keep the k largest rand^(1/w).
         // Zero-weight neighbors get key 0 and are only drawn as filler.
-        let mut keyed: Vec<(f64, VId)> = nbrs
-            .iter()
-            .map(|&u| {
-                let w = self.weights[u as usize];
-                let r: f64 = rng.random::<f64>();
-                let key = if w > 0.0 { r.powf(1.0 / w) } else { 0.0 };
-                (key, u)
-            })
-            .collect();
+        let keyed = &mut scratch.keyed;
+        keyed.clear();
+        keyed.extend(nbrs.iter().map(|&u| {
+            let w = self.weights[u as usize];
+            let r: f64 = rng.random::<f64>();
+            let key = if w > 0.0 { r.powf(1.0 / w) } else { 0.0 };
+            (key, u)
+        }));
         keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        out.extend(keyed.into_iter().take(k).map(|(_, u)| u));
+        out.extend(keyed.iter().take(k).map(|&(_, u)| u));
     }
 }
 
@@ -272,30 +355,94 @@ pub fn build_minibatch(
     sampler: &dyn NeighborSampler,
     rng: &mut StdRng,
 ) -> MiniBatch {
+    build_minibatch_with(in_csr, seeds, sampler, rng, &mut SampleScratch::new())
+}
+
+/// Reusable arena for mini-batch construction. One lives per sampling
+/// thread for a whole epoch (or a whole cluster simulation), so the
+/// per-batch index maps and draw buffers are allocated once and recycled:
+/// only the returned [`MiniBatch`] itself is freshly allocated per batch.
+///
+/// The arena never changes what is sampled — [`build_minibatch_with`] and
+/// [`build_minibatch_par_with`] produce byte-identical batches whether the
+/// scratch is fresh or has been through a thousand batches.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    /// Global id → block-local index (stamp-versioned; O(1) reset).
+    map: DenseMap,
+    /// Destination-membership marks for the parallel dedup scan.
+    dstmark: DenseMap,
+    /// Per-destination neighbor draw buffer (serial path).
+    nbr: Vec<VId>,
+    /// Draw-routine temporaries.
+    sampler: SamplerScratch,
+}
+
+impl SampleScratch {
+    /// Empty arena; buffers grow to the working-set size and stay there.
+    pub fn new() -> Self {
+        SampleScratch::default()
+    }
+}
+
+/// Deduplicates `seeds` in first-occurrence order using `map`'s current
+/// generation (entries keyed 0; callers that need real indices re-`begin`).
+fn dedup_seeds(seeds: &[VId], map: &mut DenseMap) -> Vec<VId> {
+    map.begin();
     let mut seeds_dedup: Vec<VId> = Vec::with_capacity(seeds.len());
-    let mut seen = std::collections::BTreeSet::new();
     for &s in seeds {
-        if seen.insert(s) {
+        if map.get(s).is_none() {
+            map.insert(s, 0);
             seeds_dedup.push(s);
         }
     }
+    seeds_dedup
+}
+
+/// [`build_minibatch`] with a caller-owned [`SampleScratch`]. Identical
+/// output — same RNG draw stream, same first-occurrence numbering — the
+/// arena only eliminates the per-batch allocation churn.
+pub fn build_minibatch_with(
+    in_csr: &Csr,
+    seeds: &[VId],
+    sampler: &dyn NeighborSampler,
+    rng: &mut StdRng,
+    scratch: &mut SampleScratch,
+) -> MiniBatch {
+    let SampleScratch { map, nbr, sampler: draw_scratch, .. } = scratch;
+    let seeds_dedup = dedup_seeds(seeds, map);
 
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(sampler.num_layers());
     let mut frontier = seeds_dedup.clone();
-    let mut nbr_buf: Vec<VId> = Vec::new();
     for layer in 0..sampler.num_layers() {
         let dst_ids = frontier;
-        let mut ix = LocalIndexer::new(&dst_ids);
+        // Destinations take the first local indices, in order — the same
+        // numbering `LocalIndexer` assigns.
+        map.begin();
+        let mut src_ids: Vec<VId> = Vec::with_capacity(dst_ids.len() * 2);
+        for &d in &dst_ids {
+            if map.get(d).is_none() {
+                map.insert(d, src_ids.len() as u32);
+                src_ids.push(d);
+            }
+        }
         let mut edges: Vec<(u32, u32)> = Vec::new();
         for (d_local, &d) in dst_ids.iter().enumerate() {
-            nbr_buf.clear();
-            sampler.sample_neighbors(in_csr, d, layer, rng, &mut nbr_buf);
-            for &s in &nbr_buf {
-                let s_local = ix.local(s);
+            nbr.clear();
+            sampler.sample_neighbors_with(in_csr, d, layer, rng, nbr, draw_scratch);
+            for &s in nbr.iter() {
+                let s_local = match map.get(s) {
+                    Some(i) => i,
+                    None => {
+                        let i = src_ids.len() as u32;
+                        map.insert(s, i);
+                        src_ids.push(s);
+                        i
+                    }
+                };
                 edges.push((s_local, d_local as u32));
             }
         }
-        let src_ids = ix.src_ids;
         frontier = src_ids.clone();
         blocks_rev.push(Block { src_ids, dst_ids, edges });
     }
@@ -338,15 +485,30 @@ pub fn build_minibatch_par(
     sampler: &(dyn NeighborSampler + Sync),
     base_seed: u64,
 ) -> MiniBatch {
+    build_minibatch_par_with(in_csr, seeds, sampler, base_seed, &mut SampleScratch::new())
+}
+
+/// One chunk's worth of draws in [`build_minibatch_par_with`]: every
+/// destination's neighbors back to back in `flat`, delimited by `offs`
+/// (CSR-style, `offs[j]..offs[j + 1]` for the chunk's `j`-th destination),
+/// plus the chunk's first-occurrence non-destination sources.
+type ChunkDraws = (Vec<VId>, Vec<u32>, Vec<VId>);
+
+/// [`build_minibatch_par`] with a caller-owned [`SampleScratch`]. Identical
+/// output for a given `(in_csr, seeds, sampler, base_seed)` — the arena and
+/// the per-worker draw buffers only remove allocation churn; every RNG
+/// stream and every merge order is unchanged.
+pub fn build_minibatch_par_with(
+    in_csr: &Csr,
+    seeds: &[VId],
+    sampler: &(dyn NeighborSampler + Sync),
+    base_seed: u64,
+    scratch: &mut SampleScratch,
+) -> MiniBatch {
     use rand::SeedableRng;
 
-    let mut seeds_dedup: Vec<VId> = Vec::with_capacity(seeds.len());
-    let mut seen = std::collections::BTreeSet::new();
-    for &s in seeds {
-        if seen.insert(s) {
-            seeds_dedup.push(s);
-        }
-    }
+    let SampleScratch { map, dstmark, .. } = scratch;
+    let seeds_dedup = dedup_seeds(seeds, map);
 
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(sampler.num_layers());
     let mut frontier = seeds_dedup.clone();
@@ -354,49 +516,88 @@ pub fn build_minibatch_par(
         let dst_ids = frontier;
         let layer_seed = gnn_dm_par::split_seed(base_seed, layer as u64);
 
-        // Phase 1 — per-destination neighbor draws, each from its own
-        // derived RNG stream.
-        let sampled: Vec<Vec<VId>> = gnn_dm_par::par_map_collect(&dst_ids, |d_local, &d| {
-            let mut rng =
-                StdRng::seed_from_u64(gnn_dm_par::split_seed(layer_seed, d_local as u64));
-            let mut out = Vec::new();
-            sampler.sample_neighbors(in_csr, d, layer, &mut rng, &mut out);
-            out
-        });
+        // Mark the destination set once; the parallel scan below reads the
+        // marks immutably from every worker.
+        dstmark.begin();
+        for &d in &dst_ids {
+            dstmark.insert(d, 0);
+        }
+        let marks: &DenseMap = dstmark;
 
-        // Phase 2 — parallel first-occurrence scan over fixed chunks of
-        // destinations, then an ordered serial merge. Walking the chunk
-        // lists in chunk order visits every non-destination source in
-        // global first-appearance order, so the numbering matches the
-        // serial `LocalIndexer` exactly.
-        let mut dst_sorted = dst_ids.clone();
-        dst_sorted.sort_unstable();
-        let chunks: Vec<&[Vec<VId>]> = sampled.chunks(DEDUP_CHUNK).collect();
-        let chunk_news: Vec<Vec<VId>> = gnn_dm_par::par_map_collect(&chunks, |_, lists| {
-            let mut chunk_seen = std::collections::BTreeSet::new();
-            let mut news = Vec::new();
-            for list in *lists {
-                for &s in list {
-                    if dst_sorted.binary_search(&s).is_err() && chunk_seen.insert(s) {
+        // Phase 1 — fixed [`DEDUP_CHUNK`]-sized destination chunks in
+        // parallel. Each chunk draws its destinations' neighbors (one
+        // derived RNG stream per destination, exactly as the per-vertex
+        // formulation) into one flat per-chunk buffer, and records its
+        // first-occurrence non-destination sources. Workers reuse their
+        // draw buffers and seen-map across chunks.
+        let dchunks: Vec<&[VId]> = dst_ids.chunks(DEDUP_CHUNK).collect();
+        let sampled: Vec<ChunkDraws> = gnn_dm_par::par_map_collect_init(
+            &dchunks,
+            || (SamplerScratch::new(), DenseMap::new()),
+            |(draw_scratch, seen), ci, chunk| {
+                let mut flat: Vec<VId> = Vec::new();
+                let mut offs: Vec<u32> = Vec::with_capacity(chunk.len() + 1);
+                offs.push(0);
+                for (j, &d) in chunk.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(gnn_dm_par::split_seed(
+                        layer_seed,
+                        (ci * DEDUP_CHUNK + j) as u64,
+                    ));
+                    sampler.sample_neighbors_with(in_csr, d, layer, &mut rng, &mut flat, draw_scratch);
+                    offs.push(flat.len() as u32);
+                }
+                // First-occurrence scan within the chunk (the draw loop
+                // appends only, so `flat` is in destination order).
+                seen.begin();
+                let mut news: Vec<VId> = Vec::new();
+                for &s in &flat {
+                    if marks.get(s).is_none() && seen.get(s).is_none() {
+                        seen.insert(s, 0);
                         news.push(s);
                     }
                 }
-            }
-            news
-        });
-        let mut ix = LocalIndexer::new(&dst_ids);
-        for news in &chunk_news {
-            for &s in news {
-                ix.local(s);
+                (flat, offs, news)
+            },
+        );
+
+        // Phase 2 — ordered serial merge. Destinations take the first
+        // local indices; walking the chunk `news` lists in chunk order then
+        // visits every non-destination source in global first-appearance
+        // order, so the numbering matches the serial builder exactly.
+        map.begin();
+        let mut src_ids: Vec<VId> = Vec::with_capacity(dst_ids.len() * 2);
+        for &d in &dst_ids {
+            if map.get(d).is_none() {
+                map.insert(d, src_ids.len() as u32);
+                src_ids.push(d);
             }
         }
-        let LocalIndexer { src_ids, map } = ix;
+        for (_, _, news) in &sampled {
+            for &s in news {
+                if map.get(s).is_none() {
+                    map.insert(s, src_ids.len() as u32);
+                    src_ids.push(s);
+                }
+            }
+        }
 
-        // Phase 3 — per-destination edge lists against the now-frozen
-        // index map, concatenated in destination order.
+        // Phase 3 — per-chunk edge lists against the now-frozen index map,
+        // concatenated in chunk (= destination) order.
+        let frozen: &DenseMap = map;
         let edge_lists: Vec<Vec<(u32, u32)>> =
-            gnn_dm_par::par_map_collect(&sampled, |d_local, list| {
-                list.iter().map(|s| (map[s], d_local as u32)).collect()
+            gnn_dm_par::par_map_collect(&sampled, |ci, (flat, offs, _)| {
+                let mut es: Vec<(u32, u32)> = Vec::with_capacity(flat.len());
+                for j in 0..offs.len() - 1 {
+                    let d_local = (ci * DEDUP_CHUNK + j) as u32;
+                    for &s in &flat[offs[j] as usize..offs[j + 1] as usize] {
+                        // Every sampled source is a destination or in some
+                        // chunk's `news`, so the frozen map resolves it;
+                        // the sentinel is unreachable (and would be caught
+                        // by the validate below).
+                        es.push((frozen.get(s).unwrap_or(u32::MAX), d_local));
+                    }
+                }
+                es
             });
         let edges: Vec<(u32, u32)> = edge_lists.into_iter().flatten().collect();
 

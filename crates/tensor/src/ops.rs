@@ -1,74 +1,236 @@
 //! Matrix kernels: products in the three orientations backprop needs,
 //! plus elementwise helpers.
+//!
+//! The GEMM family shares one register-tiled micro-kernel. The invariant
+//! that makes tiling legal here is stronger than the usual "close enough"
+//! float argument: every output element accumulates its `k` contributions
+//! in **ascending `p` order, unconditionally and fused** (`mul_add`, one
+//! rounding per contribution), and partial sums round-trip through `f32`
+//! exactly, so the tiled kernels are *bitwise-identical* to the scalar
+//! reference loop with the same arithmetic — only the schedule (registers
+//! instead of memory, SIMD lanes instead of scalars) changes, at *any*
+//! thread count. `tests/par_equivalence.rs` pins this.
+//!
+//! The seed's kernels branched on `a == 0.0` to skip work on post-ReLU
+//! sparsity; with FMA lanes the unconditional multiply is cheaper than the
+//! per-scalar branch (~30% on dense panels), so the branch is gone and the
+//! reference loop dropped it too.
 
 use crate::matrix::Matrix;
-use gnn_dm_par::par_chunks_mut;
+use gnn_dm_par::{par_chunks_mut, par_reduce};
 
-/// k-dimension tile: a `TILE_K x n` panel of `B` stays resident in L1/L2
-/// across many rows of the output.
-const TILE_K: usize = 64;
+/// k-dimension tile: one packed `TILE_K x NR` panel of `B` is 16 KiB —
+/// half an L1 — so it stays resident across a whole row panel.
+const TILE_K: usize = 128;
 /// Rows of `C` owned by one parallel work item. Fixed — never derived from
 /// the thread count — so chunk boundaries, and therefore results, are
-/// identical at any parallelism level (see `gnn_dm_par`).
-const TILE_M: usize = 32;
+/// identical at any parallelism level (see `gnn_dm_par`). A multiple of
+/// `MR`, so full-size chunks split into full-height register tiles only.
+const TILE_M: usize = 96;
+/// Register-tile width: columns of `C` accumulated per block. A `[f32; NR]`
+/// accumulator row is one or two vector registers on any AVX2/AVX-512 host,
+/// and the fixed-width inner loops below auto-vectorize.
+const NR: usize = 32;
+/// Register-tile height: rows of `C` accumulated simultaneously by the
+/// widest micro-kernel instantiation. 6×32 lanes of accumulator leave
+/// vector registers free for the broadcast `A` scalar and the `B` segment
+/// (the same budget that makes 6-row kernels the BLAS staple); 8 rows
+/// measured ~20% slower from spills, 4 rows ~10% from lost B reuse.
+const MR: usize = 6;
+/// Elements per parallel work item for elementwise kernels — fixed, so
+/// chunk boundaries never depend on the thread count.
+const ELEM_CHUNK: usize = 1 << 14;
 
-/// `C = A · B`. Uses the i-k-j loop order so the inner loop streams both
-/// `B`'s row and `C`'s row — the cache-friendly order for row-major data.
-/// Row blocks of `C` are computed in parallel; each output element is
-/// accumulated in ascending-`p` order regardless of thread count, so the
-/// result is bitwise-identical to the serial loop.
+// Tile invariants the kernels rely on. Row panels must pack evenly into
+// MR-groups plus a remainder the `match` in `micro_block` handles (any
+// 1..=MR works); ragged column/k edges are remainder-handled explicitly
+// and asserted at the use sites.
+const _: () = assert!(TILE_M >= MR && MR >= 1 && MR <= 8);
+const _: () = assert!(NR >= 1 && TILE_K >= 1);
+
+/// One register block: for `MR_` rows and `NR` columns,
+/// `c_rows[r][j0 + j] = fma(a_segs[r][p], bp[p * b_stride + b_off + j], ·)`
+/// for `p` ascending — exactly the element order and rounding of the
+/// scalar reference loop, so the result is bitwise-identical; the
+/// accumulators just live in registers.
+#[inline]
+fn micro_kernel<const MR_: usize>(
+    a_segs: &[&[f32]],
+    bp: &[f32],
+    b_stride: usize,
+    b_off: usize,
+    c_rows: &mut [&mut [f32]],
+    j0: usize,
+) {
+    debug_assert!(a_segs.len() == MR_ && c_rows.len() == MR_);
+    let kk = a_segs[0].len();
+    let mut acc = [[0.0f32; NR]; MR_];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c_rows[r][j0..j0 + NR]);
+    }
+    for p in 0..kk {
+        let b_seg = &bp[p * b_stride + b_off..p * b_stride + b_off + NR];
+        for r in 0..MR_ {
+            let a_rp = a_segs[r][p];
+            for (x, &bv) in acc[r].iter_mut().zip(b_seg) {
+                *x = a_rp.mul_add(bv, *x);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c_rows[r][j0..j0 + NR].copy_from_slice(row);
+    }
+}
+
+/// Ragged column tail (`w < NR`): same per-element order and arithmetic as
+/// [`micro_kernel`], one row at a time.
+#[inline]
+fn micro_tail(
+    a_seg: &[f32],
+    bp: &[f32],
+    b_stride: usize,
+    b_off: usize,
+    c_row: &mut [f32],
+    j0: usize,
+    w: usize,
+) {
+    debug_assert!(w < NR);
+    let mut acc = [0.0f32; NR];
+    acc[..w].copy_from_slice(&c_row[j0..j0 + w]);
+    for (p, &a_rp) in a_seg.iter().enumerate() {
+        let b_seg = &bp[p * b_stride + b_off..p * b_stride + b_off + w];
+        for (x, &bv) in acc[..w].iter_mut().zip(b_seg) {
+            *x = a_rp.mul_add(bv, *x);
+        }
+    }
+    c_row[j0..j0 + w].copy_from_slice(&acc[..w]);
+}
+
+/// One column block (`w` columns at `j0`, full when `w == NR`) across a
+/// whole row panel, dispatching to the widest micro-kernel that fits each
+/// row group. Rows beyond the last full MR-group go through narrower
+/// const instantiations, so every (row, column) pair is visited exactly
+/// once.
+fn micro_block(
+    a_segs: &[&[f32]],
+    bp: &[f32],
+    b_stride: usize,
+    b_off: usize,
+    c_rows: &mut [&mut [f32]],
+    j0: usize,
+    w: usize,
+) {
+    debug_assert_eq!(a_segs.len(), c_rows.len());
+    let rows = c_rows.len();
+    let mut r = 0;
+    while r < rows {
+        let mr = (rows - r).min(MR);
+        let asg = &a_segs[r..r + mr];
+        let crs = &mut c_rows[r..r + mr];
+        if w == NR {
+            match mr {
+                8 => micro_kernel::<8>(asg, bp, b_stride, b_off, crs, j0),
+                7 => micro_kernel::<7>(asg, bp, b_stride, b_off, crs, j0),
+                6 => micro_kernel::<6>(asg, bp, b_stride, b_off, crs, j0),
+                5 => micro_kernel::<5>(asg, bp, b_stride, b_off, crs, j0),
+                4 => micro_kernel::<4>(asg, bp, b_stride, b_off, crs, j0),
+                3 => micro_kernel::<3>(asg, bp, b_stride, b_off, crs, j0),
+                2 => micro_kernel::<2>(asg, bp, b_stride, b_off, crs, j0),
+                _ => micro_kernel::<1>(asg, bp, b_stride, b_off, crs, j0),
+            }
+        } else {
+            for (a_seg, c_row) in asg.iter().zip(crs.iter_mut()) {
+                micro_tail(a_seg, bp, b_stride, b_off, c_row, j0, w);
+            }
+        }
+        r += mr;
+    }
+}
+
+/// A full row panel against a `B` panel addressed in place (`b_stride`
+/// equal to `B`'s row stride, column offset = output column): for every
+/// row `r` and column `j`, `c[r][j] += Σ_p a_segs[r][p] * bp[p*b_stride + j]`
+/// in ascending-`p` order.
+fn micro_panel(a_segs: &[&[f32]], bp: &[f32], b_stride: usize, c_rows: &mut [&mut [f32]], n: usize) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NR);
+        micro_block(a_segs, bp, b_stride, j0, c_rows, j0, w);
+        j0 += w;
+    }
+    debug_assert_eq!(j0, n, "every output column handled exactly once");
+}
+
+/// `C = A · B`. Row panels of `C` are computed in parallel; within a panel
+/// the register micro-kernel accumulates each output element in
+/// ascending-`p` order with fused multiply-adds, so the result is
+/// bitwise-identical to the scalar reference i-k-j loop at any thread
+/// count.
 ///
 /// # Panics
 ///
 /// Panics on a shape mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
-    let (_m, k, n) = (a.rows(), a.cols(), b.cols());
+    let n = b.cols();
     let mut c = Matrix::zeros(a.rows(), n);
+    let b_slice = b.as_slice();
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
-        for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
-            let a_row = a.row(i0 + di);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(p);
-                for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
-                    *c_val += a_ip * b_val;
-                }
-            }
-        }
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        let a_segs: Vec<&[f32]> = (0..c_rows.len()).map(|di| a.row(i0 + di)).collect();
+        micro_panel(&a_segs, b_slice, n, &mut c_rows, n);
     });
     c
 }
 
-/// `C = A · B` with cache tiling: the k-dimension is processed in blocks of
-/// `TILE_K` so a panel of `B` stays resident in L1/L2 across many rows of
-/// `A`, and row blocks run in parallel. Bitwise-*equivalent* results are not
-/// guaranteed (float summation order differs from [`matmul`]) but values
-/// agree to normal rounding — see the `tiled_matmul_matches_naive` property
-/// test. Across thread counts the result *is* bitwise-stable.
+/// `C = A · B` with k-tiling on top of [`matmul`]'s register tiling: the
+/// shared dimension is processed in `TILE_K` blocks so a `B` panel stays
+/// L1/L2-resident across the whole row panel. Partial sums round-trip
+/// through `C` between k-tiles, which is exact for `f32`, and `p` still
+/// ascends across and within tiles — so this is bitwise-identical to
+/// [`matmul`] (pinned by `tiled_variants_match_naive_exactly`).
 pub fn matmul_tiled(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
-    let (_m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (k, n) = (a.cols(), b.cols());
     let mut c = Matrix::zeros(a.rows(), n);
+    let b_slice = b.as_slice();
+
+    // Pack B once into NR-wide, zero-padded column panels: panel (kt, js)
+    // holds rows k0..k1 of columns j0..j0+NR contiguously with stride NR.
+    // Copying reorders memory, not arithmetic, so results are unchanged;
+    // the micro-kernel then streams unit-stride panels instead of striding
+    // by `n` through B.
+    let nstrips = n.div_ceil(NR);
+    let ktiles = k.div_ceil(TILE_K);
+    let mut pack = vec![0.0f32; ktiles * nstrips * TILE_K * NR];
+    for kt in 0..ktiles {
+        let k0 = kt * TILE_K;
+        let k1 = (k0 + TILE_K).min(k);
+        for js in 0..nstrips {
+            let j0 = js * NR;
+            let w = (n - j0).min(NR);
+            let base = (kt * nstrips + js) * TILE_K * NR;
+            for p in k0..k1 {
+                let dst = base + (p - k0) * NR;
+                pack[dst..dst + w].copy_from_slice(&b_slice[p * n + j0..p * n + j0 + w]);
+            }
+        }
+    }
+
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
-        for k0 in (0..k).step_by(TILE_K) {
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        for kt in 0..ktiles {
+            let k0 = kt * TILE_K;
             let k1 = (k0 + TILE_K).min(k);
-            for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                let a_row = a.row(i0 + di);
-                for p in k0..k1 {
-                    let a_ip = a_row[p];
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    let b_row = b.row(p);
-                    for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
-                        *c_val += a_ip * b_val;
-                    }
-                }
+            let a_segs: Vec<&[f32]> =
+                (0..c_rows.len()).map(|di| &a.row(i0 + di)[k0..k1]).collect();
+            for js in 0..nstrips {
+                let j0 = js * NR;
+                let w = (n - j0).min(NR);
+                let panel = &pack[(kt * nstrips + js) * TILE_K * NR..];
+                micro_block(&a_segs, panel, NR, 0, &mut c_rows, j0, w);
             }
         }
     });
@@ -76,67 +238,69 @@ pub fn matmul_tiled(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = Aᵀ · B` without materializing the transpose (the `dW = Xᵀ·dY`
-/// orientation of backprop). Tiled over both the shared `k` dimension (a
-/// `B` panel and an `A` block stay cache-resident) and output row blocks
-/// (which run in parallel), with the same zero-skip as [`matmul`]. Each
-/// output element still accumulates its `k` contributions in ascending
-/// order — tiles ascend and `p` ascends within a tile — so the result is
-/// bitwise-identical to the naive serial p-outer loop.
+/// orientation of backprop). Each k-tile packs the active `Aᵀ` row panel
+/// into a contiguous stack buffer (`apack[di][p] = A[k0+p][i0+di]`), which
+/// turns the strided column reads of `A` into unit-stride micro-kernel
+/// input. Packing moves bits, never arithmetic: every output element still
+/// accumulates in ascending-`p` order with the same fused multiply-adds,
+/// so the result is bitwise-identical to the reference p-outer loop.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch: {:?}ᵀ x {:?}", a.shape(), b.shape());
-    let (k, _m, n) = (a.rows(), a.cols(), b.cols());
+    let (k, n) = (a.rows(), b.cols());
     let mut c = Matrix::zeros(a.cols(), n);
+    let b_slice = b.as_slice();
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        let rows = c_rows.len();
+        let mut apack = [0.0f32; TILE_M * TILE_K];
         for k0 in (0..k).step_by(TILE_K) {
             let k1 = (k0 + TILE_K).min(k);
-            for p in k0..k1 {
-                let a_row = a.row(p);
-                let b_row = b.row(p);
-                for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                    let a_pi = a_row[i0 + di];
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    for (c_val, &b_val) in c_row.iter_mut().zip(b_row) {
-                        *c_val += a_pi * b_val;
-                    }
+            let kk = k1 - k0;
+            for (p, pk) in (k0..k1).enumerate() {
+                let a_row = &a.row(pk)[i0..i0 + rows];
+                for (di, &av) in a_row.iter().enumerate() {
+                    apack[di * kk + p] = av;
                 }
             }
+            let a_segs: Vec<&[f32]> =
+                (0..rows).map(|di| &apack[di * kk..(di + 1) * kk]).collect();
+            micro_panel(&a_segs, &b_slice[k0 * n..], n, &mut c_rows, n);
         }
     });
     c
 }
 
 /// `C = A · Bᵀ` without materializing the transpose (the `dX = dY·Wᵀ`
-/// orientation of backprop). Tiled over `k` so the active `A`-row segment
-/// and `B` column panel stay cache-resident, with the same zero-skip as
-/// [`matmul`] (profitable here: post-ReLU gradients are sparse), and
-/// parallel over output row blocks. Each dot product accumulates in
-/// ascending-`p` order across tiles (the running sum round-trips through
-/// `C`, which is exact for `f32`), so the result is bitwise-identical to
-/// the naive serial dot-product loop.
+/// orientation of backprop). Each (k-tile, column-block) packs the `B`
+/// panel interleaved (`bpack[p * NR + t] = B[j0+t][k0+p]`) so the
+/// micro-kernel reads it unit-stride — the old dot-product form walked `B`
+/// rows strided and re-branched per scalar. Ascending-`p` accumulation
+/// with exact `f32` round-trips between tiles keeps the result
+/// bitwise-identical to the reference loop with the same arithmetic.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch: {:?} x {:?}ᵀ", a.shape(), b.shape());
-    let (_m, k, n) = (a.rows(), a.cols(), b.rows());
+    let (k, n) = (a.cols(), b.rows());
     let mut c = Matrix::zeros(a.rows(), n);
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        let rows = c_rows.len();
+        let mut bpack = [0.0f32; NR * TILE_K];
         for k0 in (0..k).step_by(TILE_K) {
             let k1 = (k0 + TILE_K).min(k);
-            for (di, c_row) in c_chunk.chunks_mut(n).enumerate() {
-                let a_tile = &a.row(i0 + di)[k0..k1];
-                for (j, c_val) in c_row.iter_mut().enumerate().take(n) {
-                    let b_tile = &b.row(j)[k0..k1];
-                    let mut acc = *c_val;
-                    for (&a_p, &b_p) in a_tile.iter().zip(b_tile) {
-                        if a_p == 0.0 {
-                            continue;
-                        }
-                        acc += a_p * b_p;
+            let a_segs: Vec<&[f32]> = (0..rows).map(|di| &a.row(i0 + di)[k0..k1]).collect();
+            let mut j0 = 0;
+            while j0 < n {
+                let w = (n - j0).min(NR);
+                for t in 0..w {
+                    let b_seg = &b.row(j0 + t)[k0..k1];
+                    for (p, &bv) in b_seg.iter().enumerate() {
+                        bpack[p * NR + t] = bv;
                     }
-                    *c_val = acc;
                 }
+                micro_block(&a_segs, &bpack, NR, 0, &mut c_rows, j0, w);
+                j0 += w;
             }
         }
     });
@@ -146,55 +310,96 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 /// `a += b` elementwise.
 pub fn add_assign(a: &mut Matrix, b: &Matrix) {
     assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
-    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += y;
-    }
+    let bs = b.as_slice();
+    par_chunks_mut(a.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
+        let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+        for (x, &y) in chunk.iter_mut().zip(&bs[off..off + len]) {
+            *x += y;
+        }
+    });
 }
 
 /// `a += scale * b` elementwise (axpy).
 pub fn add_scaled(a: &mut Matrix, b: &Matrix, scale: f32) {
     assert_eq!(a.shape(), b.shape(), "add_scaled shape mismatch");
-    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += scale * y;
-    }
+    let bs = b.as_slice();
+    par_chunks_mut(a.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
+        let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+        for (x, &y) in chunk.iter_mut().zip(&bs[off..off + len]) {
+            *x += scale * y;
+        }
+    });
 }
 
 /// `a *= s` elementwise.
 pub fn scale(a: &mut Matrix, s: f32) {
-    for x in a.as_mut_slice() {
-        *x *= s;
-    }
+    par_chunks_mut(a.as_mut_slice(), ELEM_CHUNK, |_ci, chunk| {
+        for x in chunk {
+            *x *= s;
+        }
+    });
 }
 
-/// Adds a bias row vector to every row.
+/// Adds a bias row vector to every row. Parallel over `TILE_M`-row panels;
+/// purely elementwise, so chunking cannot affect the bits.
 pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
     assert_eq!(a.cols(), bias.len(), "bias length must equal cols");
-    for r in 0..a.rows() {
-        for (x, &b) in a.row_mut(r).iter_mut().zip(bias) {
-            *x += b;
+    let n = a.cols();
+    par_chunks_mut(a.as_mut_slice(), TILE_M * n.max(1), |_ci, chunk| {
+        for row in chunk.chunks_mut(n) {
+            for (x, &bv) in row.iter_mut().zip(bias) {
+                *x += bv;
+            }
         }
-    }
+    });
 }
 
-/// Column sums (the bias-gradient reduction).
+/// Column sums (the bias-gradient reduction), as an ordered parallel
+/// reduction over fixed column blocks: each block sums its columns over
+/// rows in ascending-row order (the seed's element order per column), and
+/// the blockwise partials concatenate in block order — so the result is
+/// bitwise-identical to the serial row-major accumulation at any thread
+/// count.
 pub fn column_sums(a: &Matrix) -> Vec<f32> {
-    let mut sums = vec![0.0f32; a.cols()];
-    for r in 0..a.rows() {
-        for (s, &x) in sums.iter_mut().zip(a.row(r)) {
-            *s += x;
-        }
+    /// Columns per reduction work item.
+    const COL_CHUNK: usize = 128;
+    let rows = a.rows();
+    let col_ids: Vec<u32> = (0..a.cols() as u32).collect();
+    let sums = par_reduce(
+        &col_ids,
+        COL_CHUNK,
+        |_, ids| {
+            let c0 = ids[0] as usize;
+            let mut part = vec![0.0f32; ids.len()];
+            for r in 0..rows {
+                let seg = &a.row(r)[c0..c0 + ids.len()];
+                for (s, &x) in part.iter_mut().zip(seg) {
+                    *s += x;
+                }
+            }
+            part
+        },
+        |mut acc, mut part| {
+            acc.append(&mut part);
+            acc
+        },
+    );
+    match sums {
+        Some(s) => s,
+        None => Vec::new(),
     }
-    sums
 }
 
 /// In-place ReLU; returns the pre-activation copy needed for backward.
 pub fn relu_forward(a: &mut Matrix) -> Matrix {
     let pre = a.clone();
-    for x in a.as_mut_slice() {
-        if *x < 0.0 {
-            *x = 0.0;
+    par_chunks_mut(a.as_mut_slice(), ELEM_CHUNK, |_ci, chunk| {
+        for x in chunk {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
         }
-    }
+    });
     pre
 }
 
@@ -202,15 +407,21 @@ pub fn relu_forward(a: &mut Matrix) -> Matrix {
 /// non-positive.
 pub fn relu_backward(grad: &mut Matrix, pre: &Matrix) {
     assert_eq!(grad.shape(), pre.shape(), "relu_backward shape mismatch");
-    for (g, &p) in grad.as_mut_slice().iter_mut().zip(pre.as_slice()) {
-        if p <= 0.0 {
-            *g = 0.0;
+    let ps = pre.as_slice();
+    par_chunks_mut(grad.as_mut_slice(), ELEM_CHUNK, |ci, chunk| {
+        let (off, len) = (ci * ELEM_CHUNK, chunk.len());
+        for (g, &p) in chunk.iter_mut().zip(&ps[off..off + len]) {
+            if p <= 0.0 {
+                *g = 0.0;
+            }
         }
-    }
+    });
 }
 
 /// Scatter-add: `out.row(dst[i]) += src.row(i)` for each i. The reverse of
-/// `gather_rows`, used when backpropagating through a gather.
+/// `gather_rows`, used when backpropagating through a gather. Serial: two
+/// sources may target the same destination row, so there is no disjoint
+/// write partition to parallelize over without changing accumulation order.
 pub fn scatter_add_rows(out: &mut Matrix, src: &Matrix, dst: &[u32]) {
     assert_eq!(src.rows(), dst.len(), "one destination per source row");
     assert_eq!(src.cols(), out.cols(), "column mismatch");
@@ -231,6 +442,22 @@ mod tests {
             && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
     }
 
+    /// The seed's scalar i-k-j loop, kept as the bitwise reference the
+    /// register-tiled kernels must reproduce exactly.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let n = b.cols();
+        let mut c = Matrix::zeros(a.rows(), n);
+        for i in 0..a.rows() {
+            let c_row = c.row_mut(i);
+            for (p, &a_ip) in a.row(i).iter().enumerate() {
+                for (c_val, &b_val) in c_row.iter_mut().zip(b.row(p)) {
+                    *c_val = a_ip.mul_add(b_val, *c_val);
+                }
+            }
+        }
+        c
+    }
+
     #[test]
     fn matmul_small() {
         let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
@@ -240,12 +467,47 @@ mod tests {
     }
 
     #[test]
+    fn register_tiling_is_bitwise_scalar_on_ragged_shapes() {
+        // Shapes deliberately off every tile boundary, with zeros salted
+        // in so sparse panels get the same unconditional-FMA treatment.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 3, 17), (33, 65, 31), (37, 129, 49)] {
+            let a = Matrix::from_fn(m, k, |r, c| {
+                if (r + c) % 5 == 0 {
+                    0.0
+                } else {
+                    ((r * 31 + c * 7) % 13) as f32 * 0.37 - 1.9
+                }
+            });
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.23 - 1.1);
+            let expect = matmul_naive(&a, &b);
+            assert_eq!(matmul(&a, &b).as_slice(), expect.as_slice(), "matmul {m}x{k}x{n}");
+            assert_eq!(
+                matmul_tiled(&a, &b).as_slice(),
+                expect.as_slice(),
+                "matmul_tiled {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
     fn tn_and_nt_agree_with_explicit_transpose() {
         let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
         let b = Matrix::from_fn(4, 5, |r, c| ((r + c) % 7) as f32);
         assert!(approx_eq(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-5));
         let b2 = Matrix::from_fn(6, 3, |r, c| (r as f32 - c as f32) * 0.25);
         assert!(approx_eq(&matmul_nt(&a, &b2), &matmul(&a, &b2.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn tn_and_nt_are_bitwise_their_explicit_transpose_products() {
+        // Packing must move bits, not arithmetic: against the explicit
+        // transpose both orientations share the exact accumulation order,
+        // so equality is bitwise, including on ragged shapes.
+        let a = Matrix::from_fn(37, 21, |r, c| ((r * 13 + c * 5) % 9) as f32 * 0.11 - 0.4);
+        let b = Matrix::from_fn(37, 19, |r, c| ((r * 7 + c) % 8) as f32 * 0.31 - 1.0);
+        assert_eq!(matmul_tn(&a, &b).as_slice(), matmul_naive(&a.transpose(), &b).as_slice());
+        let b2 = Matrix::from_fn(23, 21, |r, c| ((r + c * 11) % 6) as f32 * 0.21 - 0.6);
+        assert_eq!(matmul_nt(&a, &b2).as_slice(), matmul_naive(&a, &b2.transpose()).as_slice());
     }
 
     #[test]
@@ -271,6 +533,16 @@ mod tests {
         let mut a = Matrix::zeros(3, 2);
         add_bias(&mut a, &[1.0, -1.0]);
         assert_eq!(column_sums(&a), vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn column_sums_handles_empty_and_wide() {
+        assert_eq!(column_sums(&Matrix::zeros(0, 0)), Vec::<f32>::new());
+        // Wider than one COL_CHUNK so the concat fold actually runs.
+        let a = Matrix::from_fn(3, 300, |r, c| (r * 300 + c) as f32 * 0.5);
+        let serial: Vec<f32> =
+            (0..300).map(|c| (0..3).map(|r| (r * 300 + c) as f32 * 0.5).sum()).collect();
+        assert_eq!(column_sums(&a), serial);
     }
 
     #[test]

@@ -4,9 +4,21 @@
 #   scripts/bench.sh            # all cores (or honor a preset GNN_DM_THREADS)
 #   GNN_DM_THREADS=4 scripts/bench.sh
 #
-# Times GEMM, sampler and cluster-epoch workloads at 1 thread and at
-# GNN_DM_THREADS in one process, verifies the outputs are bitwise-identical,
-# and writes BENCH_par.json at the repo root.
+# Times GEMM, sampler, epoch and cluster-epoch workloads at 1 thread and at
+# GNN_DM_THREADS in one process. Each measurement is one warmup run followed
+# by the median of N timed runs (N per workload, set in bench_par.rs) —
+# median, not best-of, so the recorded numbers are what a user actually
+# sees, while staying robust to scheduler hiccups on shared machines.
+#
+# Besides the timings the binary verifies, bitwise: parallel ≡ serial for
+# every workload, and frozen-seed ≡ current for the sampler and epoch rows
+# (crates/bench/src/seed_baseline.rs keeps the seed kernels alive for
+# honest in-process before/after comparison).
+#
+# Outputs, at the repo root:
+#   BENCH_par.json        — latest run (overwritten; committed as baseline)
+#   BENCH_history.jsonl   — one line appended per run (never overwritten),
+#                           so perf over time is a greppable series
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -10,8 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# One flag set for every cargo invocation below. `-C target-cpu=native` is
+# also the workspace default (.cargo/config.toml) but RUSTFLAGS overrides
+# that file, so it must be restated next to `-D warnings` or the gate would
+# silently test a differently-codegen'd build than users get.
+export RUSTFLAGS="-D warnings -C target-cpu=native"
+
 echo "==> cargo build --release (warnings are errors)"
-RUSTFLAGS="-D warnings" cargo build --workspace --release
+cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace -q
@@ -35,6 +41,9 @@ if [ -f results/trace_faults.json ]; then
     fi
     rm -rf "${tmpdir}"
 fi
+
+echo "==> bench smoke (serial ≡ parallel ≡ frozen-seed bitwise, tiny sizes, no timing gate)"
+cargo run --release -q -p gnn-dm-bench --bin bench_par -- --smoke
 
 echo "==> gnn-dm-lint"
 lint_json="$(cargo run -q -p gnn-dm-lint -- --format=json)"

@@ -56,14 +56,16 @@ fn graph() -> Graph {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// All four GEMM kernels, at shapes that straddle the 32-row chunk and
-    /// 64-wide k-tile boundaries (including sub-tile and off-by-remainder
-    /// sizes).
+    /// All four GEMM kernels, at ragged shapes that straddle every tile
+    /// boundary of the register-tiled kernels: the 96-row parallel chunk,
+    /// the 128-wide k-tile, the 32-wide register strip and the 6-row
+    /// micro-kernel (sub-tile, exact-tile and off-by-remainder sizes all
+    /// fall inside these ranges).
     #[test]
     fn gemm_bitwise_equal_across_thread_counts(
-        m in 1usize..70,
-        k in 1usize..70,
-        n in 1usize..40,
+        m in 1usize..200,
+        k in 1usize..140,
+        n in 1usize..70,
         seed in 0u64..1000,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -104,6 +106,99 @@ fn tiled_variants_match_naive_exactly() {
         let b = rand_matrix(&mut rng, k, n);
         assert_eq!(matmul_tiled(&a, &b), matmul(&a, &b), "{m}x{k}x{n}");
     }
+}
+
+/// The worker pool persists across dispatches (spawn once, park between
+/// jobs). Reusing parked workers must be invisible: the second and tenth
+/// dispatch produce the same bits as the first, and as a serial run —
+/// i.e. no state leaks from one generation into the next.
+#[test]
+fn pool_reuse_is_bitwise_invisible() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let a = rand_matrix(&mut rng, 130, 70);
+    let b = rand_matrix(&mut rng, 70, 45);
+    let serial = with_threads(1, || matmul_tiled(&a, &b));
+    let runs = with_threads(8, || {
+        // Interleave a different workload so the pool's job slot is
+        // exercised with varying closure types between the repeats.
+        let first = matmul_tiled(&a, &b);
+        let _ = matmul_tn(&b, &b);
+        let mut reps = vec![first];
+        for _ in 0..9 {
+            reps.push(matmul_tiled(&a, &b));
+        }
+        reps
+    });
+    for (i, r) in runs.iter().enumerate() {
+        assert!(*r == serial, "pool dispatch #{i} diverged");
+    }
+}
+
+/// Scratch arenas (`SampleScratch`) carried across batches must be
+/// invisible in the output: a builder fed a scratch that has already been
+/// through other batches produces the same bits as one with a fresh arena.
+#[test]
+fn scratch_reuse_is_bitwise_invisible() {
+    use gnn_dm::sampling::sampler::{
+        build_minibatch_par_with, build_minibatch_with, SampleScratch,
+    };
+    let g = graph();
+    let sampler = FanoutSampler::new(vec![5, 3]);
+    let seeds_a: Vec<u32> = (0..120).map(|i| (i * 5) % 700).collect();
+    let seeds_b: Vec<u32> = (0..90).map(|i| (i * 11 + 3) % 700).collect();
+
+    // Serial builder: dirty scratch (used on batch A first) vs fresh.
+    let fresh = build_minibatch_with(
+        &g.inn,
+        &seeds_b,
+        &sampler,
+        &mut StdRng::seed_from_u64(23),
+        &mut SampleScratch::new(),
+    );
+    let mut dirty = SampleScratch::new();
+    build_minibatch_with(&g.inn, &seeds_a, &sampler, &mut StdRng::seed_from_u64(1), &mut dirty);
+    let reused = build_minibatch_with(
+        &g.inn,
+        &seeds_b,
+        &sampler,
+        &mut StdRng::seed_from_u64(23),
+        &mut dirty,
+    );
+    assert!(reused == fresh, "serial builder: reused scratch diverged from fresh");
+
+    // Parallel builder, at an awkward thread count.
+    with_threads(3, || {
+        let fresh =
+            build_minibatch_par_with(&g.inn, &seeds_b, &sampler, 77, &mut SampleScratch::new());
+        let mut dirty = SampleScratch::new();
+        build_minibatch_par_with(&g.inn, &seeds_a, &sampler, 5, &mut dirty);
+        let reused = build_minibatch_par_with(&g.inn, &seeds_b, &sampler, 77, &mut dirty);
+        assert!(reused == fresh, "parallel builder: reused scratch diverged from fresh");
+    });
+}
+
+/// Optimizer updates run through the substrate in fixed chunks; two steps
+/// of SGD and Adam must land on identical bits at every thread count.
+#[test]
+fn optimizer_steps_bitwise_equal_across_thread_counts() {
+    use gnn_dm::nn::optim::{Adam, Optimizer, Sgd};
+    let mut rng = StdRng::seed_from_u64(29);
+    let p0: Vec<f32> = (0..9000).map(|_| rng.random::<f64>() as f32 - 0.5).collect();
+    let gr: Vec<f32> = (0..9000).map(|_| rng.random::<f64>() as f32 - 0.5).collect();
+    assert_threadcount_invariant(|| {
+        let mut p = p0.clone();
+        let mut opt = Sgd { lr: 0.05, weight_decay: 0.01 };
+        opt.step(vec![&mut p], vec![&gr]);
+        opt.step(vec![&mut p], vec![&gr]);
+        p
+    });
+    assert_threadcount_invariant(|| {
+        let mut p = p0.clone();
+        let mut opt = Adam::new(0.01);
+        opt.step(vec![&mut p], vec![&gr]);
+        opt.step(vec![&mut p], vec![&gr]);
+        p
+    });
 }
 
 /// Seeded fanout sampling: per-destination RNGs are split from the batch
