@@ -7,49 +7,28 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin ablate_adaptive_schedule`
 
 use gnn_dm_bench::convergence_graph;
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_single;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 25;
 
 fn main() {
     let g = convergence_graph(DatasetId::Reddit, 42);
-    let sampler = FanoutSampler::new(vec![5, 5]);
-    let schedules: Vec<(&str, BatchSizeSchedule)> = vec![
-        (
-            "geometric x2 every 3",
-            BatchSizeSchedule::Adaptive { start: 128, max: 2048, growth: 2.0, grow_every: 3 },
-        ),
-        (
-            "geometric x2 every 1",
-            BatchSizeSchedule::Adaptive { start: 128, max: 2048, growth: 2.0, grow_every: 1 },
-        ),
-        (
-            "geometric x4 every 3",
-            BatchSizeSchedule::Adaptive { start: 128, max: 2048, growth: 4.0, grow_every: 3 },
-        ),
-        (
-            "step table",
-            BatchSizeSchedule::Steps(vec![(0, 128), (4, 512), (10, 2048)]),
-        ),
+    let reg = Registry::builtin();
+    let exp = TrainExperiment::paper(&g, EPOCHS);
+    let schedules: Vec<(&str, &str)> = vec![
+        ("geometric x2 every 3", "fanout(5,5)+adaptive(128,2048,x2,every3)"),
+        ("geometric x2 every 1", "fanout(5,5)+adaptive(128,2048,x2,every1)"),
+        ("geometric x4 every 3", "fanout(5,5)+adaptive(128,2048,x4,every3)"),
+        ("step table", "fanout(5,5)+steps(0:128,4:512,10:2048)"),
     ];
+    let grid = Grid::over(GridSpec::default())
+        .vary(Axis::BatchPrep, schedules.iter().map(|(_, s)| s.to_string()).collect())
+        .unwrap();
     let mut results = Vec::new();
-    for (label, s) in &schedules {
-        let r = train_single(
-            &g,
-            ModelKind::Gcn,
-            64,
-            &sampler,
-            &BatchSelection::Random,
-            s,
-            0.01,
-            EPOCHS,
-            5,
-        );
-        results.push((*label, r));
+    for (&(label, _), cfg) in schedules.iter().zip(grid.configs(&reg).unwrap()) {
+        results.push((label, exp.run(&cfg)));
     }
     let best = results.iter().map(|(_, r)| r.best_acc).fold(0.0f64, f64::max);
     let target = 0.97 * best;

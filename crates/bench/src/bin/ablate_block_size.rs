@@ -12,23 +12,29 @@ use gnn_dm_bench::{one_graph, SCALE_TRANSFER};
 use gnn_dm_core::results::{pct, Table};
 use gnn_dm_device::blocks::block_activity;
 use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 use gnn_dm_sampling::epoch::EpochPlan;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
 
 fn main() {
     let mut g = one_graph(DatasetId::Reddit, SCALE_TRANSFER, 42);
     g.split = gnn_dm_graph::SplitMask::random(g.num_vertices(), 0.05, 0.10, 0.85, 7);
     let g = gnn_dm_graph::relabel::by_label(&g);
     let train = g.train_vertices();
-    let sampler = FanoutSampler::new(vec![10, 5]);
-    let selection = BatchSelection::Random;
-    let schedule = BatchSizeSchedule::Fixed(64);
+    let reg = Registry::builtin();
+    let spec = GridSpec {
+        batch_prep: "fanout(10,5)+fixed(64)".to_string(),
+        ..GridSpec::default()
+    };
+    let cfg = SystemConfig::from_spec(&reg, &spec).unwrap();
+    let sampler = cfg.batch_prep.sampler(&g);
+    let selection = cfg.batch_prep.selection(&g);
+    let schedule = cfg.batch_prep.schedule();
     let plan = EpochPlan {
         in_csr: &g.inn,
         train: &train,
         selection: &selection,
         schedule: &schedule,
-        sampler: &sampler,
+        sampler: &*sampler,
         seed: 3,
     };
     let mb = plan.batches(0).into_iter().next().expect("one batch");

@@ -11,40 +11,33 @@
 
 use gnn_dm_bench::{one_graph, SCALE_TRANSFER};
 use gnn_dm_core::results::{pct, Table};
-use gnn_dm_device::cache::{CachePolicy, FeatureCache};
 use gnn_dm_graph::datasets::DatasetId;
 use gnn_dm_graph::SplitMask;
-use gnn_dm_sampling::epoch::AccessTracker;
-use gnn_dm_sampling::sampler::{build_minibatch, FanoutSampler, ImportanceSampler, NeighborSampler};
-use gnn_dm_sampling::BatchSelection;
+use gnn_dm_harness::{CachePolicy, GridSpec, Registry, SystemConfig};
+use gnn_dm_sampling::sampler::{build_minibatch, NeighborSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn hit_rate(
     g: &gnn_dm_graph::Graph,
     sampler: &(dyn NeighborSampler + Sync),
-    policy: CachePolicy,
+    policy: &dyn CachePolicy,
     ratio: f64,
 ) -> f64 {
     let n = g.num_vertices();
     let capacity = (n as f64 * ratio) as usize;
     let train = g.train_vertices();
-    let batches = BatchSelection::Random.select(&train, 128, 1, 0);
-    // Profiling epoch for the pre-sampling policy.
-    let mut cache = match policy {
-        CachePolicy::Degree => FeatureCache::degree_based(&g.out, capacity),
-        CachePolicy::PreSample => {
-            let mut tracker = AccessTracker::new(n);
-            let mut rng = StdRng::seed_from_u64(99);
-            for _ in 0..3 {
-                for seeds in &batches {
-                    let mb = build_minibatch(&g.inn, seeds, sampler, &mut rng);
-                    tracker.record_batch(&mb);
-                }
+    let batches = gnn_dm_sampling::BatchSelection::Random.select(&train, 128, 1, 0);
+    // Profiling epochs for the pre-sampling policy (skipped by degree).
+    let mut cache = policy.build(g, capacity, &mut |tracker| {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..3 {
+            for seeds in &batches {
+                let mb = build_minibatch(&g.inn, seeds, sampler, &mut rng);
+                tracker.record_batch(&mb);
             }
-            FeatureCache::presample_based(&tracker, capacity)
         }
-    };
+    });
     // Measured epoch.
     let mut rng = StdRng::seed_from_u64(7);
     for seeds in &batches {
@@ -57,23 +50,27 @@ fn hit_rate(
 fn main() {
     let mut g = one_graph(DatasetId::Amazon, SCALE_TRANSFER, 42);
     g.split = SplitMask::random(g.num_vertices(), 0.08, 0.10, 0.82, 7);
-    let uniform = FanoutSampler::new(vec![10, 5]);
+    let reg = Registry::builtin();
+    let prep_of = |sampler_spec: &str| {
+        let spec = GridSpec {
+            batch_prep: format!("{sampler_spec}+fixed(128)"),
+            ..GridSpec::default()
+        };
+        SystemConfig::from_spec(&reg, &spec).unwrap()
+    };
+    let uniform = prep_of("fanout(10,5)");
     // Squared inverse degree: a strongly anti-degree access distribution.
-    let weights: Vec<f64> = (0..g.num_vertices() as u32)
-        .map(|v| {
-            let d = g.out.degree(v) as f64;
-            1.0 / ((1.0 + d) * (1.0 + d))
-        })
-        .collect();
-    let importance = ImportanceSampler::new(vec![10, 5], weights);
+    let importance = prep_of("importance(10,5;invdeg2)");
 
     let mut table = Table::new(&["sampler", "policy", "hit_rate@0.2"]);
-    for (sname, sampler) in
-        [("uniform", &uniform as &(dyn NeighborSampler + Sync)), ("importance (1/deg^2)", &importance)]
+    for (sname, cfg) in
+        [("uniform", &uniform), ("importance (1/deg^2)", &importance)]
     {
-        for policy in [CachePolicy::Degree, CachePolicy::PreSample] {
-            let hr = hit_rate(&g, sampler, policy, 0.2);
-            table.row(&[sname.into(), policy.name().into(), pct(hr)]);
+        let sampler = cfg.batch_prep.sampler(&g);
+        for (pname, cache_spec) in [("degree", "degree(0.2)"), ("sample", "presample(0.2,3)")] {
+            let policy = reg.cache(cache_spec).unwrap();
+            let hr = hit_rate(&g, &*sampler, &*policy, 0.2);
+            table.row(&[sname.into(), pname.into(), pct(hr)]);
         }
     }
     table.print("Ablation: cache policies under uniform vs importance sampling (Amazon-class)");

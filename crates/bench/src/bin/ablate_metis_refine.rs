@@ -6,38 +6,29 @@
 use gnn_dm_bench::{one_graph, SCALE_LOAD};
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_partition::metis::{constraint_vectors, multilevel_partition, MetisConfig, MetisVariant};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry};
 use gnn_dm_partition::metrics;
-use gnn_dm_partition::types::GnnPartitioning;
 use std::time::Instant;
 
 fn main() {
     let g = one_graph(DatasetId::OgbProducts, SCALE_LOAD, 42);
-    let (vwgt, eps) = constraint_vectors(&g, MetisVariant::VE);
-    // Rebuild the adjacency the same way metis_extend does.
-    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); g.num_vertices()];
-    for v in 0..g.num_vertices() as u32 {
-        for &u in g.out.neighbors(v) {
-            adj[v as usize].push((u, 1.0));
-        }
-    }
+    let reg = Registry::builtin();
+    let passes = [0usize, 1, 2, 4, 8];
+    let grid = Grid::over(GridSpec::default())
+        .vary(
+            Axis::Partitioner,
+            passes.iter().map(|p| format!("metis-raw(refine={p})")).collect::<Vec<_>>(),
+        )
+        .unwrap();
     let mut table = Table::new(&["refine_passes", "edge_cut", "cut_frac", "train_imbalance", "time_s"]);
-    for passes in [0usize, 1, 2, 4, 8] {
-        let cfg = MetisConfig {
-            k: 4,
-            eps: eps.clone(),
-            coarsen_until: 64,
-            refine_passes: passes,
-            seed: 7,
-        };
+    for (&p, cfg) in passes.iter().zip(grid.configs(&reg).unwrap()) {
         let start = Instant::now();
-        let assignment = multilevel_partition(&adj, vwgt.clone(), &cfg);
+        let part = cfg.partitioner.build(&g, 4, 7);
         let elapsed = start.elapsed().as_secs_f64();
-        let part = GnnPartitioning::new(assignment, 4);
         let cut = metrics::edge_cut(&g, &part);
         let imb = metrics::imbalance(&part.train_counts(&g));
         table.row(&[
-            passes.to_string(),
+            p.to_string(),
             cut.to_string(),
             f(cut as f64 / g.num_edges() as f64),
             f(imb),

@@ -9,26 +9,31 @@
 
 use gnn_dm_bench::{one_graph, SCALE_TRANSFER};
 use gnn_dm_core::results::{pct, Table};
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::cache::CachePolicy;
-use gnn_dm_device::transfer::TransferMethod;
 use gnn_dm_graph::datasets::DatasetId;
 use gnn_dm_graph::SplitMask;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry};
 
 fn main() {
     let mut g = one_graph(DatasetId::Amazon, SCALE_TRANSFER, 42);
     g.split = SplitMask::random(g.num_vertices(), 0.08, 0.10, 0.82, 7);
+    let reg = Registry::builtin();
+    let epochs = [1usize, 2, 3, 5, 8];
+    let base_spec = GridSpec {
+        batch_prep: "fanout(10,5)+fixed(128)".to_string(),
+        transfer: "zero-copy".to_string(),
+        ..GridSpec::default()
+    };
+    let grid = Grid::over(base_spec)
+        .vary(
+            Axis::Cache,
+            epochs.iter().map(|e| format!("presample(0.2,{e})")).collect::<Vec<_>>(),
+        )
+        .unwrap();
     let mut table = Table::new(&["presample_epochs", "hit_rate", "pcie_MiB"]);
-    for epochs in [1usize, 2, 3, 5, 8] {
-        let mut cfg = HeteroTrainerConfig::baseline(&g, 128);
-        cfg.fanouts = vec![10, 5];
-        cfg.transfer = TransferMethod::ZeroCopy;
-        cfg.cache_policy = Some(CachePolicy::PreSample);
-        cfg.cache_ratio = 0.2;
-        cfg.presample_epochs = epochs;
-        let t = HeteroTrainer::new(&g, cfg).run_epoch_model(10);
+    for (&e, cfg) in epochs.iter().zip(grid.configs(&reg).unwrap()) {
+        let t = cfg.hetero_trainer(&g).run_epoch_model(10);
         table.row(&[
-            epochs.to_string(),
+            e.to_string(),
             pct(t.cache_hit_rate),
             format!("{:.1}", t.pcie_bytes as f64 / (1024.0 * 1024.0)),
         ]);

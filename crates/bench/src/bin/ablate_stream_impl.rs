@@ -13,20 +13,23 @@
 use gnn_dm_bench::{one_graph, SCALE_LOAD};
 use gnn_dm_core::results::Table;
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_partition::stream;
-use std::time::Instant;
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 
 fn main() {
     let g = one_graph(DatasetId::OgbProducts, SCALE_LOAD, 42);
+    let reg = Registry::builtin();
     let mut table = Table::new(&["method", "implementation", "time_s", "identical_output"]);
-    let timed = |f: &dyn Fn() -> gnn_dm_partition::GnnPartitioning| {
-        let start = Instant::now();
-        let p = f();
+    let timed = |spec: &str| {
+        let mut s = GridSpec::default();
+        s.partitioner = spec.to_string();
+        let cfg = SystemConfig::from_spec(&reg, &s).unwrap();
+        let start = std::time::Instant::now();
+        let p = cfg.partitioner.build(&g, 4, 3);
         (p, start.elapsed().as_secs_f64())
     };
 
-    let (pv, tv) = timed(&|| stream::stream_v(&g, 4, 2));
-    let (pvf, tvf) = timed(&|| stream::stream_v_fast(&g, 4, 2));
+    let (pv, tv) = timed("stream-v(faithful)");
+    let (pvf, tvf) = timed("stream-v(fast)");
     table.row(&["Stream-V".into(), "faithful (set intersections)".into(), format!("{tv:.3}"), "-".into()]);
     table.row(&[
         "Stream-V".into(),
@@ -35,8 +38,8 @@ fn main() {
         (pv == pvf).to_string(),
     ]);
 
-    let (pb, tb) = timed(&|| stream::stream_b(&g, 4, stream::DEFAULT_BLOCK_SIZE, 3));
-    let (pbf, tbf) = timed(&|| stream::stream_b_fast(&g, 4, stream::DEFAULT_BLOCK_SIZE, 3));
+    let (pb, tb) = timed("stream-b(faithful)");
+    let (pbf, tbf) = timed("stream-b(fast)");
     table.row(&["Stream-B".into(), "faithful (set intersections)".into(), format!("{tb:.3}"), "-".into()]);
     table.row(&[
         "Stream-B".into(),

@@ -10,23 +10,30 @@
 
 use gnn_dm_bench::{one_graph, SCALE_TRANSFER};
 use gnn_dm_core::results::Table;
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::transfer::TransferMethod;
 use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, SystemConfig};
 
 fn main() {
     let g = one_graph(DatasetId::LiveJournal, SCALE_TRANSFER, 42);
-    let base = {
-        let cfg = HeteroTrainerConfig::baseline(&g, 2048);
-        HeteroTrainer::new(&g, cfg).run_epoch_model(0)
+    let reg = Registry::builtin();
+    let base_spec = GridSpec {
+        batch_prep: "fanout(25,10)+fixed(2048)".to_string(),
+        ..GridSpec::default()
     };
+    let base = SystemConfig::from_spec(&reg, &base_spec)
+        .unwrap()
+        .hetero_trainer(&g)
+        .run_epoch_model(0);
+    let effs = [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let grid = Grid::over(base_spec)
+        .vary(
+            Axis::Transfer,
+            effs.iter().map(|e| format!("zero-copy+eff({e})")).collect::<Vec<_>>(),
+        )
+        .unwrap();
     let mut table = Table::new(&["zero_copy_efficiency", "zc_epoch_s", "el_epoch_s", "winner"]);
-    for eff in [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-        let mut cfg = HeteroTrainerConfig::baseline(&g, 2048);
-        cfg.transfer = TransferMethod::ZeroCopy;
-        let mut trainer = HeteroTrainer::new(&g, cfg);
-        trainer.engine.zero_copy_efficiency = eff;
-        let zc = trainer.run_epoch_model(0);
+    for (&eff, cfg) in effs.iter().zip(grid.configs(&reg).unwrap()) {
+        let zc = cfg.hetero_trainer(&g).run_epoch_model(0);
         table.row(&[
             format!("{eff:.1}"),
             format!("{:.4}", zc.makespan),

@@ -37,6 +37,7 @@ use gnn_dm_bench::seed_baseline::{seed_build_minibatch_par, seed_epoch_batches, 
 use gnn_dm_bench::SCALE_LOAD;
 use gnn_dm_cluster::ClusterSim;
 use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 use gnn_dm_nn::optim::{Adam, Optimizer, Sgd};
 use gnn_dm_par::{thread_count, with_threads};
 use gnn_dm_partition::{partition_graph, PartitionMethod};
@@ -98,6 +99,22 @@ impl Row {
         s.push('}');
         s
     }
+}
+
+/// JSON object naming a config's grid coordinates: the canonical `/`-joined
+/// id plus each axis's spec, so BENCH history lines are filterable by axis.
+fn config_json(cfg: &SystemConfig) -> String {
+    format!(
+        "{{\"config\":\"{}\",\"partitioner\":\"{}\",\"batch_prep\":\"{}\",\
+         \"transfer\":\"{}\",\"cache\":\"{}\",\"parallel\":\"{}\",\"faults\":\"{}\"}}",
+        cfg.id(),
+        cfg.partitioner.spec(),
+        cfg.batch_prep.spec(),
+        cfg.transfer.spec(),
+        cfg.cache.spec(),
+        cfg.parallel.spec(),
+        cfg.faults.spec(),
+    )
 }
 
 /// Benchmarks `f` serial and at `threads`, optionally timing a frozen seed
@@ -298,7 +315,32 @@ fn main() {
     let rows = [gemm, sample, epoch, cluster];
     let all_identical = rows.iter().all(|r| r.identical);
     let fields: Vec<String> = rows.iter().map(Row::json).collect();
-    let body = format!("\"threads\":{threads},{}", fields.join(","));
+    // Record the harness coordinates of the two workloads that correspond
+    // to a SystemConfig, so each history line names the grid cell it
+    // timed. Resolving through the registry (instead of pasting strings)
+    // keeps the recorded ids canonical and parseable.
+    let reg = Registry::builtin();
+    let epoch_cfg = SystemConfig::from_spec(
+        &reg,
+        &GridSpec { batch_prep: "fanout(25,10)+fixed(512)".to_string(), ..GridSpec::default() },
+    )
+    .expect("epoch workload spec resolves");
+    let cluster_cfg = SystemConfig::from_spec(
+        &reg,
+        &GridSpec {
+            partitioner: "metis-v".to_string(),
+            batch_prep: "fanout(25,10)+fixed(512)".to_string(),
+            parallel: "cluster(4)".to_string(),
+            ..GridSpec::default()
+        },
+    )
+    .expect("cluster workload spec resolves");
+    let harness_json = format!(
+        "\"harness\":{{\"epoch\":{},\"cluster\":{}}}",
+        config_json(&epoch_cfg),
+        config_json(&cluster_cfg)
+    );
+    let body = format!("\"threads\":{threads},{},{harness_json}", fields.join(","));
     std::fs::write("BENCH_par.json", format!("{{{body}}}\n")).expect("write BENCH_par.json");
     println!("\nwrote BENCH_par.json");
 

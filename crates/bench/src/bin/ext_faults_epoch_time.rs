@@ -1,9 +1,9 @@
 //! Extension — epoch time under injected faults, across partitionings.
 //!
-//! Sweeps the one-knob [`FaultPlan::uniform`] stress rate over the
-//! Figure-8 setting (every partitioning method, four workers): stragglers
-//! stretch the slowest worker, flaky NICs retransmit exchanges after
-//! timeout + backoff, and crashed workers restore the last every-8-batches
+//! Sweeps the one-knob uniform stress rate over the Figure-8 setting
+//! (every partitioning method, four workers): stragglers stretch the
+//! slowest worker, flaky NICs retransmit exchanges after timeout +
+//! backoff, and crashed workers restore the last every-8-batches
 //! checkpoint and replay the lost batches. Epoch time is still just the
 //! makespan of the span timeline, so the slowdown decomposes exactly into
 //! retry bytes, backoff waits and replayed work ([`ResilienceReport`]).
@@ -16,14 +16,12 @@
 //! (Chrome trace, canonical bytes — pinned by `scripts/check.sh`).
 //!
 //! Run: `cargo run --release -p gnn-dm-bench --bin ext_faults_epoch_time`
+//!
+//! [`ResilienceReport`]: gnn_dm_faults::ResilienceReport
 
 use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
-use gnn_dm_cluster::sim::TimeModel;
-use gnn_dm_cluster::ClusterSim;
 use gnn_dm_core::results::{f, Table};
-use gnn_dm_faults::FaultPlan;
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, ClusterExperiment, Grid, GridSpec, Registry, SystemConfig};
 use std::fs;
 
 /// Fault seed for the sweep (any fixed value; part of the experiment id —
@@ -36,7 +34,21 @@ const FAULT_SEED: u64 = 13;
 const RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.25, 0.5];
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![25, 10]);
+    let reg = Registry::builtin();
+    let base = GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() };
+    let grid = Grid::over(base.clone())
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
+    // The fault axis varies over a reused cluster run, so it is resolved
+    // separately instead of multiplying the partition/simulate work by 5.
+    let fault_cfgs: Vec<(f64, SystemConfig)> = RATES
+        .iter()
+        .map(|&rate| {
+            let mut s = base.clone();
+            s.set(Axis::Faults, format!("uniform({FAULT_SEED},{rate})"));
+            (rate, SystemConfig::from_spec(&reg, &s).unwrap())
+        })
+        .collect();
     let mut table = Table::new(&[
         "dataset",
         "method",
@@ -49,17 +61,14 @@ fn main() {
     ]);
     let mut export: Option<String> = None;
     for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
-        let tm = TimeModel::paper_default(g.feat_dim(), 128, 1_000_000);
-        for method in PartitionMethod::all() {
-            let part = partition_graph(&g, method, 4, 7);
-            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-            let report = sim.simulate_epoch(&sampler, 0);
-            for rate in RATES {
-                let plan = FaultPlan::uniform(FAULT_SEED, rate);
-                let res = sim.resilience(&report, &tm, &plan, 0);
+        let exp = ClusterExperiment::paper(&g);
+        for cfg in grid.configs(&reg).unwrap() {
+            let run = exp.run(&cfg);
+            for (rate, fcfg) in &fault_cfgs {
+                let res = exp.resilience(&run, fcfg);
                 table.row(&[
                     name.into(),
-                    method.name().into(),
+                    cfg.partitioner.name().into(),
                     format!("{rate:.2}"),
                     f(res.healthy_s),
                     f(res.faulted_s),
@@ -69,8 +78,8 @@ fn main() {
                 ]);
                 // Export the most stressed Metis timeline as the canonical
                 // faulted trace (one representative, not one per row).
-                if export.is_none() && method == PartitionMethod::MetisV && rate >= 0.25 {
-                    let tl = sim.epoch_timeline_faulted(&report, &tm, &plan, 0);
+                if export.is_none() && cfg.partitioner.name() == "Metis-V" && *rate >= 0.25 {
+                    let tl = exp.timeline_faulted(&run, fcfg);
                     export = Some(tl.to_chrome_trace());
                 }
             }

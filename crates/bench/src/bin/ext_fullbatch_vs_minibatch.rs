@@ -10,14 +10,20 @@
 
 use gnn_dm_bench::convergence_graph;
 use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::{train_full_batch, train_single};
+use gnn_dm_core::convergence::train_full_batch;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig, TrainExperiment};
 
 const EPOCHS: usize = 25;
 
 fn main() {
+    let reg = Registry::builtin();
+    let spec = GridSpec {
+        batch_prep: "fanout(5,5)+fixed(512)".to_string(),
+        ..GridSpec::default()
+    };
+    let cfg = SystemConfig::from_spec(&reg, &spec).unwrap();
     let mut table = Table::new(&[
         "dataset",
         "method",
@@ -28,18 +34,8 @@ fn main() {
     for id in [DatasetId::Reddit, DatasetId::OgbArxiv] {
         let g = convergence_graph(id, 42);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
-        let sampler = FanoutSampler::new(vec![5, 5]);
-        let mini = train_single(
-            &g,
-            ModelKind::Gcn,
-            64,
-            &sampler,
-            &BatchSelection::Random,
-            &BatchSizeSchedule::Fixed(512),
-            0.01,
-            EPOCHS,
-            5,
-        );
+        let exp = TrainExperiment::paper(&g, EPOCHS);
+        let mini = exp.run(&cfg);
         let full = train_full_batch(&g, ModelKind::Gcn, 64, 0.01, EPOCHS, 5);
         let best = mini.best_acc.max(full.best_acc);
         let target = 0.9 * best;

@@ -14,17 +14,28 @@ use gnn_dm_cluster::network::allreduce_time;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_device::LinkModel;
 use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 use gnn_dm_nn::train::evaluate;
 use gnn_dm_nn::{AggKind, GnnModel};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
 
 const EPOCHS: usize = 12;
 
 fn main() {
     let g = one_graph_slim(DatasetId::OgbProducts, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
-    let part = partition_graph(&g, PartitionMethod::MetisVE, 4, 7);
-    let sampler = FanoutSampler::new(vec![8, 4]);
+    let reg = Registry::builtin();
+    let cfg = SystemConfig::from_spec(
+        &reg,
+        &GridSpec {
+            partitioner: "metis-ve".to_string(),
+            batch_prep: "fanout(8,4)+fixed(128)".to_string(),
+            parallel: "cluster(4)".to_string(),
+            ..GridSpec::default()
+        },
+    )
+    .unwrap();
+    let part = cfg.partitioner.build(&g, cfg.parallel.workers(), 7);
+    let sampler = cfg.batch_prep.sampler(&g);
+    let batch = cfg.batch_prep.batch_size(0);
     let nic = LinkModel::nic_10gbps();
     let mut table = Table::new(&[
         "sync_every",
@@ -38,7 +49,7 @@ fn main() {
         let mut syncs_total = 0usize;
         for e in 0..EPOCHS {
             let (_, syncs) =
-                local_sgd_epoch(&mut model, 0.05, &g, &part, &sampler, 128, sync_every, 5, e);
+                local_sgd_epoch(&mut model, 0.05, &g, &part, &*sampler, batch, sync_every, 5, e);
             syncs_total += syncs;
         }
         let acc = evaluate(&model, &g, &g.val_vertices());

@@ -10,13 +10,17 @@
 
 use gnn_dm_bench::SCALE_LOAD;
 use gnn_dm_cluster::p3::compare_epoch;
-use gnn_dm_cluster::ClusterSim;
 use gnn_dm_core::results::{mib, Table};
 use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{ClusterExperiment, GridSpec, Registry, SystemConfig};
 
 fn main() {
+    let reg = Registry::builtin();
+    let hcfg = SystemConfig::from_spec(
+        &reg,
+        &GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() },
+    )
+    .unwrap();
     let mut table = Table::new(&[
         "feat_dim",
         "data_parallel_MiB",
@@ -24,14 +28,15 @@ fn main() {
         "p3_advantage",
         "winner",
     ]);
-    let sampler = FanoutSampler::new(vec![25, 10]);
     for feat_dim in [16usize, 64, 128, 256, 602] {
         let mut cfg = DatasetSpec::get(DatasetId::Reddit).scaled_config(SCALE_LOAD, 42);
         cfg.feat_dim = feat_dim;
         let g = gnn_dm_graph::generate::planted_partition(&cfg);
-        let part = partition_graph(&g, PartitionMethod::Hash, 4, 7);
-        let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-        let c = compare_epoch(&sim, &sampler, 128, 0);
+        let exp = ClusterExperiment::paper(&g);
+        let part = exp.partition(&hcfg);
+        let sampler = hcfg.batch_prep.sampler(&g);
+        let sim = exp.sim_with(&part, hcfg.batch_prep.batch_size(0));
+        let c = compare_epoch(&sim, &*sampler, 128, 0);
         table.row(&[
             feat_dim.to_string(),
             mib(c.data_parallel_bytes),

@@ -5,17 +5,20 @@
 //!
 //! The paper treats these as orthogonal to its fanout/rate parameter study
 //! and defers to the sampling survey [26]; this run closes the loop by
-//! executing all three on the same graph and model.
+//! executing all three on the same graph and model. The layer-wise
+//! sampler builds whole-batch layers rather than per-vertex frontiers, so
+//! it stays outside the harness's `NeighborSampler`-based prep axis and is
+//! driven manually here.
 //!
 //! Run: `cargo run --release -p gnn-dm-bench --bin ext_sampling_algorithms`
 
 use gnn_dm_bench::convergence_graph;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 use gnn_dm_nn::optim::{Adam, Optimizer};
 use gnn_dm_nn::train::{evaluate, gather_input_features, seed_labels};
 use gnn_dm_nn::{AggKind, GnnModel};
-use gnn_dm_partition::metis_clusters;
 use gnn_dm_sampling::sampler::{
     build_minibatch, subgraph_restricted_minibatch, FanoutSampler, LayerwiseSampler,
 };
@@ -61,17 +64,23 @@ fn train_with(
 fn main() {
     let g = convergence_graph(DatasetId::OgbProducts, 42);
     let train = g.train_vertices();
+    let reg = Registry::builtin();
+    let cfg_of = |prep: &str| {
+        let spec = GridSpec { batch_prep: prep.to_string(), ..GridSpec::default() };
+        SystemConfig::from_spec(&reg, &spec).unwrap()
+    };
     let selection = BatchSelection::Random;
     let mut table =
         Table::new(&["algorithm", "best_acc", "involved_V/epoch", "involved_E/epoch"]);
 
     // (1) Vertex-wise: per-vertex fanout sampling.
-    let fanout = FanoutSampler::new(vec![5, 5]);
+    let vertexwise = cfg_of("fanout(5,5)+fixed(256)");
+    let fanout = vertexwise.batch_prep.sampler(&g);
     let (acc, v, e) = train_with(&g, |epoch, rng| {
         selection
             .select(&train, BATCH, 5, epoch)
             .into_iter()
-            .map(|seeds| build_minibatch(&g.inn, &seeds, &fanout, rng))
+            .map(|seeds| build_minibatch(&g.inn, &seeds, &*fanout, rng))
             .collect()
     });
     table.row(&["vertex-wise (5,5)".into(), f(acc), v.to_string(), e.to_string()]);
@@ -89,8 +98,12 @@ fn main() {
 
     // (3) Subgraph-wise: sampling confined to Metis clusters
     //     (Cluster-GCN), full neighbors inside the cluster.
-    let clusters = metis_clusters(&g, 16, 1);
-    let cluster_sel = BatchSelection::ClusterBased { clusters: clusters.clone() };
+    let clustered = cfg_of("fanout(5,5)+fixed(256)+cluster(16,1)");
+    let cluster_sel = clustered.batch_prep.selection(&g);
+    let clusters = match &cluster_sel {
+        BatchSelection::ClusterBased { clusters } => clusters.clone(),
+        BatchSelection::Random => unreachable!("cluster(16,1) prep yields cluster selection"),
+    };
     let members: Vec<Vec<u32>> = {
         let mut m = vec![Vec::new(); 16];
         for (vtx, &c) in clusters.iter().enumerate() {

@@ -9,26 +9,27 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin ext_three_layer`
 
 use gnn_dm_bench::convergence_graph;
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_single;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 use gnn_dm_nn::{AggKind, GnnModel};
 use gnn_dm_sampling::epoch::EpochPlan;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
 
 const EPOCHS: usize = 20;
 
 fn main() {
     let g = convergence_graph(DatasetId::OgbArxiv, 42);
-    let selection = BatchSelection::Random;
-    let schedule = BatchSizeSchedule::Fixed(256);
-    let configs: Vec<(&str, Vec<usize>, Vec<usize>)> = vec![
-        // (label, fanouts, hidden widths)
-        ("2-layer (10,5)", vec![10, 5], vec![64]),
-        ("2-layer (25,10)", vec![25, 10], vec![64]),
-        ("3-layer (15,10,5)", vec![15, 10, 5], vec![64, 64]),
+    let reg = Registry::builtin();
+    let exp = TrainExperiment::paper(&g, EPOCHS);
+    let configs: Vec<(&str, &str, Vec<usize>)> = vec![
+        // (label, batch-prep spec, hidden widths)
+        ("2-layer (10,5)", "fanout(10,5)+fixed(256)", vec![64]),
+        ("2-layer (25,10)", "fanout(25,10)+fixed(256)", vec![64]),
+        ("3-layer (15,10,5)", "fanout(15,10,5)+fixed(256)", vec![64, 64]),
     ];
+    let grid = Grid::over(GridSpec::default())
+        .vary(Axis::BatchPrep, configs.iter().map(|(_, s, _)| s.to_string()).collect())
+        .unwrap();
     let mut table = Table::new(&[
         "config",
         "best_acc",
@@ -36,8 +37,10 @@ fn main() {
         "involved_V/epoch",
         "sim_epoch_s",
     ]);
-    for (label, fanouts, hiddens) in &configs {
-        let sampler = FanoutSampler::new(fanouts.clone());
+    for ((label, _, hiddens), cfg) in configs.iter().zip(grid.configs(&reg).unwrap()) {
+        let sampler = cfg.batch_prep.sampler(&g);
+        let selection = cfg.batch_prep.selection(&g);
+        let schedule = cfg.batch_prep.schedule();
         // Batch statistics for the cost columns.
         let train = g.train_vertices();
         let plan = EpochPlan {
@@ -45,25 +48,14 @@ fn main() {
             train: &train,
             selection: &selection,
             schedule: &schedule,
-            sampler: &sampler,
+            sampler: &*sampler,
             seed: 5,
         };
         let stats = plan.run_for_stats(0, None);
         // Real training. train_single assumes one hidden layer; build the
         // deeper model directly for the 3-layer case.
         let best_acc = if hiddens.len() == 1 {
-            train_single(
-                &g,
-                ModelKind::Gcn,
-                hiddens[0],
-                &sampler,
-                &selection,
-                &schedule,
-                0.01,
-                EPOCHS,
-                5,
-            )
-            .best_acc
+            exp.run(&cfg).best_acc
         } else {
             let mut dims = vec![g.feat_dim()];
             dims.extend_from_slice(hiddens);

@@ -7,16 +7,23 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig10_adaptive_batch`
 
 use gnn_dm_bench::convergence_graph;
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_single;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 25;
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![5, 5]);
+    let reg = Registry::builtin();
+    let schedules: Vec<(&str, &str)> = vec![
+        ("fixed(128)", "fanout(5,5)+fixed(128)"),
+        ("fixed(512)", "fanout(5,5)+fixed(512)"),
+        ("fixed(2048)", "fanout(5,5)+fixed(2048)"),
+        ("adaptive(128->2048)", "fanout(5,5)+adaptive(128,2048,x2,every3)"),
+    ];
+    let grid = Grid::over(GridSpec::default())
+        .vary(Axis::BatchPrep, schedules.iter().map(|(_, s)| s.to_string()).collect())
+        .unwrap();
     let mut table = Table::new(&[
         "dataset",
         "schedule",
@@ -27,31 +34,11 @@ fn main() {
     for id in [DatasetId::Reddit, DatasetId::OgbProducts] {
         let g = convergence_graph(id, 42);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
-        let schedules: Vec<(&str, BatchSizeSchedule)> = vec![
-            ("fixed(128)", BatchSizeSchedule::Fixed(128)),
-            ("fixed(512)", BatchSizeSchedule::Fixed(512)),
-            ("fixed(2048)", BatchSizeSchedule::Fixed(2048)),
-            (
-                "adaptive(128->2048)",
-                BatchSizeSchedule::Adaptive { start: 128, max: 2048, growth: 2.0, grow_every: 3 },
-            ),
-        ];
+        let exp = TrainExperiment::paper(&g, EPOCHS);
         let results: Vec<_> = schedules
             .iter()
-            .map(|(label, s)| {
-                let r = train_single(
-                    &g,
-                    ModelKind::Gcn,
-                    64,
-                    &sampler,
-                    &BatchSelection::Random,
-                    s,
-                    0.01,
-                    EPOCHS,
-                    5,
-                );
-                (*label, r)
-            })
+            .zip(grid.configs(&reg).unwrap())
+            .map(|(&(label, _), cfg)| (label, exp.run(&cfg)))
             .collect();
         // Target: near the highest accuracy anyone reaches (the paper's
         // adaptive method is about reaching the *top* accuracy fast).

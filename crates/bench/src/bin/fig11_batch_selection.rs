@@ -9,18 +9,22 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig11_batch_selection`
 
 use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_single;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
 use gnn_dm_graph::stats;
-use gnn_dm_partition::metis_clusters;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 20;
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![10, 5]);
+    let reg = Registry::builtin();
+    let selections: Vec<(&str, &str)> = vec![
+        ("random", "fanout(10,5)+fixed(256)"),
+        ("cluster-based", "fanout(10,5)+fixed(256)+cluster(24,1)"),
+    ];
+    let grid = Grid::over(GridSpec::default())
+        .vary(Axis::BatchPrep, selections.iter().map(|(_, s)| s.to_string()).collect())
+        .unwrap();
     let mut table = Table::new(&[
         "dataset",
         "selection",
@@ -31,23 +35,9 @@ fn main() {
     for id in [DatasetId::Reddit, DatasetId::OgbProducts] {
         let g = one_graph_slim(id, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
-        let clusters = metis_clusters(&g, 24, 1);
-        let selections: Vec<(&str, BatchSelection)> = vec![
-            ("random", BatchSelection::Random),
-            ("cluster-based", BatchSelection::ClusterBased { clusters: clusters.clone() }),
-        ];
-        for (label, sel) in &selections {
-            let r = train_single(
-                &g,
-                ModelKind::Gcn,
-                64,
-                &sampler,
-                sel,
-                &BatchSizeSchedule::Fixed(256),
-                0.01,
-                EPOCHS,
-                5,
-            );
+        let exp = TrainExperiment::paper(&g, EPOCHS);
+        for (&(label, _), cfg) in selections.iter().zip(grid.configs(&reg).unwrap()) {
+            let r = exp.run(&cfg);
             // Stability: stddev of validation accuracy over the last half
             // of training (the paper eyeballs curve wobble).
             let late: Vec<f64> = r.curve[EPOCHS / 2..].iter().map(|p| p.val_acc).collect();
@@ -55,6 +45,7 @@ fn main() {
             // Batch-subgraph density variance (§6.3.2's clustering
             // coefficient variance across batched subgraphs).
             let train = g.train_vertices();
+            let sel = cfg.batch_prep.selection(&g);
             let batches = sel.select(&train, 256, 5, 0);
             let densities: Vec<f64> = batches
                 .iter()
@@ -63,7 +54,7 @@ fn main() {
             let (_, dvar) = stats::mean_var(&densities);
             table.row(&[
                 name.into(),
-                (*label).into(),
+                label.into(),
                 f(r.best_acc),
                 format!("{:.4}", var.sqrt()),
                 format!("{dvar:.2e}"),

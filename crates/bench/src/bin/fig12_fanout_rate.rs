@@ -9,40 +9,42 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig12_fanout_rate`
 
 use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_single;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler, RateSampler};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 20;
 
 fn main() {
     let g = one_graph_slim(DatasetId::OgbArxiv, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
-    let selection = BatchSelection::Random;
-    let schedule = BatchSizeSchedule::Fixed(256);
+    let reg = Registry::builtin();
+    let exp = TrainExperiment::paper(&g, EPOCHS);
 
     let mut table = Table::new(&["sampling", "setting", "best_acc", "time_to_97%best_s"]);
 
     // (a) fanout sweep.
     let fanouts = [2usize, 4, 8, 16, 32];
+    let fanout_grid = Grid::over(GridSpec::default())
+        .vary(
+            Axis::BatchPrep,
+            fanouts.iter().map(|k| format!("fanout({k},{k})+fixed(256)")).collect::<Vec<_>>(),
+        )
+        .unwrap();
     let mut fanout_results = Vec::new();
-    for &k in &fanouts {
-        let sampler = FanoutSampler::new(vec![k, k]);
-        let r = train_single(
-            &g, ModelKind::Gcn, 64, &sampler, &selection, &schedule, 0.01, EPOCHS, 5,
-        );
-        fanout_results.push((format!("({k},{k})"), r));
+    for (&k, cfg) in fanouts.iter().zip(fanout_grid.configs(&reg).unwrap()) {
+        fanout_results.push((format!("({k},{k})"), exp.run(&cfg)));
     }
     // (b) rate sweep.
     let rates = [0.1f64, 0.25, 0.5, 0.75, 0.9];
+    let rate_grid = Grid::over(GridSpec::default())
+        .vary(
+            Axis::BatchPrep,
+            rates.iter().map(|r| format!("rate({r},{r};min=1)+fixed(256)")).collect::<Vec<_>>(),
+        )
+        .unwrap();
     let mut rate_results = Vec::new();
-    for &rate in &rates {
-        let sampler = RateSampler::new(vec![rate, rate], 1);
-        let r = train_single(
-            &g, ModelKind::Gcn, 64, &sampler, &selection, &schedule, 0.01, EPOCHS, 5,
-        );
-        rate_results.push((format!("{rate}"), r));
+    for (&rate, cfg) in rates.iter().zip(rate_grid.configs(&reg).unwrap()) {
+        rate_results.push((format!("{rate}"), exp.run(&cfg)));
     }
     let best = fanout_results
         .iter()

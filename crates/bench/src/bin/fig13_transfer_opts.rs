@@ -8,27 +8,36 @@
 
 use gnn_dm_bench::{transfer_graphs, SCALE_TRANSFER};
 use gnn_dm_core::results::Table;
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::pipeline::PipelineMode;
-use gnn_dm_device::transfer::TransferMethod;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry};
 
 fn main() {
+    let reg = Registry::builtin();
+    let stack: Vec<(&str, &str)> = vec![
+        ("Baseline", "extract-load"),
+        ("Baseline+Z", "zero-copy"),
+        ("Baseline+Z+P", "zero-copy+pipe(full)"),
+    ];
+    let base_spec = GridSpec {
+        batch_prep: "fanout(25,10)+fixed(2048)".to_string(),
+        ..GridSpec::default()
+    };
+    let grid = Grid::over(base_spec)
+        .vary(Axis::Transfer, stack.iter().map(|(_, s)| s.to_string()).collect())
+        .unwrap();
     let mut table = Table::new(&["dataset", "config", "epoch_s", "speedup_vs_baseline"]);
     let mut gains_z = Vec::new();
     let mut gains_zp = Vec::new();
     for (name, g) in transfer_graphs(SCALE_TRANSFER, 42) {
-        let mk = |transfer, pipeline| {
-            let mut cfg = HeteroTrainerConfig::baseline(&g, 2048);
-            cfg.transfer = transfer;
-            cfg.pipeline = pipeline;
-            HeteroTrainer::new(&g, cfg).run_epoch_model(0).makespan
-        };
-        let base = mk(TransferMethod::ExtractLoad, PipelineMode::None);
-        let z = mk(TransferMethod::ZeroCopy, PipelineMode::None);
-        let zp = mk(TransferMethod::ZeroCopy, PipelineMode::Full);
+        let times: Vec<f64> = grid
+            .configs(&reg)
+            .unwrap()
+            .iter()
+            .map(|cfg| cfg.hetero_trainer(&g).run_epoch_model(0).makespan)
+            .collect();
+        let (base, z, zp) = (times[0], times[1], times[2]);
         gains_z.push(base / z);
         gains_zp.push(base / zp);
-        for (label, t) in [("Baseline", base), ("Baseline+Z", z), ("Baseline+Z+P", zp)] {
+        for (&(label, _), t) in stack.iter().zip(&times) {
             table.row(&[
                 name.into(),
                 label.into(),

@@ -8,21 +8,32 @@
 
 use gnn_dm_bench::{transfer_graphs, SCALE_TRANSFER};
 use gnn_dm_core::results::{pct, Table};
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::pipeline::{busy_fractions, BatchStageTimes, PipelineMode};
-use gnn_dm_device::transfer::TransferMethod;
+use gnn_dm_device::pipeline::{busy_fractions, BatchStageTimes};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry};
 
 fn main() {
+    let reg = Registry::builtin();
+    let base_spec = GridSpec {
+        batch_prep: "fanout(25,10)+fixed(2048)".to_string(),
+        ..GridSpec::default()
+    };
+    let grid = Grid::over(base_spec)
+        .vary(
+            Axis::Transfer,
+            vec![
+                "zero-copy".to_string(),
+                "zero-copy+pipe(bp)".to_string(),
+                "zero-copy+pipe(full)".to_string(),
+            ],
+        )
+        .unwrap();
     let mut table = Table::new(&["dataset", "mode", "epoch_s", "speedup"]);
     let mut frac_table = Table::new(&["dataset", "bp_busy", "dt_busy", "nn_busy"]);
     for (name, g) in transfer_graphs(SCALE_TRANSFER, 42) {
-        let mut cfg = HeteroTrainerConfig::baseline(&g, 2048);
-        cfg.transfer = TransferMethod::ZeroCopy;
         let mut times = Vec::new();
-        for mode in [PipelineMode::None, PipelineMode::OverlapBp, PipelineMode::Full] {
-            cfg.pipeline = mode;
-            let t = HeteroTrainer::new(&g, cfg.clone()).run_epoch_model(0);
-            times.push((mode, t));
+        for cfg in grid.configs(&reg).unwrap() {
+            let t = cfg.hetero_trainer(&g).run_epoch_model(0);
+            times.push((cfg.transfer.pipeline(), t));
         }
         let base = times[0].1.makespan;
         for (mode, t) in &times {

@@ -9,11 +9,17 @@
 
 use gnn_dm_bench::{one_graph, SCALE_TRANSFER};
 use gnn_dm_core::results::{pct, Table};
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::cache::CachePolicy;
 use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 
 fn main() {
+    let reg = Registry::builtin();
+    let spec = GridSpec {
+        batch_prep: "fanout(10,5)+fixed(64)".to_string(),
+        cache: "presample(0.3,1)".to_string(),
+        ..GridSpec::default()
+    };
+    let cfg = SystemConfig::from_spec(&reg, &spec).unwrap();
     let thresholds = [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
     let mut table = Table::new(&["dataset", "cache", "threshold", "explicit_ratio"]);
     for id in [DatasetId::Reddit, DatasetId::LiveJournal] {
@@ -23,11 +29,7 @@ fn main() {
         // (gives the feature array heterogeneous per-block density).
         let g = gnn_dm_graph::relabel::by_label(&g);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
-        let mut cfg = HeteroTrainerConfig::baseline(&g, 64);
-        cfg.fanouts = vec![10, 5];
-        cfg.cache_policy = Some(CachePolicy::PreSample);
-        cfg.cache_ratio = 0.3;
-        let mut trainer = HeteroTrainer::new(&g, cfg);
+        let mut trainer = cfg.hetero_trainer(&g);
         for (label, apply_cache) in [("without", false), ("with", true)] {
             let act = trainer.first_batch_activity(0, apply_cache);
             for &t in &thresholds {

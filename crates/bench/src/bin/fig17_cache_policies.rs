@@ -10,13 +10,12 @@
 
 use gnn_dm_bench::SCALE_TRANSFER;
 use gnn_dm_core::results::{f, pct, Table};
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::cache::CachePolicy;
-use gnn_dm_device::transfer::TransferMethod;
 use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
 use gnn_dm_graph::SplitMask;
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 
 fn main() {
+    let reg = Registry::builtin();
     let ratios = [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5];
     let mut table = Table::new(&["dataset", "policy", "cache_ratio", "hit_rate", "epoch_s"]);
     for id in [DatasetId::Amazon, DatasetId::OgbPapers] {
@@ -25,18 +24,26 @@ fn main() {
         // A sparse training set concentrates accesses (large graphs in the
         // paper have ~1% training vertices), making cache policy matter.
         g.split = SplitMask::random(g.num_vertices(), 0.08, 0.10, 0.82, 7);
-        for policy in [CachePolicy::Degree, CachePolicy::PreSample] {
+        for policy in ["degree", "sample"] {
             for &ratio in &ratios {
-                let mut cfg = HeteroTrainerConfig::baseline(&g, 128);
-                cfg.transfer = TransferMethod::ZeroCopy;
-                cfg.cache_policy = if ratio == 0.0 { None } else { Some(policy) };
-                cfg.cache_ratio = ratio;
-                cfg.presample_epochs = 3;
-                cfg.fanouts = vec![10, 5];
-                let t = HeteroTrainer::new(&g, cfg).run_epoch_model(0);
+                let cache = if ratio == 0.0 {
+                    "none".to_string()
+                } else if policy == "degree" {
+                    format!("degree({ratio})")
+                } else {
+                    format!("presample({ratio},3)")
+                };
+                let gspec = GridSpec {
+                    batch_prep: "fanout(10,5)+fixed(128)".to_string(),
+                    transfer: "zero-copy".to_string(),
+                    cache,
+                    ..GridSpec::default()
+                };
+                let cfg = SystemConfig::from_spec(&reg, &gspec).unwrap();
+                let t = cfg.hetero_trainer(&g).run_epoch_model(0);
                 table.row(&[
                     spec.name.into(),
-                    policy.name().into(),
+                    policy.into(),
                     format!("{ratio:.1}"),
                     pct(t.cache_hit_rate),
                     f(t.makespan),

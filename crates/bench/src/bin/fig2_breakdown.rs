@@ -9,8 +9,13 @@
 use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
 use gnn_dm_core::breakdown::{dnn_breakdown, gnn_breakdown};
 use gnn_dm_core::results::{pct, Table};
+use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
 
 fn main() {
+    let reg = Registry::builtin();
+    let cfg = SystemConfig::from_spec(&reg, &GridSpec::default()).unwrap();
+    let batch = cfg.batch_prep.batch_size(0);
+    let fanouts = cfg.batch_prep.fanouts().expect("default prep is fanout-based");
     let mut table = Table::new(&[
         "dataset",
         "workload",
@@ -21,7 +26,7 @@ fn main() {
         "epoch_s",
     ]);
     for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
-        let gnn = gnn_breakdown(&g, 512, vec![25, 10]);
+        let gnn = gnn_breakdown(&g, batch, fanouts.clone());
         let [p, bp, dt, nn] = gnn.fractions();
         table.row(&[
             name.into(),
@@ -32,7 +37,7 @@ fn main() {
             pct(nn),
             format!("{:.4}", gnn.total()),
         ]);
-        let dnn = dnn_breakdown(&g, 512, 128);
+        let dnn = dnn_breakdown(&g, batch, 128);
         let [p, bp, dt, nn] = dnn.fractions();
         table.row(&[
             name.into(),

@@ -9,31 +9,31 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig4_comp_load`
 
 use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
-use gnn_dm_cluster::ClusterSim;
 use gnn_dm_core::results::{f, Table};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, ClusterExperiment, Grid, GridSpec, Registry};
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![25, 10]);
+    let reg = Registry::builtin();
+    let grid = Grid::over(GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() })
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
     let mut table = Table::new(&[
         "dataset", "method", "w0", "w1", "w2", "w3", "total", "imbalance",
     ]);
     for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
-        for method in PartitionMethod::all() {
-            let part = partition_graph(&g, method, 4, 7);
-            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-            let report = sim.simulate_epoch(&sampler, 0);
-            let totals = report.compute.totals();
+        let exp = ClusterExperiment::paper(&g);
+        for cfg in grid.configs(&reg).unwrap() {
+            let run = exp.run(&cfg);
+            let totals = run.report.compute.totals();
             table.row(&[
                 name.into(),
-                method.name().into(),
+                cfg.partitioner.name().into(),
                 totals[0].to_string(),
                 totals[1].to_string(),
                 totals[2].to_string(),
                 totals[3].to_string(),
-                report.compute.grand_total().to_string(),
-                f(report.compute.imbalance()),
+                run.report.compute.grand_total().to_string(),
+                f(run.report.compute.imbalance()),
             ]);
         }
     }

@@ -9,13 +9,14 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig5_comm_load`
 
 use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
-use gnn_dm_cluster::ClusterSim;
 use gnn_dm_core::results::{f, mib, Table};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, ClusterExperiment, Grid, GridSpec, Registry};
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![25, 10]);
+    let reg = Registry::builtin();
+    let grid = Grid::over(GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() })
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
     let mut table = Table::new(&[
         "dataset",
         "method",
@@ -28,21 +29,24 @@ fn main() {
         "replication",
     ]);
     for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
-        for method in PartitionMethod::all() {
-            let part = partition_graph(&g, method, 4, 7);
-            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-            let report = sim.simulate_epoch(&sampler, 0);
-            let traffic = report.comm.traffic();
+        let exp = ClusterExperiment::paper(&g);
+        for cfg in grid.configs(&reg).unwrap() {
+            let run = exp.run(&cfg);
+            let traffic = run.report.comm.traffic();
             table.row(&[
                 name.into(),
-                method.name().into(),
+                cfg.partitioner.name().into(),
                 mib(traffic[0]),
                 mib(traffic[1]),
                 mib(traffic[2]),
                 mib(traffic[3]),
-                mib(report.comm.total_volume()),
-                if report.comm.total_volume() == 0 { "n/a".into() } else { f(report.comm.imbalance()) },
-                f(part.replication_factor()),
+                mib(run.report.comm.total_volume()),
+                if run.report.comm.total_volume() == 0 {
+                    "n/a".into()
+                } else {
+                    f(run.report.comm.imbalance())
+                },
+                f(run.part.replication_factor()),
             ]);
         }
     }

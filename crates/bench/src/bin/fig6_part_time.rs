@@ -12,11 +12,8 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig6_part_time`
 
 use gnn_dm_bench::{labelled_graphs_slim, SCALE_LOAD};
-use gnn_dm_cluster::sim::TimeModel;
-use gnn_dm_cluster::ClusterSim;
 use gnn_dm_core::results::{pct, Table};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, ClusterExperiment, ClusterRun, Grid, GridSpec, Registry};
 use std::time::Instant;
 
 /// Epochs-to-convergence assumed for the training denominator (the paper
@@ -24,7 +21,10 @@ use std::time::Instant;
 const EPOCHS: usize = 30;
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![25, 10]);
+    let reg = Registry::builtin();
+    let grid = Grid::over(GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() })
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
     let mut table = Table::new(&[
         "dataset",
         "method",
@@ -33,17 +33,21 @@ fn main() {
         "partition_share",
     ]);
     for (name, g) in labelled_graphs_slim(SCALE_LOAD, 42) {
-        for method in PartitionMethod::all() {
+        let exp = ClusterExperiment::paper(&g);
+        for cfg in grid.configs(&reg).unwrap() {
+            // Time the partitioner build itself; the rest of the run is
+            // assembled around the already-built partitioning.
             let start = Instant::now();
-            let part = partition_graph(&g, method, 4, 7);
+            let part = exp.partition(&cfg);
             let partition_s = start.elapsed().as_secs_f64();
-            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-            let report = sim.simulate_epoch(&sampler, 0);
-            let tm = TimeModel::paper_default(g.feat_dim(), 128, 1_000_000);
-            let train_s = sim.epoch_time(&report, &tm) * EPOCHS as f64;
+            let batch_size = cfg.batch_prep.batch_size(0);
+            let sampler = cfg.batch_prep.sampler(&g);
+            let report = exp.sim_with(&part, batch_size).simulate_epoch(&*sampler, 0);
+            let run = ClusterRun { part, report, batch_size };
+            let train_s = exp.epoch_time(&run) * EPOCHS as f64;
             table.row(&[
                 name.into(),
-                method.name().into(),
+                cfg.partitioner.name().into(),
                 format!("{partition_s:.3}"),
                 format!("{train_s:.3}"),
                 pct(partition_s / (partition_s + train_s)),

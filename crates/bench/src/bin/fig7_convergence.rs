@@ -9,17 +9,22 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig7_convergence`
 
 use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_distributed;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 15;
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![10, 5]);
+    let reg = Registry::builtin();
+    let base = GridSpec {
+        batch_prep: "fanout(10,5)+fixed(256)".to_string(),
+        parallel: "cluster(4)".to_string(),
+        ..GridSpec::default()
+    };
+    let grid = Grid::over(base)
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
     let datasets =
         [DatasetId::Reddit, DatasetId::OgbProducts, DatasetId::Amazon];
     let mut curves = Table::new(&["dataset", "method", "epoch", "sim_time_s", "val_acc"]);
@@ -27,31 +32,21 @@ fn main() {
     for id in datasets {
         let g = one_graph_slim(id, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
+        let exp = TrainExperiment::paper(&g, EPOCHS);
         // First pass to find the cross-method best accuracy for the target.
         let mut results = Vec::new();
-        for method in PartitionMethod::all() {
-            let part = partition_graph(&g, method, 4, 7);
-            let (res, epoch_s) = train_distributed(
-                &g,
-                &part,
-                ModelKind::Gcn,
-                64,
-                &sampler,
-                256,
-                0.01,
-                EPOCHS,
-                5,
-            );
-            results.push((method, res, epoch_s));
+        for cfg in grid.configs(&reg).unwrap() {
+            let (res, epoch_s) = exp.run_distributed(&cfg);
+            results.push((cfg, res, epoch_s));
         }
         let best_overall =
             results.iter().map(|(_, r, _)| r.best_acc).fold(0.0f64, f64::max);
         let target = 0.9 * best_overall;
-        for (method, res, _) in &results {
+        for (cfg, res, _) in &results {
             for p in &res.curve {
                 curves.row(&[
                     name.into(),
-                    method.name().into(),
+                    cfg.partitioner.name().into(),
                     p.epoch.to_string(),
                     f(p.sim_time),
                     f(p.val_acc),
@@ -59,7 +54,7 @@ fn main() {
             }
             summary.row(&[
                 name.into(),
-                method.name().into(),
+                cfg.partitioner.name().into(),
                 f(res.best_acc),
                 res.time_to(target).map_or("never".into(), f),
             ]);

@@ -7,27 +7,25 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig8_epoch_time`
 
 use gnn_dm_bench::{labelled_graphs, SCALE_LOAD};
-use gnn_dm_cluster::sim::TimeModel;
-use gnn_dm_cluster::ClusterSim;
 use gnn_dm_core::results::{f, Table};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, ClusterExperiment, Grid, GridSpec, Registry};
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![25, 10]);
+    let reg = Registry::builtin();
+    let grid = Grid::over(GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() })
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
     let mut table = Table::new(&["dataset", "method", "epoch_s", "vs_best"]);
     for (name, g) in labelled_graphs(SCALE_LOAD, 42) {
-        let tm = TimeModel::paper_default(g.feat_dim(), 128, 1_000_000);
+        let exp = ClusterExperiment::paper(&g);
         let mut rows = Vec::new();
-        for method in PartitionMethod::all() {
-            let part = partition_graph(&g, method, 4, 7);
-            let sim = ClusterSim { graph: &g, part: &part, batch_size: 512, seed: 3 };
-            let report = sim.simulate_epoch(&sampler, 0);
-            rows.push((method, sim.epoch_time(&report, &tm)));
+        for cfg in grid.configs(&reg).unwrap() {
+            let run = exp.run(&cfg);
+            rows.push((cfg.partitioner.name().to_string(), exp.epoch_time(&run)));
         }
         let best = rows.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
         for (method, t) in rows {
-            table.row(&[name.into(), method.name().into(), f(t), format!("{:.2}x", t / best)]);
+            table.row(&[name.into(), method, f(t), format!("{:.2}x", t / best)]);
         }
     }
     table.print("Figure 8: modelled epoch time per partitioning method");

@@ -7,32 +7,24 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin fig9_batch_size`
 
 use gnn_dm_bench::convergence_graph;
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_single;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 25;
 
 fn main() {
     let g = convergence_graph(DatasetId::Reddit, 42);
-    let sampler = FanoutSampler::new(vec![5, 5]);
+    let reg = Registry::builtin();
     let batch_sizes = [32usize, 128, 512, 2048, 5200];
+    let preps: Vec<String> =
+        batch_sizes.iter().map(|bs| format!("fanout(5,5)+fixed({bs})")).collect();
+    let grid = Grid::over(GridSpec::default()).vary(Axis::BatchPrep, preps).unwrap();
+    let exp = TrainExperiment::paper(&g, EPOCHS);
     let mut results = Vec::new();
-    for &bs in &batch_sizes {
-        let res = train_single(
-            &g,
-            ModelKind::Gcn,
-            64,
-            &sampler,
-            &BatchSelection::Random,
-            &BatchSizeSchedule::Fixed(bs),
-            0.01,
-            EPOCHS,
-            5,
-        );
-        results.push((bs, res));
+    for cfg in grid.configs(&reg).unwrap() {
+        let res = exp.run(&cfg);
+        results.push((cfg.batch_prep.batch_size(0), res));
     }
     let best_overall = results.iter().map(|(_, r)| r.best_acc).fold(0.0f64, f64::max);
     let lo = 0.90 * best_overall;

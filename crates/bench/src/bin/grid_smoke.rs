@@ -1,0 +1,80 @@
+//! Grid smoke — one executed config per registered axis value.
+//!
+//! Sweeps each axis of the builtin registry in turn (the other five axes
+//! held at the default [`GridSpec`]), runs every resulting `SystemConfig`
+//! end to end through [`run_config`], and prints cost **and** accuracy for
+//! each — the §14 reporting rule, exercised over the whole registry. The
+//! output is a golden: `scripts/run_all.sh grid_smoke` diffs it against
+//! `results/grid_smoke.txt`, so any drift in a registered axis
+//! implementation (or in the registry's pinned order) fails the gate.
+//!
+//! Run: `cargo run --release -p gnn-dm-bench --bin grid_smoke`
+
+use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
+use gnn_dm_core::results::{f, Table};
+use gnn_dm_graph::datasets::DatasetId;
+use gnn_dm_harness::{run_config, Axis, Grid, GridSpec, Registry};
+
+const EPOCHS: usize = 4;
+
+fn main() {
+    let g = one_graph_slim(DatasetId::OgbArxiv, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
+    let reg = Registry::builtin();
+    let mut table = Table::new(&[
+        "axis",
+        "spec",
+        "epoch_s",
+        "MiB_moved",
+        "hit_rate",
+        "batches",
+        "best_acc",
+        "test_acc",
+    ]);
+    let axes = [
+        (Axis::Partitioner, "partitioner"),
+        (Axis::BatchPrep, "batch-prep"),
+        (Axis::Transfer, "transfer"),
+        (Axis::Cache, "cache"),
+        (Axis::Parallel, "parallel"),
+        (Axis::Faults, "faults"),
+    ];
+    for (axis, name) in axes {
+        let specs = reg.specs(axis);
+        // The partitioner only acts on the distributed path, so its sweep
+        // runs on the cluster; the fault sweep uses small batches so the
+        // seeded plan has enough per-batch draws to actually fire; every
+        // other axis sweeps the single node at the default spec.
+        let base = match axis {
+            Axis::Partitioner => {
+                GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() }
+            }
+            Axis::Faults => GridSpec {
+                batch_prep: "fanout(10,5)+fixed(128)".to_string(),
+                ..GridSpec::default()
+            },
+            _ => GridSpec::default(),
+        };
+        let grid = Grid::over(base)
+            .vary(axis, specs.clone())
+            .expect("registered specs form a valid grid");
+        for (spec, cfg) in specs.iter().zip(grid.configs(&reg).expect("builtin specs resolve")) {
+            let r = run_config(&g, &cfg, EPOCHS);
+            table.row(&[
+                name.into(),
+                spec.clone(),
+                format!("{:.4}", r.epoch_s),
+                format!("{:.2}", r.bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.3}", r.cache_hit_rate),
+                r.num_batches.to_string(),
+                f(r.best_acc),
+                f(r.test_acc),
+            ]);
+        }
+    }
+    table.print("Grid smoke: every registered axis value, executed (Arxiv-class, 4 epochs)");
+    println!(
+        "Each row is one SystemConfig: the named spec on its axis, the other\n\
+         five axes at the GridSpec default. Cost and accuracy are reported\n\
+         together per the harness reporting rule (DESIGN.md \u{a7}14)."
+    );
+}

@@ -7,37 +7,32 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin tab4_accuracy`
 
 use gnn_dm_bench::{one_graph_slim, SCALE_TRAIN, TRAIN_FEAT_DIM};
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::train_distributed;
 use gnn_dm_core::results::{pct, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 15;
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![10, 5]);
+    let reg = Registry::builtin();
+    let base = GridSpec {
+        batch_prep: "fanout(10,5)+fixed(256)".to_string(),
+        parallel: "cluster(4)".to_string(),
+        ..GridSpec::default()
+    };
+    let grid = Grid::over(base)
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .unwrap();
     let mut table = Table::new(&[
         "dataset", "Hash", "Metis-V", "Metis-VE", "Metis-VET", "Stream-V", "Stream-B", "diff",
     ]);
     for id in [DatasetId::Reddit, DatasetId::OgbProducts, DatasetId::Amazon] {
         let g = one_graph_slim(id, SCALE_TRAIN, TRAIN_FEAT_DIM, 42);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
+        let exp = TrainExperiment::paper(&g, EPOCHS);
         let mut accs = Vec::new();
-        for method in PartitionMethod::all() {
-            let part = partition_graph(&g, method, 4, 7);
-            let (res, _) = train_distributed(
-                &g,
-                &part,
-                ModelKind::Gcn,
-                64,
-                &sampler,
-                256,
-                0.01,
-                EPOCHS,
-                5,
-            );
+        for cfg in grid.configs(&reg).unwrap() {
+            let (res, _) = exp.run_distributed(&cfg);
             accs.push(res.best_acc);
         }
         let max = accs.iter().copied().fold(0.0f64, f64::max);

@@ -12,13 +12,18 @@ use gnn_dm_bench::{one_graph, SCALE_LOAD};
 use gnn_dm_core::convergence::modeled_epoch_seconds;
 use gnn_dm_core::results::Table;
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_partition::metis_clusters;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry};
 use gnn_dm_sampling::epoch::EpochPlan;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
 
 fn main() {
-    let sampler = FanoutSampler::new(vec![25, 10]);
-    let schedule = BatchSizeSchedule::Fixed(512);
+    let reg = Registry::builtin();
+    let selections: Vec<(&str, &str)> = vec![
+        ("random", "fanout(25,10)+fixed(512)"),
+        ("cluster-based", "fanout(25,10)+fixed(512)+cluster(24,1)"),
+    ];
+    let grid = Grid::over(GridSpec::default())
+        .vary(Axis::BatchPrep, selections.iter().map(|(_, s)| s.to_string()).collect())
+        .unwrap();
     let mut table = Table::new(&[
         "dataset",
         "method",
@@ -30,18 +35,16 @@ fn main() {
         let g = one_graph(id, SCALE_LOAD, 42);
         let name = gnn_dm_graph::datasets::DatasetSpec::get(id).name;
         let train = g.train_vertices();
-        let clusters = metis_clusters(&g, 24, 1);
-        let selections: Vec<(&str, BatchSelection)> = vec![
-            ("random", BatchSelection::Random),
-            ("cluster-based", BatchSelection::ClusterBased { clusters }),
-        ];
-        for (label, sel) in &selections {
+        for (&(label, _), cfg) in selections.iter().zip(grid.configs(&reg).unwrap()) {
+            let sel = cfg.batch_prep.selection(&g);
+            let sampler = cfg.batch_prep.sampler(&g);
+            let schedule = cfg.batch_prep.schedule();
             let plan = EpochPlan {
                 in_csr: &g.inn,
                 train: &train,
-                selection: sel,
+                selection: &sel,
                 schedule: &schedule,
-                sampler: &sampler,
+                sampler: &*sampler,
                 seed: 5,
             };
             let stats = plan.run_for_stats(0, None);
@@ -49,7 +52,7 @@ fn main() {
                 modeled_epoch_seconds(&g, stats.involved_vertices, stats.involved_edges, 128);
             table.row(&[
                 name.into(),
-                (*label).into(),
+                label.into(),
                 format!("{t:.4}"),
                 format!("{:.2}M", stats.involved_vertices as f64 / 1e6),
                 format!("{:.2}M", stats.involved_edges as f64 / 1e6),

@@ -12,11 +12,11 @@ use gnn_dm_core::config::ModelKind;
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
 use gnn_dm_graph::stats::degree_classes;
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry};
 use gnn_dm_nn::optim::Adam;
 use gnn_dm_nn::train::{evaluate, train_epoch};
 use gnn_dm_nn::GnnModel;
 use gnn_dm_sampling::epoch::EpochPlan;
-use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, FanoutSampler};
 
 const EPOCHS: usize = 16;
 
@@ -29,21 +29,29 @@ fn main() {
     let low: Vec<u32> = low_all.into_iter().filter(|v| val.contains(v)).collect();
     let high: Vec<u32> = high_all.into_iter().filter(|v| val.contains(v)).collect();
 
+    let reg = Registry::builtin();
+    let fanouts = [4usize, 8, 16, 32];
+    let grid = Grid::over(GridSpec::default())
+        .vary(
+            Axis::BatchPrep,
+            fanouts.iter().map(|k| format!("fanout({k},{k})+fixed(256)")).collect::<Vec<_>>(),
+        )
+        .unwrap();
     let mut table = Table::new(&["fanout", "low_degree_acc", "high_degree_acc"]);
-    for k in [4usize, 8, 16, 32] {
-        let sampler = FanoutSampler::new(vec![k, k]);
+    for (&k, cfg) in fanouts.iter().zip(grid.configs(&reg).unwrap()) {
+        let sampler = cfg.batch_prep.sampler(&g);
+        let selection = cfg.batch_prep.selection(&g);
+        let schedule = cfg.batch_prep.schedule();
         let mut model =
             GnnModel::new(ModelKind::Gcn.agg(), &[g.feat_dim(), 64, g.num_classes], 5);
         let mut opt = Adam::new(0.01);
         let train = g.train_vertices();
-        let selection = BatchSelection::Random;
-        let schedule = BatchSizeSchedule::Fixed(256);
         let plan = EpochPlan {
             in_csr: &g.inn,
             train: &train,
             selection: &selection,
             schedule: &schedule,
-            sampler: &sampler,
+            sampler: &*sampler,
             seed: 5,
         };
         for e in 0..EPOCHS {

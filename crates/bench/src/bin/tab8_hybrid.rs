@@ -8,42 +8,32 @@
 //! Run: `cargo run --release -p gnn-dm-bench --bin tab8_hybrid`
 
 use gnn_dm_bench::convergence_graph;
-use gnn_dm_core::config::ModelKind;
-use gnn_dm_core::convergence::{train_single, ConvergenceResult};
 use gnn_dm_core::results::{f, Table};
 use gnn_dm_graph::datasets::DatasetId;
-use gnn_dm_sampling::{
-    BatchSelection, BatchSizeSchedule, FanoutSampler, HybridSampler, NeighborSampler,
-};
+use gnn_dm_harness::{Axis, Grid, GridSpec, Registry, TrainExperiment};
 
 const EPOCHS: usize = 20;
 
 fn main() {
     let g = convergence_graph(DatasetId::OgbArxiv, 42);
-    let run = |sampler: &(dyn NeighborSampler + Sync)| -> ConvergenceResult {
-        train_single(
-            &g,
-            ModelKind::Gcn,
-            64,
-            sampler,
-            &BatchSelection::Random,
-            &BatchSizeSchedule::Fixed(256),
-            0.01,
-            EPOCHS,
-            5,
-        )
-    };
-    let configs: Vec<(String, ConvergenceResult)> = vec![
-        ("fanout(4,4)".into(), run(&FanoutSampler::new(vec![4, 4]))),
-        ("fanout(8,8)".into(), run(&FanoutSampler::new(vec![8, 8]))),
-        ("fanout(10,15)".into(), run(&FanoutSampler::new(vec![10, 15]))),
-        ("fanout(10,25)".into(), run(&FanoutSampler::new(vec![10, 25]))),
-        ("fanout(32,32)".into(), run(&FanoutSampler::new(vec![32, 32]))),
-        (
-            "hybrid(f=8,r=0.3,thr=24)".into(),
-            run(&HybridSampler::new(vec![8, 8], vec![0.3, 0.3], 24)),
-        ),
+    let reg = Registry::builtin();
+    let exp = TrainExperiment::paper(&g, EPOCHS);
+    let samplers: Vec<(&str, &str)> = vec![
+        ("fanout(4,4)", "fanout(4,4)+fixed(256)"),
+        ("fanout(8,8)", "fanout(8,8)+fixed(256)"),
+        ("fanout(10,15)", "fanout(10,15)+fixed(256)"),
+        ("fanout(10,25)", "fanout(10,25)+fixed(256)"),
+        ("fanout(32,32)", "fanout(32,32)+fixed(256)"),
+        ("hybrid(f=8,r=0.3,thr=24)", "hybrid(8,8;0.3,0.3;thr=24)+fixed(256)"),
     ];
+    let grid = Grid::over(GridSpec::default())
+        .vary(Axis::BatchPrep, samplers.iter().map(|(_, s)| s.to_string()).collect())
+        .unwrap();
+    let configs: Vec<_> = samplers
+        .iter()
+        .zip(grid.configs(&reg).unwrap())
+        .map(|(&(label, _), cfg)| (label.to_string(), exp.run(&cfg)))
+        .collect();
     let best = configs.iter().map(|(_, r)| r.best_acc).fold(0.0f64, f64::max);
     let target = 0.97 * best;
     let mut table = Table::new(&["config", "accuracy", "time_to_97%best_s"]);

@@ -8,18 +8,14 @@
 //! `cargo run --release -p gnn-dm-bench --bin trace_export`)
 
 use gnn_dm_cluster::ledger::{comm_ledger_from_spans, compute_ledger_from_spans};
-use gnn_dm_cluster::sim::{ClusterSim, TimeModel};
-use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm_device::pipeline::PipelineMode;
-use gnn_dm_device::transfer::TransferMethod;
 use gnn_dm_graph::generate::{planted_partition, PplConfig};
+use gnn_dm_harness::{ClusterExperiment, GridSpec, Registry, SystemConfig};
 use gnn_dm_nn::{AggKind, GnnModel};
-use gnn_dm_partition::{partition_graph, PartitionMethod};
-use gnn_dm_sampling::FanoutSampler;
 use std::fs;
 
 fn main() {
     fs::create_dir_all("results").expect("create results/");
+    let reg = Registry::builtin();
     let g = planted_partition(&PplConfig {
         n: 4000,
         avg_degree: 15.0,
@@ -31,11 +27,16 @@ fn main() {
 
     // Single-node epoch: zero-copy transfer under the full BP/DT/NN
     // pipeline, replayed on the CPU / PCIe / GPU lanes.
-    let mut cfg = HeteroTrainerConfig::baseline(&g, 512);
-    cfg.fanouts = vec![10, 5];
-    cfg.transfer = TransferMethod::ZeroCopy;
-    cfg.pipeline = PipelineMode::Full;
-    let mut trainer = HeteroTrainer::new(&g, cfg);
+    let cfg = SystemConfig::from_spec(
+        &reg,
+        &GridSpec {
+            batch_prep: "fanout(10,5)+fixed(512)".to_string(),
+            transfer: "zero-copy+pipe(full)".to_string(),
+            ..GridSpec::default()
+        },
+    )
+    .expect("builtin hetero trace config");
+    let mut trainer = cfg.hetero_trainer(&g);
     let (timings, tl) = trainer.run_epoch_traced(0);
     fs::write("results/trace_hetero.json", tl.to_chrome_trace()).expect("write trace_hetero");
     println!(
@@ -52,12 +53,23 @@ fn main() {
     // Cluster epoch: 4 workers under Metis-V partitioning. The epoch
     // timeline chains Sample -> Exchange -> NN per worker and ends with
     // the gradient all-reduce span.
-    let part = partition_graph(&g, PartitionMethod::MetisV, 4, 7);
-    let sim = ClusterSim { graph: &g, part: &part, batch_size: 256, seed: 3 };
-    let sampler = FanoutSampler::new(vec![10, 5]);
-    let (report, load_tl) = sim.simulate_epoch_traced(&sampler, 0);
+    let ccfg = SystemConfig::from_spec(
+        &reg,
+        &GridSpec {
+            partitioner: "metis-v".to_string(),
+            batch_prep: "fanout(10,5)+fixed(256)".to_string(),
+            parallel: "cluster(4)".to_string(),
+            ..GridSpec::default()
+        },
+    )
+    .expect("builtin cluster trace config");
     let model = GnnModel::new(AggKind::Gcn, &[g.feat_dim(), 128, g.num_classes], 1);
-    let tm = TimeModel::paper_default(g.feat_dim(), 128, model.param_bytes());
+    let exp = ClusterExperiment { param_bytes: model.param_bytes(), ..ClusterExperiment::paper(&g) };
+    let part = exp.partition(&ccfg);
+    let sampler = ccfg.batch_prep.sampler(&g);
+    let sim = exp.sim_with(&part, ccfg.batch_prep.batch_size(0));
+    let (report, load_tl) = sim.simulate_epoch_traced(&*sampler, 0);
+    let tm = exp.time_model();
     let time_tl = sim.epoch_timeline(&report, &tm);
     fs::write("results/trace_cluster.json", time_tl.to_chrome_trace())
         .expect("write trace_cluster");

@@ -45,6 +45,8 @@ pub struct HeteroTrainerConfig {
     pub cache_ratio: f64,
     /// Profiling epochs for the pre-sampling policy.
     pub presample_epochs: usize,
+    /// Batch selection policy (which training vertices form each batch).
+    pub selection: BatchSelection,
     /// RNG seed.
     pub seed: u64,
 }
@@ -62,6 +64,7 @@ impl HeteroTrainerConfig {
             cache_policy: None,
             cache_ratio: 0.0,
             presample_epochs: 1,
+            selection: BatchSelection::Random,
             seed: 42,
         }
     }
@@ -118,7 +121,7 @@ impl<'g> HeteroTrainer<'g> {
                 let mut tracker = AccessTracker::new(n);
                 let train = graph.train_vertices();
                 let sampler = FanoutSampler::new(cfg.fanouts.clone());
-                let selection = BatchSelection::Random;
+                let selection = cfg.selection.clone();
                 let schedule = BatchSizeSchedule::Fixed(cfg.batch_size);
                 let plan = EpochPlan {
                     in_csr: &graph.inn,
@@ -190,7 +193,7 @@ impl<'g> HeteroTrainer<'g> {
     ) -> (EpochTimings, Timeline) {
         let train = self.graph.train_vertices();
         let sampler = FanoutSampler::new(self.cfg.fanouts.clone());
-        let selection = BatchSelection::Random;
+        let selection = self.cfg.selection.clone();
         let schedule = BatchSizeSchedule::Fixed(self.cfg.batch_size);
         let plan = EpochPlan {
             in_csr: &self.graph.inn,
@@ -256,7 +259,7 @@ impl<'g> HeteroTrainer<'g> {
     pub fn first_batch_activity(&mut self, epoch: usize, apply_cache: bool) -> BlockActivity {
         let train = self.graph.train_vertices();
         let sampler = FanoutSampler::new(self.cfg.fanouts.clone());
-        let selection = BatchSelection::Random;
+        let selection = self.cfg.selection.clone();
         let schedule = BatchSizeSchedule::Fixed(self.cfg.batch_size);
         let plan = EpochPlan {
             in_csr: &self.graph.inn,

@@ -1,0 +1,119 @@
+//! The six evaluation axes, each a trait object.
+//!
+//! A trait per axis keeps the composition open: anything that can build a
+//! partitioning is a [`Partitioner`], anything that can describe batch
+//! construction is a [`BatchPrep`], and so on. Builtin adapters (in
+//! [`crate::builtin`]) wrap the existing crates without touching their
+//! numeric paths; out-of-tree implementations register through
+//! [`crate::Registry`] and immediately participate in every grid.
+//!
+//! Every implementation carries two strings:
+//!
+//! - `name()` — the display label used in result tables (matches the
+//!   paper's figure labels for builtins, e.g. `Metis-VE`, `zero-copy`).
+//! - `spec()` — the canonical registry spec that resolves back to an
+//!   equivalent object (e.g. `metis-ve`, `zero-copy+pipe(bp)`). Specs
+//!   never contain `/`, which [`crate::SystemConfig::id`] uses as the
+//!   axis separator.
+
+use gnn_dm_device::cache::{CachePolicy as DevCachePolicy, FeatureCache};
+use gnn_dm_device::pipeline::PipelineMode;
+use gnn_dm_device::transfer::TransferMethod;
+use gnn_dm_faults::FaultPlan as InjectedFaultPlan;
+use gnn_dm_graph::Graph;
+use gnn_dm_partition::GnnPartitioning;
+use gnn_dm_sampling::epoch::AccessTracker;
+use gnn_dm_sampling::{BatchSelection, BatchSizeSchedule, NeighborSampler};
+
+/// Axis 1 — graph partitioning (§5, Table 3).
+pub trait Partitioner: Send + Sync {
+    /// Display name matching the paper's figures (e.g. `Metis-VE`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec (e.g. `metis-ve`, `stream-v(fast)`).
+    fn spec(&self) -> String;
+    /// Builds the partitioning. `k` and `seed` come from the experiment,
+    /// not the spec, so one spec serves every cluster size.
+    fn build(&self, graph: &Graph, k: usize, seed: u64) -> GnnPartitioning;
+}
+
+/// Axis 2 — batch preparation: sampler, batch-size schedule, and batch
+/// selection policy (§6, Figures 9–12).
+pub trait BatchPrep: Send + Sync {
+    /// Display name (e.g. `fanout(25,10)`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec (e.g. `fanout(25,10)+fixed(512)`).
+    fn spec(&self) -> String;
+    /// Builds the neighbor sampler.
+    fn sampler(&self, graph: &Graph) -> Box<dyn NeighborSampler + Sync>;
+    /// Per-layer fanouts when the sampler is fanout-shaped (the hetero
+    /// trainer's sampling cost model needs them); `None` otherwise.
+    fn fanouts(&self) -> Option<Vec<usize>>;
+    /// Builds the batch selection policy (`Random` or `ClusterBased`).
+    fn selection(&self, graph: &Graph) -> BatchSelection;
+    /// The batch-size schedule.
+    fn schedule(&self) -> BatchSizeSchedule;
+    /// Batch size at `epoch` (derived from the schedule).
+    fn batch_size(&self, epoch: usize) -> usize {
+        self.schedule().batch_size_at(epoch)
+    }
+}
+
+/// Axis 3 — host↔device data transfer (§7.2, Figures 13–14).
+pub trait TransferPolicy: Send + Sync {
+    /// Display name matching Figure 13 (e.g. `zero-copy`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec (e.g. `zero-copy+pipe(bp)`).
+    fn spec(&self) -> String;
+    /// The transfer cost method.
+    fn method(&self) -> TransferMethod;
+    /// The pipeline overlap mode.
+    fn pipeline(&self) -> PipelineMode;
+    /// Zero-copy efficiency override for the transfer engine, if any.
+    fn zero_copy_efficiency(&self) -> Option<f64>;
+}
+
+/// Axis 4 — GPU feature caching (§7.3, Figure 17).
+pub trait CachePolicy: Send + Sync {
+    /// Display name (e.g. `degree(0.3)`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec.
+    fn spec(&self) -> String;
+    /// The device-crate policy enum, `None` when caching is disabled.
+    fn device_policy(&self) -> Option<DevCachePolicy>;
+    /// Fraction of vertices to cache.
+    fn ratio(&self) -> f64;
+    /// Profiling epochs for the pre-sampling policy (1 otherwise).
+    fn presample_epochs(&self) -> usize;
+    /// Builds the cache. `profile` runs the profiling workload against an
+    /// [`AccessTracker`] — only the pre-sampling policy invokes it; the
+    /// caller decides what a "profiling epoch" replays.
+    fn build(
+        &self,
+        graph: &Graph,
+        capacity: usize,
+        profile: &mut dyn FnMut(&mut AccessTracker),
+    ) -> FeatureCache;
+}
+
+/// Axis 5 — parallelization mode: single heterogeneous node or a
+/// simulated multi-worker cluster (§4 taxonomy, Figures 4–8).
+pub trait ParallelMode: Send + Sync {
+    /// Display name (e.g. `cluster(4)`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec.
+    fn spec(&self) -> String;
+    /// Number of workers / partitions (1 for single-node).
+    fn workers(&self) -> usize;
+    /// Whether execution routes through the cluster simulator.
+    fn distributed(&self) -> bool;
+}
+
+/// Axis 6 — fault injection (robustness extension, `ext_faults_*`).
+pub trait FaultPlan: Send + Sync {
+    /// Display name (e.g. `uniform(13,0.25)`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec.
+    fn spec(&self) -> String;
+    /// Materializes the injected fault plan.
+    fn plan(&self) -> InjectedFaultPlan;
+}

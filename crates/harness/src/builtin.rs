@@ -1,0 +1,842 @@
+//! Builtin axis implementations: adapters over the existing crates.
+//!
+//! Every adapter here is wiring only — each `build`/`plan`/`sampler` call
+//! delegates to the exact constructor the pre-harness experiment bins
+//! called, with the same arguments in the same order, so routing a bin
+//! through the registry cannot change a single output byte.
+//!
+//! Spec grammar (canonical forms; `parse_*` also accepts them back):
+//!
+//! | axis        | specs                                                                 |
+//! |-------------|-----------------------------------------------------------------------|
+//! | partitioner | `hash`, `metis-v`, `metis-ve`, `metis-vet`, `stream-v`, `stream-b`, `stream-v(faithful\|fast)`, `stream-b(faithful\|fast)`, `metis-raw(refine=N)` |
+//! | batch-prep  | `<sampler>+<schedule>[+cluster(k,seed)]` with sampler `fanout(f,..)`, `rate(r,..;min=M)`, `hybrid(f,..;r,..;thr=T)`, `importance(f,..;invdeg2)` and schedule `fixed(B)`, `adaptive(start,max,xG,everyE)`, `steps(e:b,..)` |
+//! | transfer    | `extract-load`, `zero-copy`, `hybrid(T)`, each optionally `+pipe(bp\|full)` and/or `+eff(E)` |
+//! | cache       | `none`, `degree(R)`, `presample(R,E)`                                 |
+//! | parallel    | `single`, `cluster(K)`                                                |
+//! | faults      | `none`, `uniform(SEED,RATE)`                                          |
+
+use std::sync::Arc;
+
+use gnn_dm_device::cache::{CachePolicy as DevCachePolicy, FeatureCache};
+use gnn_dm_device::pipeline::PipelineMode;
+use gnn_dm_device::transfer::TransferMethod;
+use gnn_dm_faults::FaultPlan as InjectedFaultPlan;
+use gnn_dm_graph::Graph;
+use gnn_dm_partition::metis::{constraint_vectors, multilevel_partition, MetisConfig, MetisVariant};
+use gnn_dm_partition::stream::{stream_b, stream_b_fast, stream_v, stream_v_fast, DEFAULT_BLOCK_SIZE};
+use gnn_dm_partition::{metis_clusters, partition_graph, GnnPartitioning, PartitionMethod};
+use gnn_dm_sampling::epoch::AccessTracker;
+use gnn_dm_sampling::sampler::ImportanceSampler;
+use gnn_dm_sampling::{
+    BatchSelection, BatchSizeSchedule, FanoutSampler, HybridSampler, NeighborSampler, RateSampler,
+};
+
+use crate::axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+use crate::error::HarnessError;
+
+// ---------------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------------
+
+/// Splits `head(args)` into `(head, args)`; `None` when there is no
+/// parenthesized argument list.
+fn call_args(s: &str) -> Option<(&str, &str)> {
+    let open = s.find('(')?;
+    if !s.ends_with(')') || s.len() < open + 2 {
+        return None;
+    }
+    Some((&s[..open], &s[open + 1..s.len() - 1]))
+}
+
+fn p_usize(axis: &str, spec: &str, s: &str) -> Result<usize, HarnessError> {
+    s.trim()
+        .parse()
+        .map_err(|_| HarnessError::bad_spec(axis, spec, &format!("`{s}` is not an integer")))
+}
+
+fn p_u64(axis: &str, spec: &str, s: &str) -> Result<u64, HarnessError> {
+    s.trim()
+        .parse()
+        .map_err(|_| HarnessError::bad_spec(axis, spec, &format!("`{s}` is not an integer")))
+}
+
+fn p_f64(axis: &str, spec: &str, s: &str) -> Result<f64, HarnessError> {
+    s.trim()
+        .parse()
+        .map_err(|_| HarnessError::bad_spec(axis, spec, &format!("`{s}` is not a number")))
+}
+
+fn p_usize_list(axis: &str, spec: &str, s: &str) -> Result<Vec<usize>, HarnessError> {
+    s.split(',').map(|t| p_usize(axis, spec, t)).collect()
+}
+
+fn p_f64_list(axis: &str, spec: &str, s: &str) -> Result<Vec<f64>, HarnessError> {
+    s.split(',').map(|t| p_f64(axis, spec, t)).collect()
+}
+
+/// Canonical float formatting: integral values print without a decimal
+/// point so specs round-trip byte-identically.
+fn fmt_f64(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn join_usize(xs: &[usize]) -> String {
+    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn join_f64(xs: &[f64]) -> String {
+    xs.iter().map(|x| fmt_f64(*x)).collect::<Vec<_>>().join(",")
+}
+
+// ---------------------------------------------------------------------------
+// Axis 1 — partitioners
+// ---------------------------------------------------------------------------
+
+/// Adapter over [`partition_graph`]'s method dispatcher (Table 3's six
+/// methods, including Stream-V's fixed 2-hop halo and Stream-B's paper
+/// block size).
+#[derive(Debug, Clone, Copy)]
+pub struct MethodPartitioner(pub PartitionMethod);
+
+/// Canonical spec for a [`PartitionMethod`].
+pub fn method_spec(m: PartitionMethod) -> &'static str {
+    match m {
+        PartitionMethod::Hash => "hash",
+        PartitionMethod::MetisV => "metis-v",
+        PartitionMethod::MetisVE => "metis-ve",
+        PartitionMethod::MetisVET => "metis-vet",
+        PartitionMethod::StreamV => "stream-v",
+        PartitionMethod::StreamB => "stream-b",
+    }
+}
+
+impl Partitioner for MethodPartitioner {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn spec(&self) -> String {
+        method_spec(self.0).to_string()
+    }
+
+    fn build(&self, graph: &Graph, k: usize, seed: u64) -> GnnPartitioning {
+        partition_graph(graph, self.0, k, seed)
+    }
+}
+
+/// Direct streaming-implementation adapter (`ablate_stream_impl`): picks
+/// the faithful or fast variant explicitly instead of going through the
+/// dispatcher. Stream-V uses the paper's 2-hop halo; Stream-B uses the
+/// default block size with the build-time seed.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamImpl {
+    /// Block-streaming (Stream-B) rather than vertex-streaming (Stream-V).
+    pub block: bool,
+    /// Fast (optimized) implementation rather than the faithful one.
+    pub fast: bool,
+}
+
+impl Partitioner for StreamImpl {
+    fn name(&self) -> &str {
+        match (self.block, self.fast) {
+            (false, false) => "stream_v (faithful)",
+            (false, true) => "stream_v_fast",
+            (true, false) => "stream_b (faithful)",
+            (true, true) => "stream_b_fast",
+        }
+    }
+
+    fn spec(&self) -> String {
+        format!(
+            "stream-{}({})",
+            if self.block { "b" } else { "v" },
+            if self.fast { "fast" } else { "faithful" }
+        )
+    }
+
+    fn build(&self, graph: &Graph, k: usize, seed: u64) -> GnnPartitioning {
+        match (self.block, self.fast) {
+            (false, false) => stream_v(graph, k, 2),
+            (false, true) => stream_v_fast(graph, k, 2),
+            (true, false) => stream_b(graph, k, DEFAULT_BLOCK_SIZE, seed),
+            (true, true) => stream_b_fast(graph, k, DEFAULT_BLOCK_SIZE, seed),
+        }
+    }
+}
+
+/// Raw multilevel-Metis adapter with an explicit refinement-pass count
+/// (`ablate_metis_refine`): VE constraints, the same adjacency rebuild as
+/// `metis_extend`, coarsening floor 64.
+#[derive(Debug, Clone, Copy)]
+pub struct MetisRaw {
+    /// Boundary-refinement passes per level.
+    pub refine_passes: usize,
+}
+
+impl Partitioner for MetisRaw {
+    fn name(&self) -> &str {
+        "Metis-raw"
+    }
+
+    fn spec(&self) -> String {
+        format!("metis-raw(refine={})", self.refine_passes)
+    }
+
+    fn build(&self, graph: &Graph, k: usize, seed: u64) -> GnnPartitioning {
+        let (vwgt, eps) = constraint_vectors(graph, MetisVariant::VE);
+        // Rebuild the adjacency the same way metis_extend does.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); graph.num_vertices()];
+        for v in 0..graph.num_vertices() as u32 {
+            for &u in graph.out.neighbors(v) {
+                adj[v as usize].push((u, 1.0));
+            }
+        }
+        let cfg = MetisConfig { k, eps, coarsen_until: 64, refine_passes: self.refine_passes, seed };
+        let assignment = multilevel_partition(&adj, vwgt, &cfg);
+        GnnPartitioning::new(assignment, k)
+    }
+}
+
+/// Parses a partitioner spec (named methods plus the `stream-*(impl)` and
+/// `metis-raw(refine=N)` families).
+pub fn parse_partitioner(spec: &str) -> Result<Arc<dyn Partitioner>, HarnessError> {
+    for m in PartitionMethod::all() {
+        if spec == method_spec(m) {
+            return Ok(Arc::new(MethodPartitioner(m)));
+        }
+    }
+    if let Some((head, args)) = call_args(spec) {
+        match head {
+            "stream-v" | "stream-b" => {
+                let fast = match args {
+                    "faithful" => false,
+                    "fast" => true,
+                    _ => {
+                        return Err(HarnessError::bad_spec(
+                            "partitioner",
+                            spec,
+                            "implementation must be `faithful` or `fast`",
+                        ))
+                    }
+                };
+                return Ok(Arc::new(StreamImpl { block: head == "stream-b", fast }));
+            }
+            "metis-raw" => {
+                let passes = args.strip_prefix("refine=").ok_or_else(|| {
+                    HarnessError::bad_spec("partitioner", spec, "expected `refine=N`")
+                })?;
+                return Ok(Arc::new(MetisRaw { refine_passes: p_usize("partitioner", spec, passes)? }));
+            }
+            _ => {}
+        }
+    }
+    Err(HarnessError::bad_spec("partitioner", spec, "unknown partitioner"))
+}
+
+// ---------------------------------------------------------------------------
+// Axis 2 — batch preparation
+// ---------------------------------------------------------------------------
+
+/// Which neighbor sampler a [`BuiltinPrep`] builds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplerSpec {
+    /// Per-layer fanout sampling (GraphSAGE style).
+    Fanout(Vec<usize>),
+    /// Per-layer rate sampling with a minimum neighbor floor.
+    Rate {
+        /// Per-layer sampling rates.
+        rates: Vec<f64>,
+        /// Minimum neighbors kept per vertex.
+        min: usize,
+    },
+    /// Degree-thresholded hybrid of fanout and rate sampling.
+    Hybrid {
+        /// Per-layer fanouts (low-degree vertices).
+        fanouts: Vec<usize>,
+        /// Per-layer rates (high-degree vertices).
+        rates: Vec<f64>,
+        /// Degree threshold separating the two regimes.
+        threshold: usize,
+    },
+    /// Importance sampling weighted by squared inverse degree
+    /// (`ablate_importance_cache`'s anti-degree access distribution).
+    ImportanceInvDeg2(Vec<usize>),
+}
+
+impl SamplerSpec {
+    fn spec(&self) -> String {
+        match self {
+            SamplerSpec::Fanout(fs) => format!("fanout({})", join_usize(fs)),
+            SamplerSpec::Rate { rates, min } => {
+                format!("rate({};min={})", join_f64(rates), min)
+            }
+            SamplerSpec::Hybrid { fanouts, rates, threshold } => {
+                format!("hybrid({};{};thr={})", join_usize(fanouts), join_f64(rates), threshold)
+            }
+            SamplerSpec::ImportanceInvDeg2(fs) => {
+                format!("importance({};invdeg2)", join_usize(fs))
+            }
+        }
+    }
+}
+
+/// Which batch selection policy a [`BuiltinPrep`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionSpec {
+    /// Shuffled random batches (the paper's default).
+    Random,
+    /// Cluster-based selection over `metis_clusters(graph, k, seed)`.
+    Cluster {
+        /// Number of clusters.
+        k: usize,
+        /// Clustering seed.
+        seed: u64,
+    },
+}
+
+/// The builtin [`BatchPrep`]: sampler + schedule + selection, each
+/// delegating to the sampling crate's constructors.
+#[derive(Debug, Clone)]
+pub struct BuiltinPrep {
+    /// Sampler family and parameters.
+    pub sampler_spec: SamplerSpec,
+    /// Batch-size schedule.
+    pub schedule_spec: BatchSizeSchedule,
+    /// Batch selection policy.
+    pub selection_spec: SelectionSpec,
+    name: String,
+    spec: String,
+}
+
+impl BuiltinPrep {
+    /// Assembles a prep axis from its three parts.
+    pub fn new(
+        sampler: SamplerSpec,
+        schedule: BatchSizeSchedule,
+        selection: SelectionSpec,
+    ) -> Self {
+        let name = sampler.spec();
+        let mut spec = format!("{}+{}", sampler.spec(), schedule_spec_str(&schedule));
+        if let SelectionSpec::Cluster { k, seed } = selection {
+            spec.push_str(&format!("+cluster({k},{seed})"));
+        }
+        BuiltinPrep { sampler_spec: sampler, schedule_spec: schedule, selection_spec: selection, name, spec }
+    }
+}
+
+fn schedule_spec_str(s: &BatchSizeSchedule) -> String {
+    match s {
+        BatchSizeSchedule::Fixed(b) => format!("fixed({b})"),
+        BatchSizeSchedule::Adaptive { start, max, growth, grow_every } => {
+            format!("adaptive({start},{max},x{},every{grow_every})", fmt_f64(*growth))
+        }
+        BatchSizeSchedule::Steps(table) => {
+            let entries: Vec<String> =
+                table.iter().map(|(e, b)| format!("{e}:{b}")).collect();
+            format!("steps({})", entries.join(","))
+        }
+    }
+}
+
+impl BatchPrep for BuiltinPrep {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> String {
+        self.spec.clone()
+    }
+
+    fn sampler(&self, graph: &Graph) -> Box<dyn NeighborSampler + Sync> {
+        match &self.sampler_spec {
+            SamplerSpec::Fanout(fs) => Box::new(FanoutSampler::new(fs.clone())),
+            SamplerSpec::Rate { rates, min } => Box::new(RateSampler::new(rates.clone(), *min)),
+            SamplerSpec::Hybrid { fanouts, rates, threshold } => {
+                Box::new(HybridSampler::new(fanouts.clone(), rates.clone(), *threshold))
+            }
+            SamplerSpec::ImportanceInvDeg2(fs) => {
+                // Squared inverse degree: a strongly anti-degree access
+                // distribution (§7.3.3's adversary for degree caching).
+                let weights: Vec<f64> = (0..graph.num_vertices() as u32)
+                    .map(|v| {
+                        let d = graph.out.degree(v) as f64;
+                        1.0 / ((1.0 + d) * (1.0 + d))
+                    })
+                    .collect();
+                Box::new(ImportanceSampler::new(fs.clone(), weights))
+            }
+        }
+    }
+
+    fn fanouts(&self) -> Option<Vec<usize>> {
+        match &self.sampler_spec {
+            SamplerSpec::Fanout(fs)
+            | SamplerSpec::Hybrid { fanouts: fs, .. }
+            | SamplerSpec::ImportanceInvDeg2(fs) => Some(fs.clone()),
+            SamplerSpec::Rate { .. } => None,
+        }
+    }
+
+    fn selection(&self, graph: &Graph) -> BatchSelection {
+        match self.selection_spec {
+            SelectionSpec::Random => BatchSelection::Random,
+            SelectionSpec::Cluster { k, seed } => {
+                BatchSelection::ClusterBased { clusters: metis_clusters(graph, k, seed) }
+            }
+        }
+    }
+
+    fn schedule(&self) -> BatchSizeSchedule {
+        self.schedule_spec.clone()
+    }
+}
+
+fn parse_sampler(spec: &str, part: &str) -> Result<SamplerSpec, HarnessError> {
+    let (head, args) = call_args(part)
+        .ok_or_else(|| HarnessError::bad_spec("batch-prep", spec, "sampler needs arguments"))?;
+    match head {
+        "fanout" => Ok(SamplerSpec::Fanout(p_usize_list("batch-prep", spec, args)?)),
+        "rate" => {
+            let (rates, min) = args.split_once(';').ok_or_else(|| {
+                HarnessError::bad_spec("batch-prep", spec, "rate needs `;min=M`")
+            })?;
+            let min = min.strip_prefix("min=").ok_or_else(|| {
+                HarnessError::bad_spec("batch-prep", spec, "rate needs `;min=M`")
+            })?;
+            Ok(SamplerSpec::Rate {
+                rates: p_f64_list("batch-prep", spec, rates)?,
+                min: p_usize("batch-prep", spec, min)?,
+            })
+        }
+        "hybrid" => {
+            let mut it = args.splitn(3, ';');
+            let (fs, rs, thr) = match (it.next(), it.next(), it.next()) {
+                (Some(a), Some(b), Some(c)) => (a, b, c),
+                _ => {
+                    return Err(HarnessError::bad_spec(
+                        "batch-prep",
+                        spec,
+                        "hybrid needs `fanouts;rates;thr=T`",
+                    ))
+                }
+            };
+            let thr = thr.strip_prefix("thr=").ok_or_else(|| {
+                HarnessError::bad_spec("batch-prep", spec, "hybrid needs `thr=T`")
+            })?;
+            Ok(SamplerSpec::Hybrid {
+                fanouts: p_usize_list("batch-prep", spec, fs)?,
+                rates: p_f64_list("batch-prep", spec, rs)?,
+                threshold: p_usize("batch-prep", spec, thr)?,
+            })
+        }
+        "importance" => {
+            let (fs, kind) = args.split_once(';').ok_or_else(|| {
+                HarnessError::bad_spec("batch-prep", spec, "importance needs `;invdeg2`")
+            })?;
+            if kind != "invdeg2" {
+                return Err(HarnessError::bad_spec(
+                    "batch-prep",
+                    spec,
+                    "only the `invdeg2` weighting is builtin",
+                ));
+            }
+            Ok(SamplerSpec::ImportanceInvDeg2(p_usize_list("batch-prep", spec, fs)?))
+        }
+        _ => Err(HarnessError::bad_spec("batch-prep", spec, "unknown sampler")),
+    }
+}
+
+fn parse_schedule(spec: &str, part: &str) -> Result<BatchSizeSchedule, HarnessError> {
+    let (head, args) = call_args(part)
+        .ok_or_else(|| HarnessError::bad_spec("batch-prep", spec, "schedule needs arguments"))?;
+    match head {
+        "fixed" => Ok(BatchSizeSchedule::Fixed(p_usize("batch-prep", spec, args)?)),
+        "adaptive" => {
+            let fields: Vec<&str> = args.split(',').collect();
+            if fields.len() != 4 {
+                return Err(HarnessError::bad_spec(
+                    "batch-prep",
+                    spec,
+                    "adaptive needs `start,max,xG,everyE`",
+                ));
+            }
+            let growth = fields[2].strip_prefix('x').ok_or_else(|| {
+                HarnessError::bad_spec("batch-prep", spec, "growth must be `xG`")
+            })?;
+            let every = fields[3].strip_prefix("every").ok_or_else(|| {
+                HarnessError::bad_spec("batch-prep", spec, "cadence must be `everyE`")
+            })?;
+            Ok(BatchSizeSchedule::Adaptive {
+                start: p_usize("batch-prep", spec, fields[0])?,
+                max: p_usize("batch-prep", spec, fields[1])?,
+                growth: p_f64("batch-prep", spec, growth)?,
+                grow_every: p_usize("batch-prep", spec, every)?,
+            })
+        }
+        "steps" => {
+            let mut table = Vec::new();
+            for entry in args.split(',') {
+                let (e, b) = entry.split_once(':').ok_or_else(|| {
+                    HarnessError::bad_spec("batch-prep", spec, "steps entries are `epoch:batch`")
+                })?;
+                table.push((p_usize("batch-prep", spec, e)?, p_usize("batch-prep", spec, b)?));
+            }
+            Ok(BatchSizeSchedule::Steps(table))
+        }
+        _ => Err(HarnessError::bad_spec("batch-prep", spec, "unknown schedule")),
+    }
+}
+
+/// Parses a batch-prep spec: `<sampler>+<schedule>[+cluster(k,seed)]`.
+pub fn parse_batch_prep(spec: &str) -> Result<Arc<dyn BatchPrep>, HarnessError> {
+    let parts: Vec<&str> = spec.split('+').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(HarnessError::bad_spec(
+            "batch-prep",
+            spec,
+            "expected `<sampler>+<schedule>[+cluster(k,seed)]`",
+        ));
+    }
+    let sampler = parse_sampler(spec, parts[0])?;
+    let schedule = parse_schedule(spec, parts[1])?;
+    let selection = if parts.len() == 3 {
+        let (head, args) = call_args(parts[2]).ok_or_else(|| {
+            HarnessError::bad_spec("batch-prep", spec, "selection must be `cluster(k,seed)`")
+        })?;
+        if head != "cluster" {
+            return Err(HarnessError::bad_spec(
+                "batch-prep",
+                spec,
+                "selection must be `cluster(k,seed)`",
+            ));
+        }
+        let (k, seed) = args.split_once(',').ok_or_else(|| {
+            HarnessError::bad_spec("batch-prep", spec, "selection must be `cluster(k,seed)`")
+        })?;
+        SelectionSpec::Cluster {
+            k: p_usize("batch-prep", spec, k)?,
+            seed: p_u64("batch-prep", spec, seed)?,
+        }
+    } else {
+        SelectionSpec::Random
+    };
+    Ok(Arc::new(BuiltinPrep::new(sampler, schedule, selection)))
+}
+
+// ---------------------------------------------------------------------------
+// Axis 3 — transfer
+// ---------------------------------------------------------------------------
+
+/// The builtin [`TransferPolicy`]: a transfer method, a pipeline mode, and
+/// an optional zero-copy efficiency override (`ablate_zerocopy_eff`).
+#[derive(Debug, Clone, Copy)]
+pub struct BuiltinTransfer {
+    /// Transfer cost method.
+    pub method: TransferMethod,
+    /// Pipeline overlap mode.
+    pub pipeline: PipelineMode,
+    /// Zero-copy efficiency override, if any.
+    pub eff: Option<f64>,
+}
+
+impl TransferPolicy for BuiltinTransfer {
+    fn name(&self) -> &str {
+        self.method.name()
+    }
+
+    fn spec(&self) -> String {
+        let mut s = match self.method {
+            TransferMethod::ExtractLoad => "extract-load".to_string(),
+            TransferMethod::ZeroCopy => "zero-copy".to_string(),
+            TransferMethod::Hybrid { threshold } => format!("hybrid({})", fmt_f64(threshold)),
+        };
+        match self.pipeline {
+            PipelineMode::None => {}
+            PipelineMode::OverlapBp => s.push_str("+pipe(bp)"),
+            PipelineMode::Full => s.push_str("+pipe(full)"),
+        }
+        if let Some(e) = self.eff {
+            s.push_str(&format!("+eff({})", fmt_f64(e)));
+        }
+        s
+    }
+
+    fn method(&self) -> TransferMethod {
+        self.method
+    }
+
+    fn pipeline(&self) -> PipelineMode {
+        self.pipeline
+    }
+
+    fn zero_copy_efficiency(&self) -> Option<f64> {
+        self.eff
+    }
+}
+
+/// Parses a transfer spec: method, then optional `+pipe(..)` / `+eff(..)`.
+pub fn parse_transfer(spec: &str) -> Result<Arc<dyn TransferPolicy>, HarnessError> {
+    let mut parts = spec.split('+');
+    let head = parts
+        .next()
+        .ok_or_else(|| HarnessError::bad_spec("transfer", spec, "empty spec"))?;
+    let method = match head {
+        "extract-load" => TransferMethod::ExtractLoad,
+        "zero-copy" => TransferMethod::ZeroCopy,
+        _ => match call_args(head) {
+            Some(("hybrid", args)) => {
+                TransferMethod::Hybrid { threshold: p_f64("transfer", spec, args)? }
+            }
+            _ => return Err(HarnessError::bad_spec("transfer", spec, "unknown method")),
+        },
+    };
+    let mut pipeline = PipelineMode::None;
+    let mut eff = None;
+    for part in parts {
+        match call_args(part) {
+            Some(("pipe", "bp")) => pipeline = PipelineMode::OverlapBp,
+            Some(("pipe", "full")) => pipeline = PipelineMode::Full,
+            Some(("eff", args)) => eff = Some(p_f64("transfer", spec, args)?),
+            _ => {
+                return Err(HarnessError::bad_spec(
+                    "transfer",
+                    spec,
+                    "modifiers are `pipe(bp|full)` or `eff(E)`",
+                ))
+            }
+        }
+    }
+    Ok(Arc::new(BuiltinTransfer { method, pipeline, eff }))
+}
+
+// ---------------------------------------------------------------------------
+// Axis 4 — cache
+// ---------------------------------------------------------------------------
+
+/// Which cache the builtin [`CachePolicy`] builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CacheKind {
+    None,
+    Degree { ratio: f64 },
+    PreSample { ratio: f64, epochs: usize },
+}
+
+/// The builtin [`CachePolicy`]: disabled, degree-ranked, or
+/// profiling-based pre-sampling (§7.3's two policies).
+#[derive(Debug, Clone)]
+pub struct BuiltinCache {
+    kind: CacheKind,
+    spec: String,
+}
+
+impl BuiltinCache {
+    /// Caching disabled.
+    pub fn none() -> Self {
+        BuiltinCache { kind: CacheKind::None, spec: "none".to_string() }
+    }
+
+    /// Degree-ranked cache over `ratio` of the vertices.
+    pub fn degree(ratio: f64) -> Self {
+        BuiltinCache {
+            kind: CacheKind::Degree { ratio },
+            spec: format!("degree({})", fmt_f64(ratio)),
+        }
+    }
+
+    /// Pre-sampling cache over `ratio` of the vertices, profiled for
+    /// `epochs` epochs.
+    pub fn presample(ratio: f64, epochs: usize) -> Self {
+        BuiltinCache {
+            kind: CacheKind::PreSample { ratio, epochs },
+            spec: format!("presample({},{epochs})", fmt_f64(ratio)),
+        }
+    }
+}
+
+impl CachePolicy for BuiltinCache {
+    fn name(&self) -> &str {
+        &self.spec
+    }
+
+    fn spec(&self) -> String {
+        self.spec.clone()
+    }
+
+    fn device_policy(&self) -> Option<DevCachePolicy> {
+        match self.kind {
+            CacheKind::None => None,
+            CacheKind::Degree { .. } => Some(DevCachePolicy::Degree),
+            CacheKind::PreSample { .. } => Some(DevCachePolicy::PreSample),
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        match self.kind {
+            CacheKind::None => 0.0,
+            CacheKind::Degree { ratio } | CacheKind::PreSample { ratio, .. } => ratio,
+        }
+    }
+
+    fn presample_epochs(&self) -> usize {
+        match self.kind {
+            CacheKind::PreSample { epochs, .. } => epochs,
+            _ => 1,
+        }
+    }
+
+    fn build(
+        &self,
+        graph: &Graph,
+        capacity: usize,
+        profile: &mut dyn FnMut(&mut AccessTracker),
+    ) -> FeatureCache {
+        match self.kind {
+            CacheKind::None => FeatureCache::disabled(graph.num_vertices()),
+            CacheKind::Degree { .. } => FeatureCache::degree_based(&graph.out, capacity),
+            CacheKind::PreSample { .. } => {
+                let mut tracker = AccessTracker::new(graph.num_vertices());
+                profile(&mut tracker);
+                FeatureCache::presample_based(&tracker, capacity)
+            }
+        }
+    }
+}
+
+/// Parses a cache spec: `none`, `degree(R)`, or `presample(R,E)`.
+pub fn parse_cache(spec: &str) -> Result<Arc<dyn CachePolicy>, HarnessError> {
+    if spec == "none" {
+        return Ok(Arc::new(BuiltinCache::none()));
+    }
+    match call_args(spec) {
+        Some(("degree", args)) => Ok(Arc::new(BuiltinCache::degree(p_f64("cache", spec, args)?))),
+        Some(("presample", args)) => {
+            let (ratio, epochs) = args.split_once(',').ok_or_else(|| {
+                HarnessError::bad_spec("cache", spec, "presample needs `ratio,epochs`")
+            })?;
+            Ok(Arc::new(BuiltinCache::presample(
+                p_f64("cache", spec, ratio)?,
+                p_usize("cache", spec, epochs)?,
+            )))
+        }
+        _ => Err(HarnessError::bad_spec("cache", spec, "unknown cache policy")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Axis 5 — parallel mode
+// ---------------------------------------------------------------------------
+
+/// The builtin [`ParallelMode`]: one heterogeneous node or a simulated
+/// `k`-worker cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinParallel {
+    /// Single heterogeneous (CPU + GPU) node.
+    Single,
+    /// Simulated cluster with the given worker count.
+    Cluster(usize),
+}
+
+impl ParallelMode for BuiltinParallel {
+    fn name(&self) -> &str {
+        match self {
+            BuiltinParallel::Single => "single",
+            BuiltinParallel::Cluster(_) => "cluster",
+        }
+    }
+
+    fn spec(&self) -> String {
+        match self {
+            BuiltinParallel::Single => "single".to_string(),
+            BuiltinParallel::Cluster(k) => format!("cluster({k})"),
+        }
+    }
+
+    fn workers(&self) -> usize {
+        match self {
+            BuiltinParallel::Single => 1,
+            BuiltinParallel::Cluster(k) => *k,
+        }
+    }
+
+    fn distributed(&self) -> bool {
+        matches!(self, BuiltinParallel::Cluster(_))
+    }
+}
+
+/// Parses a parallel-mode spec: `single` or `cluster(K)`.
+pub fn parse_parallel(spec: &str) -> Result<Arc<dyn ParallelMode>, HarnessError> {
+    if spec == "single" {
+        return Ok(Arc::new(BuiltinParallel::Single));
+    }
+    match call_args(spec) {
+        Some(("cluster", args)) => {
+            Ok(Arc::new(BuiltinParallel::Cluster(p_usize("parallel", spec, args)?)))
+        }
+        _ => Err(HarnessError::bad_spec("parallel", spec, "unknown parallel mode")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Axis 6 — faults
+// ---------------------------------------------------------------------------
+
+/// The builtin [`FaultPlan`] axis: healthy or uniformly seeded injection.
+#[derive(Debug, Clone)]
+pub struct BuiltinFaults {
+    /// `None` for a healthy run; `(seed, rate)` for uniform injection.
+    pub uniform: Option<(u64, f64)>,
+    spec: String,
+}
+
+impl BuiltinFaults {
+    /// Healthy run — no injected faults.
+    pub fn none() -> Self {
+        BuiltinFaults { uniform: None, spec: "none".to_string() }
+    }
+
+    /// Uniform injection at the given seed and rate.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        BuiltinFaults { uniform: Some((seed, rate)), spec: format!("uniform({seed},{})", fmt_f64(rate)) }
+    }
+}
+
+impl FaultPlan for BuiltinFaults {
+    fn name(&self) -> &str {
+        &self.spec
+    }
+
+    fn spec(&self) -> String {
+        self.spec.clone()
+    }
+
+    fn plan(&self) -> InjectedFaultPlan {
+        match self.uniform {
+            None => InjectedFaultPlan::none(),
+            Some((seed, rate)) => InjectedFaultPlan::uniform(seed, rate),
+        }
+    }
+}
+
+/// Parses a fault-plan spec: `none` or `uniform(SEED,RATE)`.
+pub fn parse_faults(spec: &str) -> Result<Arc<dyn FaultPlan>, HarnessError> {
+    if spec == "none" {
+        return Ok(Arc::new(BuiltinFaults::none()));
+    }
+    match call_args(spec) {
+        Some(("uniform", args)) => {
+            let (seed, rate) = args.split_once(',').ok_or_else(|| {
+                HarnessError::bad_spec("faults", spec, "uniform needs `seed,rate`")
+            })?;
+            Ok(Arc::new(BuiltinFaults::uniform(
+                p_u64("faults", spec, seed)?,
+                p_f64("faults", spec, rate)?,
+            )))
+        }
+        _ => Err(HarnessError::bad_spec("faults", spec, "unknown fault plan")),
+    }
+}

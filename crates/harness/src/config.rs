@@ -1,0 +1,190 @@
+//! `SystemConfig` — one point in the six-axis design space — and
+//! `GridSpec`, its serialized (spec-string) form.
+
+use std::sync::Arc;
+
+use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
+use gnn_dm_graph::Graph;
+
+use crate::axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+use crate::error::HarnessError;
+use crate::grid::Axis;
+use crate::registry::Registry;
+
+/// A fully-resolved system under test: one implementation per axis.
+#[derive(Clone)]
+pub struct SystemConfig {
+    /// Graph partitioning method.
+    pub partitioner: Arc<dyn Partitioner>,
+    /// Batch preparation (sampler, schedule, selection).
+    pub batch_prep: Arc<dyn BatchPrep>,
+    /// Host↔device transfer policy.
+    pub transfer: Arc<dyn TransferPolicy>,
+    /// GPU feature-cache policy.
+    pub cache: Arc<dyn CachePolicy>,
+    /// Parallelization mode.
+    pub parallel: Arc<dyn ParallelMode>,
+    /// Injected fault plan.
+    pub faults: Arc<dyn FaultPlan>,
+}
+
+impl SystemConfig {
+    /// Resolves a [`GridSpec`]'s six spec strings through the registry.
+    pub fn from_spec(reg: &Registry, spec: &GridSpec) -> Result<SystemConfig, HarnessError> {
+        Ok(SystemConfig {
+            partitioner: reg.partitioner(&spec.partitioner)?,
+            batch_prep: reg.batch_prep(&spec.batch_prep)?,
+            transfer: reg.transfer(&spec.transfer)?,
+            cache: reg.cache(&spec.cache)?,
+            parallel: reg.parallel(&spec.parallel)?,
+            faults: reg.faults(&spec.faults)?,
+        })
+    }
+
+    /// Parses a `/`-separated config id (the inverse of [`Self::id`]).
+    pub fn from_id(reg: &Registry, id: &str) -> Result<SystemConfig, HarnessError> {
+        SystemConfig::from_spec(reg, &GridSpec::from_id(id)?)
+    }
+
+    /// The canonical config id: the six axis specs joined with `/`
+    /// (partitioner / batch-prep / transfer / cache / parallel / faults).
+    /// Specs never contain `/`, so the id is unambiguous and
+    /// [`Self::from_id`] round-trips it.
+    pub fn id(&self) -> String {
+        self.to_spec().id()
+    }
+
+    /// Serializes back to the six canonical spec strings.
+    pub fn to_spec(&self) -> GridSpec {
+        GridSpec {
+            partitioner: self.partitioner.spec(),
+            batch_prep: self.batch_prep.spec(),
+            transfer: self.transfer.spec(),
+            cache: self.cache.spec(),
+            parallel: self.parallel.spec(),
+            faults: self.faults.spec(),
+        }
+    }
+
+    /// Builds the hetero-trainer configuration this system implies for
+    /// `graph`: the §7 baseline with every axis applied on top. Epoch-0
+    /// batch size; fanouts only when the prep is fanout-shaped.
+    pub fn hetero_config(&self, graph: &Graph) -> HeteroTrainerConfig {
+        let mut cfg = HeteroTrainerConfig::baseline(graph, self.batch_prep.batch_size(0));
+        if let Some(fanouts) = self.batch_prep.fanouts() {
+            cfg.fanouts = fanouts;
+        }
+        cfg.selection = self.batch_prep.selection(graph);
+        cfg.transfer = self.transfer.method();
+        cfg.pipeline = self.transfer.pipeline();
+        cfg.cache_policy = self.cache.device_policy();
+        cfg.cache_ratio = self.cache.ratio();
+        cfg.presample_epochs = self.cache.presample_epochs();
+        cfg
+    }
+
+    /// Builds the hetero trainer, applying the transfer policy's
+    /// zero-copy efficiency override when present.
+    pub fn hetero_trainer<'g>(&self, graph: &'g Graph) -> HeteroTrainer<'g> {
+        self.hetero_trainer_with(graph, self.hetero_config(graph))
+    }
+
+    /// Builds the hetero trainer from an explicitly tweaked configuration
+    /// (still applying this system's zero-copy efficiency override).
+    pub fn hetero_trainer_with<'g>(
+        &self,
+        graph: &'g Graph,
+        cfg: HeteroTrainerConfig,
+    ) -> HeteroTrainer<'g> {
+        let mut trainer = HeteroTrainer::new(graph, cfg);
+        if let Some(eff) = self.transfer.zero_copy_efficiency() {
+            trainer.engine.zero_copy_efficiency = eff;
+        }
+        trainer
+    }
+}
+
+/// The serialized form of a [`SystemConfig`]: one canonical spec string
+/// per axis. `Default` is the suite's baseline system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Partitioner spec.
+    pub partitioner: String,
+    /// Batch-prep spec.
+    pub batch_prep: String,
+    /// Transfer spec.
+    pub transfer: String,
+    /// Cache spec.
+    pub cache: String,
+    /// Parallel-mode spec.
+    pub parallel: String,
+    /// Fault-plan spec.
+    pub faults: String,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            partitioner: "hash".to_string(),
+            batch_prep: "fanout(25,10)+fixed(512)".to_string(),
+            transfer: "extract-load".to_string(),
+            cache: "none".to_string(),
+            parallel: "single".to_string(),
+            faults: "none".to_string(),
+        }
+    }
+}
+
+impl GridSpec {
+    /// The `/`-joined config id.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{}",
+            self.partitioner, self.batch_prep, self.transfer, self.cache, self.parallel, self.faults
+        )
+    }
+
+    /// Parses a `/`-separated config id.
+    pub fn from_id(id: &str) -> Result<GridSpec, HarnessError> {
+        let parts: Vec<&str> = id.split('/').collect();
+        if parts.len() != 6 {
+            return Err(HarnessError::new(format!(
+                "config id `{id}` must have 6 `/`-separated axis specs, got {}",
+                parts.len()
+            )));
+        }
+        Ok(GridSpec {
+            partitioner: parts[0].to_string(),
+            batch_prep: parts[1].to_string(),
+            transfer: parts[2].to_string(),
+            cache: parts[3].to_string(),
+            parallel: parts[4].to_string(),
+            faults: parts[5].to_string(),
+        })
+    }
+
+    /// Returns the spec string for one axis.
+    pub fn get(&self, axis: Axis) -> &str {
+        match axis {
+            Axis::Partitioner => &self.partitioner,
+            Axis::BatchPrep => &self.batch_prep,
+            Axis::Transfer => &self.transfer,
+            Axis::Cache => &self.cache,
+            Axis::Parallel => &self.parallel,
+            Axis::Faults => &self.faults,
+        }
+    }
+
+    /// Replaces the spec string for one axis.
+    pub fn set(&mut self, axis: Axis, spec: impl Into<String>) {
+        let spec = spec.into();
+        match axis {
+            Axis::Partitioner => self.partitioner = spec,
+            Axis::BatchPrep => self.batch_prep = spec,
+            Axis::Transfer => self.transfer = spec,
+            Axis::Cache => self.cache = spec,
+            Axis::Parallel => self.parallel = spec,
+            Axis::Faults => self.faults = spec,
+        }
+    }
+}

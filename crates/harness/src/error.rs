@@ -1,0 +1,30 @@
+//! Error type for registry resolution and grid assembly.
+
+use std::fmt;
+
+/// A spec string failed to resolve, or a registration collided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessError {
+    /// Human-readable description, including the offending spec.
+    pub message: String,
+}
+
+impl HarnessError {
+    /// Builds an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        HarnessError { message: message.into() }
+    }
+
+    /// Error for an unparseable spec on a named axis.
+    pub fn bad_spec(axis: &str, spec: &str, reason: &str) -> Self {
+        HarnessError::new(format!("bad {axis} spec `{spec}`: {reason}"))
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for HarnessError {}

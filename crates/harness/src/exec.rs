@@ -1,0 +1,275 @@
+//! Executors: run a [`SystemConfig`] end to end.
+//!
+//! Two experiment harnesses cover the suite's wiring — the cluster
+//! simulator path (Figures 4–8, fault extensions) and the convergence
+//! path (Figures 9–12, Tables 4/8) — plus [`run_config`], the grid
+//! runner's per-config driver, which reports **cost and accuracy
+//! together** in a [`ConfigReport`]. Every constant here (seeds, hidden
+//! widths, parameter bytes) replicates the pre-harness bins exactly.
+
+use gnn_dm_cluster::sim::TimeModel;
+use gnn_dm_cluster::{ClusterSim, EpochLoadReport};
+use gnn_dm_core::config::ModelKind;
+use gnn_dm_core::convergence::{train_distributed, train_single, ConvergenceResult};
+use gnn_dm_faults::ResilienceReport;
+use gnn_dm_graph::Graph;
+use gnn_dm_partition::GnnPartitioning;
+use gnn_dm_sampling::BatchSelection;
+use gnn_dm_trace::Timeline;
+
+use crate::config::SystemConfig;
+
+/// The cluster-simulation harness: partitions with the experiment's seed,
+/// simulates one epoch, and prices it with the paper's time model
+/// (Figures 4–8 wiring: partition seed 7, simulation seed 3, hidden 128,
+/// 1 MB of parameters).
+pub struct ClusterExperiment<'g> {
+    /// The graph under test.
+    pub graph: &'g Graph,
+    /// Partitioning seed.
+    pub part_seed: u64,
+    /// Cluster-simulation seed.
+    pub sim_seed: u64,
+    /// Epoch index simulated (and used for batch-size schedules).
+    pub epoch: usize,
+    /// Hidden width for the time model.
+    pub hidden: usize,
+    /// Model parameter bytes for the time model's allreduce term.
+    pub param_bytes: u64,
+}
+
+/// One executed cluster config: its partitioning and epoch load report.
+pub struct ClusterRun {
+    /// The partitioning the config built.
+    pub part: GnnPartitioning,
+    /// The simulated epoch's load report.
+    pub report: EpochLoadReport,
+    /// Per-worker batch size used.
+    pub batch_size: usize,
+}
+
+impl<'g> ClusterExperiment<'g> {
+    /// The paper's cluster setup for `graph`.
+    pub fn paper(graph: &'g Graph) -> Self {
+        ClusterExperiment {
+            graph,
+            part_seed: 7,
+            sim_seed: 3,
+            epoch: 0,
+            hidden: 128,
+            param_bytes: 1_000_000,
+        }
+    }
+
+    /// The epoch time model (paper defaults over this graph's feature
+    /// width).
+    pub fn time_model(&self) -> TimeModel {
+        TimeModel::paper_default(self.graph.feat_dim(), self.hidden, self.param_bytes)
+    }
+
+    /// Builds the config's partitioning (worker count from the parallel
+    /// axis).
+    pub fn partition(&self, cfg: &SystemConfig) -> GnnPartitioning {
+        cfg.partitioner.build(self.graph, cfg.parallel.workers(), self.part_seed)
+    }
+
+    /// A cluster simulator over an executed run.
+    pub fn sim<'p>(&'p self, run: &'p ClusterRun) -> ClusterSim<'p> {
+        self.sim_with(&run.part, run.batch_size)
+    }
+
+    /// A cluster simulator over an explicit partitioning and batch size
+    /// (for drivers that need the simulator itself, e.g. P3 comparison).
+    pub fn sim_with<'p>(&'p self, part: &'p GnnPartitioning, batch_size: usize) -> ClusterSim<'p> {
+        ClusterSim { graph: self.graph, part, batch_size, seed: self.sim_seed }
+    }
+
+    /// Partitions and simulates one epoch under the config.
+    pub fn run(&self, cfg: &SystemConfig) -> ClusterRun {
+        let part = self.partition(cfg);
+        let sampler = cfg.batch_prep.sampler(self.graph);
+        let batch_size = cfg.batch_prep.batch_size(self.epoch);
+        let report = self.sim_with(&part, batch_size).simulate_epoch(&*sampler, self.epoch);
+        ClusterRun { part, report, batch_size }
+    }
+
+    /// Healthy epoch time of a run.
+    pub fn epoch_time(&self, run: &ClusterRun) -> f64 {
+        self.sim(run).epoch_time(&run.report, &self.time_model())
+    }
+
+    /// Epoch time under the config's fault plan.
+    pub fn epoch_time_faulted(&self, run: &ClusterRun, cfg: &SystemConfig) -> f64 {
+        self.sim(run).epoch_time_faulted(&run.report, &self.time_model(), &cfg.faults.plan(), self.epoch)
+    }
+
+    /// Faulted span timeline of a run (for trace export).
+    pub fn timeline_faulted(&self, run: &ClusterRun, cfg: &SystemConfig) -> Timeline {
+        self.sim(run).epoch_timeline_faulted(
+            &run.report,
+            &self.time_model(),
+            &cfg.faults.plan(),
+            self.epoch,
+        )
+    }
+
+    /// Healthy-vs-faulted resilience comparison under the config's plan.
+    pub fn resilience(&self, run: &ClusterRun, cfg: &SystemConfig) -> ResilienceReport {
+        self.sim(run).resilience(&run.report, &self.time_model(), &cfg.faults.plan(), self.epoch)
+    }
+}
+
+/// The convergence harness: actually trains a model under the config's
+/// batch prep (Figures 9–12 / Tables 4, 8 wiring: GCN, hidden 64,
+/// lr 0.01, training seed 5, partition seed 7).
+pub struct TrainExperiment<'g> {
+    /// The graph under test.
+    pub graph: &'g Graph,
+    /// Model kind.
+    pub model: ModelKind,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Model/init/training seed.
+    pub seed: u64,
+    /// Partitioning seed (distributed runs).
+    pub part_seed: u64,
+}
+
+impl<'g> TrainExperiment<'g> {
+    /// The suite's convergence setup for `graph`.
+    pub fn paper(graph: &'g Graph, epochs: usize) -> Self {
+        TrainExperiment { graph, model: ModelKind::Gcn, hidden: 64, lr: 0.01, epochs, seed: 5, part_seed: 7 }
+    }
+
+    /// Single-node convergence under the config's batch prep.
+    pub fn run(&self, cfg: &SystemConfig) -> ConvergenceResult {
+        let sampler = cfg.batch_prep.sampler(self.graph);
+        let selection = cfg.batch_prep.selection(self.graph);
+        self.run_with_selection(cfg, &selection, &*sampler)
+    }
+
+    /// Single-node convergence with an explicit selection policy (the
+    /// composed cross-axis path derives selection from the partitioner).
+    pub fn run_with_selection(
+        &self,
+        cfg: &SystemConfig,
+        selection: &BatchSelection,
+        sampler: &(dyn gnn_dm_sampling::NeighborSampler + Sync),
+    ) -> ConvergenceResult {
+        train_single(
+            self.graph,
+            self.model,
+            self.hidden,
+            sampler,
+            selection,
+            &cfg.batch_prep.schedule(),
+            self.lr,
+            self.epochs,
+            self.seed,
+        )
+    }
+
+    /// Distributed convergence under the config's partitioner and batch
+    /// prep; returns the result plus modeled epoch seconds.
+    pub fn run_distributed(&self, cfg: &SystemConfig) -> (ConvergenceResult, f64) {
+        let part = cfg.partitioner.build(self.graph, cfg.parallel.workers(), self.part_seed);
+        let sampler = cfg.batch_prep.sampler(self.graph);
+        train_distributed(
+            self.graph,
+            &part,
+            self.model,
+            self.hidden,
+            &*sampler,
+            cfg.batch_prep.batch_size(0),
+            self.lr,
+            self.epochs,
+            self.seed,
+        )
+    }
+}
+
+/// Cost **and** accuracy of one executed config — the grid runner's unit
+/// of output. DESIGN.md §14: a config that trains must always report
+/// both; cost without the accuracy it bought is not a result.
+#[derive(Debug, Clone)]
+pub struct ConfigReport {
+    /// Canonical config id (six `/`-separated axis specs).
+    pub id: String,
+    /// Modeled epoch seconds (single-node makespan or faulted cluster
+    /// epoch time).
+    pub epoch_s: f64,
+    /// Bytes moved (PCIe bytes single-node; NIC volume distributed).
+    pub bytes: u64,
+    /// Cache hit rate (0 without a cache; 0 distributed).
+    pub cache_hit_rate: f64,
+    /// Batches per epoch (summed over workers when distributed).
+    pub num_batches: usize,
+    /// Best validation accuracy over the run.
+    pub best_acc: f64,
+    /// Final test accuracy.
+    pub test_acc: f64,
+}
+
+/// Runs one config end to end: cost from the config's execution path
+/// (hetero trainer or cluster simulator, under the config's fault plan)
+/// and accuracy from an actual training run.
+pub fn run_config(graph: &Graph, cfg: &SystemConfig, epochs: usize) -> ConfigReport {
+    let train = TrainExperiment::paper(graph, epochs);
+    if cfg.parallel.distributed() {
+        let exp = ClusterExperiment::paper(graph);
+        let run = exp.run(cfg);
+        let epoch_s = exp.epoch_time_faulted(&run, cfg);
+        let (res, _) = train.run_distributed(cfg);
+        ConfigReport {
+            id: cfg.id(),
+            epoch_s,
+            bytes: run.report.comm.total_volume(),
+            cache_hit_rate: 0.0,
+            num_batches: run.report.num_batches.iter().sum(),
+            best_acc: res.best_acc,
+            test_acc: res.test_acc,
+        }
+    } else {
+        let mut trainer = cfg.hetero_trainer(graph);
+        let (tim, _) = trainer.run_epoch_faulted(0, &cfg.faults.plan());
+        let res = train.run(cfg);
+        ConfigReport {
+            id: cfg.id(),
+            epoch_s: tim.makespan,
+            bytes: tim.pcie_bytes,
+            cache_hit_rate: tim.cache_hit_rate,
+            num_batches: tim.num_batches,
+            best_acc: res.best_acc,
+            test_acc: res.test_acc,
+        }
+    }
+}
+
+/// The composed cross-axis path no pre-harness bin could express: the
+/// **partitioner** axis feeds the **batch selection** policy (each batch
+/// drawn from one partition block), composed with the cache and fault
+/// axes on the single-node engine. `k` is the partition/cluster count.
+pub fn run_composed(graph: &Graph, cfg: &SystemConfig, k: usize, epochs: usize) -> ConfigReport {
+    let part = cfg.partitioner.build(graph, k, 7);
+    let selection = BatchSelection::ClusterBased { clusters: part.assignment.clone() };
+    let mut tcfg = cfg.hetero_config(graph);
+    tcfg.selection = selection.clone();
+    let mut trainer = cfg.hetero_trainer_with(graph, tcfg);
+    let (tim, _) = trainer.run_epoch_faulted(0, &cfg.faults.plan());
+    let train = TrainExperiment::paper(graph, epochs);
+    let sampler = cfg.batch_prep.sampler(graph);
+    let res = train.run_with_selection(cfg, &selection, &*sampler);
+    ConfigReport {
+        id: cfg.id(),
+        epoch_s: tim.makespan,
+        bytes: tim.pcie_bytes,
+        cache_hit_rate: tim.cache_hit_rate,
+        num_batches: tim.num_batches,
+        best_acc: res.best_acc,
+        test_acc: res.test_acc,
+    }
+}

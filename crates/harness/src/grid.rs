@@ -1,0 +1,103 @@
+//! The declarative grid runner: named axes swept over a base config.
+//!
+//! Enumeration order is part of the API (pinned by `tests/registry.rs`):
+//! the cartesian product is row-major over the `vary` declarations — the
+//! **first** declared axis varies slowest, the **last** varies fastest —
+//! and is computed by straight-line code over `Vec`s, so it is identical
+//! at any worker-pool size (`GNN_DM_THREADS=1`, `2`, `8`, …).
+
+use crate::config::{GridSpec, SystemConfig};
+use crate::error::HarnessError;
+use crate::registry::Registry;
+
+/// The six evaluation axes, in config-id order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Graph partitioning.
+    Partitioner,
+    /// Batch preparation.
+    BatchPrep,
+    /// Host↔device transfer.
+    Transfer,
+    /// GPU feature cache.
+    Cache,
+    /// Parallelization mode.
+    Parallel,
+    /// Fault injection.
+    Faults,
+}
+
+impl Axis {
+    /// All six axes, in config-id order.
+    pub const ALL: [Axis; 6] =
+        [Axis::Partitioner, Axis::BatchPrep, Axis::Transfer, Axis::Cache, Axis::Parallel, Axis::Faults];
+
+    /// Short label used in keyed output (config ids, BENCH history rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Axis::Partitioner => "partitioner",
+            Axis::BatchPrep => "batch_prep",
+            Axis::Transfer => "transfer",
+            Axis::Cache => "cache",
+            Axis::Parallel => "parallel",
+            Axis::Faults => "faults",
+        }
+    }
+}
+
+/// A declarative sweep: a base [`GridSpec`] plus per-axis value lists.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    base: GridSpec,
+    axes: Vec<(Axis, Vec<String>)>,
+}
+
+impl Grid {
+    /// A grid over the given base config (no varied axes yet — enumerates
+    /// exactly the base).
+    pub fn over(base: GridSpec) -> Self {
+        Grid { base, axes: Vec::new() }
+    }
+
+    /// Declares an axis sweep. Declaration order fixes enumeration order:
+    /// earlier axes vary slower. Redeclaring an axis is an error.
+    pub fn vary(mut self, axis: Axis, specs: Vec<String>) -> Result<Self, HarnessError> {
+        if self.axes.iter().any(|(a, _)| *a == axis) {
+            return Err(HarnessError::new(format!(
+                "axis `{}` declared twice in grid",
+                axis.label()
+            )));
+        }
+        if specs.is_empty() {
+            return Err(HarnessError::new(format!(
+                "axis `{}` declared with no values",
+                axis.label()
+            )));
+        }
+        self.axes.push((axis, specs));
+        Ok(self)
+    }
+
+    /// Enumerates the cartesian product as [`GridSpec`]s, row-major over
+    /// the `vary` declarations.
+    pub fn specs(&self) -> Vec<GridSpec> {
+        let mut combos = vec![self.base.clone()];
+        for (axis, values) in &self.axes {
+            let mut next = Vec::with_capacity(combos.len() * values.len());
+            for combo in &combos {
+                for value in values {
+                    let mut c = combo.clone();
+                    c.set(*axis, value.clone());
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+        combos
+    }
+
+    /// Resolves the enumerated specs through the registry.
+    pub fn configs(&self, reg: &Registry) -> Result<Vec<SystemConfig>, HarnessError> {
+        self.specs().iter().map(|s| SystemConfig::from_spec(reg, s)).collect()
+    }
+}

@@ -1,0 +1,34 @@
+//! gnn-dm-harness — the composable systems-under-test layer.
+//!
+//! The paper's thesis is that a GNN training system is a *composition* of
+//! data-management choices. This crate makes the composition explicit:
+//! every evaluation axis is a trait object ([`Partitioner`], [`BatchPrep`],
+//! [`TransferPolicy`], [`CachePolicy`], [`ParallelMode`], [`FaultPlan`])
+//! resolved from a canonical spec string by a deterministic [`Registry`],
+//! assembled into a [`SystemConfig`], and swept declaratively by a
+//! [`Grid`]. Executors ([`exec::ClusterExperiment`],
+//! [`exec::TrainExperiment`], the hetero-trainer builders on
+//! [`SystemConfig`]) reproduce the experiment wiring of the `fig*`/`tab*`
+//! bins exactly — adapters only, numeric paths untouched — so results stay
+//! byte-identical while any combination becomes expressible, including
+//! ones no published system implements.
+//!
+//! The grid runner's reporting rule (DESIGN.md §14): every config that
+//! trains reports **accuracy and cost together** ([`exec::ConfigReport`]);
+//! a cost table without the accuracy it bought is exactly the evaluation
+//! trap the harness exists to close.
+
+pub mod axes;
+pub mod builtin;
+pub mod config;
+pub mod error;
+pub mod exec;
+pub mod grid;
+pub mod registry;
+
+pub use axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+pub use config::{GridSpec, SystemConfig};
+pub use error::HarnessError;
+pub use exec::{run_composed, run_config, ClusterExperiment, ClusterRun, ConfigReport, TrainExperiment};
+pub use grid::{Axis, Grid};
+pub use registry::Registry;

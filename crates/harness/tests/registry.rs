@@ -1,0 +1,155 @@
+//! Pins the registry/grid determinism contract (DESIGN.md §14):
+//! registration order is enumeration order, `SystemConfig` serialization
+//! round-trips, and grid enumeration order is identical at any worker-pool
+//! size.
+
+use std::sync::Arc;
+
+use gnn_dm_harness::{Axis, Grid, GridSpec, Partitioner, Registry, SystemConfig};
+use gnn_dm_par::with_threads;
+use gnn_dm_partition::GnnPartitioning;
+
+/// 1. Registration order is enumeration order — the builtin registry
+/// enumerates each axis's specs exactly in its pinned registration order,
+/// every time it is constructed.
+#[test]
+fn builtin_registration_order_is_enumeration_order() {
+    let reg = Registry::builtin();
+    assert_eq!(
+        reg.specs(Axis::Partitioner),
+        ["hash", "metis-v", "metis-ve", "metis-vet", "stream-v", "stream-b"]
+    );
+    assert_eq!(
+        reg.specs(Axis::BatchPrep),
+        [
+            "fanout(25,10)+fixed(512)",
+            "fanout(10,5)+fixed(256)",
+            "rate(0.5,0.5;min=1)+fixed(256)",
+            "fanout(5,5)+adaptive(128,2048,x2,every3)",
+        ]
+    );
+    assert_eq!(
+        reg.specs(Axis::Transfer),
+        ["extract-load", "zero-copy", "zero-copy+pipe(bp)", "zero-copy+pipe(full)", "hybrid(0.5)"]
+    );
+    assert_eq!(reg.specs(Axis::Cache), ["none", "degree(0.3)", "presample(0.3,3)"]);
+    assert_eq!(reg.specs(Axis::Parallel), ["single", "cluster(4)"]);
+    assert_eq!(reg.specs(Axis::Faults), ["none", "uniform(13,0.25)"]);
+
+    // Two constructions agree axis-for-axis (no map iteration anywhere).
+    let again = Registry::builtin();
+    for axis in Axis::ALL {
+        assert_eq!(reg.specs(axis), again.specs(axis), "axis {}", axis.label());
+    }
+}
+
+/// A user registration appends after the builtins and duplicate specs are
+/// rejected — so extension preserves, never reorders, the pinned prefix.
+#[test]
+fn registration_appends_and_rejects_duplicates() {
+    struct Custom;
+    impl Partitioner for Custom {
+        fn name(&self) -> &str {
+            "custom"
+        }
+        fn spec(&self) -> String {
+            "custom".to_string()
+        }
+        fn build(&self, g: &gnn_dm_graph::Graph, k: usize, _seed: u64) -> GnnPartitioning {
+            GnnPartitioning { assignment: vec![0; g.num_vertices()], k, halos: vec![Vec::new(); k] }
+        }
+    }
+    let mut reg = Registry::builtin();
+    let before = reg.specs(Axis::Partitioner);
+    reg.register_partitioner(Arc::new(Custom)).expect("fresh spec registers");
+    let after = reg.specs(Axis::Partitioner);
+    assert_eq!(&after[..before.len()], &before[..], "builtin prefix preserved");
+    assert_eq!(after.last().map(String::as_str), Some("custom"));
+    assert!(reg.register_partitioner(Arc::new(Custom)).is_err(), "duplicate rejected");
+}
+
+/// 2. Serialization round-trip: every cell of the full six-axis builtin
+/// product satisfies `from_id(id()) == id()` — the config id is a faithful
+/// serialization, not a display string.
+#[test]
+fn system_config_id_round_trips() {
+    let reg = Registry::builtin();
+    let mut grid = Grid::over(GridSpec::default());
+    for axis in Axis::ALL {
+        grid = grid.vary(axis, reg.specs(axis)).expect("builtin specs are valid");
+    }
+    let configs = grid.configs(&reg).expect("builtin product resolves");
+    assert_eq!(configs.len(), 6 * 4 * 5 * 3 * 2 * 2);
+    for cfg in &configs {
+        let id = cfg.id();
+        let back = SystemConfig::from_id(&reg, &id).expect("id parses back");
+        assert_eq!(back.id(), id, "round-trip changed the id");
+        assert_eq!(back.to_spec(), cfg.to_spec(), "round-trip changed an axis spec");
+    }
+}
+
+/// Malformed ids fail loudly rather than resolving to something else.
+#[test]
+fn malformed_ids_are_rejected() {
+    let reg = Registry::builtin();
+    for bad in ["", "hash", "a/b/c/d/e", "a/b/c/d/e/f/g", "nope/fanout(25,10)+fixed(512)/extract-load/none/single/none"]
+    {
+        assert!(SystemConfig::from_id(&reg, bad).is_err(), "`{bad}` should not resolve");
+    }
+}
+
+/// 3. Grid enumeration order is pinned: row-major over the `vary`
+/// declarations (first axis slowest), and bitwise-identical under
+/// `GNN_DM_THREADS` ∈ {1, 2, 8} — the enumeration must never depend on
+/// the worker pool.
+#[test]
+fn grid_enumeration_order_is_pinned_across_thread_counts() {
+    let reg = Registry::builtin();
+    let enumerate = || -> Vec<String> {
+        let grid = Grid::over(GridSpec::default())
+            .vary(
+                Axis::Partitioner,
+                vec!["hash".to_string(), "metis-v".to_string()],
+            )
+            .and_then(|g| {
+                g.vary(Axis::Cache, vec!["none".to_string(), "degree(0.3)".to_string()])
+            })
+            .and_then(|g| {
+                g.vary(Axis::Faults, vec!["none".to_string(), "uniform(13,0.25)".to_string()])
+            })
+            .expect("grid is valid");
+        grid.configs(&reg).expect("specs resolve").iter().map(SystemConfig::id).collect()
+    };
+    let expected: Vec<String> = [
+        // Partitioner slowest, faults fastest — row-major.
+        ("hash", "none", "none"),
+        ("hash", "none", "uniform(13,0.25)"),
+        ("hash", "degree(0.3)", "none"),
+        ("hash", "degree(0.3)", "uniform(13,0.25)"),
+        ("metis-v", "none", "none"),
+        ("metis-v", "none", "uniform(13,0.25)"),
+        ("metis-v", "degree(0.3)", "none"),
+        ("metis-v", "degree(0.3)", "uniform(13,0.25)"),
+    ]
+    .iter()
+    .map(|(p, c, f)| {
+        format!("{p}/fanout(25,10)+fixed(512)/extract-load/{c}/single/{f}")
+    })
+    .collect();
+    for threads in [1usize, 2, 8] {
+        let ids = with_threads(threads, enumerate);
+        assert_eq!(ids, expected, "enumeration changed at {threads} thread(s)");
+    }
+}
+
+/// Declaring an axis twice or with no values is an error, not a silent
+/// last-writer-wins.
+#[test]
+fn invalid_grid_declarations_are_rejected() {
+    let twice = Grid::over(GridSpec::default())
+        .vary(Axis::Cache, vec!["none".to_string()])
+        .and_then(|g| g.vary(Axis::Cache, vec!["degree(0.3)".to_string()]));
+    assert!(twice.is_err(), "redeclared axis must be rejected");
+    let empty = Grid::over(GridSpec::default()).vary(Axis::Cache, Vec::new());
+    assert!(empty.is_err(), "empty axis must be rejected");
+}

@@ -72,6 +72,30 @@ const ASSERT_MACROS: &[&str] = &[
 /// Panic-family macros banned from library code (P001 scope).
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 
+/// Axis-implementation entry points experiment bins must not reach
+/// directly (H001 scope). Each one is a concrete partitioner / cache /
+/// fault-plan constructor that the harness registry wraps behind a trait;
+/// a bin that calls it bypasses `SystemConfig`, so the config id printed
+/// next to its numbers no longer names the system that produced them.
+const HARNESS_AXIS_IDENTS: &[&str] = &[
+    "partition_graph",
+    "metis_extend",
+    "metis_clusters",
+    "multilevel_partition",
+    "hash_vertices",
+    "stream_v",
+    "stream_v_fast",
+    "stream_b",
+    "stream_b_fast",
+    "FeatureCache",
+    "FaultPlan",
+];
+
+/// Bench-crate binaries that are infrastructure, not experiments (H001
+/// exempt): they measure the substrate itself rather than a system
+/// configuration, so they call axis implementations directly on purpose.
+const HARNESS_EXEMPT_BINS: &[&str] = &["crates/bench/src/bin/bench_par.rs"];
+
 /// Integer type names a narrowing-or-reinterpreting `as` cast can target
 /// (C001 scope). `as f64` widening for ratio math is not in scope.
 const INT_CAST_TARGETS: &[&str] = &[
@@ -108,6 +132,11 @@ pub struct FileCtx {
     /// True for crates whose integer arithmetic *is* the paper's byte and
     /// edge accounting (C001 scope): `device`, `trace`, `cluster`.
     pub accounting_crate: bool,
+    /// True for experiment binaries (`crates/bench/src/bin/**` minus the
+    /// infrastructure bins), which must assemble systems-under-test through
+    /// the harness registry instead of constructing axis implementations
+    /// directly (H001 scope).
+    pub experiment_bin: bool,
 }
 
 impl FileCtx {
@@ -142,6 +171,8 @@ impl FileCtx {
                 || non_library
                 || rel == "crates/cluster/src/network.rs",
             accounting_crate: in_crate("device") || in_crate("trace") || in_crate("cluster"),
+            experiment_bin: rel.starts_with("crates/bench/src/bin/")
+                && !HARNESS_EXEMPT_BINS.contains(&rel.as_str()),
             crate_dir,
             rel_path: rel,
         }
@@ -187,6 +218,7 @@ pub(crate) fn file_checks(
     check_f001_float_eq(ctx, &lexed.tokens, &mut diags);
     check_t001_raw_threads(ctx, &lexed.tokens, &mut diags);
     check_l001_layering(ctx, &lexed.tokens, &mut diags);
+    check_h001_direct_axis_construction(ctx, &lexed.tokens, &mut diags);
     diags
 }
 
@@ -585,6 +617,37 @@ fn check_t001_raw_threads(ctx: &FileCtx, tokens: &[Token], diags: &mut Vec<Diagn
     }
 }
 
+/// H001 — experiment bins assemble their system-under-test through the
+/// harness registry (`Registry::builtin()` → `SystemConfig::from_spec`),
+/// never by calling a partitioner / cache / fault-plan constructor
+/// directly. A direct construction makes the bin's numbers unattributable
+/// to a `SystemConfig` id and silently drifts from the swept grid.
+/// Infrastructure bins ([`HARNESS_EXEMPT_BINS`]) are out of scope.
+fn check_h001_direct_axis_construction(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !ctx.experiment_bin {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokenKind::Ident && HARNESS_AXIS_IDENTS.contains(&t.text.as_str()) {
+            diags.push(Diagnostic {
+                rule: "H001",
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "experiment bin constructs `{}` directly; assemble the system \
+                     through the harness registry (`SystemConfig::from_spec`) so the \
+                     config id names what produced these numbers",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 /// F001 — `==`/`!=` against a float literal inside an assertion compares
 /// exact bit patterns; accumulated rounding makes these flaky. Compare with
 /// an epsilon or restructure the assertion.
@@ -845,6 +908,20 @@ mod tests {
         // An unknown crate dir is itself a finding: place it in the DAG.
         let unknown = rules_fired("crates/newcomer/src/lib.rs", "use gnn_dm_par::pool;\n");
         assert_eq!(unknown, vec!["L001"]);
+    }
+
+    #[test]
+    fn h001_scopes_to_experiment_bins() {
+        let src = "fn main() { let p = partition_graph(&g, m, 4, 7); }";
+        assert_eq!(rules_fired("crates/bench/src/bin/fig4_comp_load.rs", src), vec!["H001"]);
+        // The infrastructure bin, bench library code, other crates' bins
+        // and the harness itself are all out of scope.
+        assert!(rules_fired("crates/bench/src/bin/bench_par.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/lib.rs", src).is_empty());
+        assert!(rules_fired("crates/harness/src/builtin.rs", src).is_empty());
+        // Type-name constructors count as construction sites too.
+        let cache = "fn main() { let c = FeatureCache::degree_resident(&g, n); }";
+        assert_eq!(rules_fired("crates/bench/src/bin/fig17_cache_policies.rs", cache), vec!["H001"]);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub const ROOT_KEY: &str = "gnn-dm";
 /// substrate layer is internally ordered) → 1 data (`tensor`, `graph`) →
 /// 2 preparation (`partition`, `sampling`) → 3 execution (`nn`, `device`) →
 /// 4 distribution (`cluster`) → 5 composition (`core`) →
-/// 6 harness (`bench`, root). `lint` is standalone tooling.
+/// 6 harness (`harness`) → 7 experiments (`bench`, root). `lint` is
+/// standalone tooling.
 pub const ALLOWED_EDGES: &[(&str, &[&str])] = &[
     ("par", &[]),
     ("trace", &[]),
@@ -46,8 +47,9 @@ pub const ALLOWED_EDGES: &[(&str, &[&str])] = &[
     ("device", &["trace", "faults", "graph", "sampling"]),
     ("cluster", &["par", "trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device"]),
     ("core", &["trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster"]),
-    ("bench", &["par", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
-    (ROOT_KEY, &["par", "trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core"]),
+    ("harness", &["par", "trace", "faults", "graph", "partition", "sampling", "device", "cluster", "core"]),
+    ("bench", &["par", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core", "harness"]),
+    (ROOT_KEY, &["par", "trace", "faults", "tensor", "graph", "partition", "sampling", "nn", "device", "cluster", "core", "harness"]),
     ("lint", &[]),
 ];
 
@@ -64,8 +66,9 @@ const LAYERS: &[(&str, &str)] = &[
     ("device", "3 · execution"),
     ("cluster", "4 · distribution"),
     ("core", "5 · composition"),
-    ("bench", "6 · harness"),
-    (ROOT_KEY, "6 · harness"),
+    ("harness", "6 · harness"),
+    ("bench", "7 · experiments"),
+    (ROOT_KEY, "7 · experiments"),
     ("lint", "tooling"),
 ];
 

@@ -179,6 +179,21 @@ fn a001_fires_and_clean() {
 }
 
 #[test]
+fn h001_fires_and_clean() {
+    let fires = include_str!("fixtures/h001_fires.rs");
+    let bin = "crates/bench/src/bin/fixture.rs";
+    assert_eq!(rules_fired(bin, fires), vec!["H001"]);
+    // partition_graph, stream_b, FeatureCache, FaultPlan — one each.
+    assert_eq!(count(bin, fires, "H001"), 4);
+    // The infrastructure bin and non-bin bench code are out of scope.
+    assert!(rules_fired("crates/bench/src/bin/bench_par.rs", fires).is_empty());
+    assert!(rules_fired("crates/bench/src/harness.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/h001_clean.rs");
+    assert!(rules_fired(bin, clean).is_empty());
+}
+
+#[test]
 fn a002_fires_and_clean() {
     let fires = include_str!("fixtures/a002_fires.rs");
     assert_eq!(rules_fired("crates/core/src/fixture.rs", fires), vec!["A002"]);

@@ -1,31 +1,38 @@
 //! Partitioning study: compare all six partitioning methods of the paper's
 //! §5 on one graph — static quality metrics, per-worker load ledgers from
-//! the cluster simulator, and a short distributed training run.
+//! the cluster simulator, and a short distributed training run — all
+//! assembled through the harness registry: each method is one spec on the
+//! partitioner axis of a declarative grid, not a hand-built special case.
 //!
 //! Run: `cargo run --release --example partitioning_study`
 
-use gnn_dm::cluster::sim::TimeModel;
-use gnn_dm::cluster::ClusterSim;
-use gnn_dm::core::config::ModelKind;
-use gnn_dm::core::convergence::train_distributed;
+use gnn_dm::harness::{Axis, ClusterExperiment, Grid, GridSpec, Registry, TrainExperiment};
 use gnn_dm::graph::datasets::{DatasetId, DatasetSpec};
-use gnn_dm::partition::{metrics, partition_graph, PartitionMethod};
-use gnn_dm::sampling::FanoutSampler;
+use gnn_dm::partition::metrics;
 use std::time::Instant;
 
 fn main() {
     let graph = DatasetSpec::get(DatasetId::OgbProducts).generate_scaled(5000, 42);
-    let sampler = FanoutSampler::new(vec![10, 5]);
-    let workers = 4;
+    let reg = Registry::builtin();
+    let base = GridSpec {
+        batch_prep: "fanout(10,5)+fixed(256)".to_string(),
+        parallel: "cluster(4)".to_string(),
+        ..GridSpec::default()
+    };
+    let grid = Grid::over(base)
+        .vary(Axis::Partitioner, reg.specs(Axis::Partitioner))
+        .expect("partitioner sweep is a valid grid");
+    let configs = grid.configs(&reg).expect("registered partitioners resolve");
 
+    let exp = ClusterExperiment { sim_seed: 3, ..ClusterExperiment::paper(&graph) };
     println!(
         "{:<10} {:>8} {:>9} {:>10} {:>10} {:>10} {:>9}",
         "method", "cut%", "locality", "comp_imb", "comm_MiB", "repl", "part_s"
     );
-    for method in PartitionMethod::all() {
+    for cfg in &configs {
         // lint:allow(D001) this example reports real partitioning wall time (Figure 6)
         let start = Instant::now();
-        let part = partition_graph(&graph, method, workers, 7);
+        let part = exp.partition(cfg);
         let part_s = start.elapsed().as_secs_f64();
 
         // Static quality metrics (§5.1's goals).
@@ -33,11 +40,12 @@ fn main() {
         let locality = metrics::l_hop_locality(&graph, &part, 2, 200);
 
         // Dynamic per-worker loads from one simulated epoch (§5.3.1/2).
-        let sim = ClusterSim { graph: &graph, part: &part, batch_size: 256, seed: 3 };
-        let report = sim.simulate_epoch(&sampler, 0);
+        let sampler = cfg.batch_prep.sampler(&graph);
+        let sim = exp.sim_with(&part, cfg.batch_prep.batch_size(0));
+        let report = sim.simulate_epoch(&*sampler, 0);
         println!(
             "{:<10} {:>7.1}% {:>9.3} {:>10.3} {:>10.2} {:>10.2} {:>9.3}",
-            method.name(),
+            cfg.partitioner.name(),
             cut * 100.0,
             locality,
             report.compute.imbalance(),
@@ -47,30 +55,22 @@ fn main() {
         );
     }
 
-    // Convergence under two contrasting methods (§5.3.4).
+    // Convergence under two contrasting methods (§5.3.4) — the same grid
+    // machinery, restricted to the extremes.
     println!("\ndistributed training (4 workers, GCN):");
-    for method in [PartitionMethod::Hash, PartitionMethod::MetisVET] {
-        let part = partition_graph(&graph, method, workers, 7);
-        let (result, epoch_s) = train_distributed(
-            &graph,
-            &part,
-            ModelKind::Gcn,
-            64,
-            &sampler,
-            256,
-            0.01,
-            5,
-            3,
-        );
+    let train = TrainExperiment { seed: 3, ..TrainExperiment::paper(&graph, 5) };
+    for cfg in configs
+        .iter()
+        .filter(|c| matches!(c.partitioner.spec().as_str(), "hash" | "metis-vet"))
+    {
+        let (result, epoch_s) = train.run_distributed(cfg);
         println!(
             "  {:<10} best val acc {:.3}, modelled epoch time {:.4}s",
-            method.name(),
+            cfg.partitioner.name(),
             result.best_acc,
             epoch_s
         );
     }
-    let tm = TimeModel::paper_default(graph.feat_dim(), 128, 500_000);
-    let _ = tm; // exposed for further experimentation
     println!("\nLessons (paper §5.4): hash balances but over-communicates; Metis clusters");
     println!("cut communication; streaming trades partitioning time for locality.");
 }

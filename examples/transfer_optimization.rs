@@ -1,13 +1,12 @@
 //! Transfer optimization walk-through: stack the paper's §7 optimizations
 //! (zero-copy → pipelining → GPU caching) on one workload and watch the
-//! modelled epoch time and PCIe traffic fall.
+//! modelled epoch time and PCIe traffic fall. Each rung of the ladder is a
+//! harness `SystemConfig` — two axis specs (transfer, cache) name the
+//! whole optimization stack.
 //!
 //! Run: `cargo run --release --example transfer_optimization`
 
-use gnn_dm::core::trainer::{HeteroTrainer, HeteroTrainerConfig};
-use gnn_dm::device::cache::CachePolicy;
-use gnn_dm::device::pipeline::PipelineMode;
-use gnn_dm::device::transfer::TransferMethod;
+use gnn_dm::harness::{GridSpec, Registry, SystemConfig};
 use gnn_dm::graph::datasets::{DatasetId, DatasetSpec};
 
 fn main() {
@@ -21,12 +20,13 @@ fn main() {
         graph.features.row_bytes()
     );
 
-    let stack: Vec<(&str, TransferMethod, PipelineMode, Option<CachePolicy>)> = vec![
-        ("baseline (extract-load)", TransferMethod::ExtractLoad, PipelineMode::None, None),
-        ("+ zero-copy", TransferMethod::ZeroCopy, PipelineMode::None, None),
-        ("+ pipeline", TransferMethod::ZeroCopy, PipelineMode::Full, None),
-        ("+ cache (pre-sampling)", TransferMethod::ZeroCopy, PipelineMode::Full, Some(CachePolicy::PreSample)),
-        ("hybrid instead of zc", TransferMethod::Hybrid { threshold: 0.5 }, PipelineMode::Full, Some(CachePolicy::PreSample)),
+    let reg = Registry::builtin();
+    let stack: Vec<(&str, &str, &str)> = vec![
+        ("baseline (extract-load)", "extract-load", "none"),
+        ("+ zero-copy", "zero-copy", "none"),
+        ("+ pipeline", "zero-copy+pipe(full)", "none"),
+        ("+ cache (pre-sampling)", "zero-copy+pipe(full)", "presample(0.3,2)"),
+        ("hybrid instead of zc", "hybrid(0.5)+pipe(full)", "presample(0.3,2)"),
     ];
 
     println!(
@@ -34,14 +34,15 @@ fn main() {
         "configuration", "epoch_s", "speedup", "pcie_MiB", "hit_rate"
     );
     let mut baseline = None;
-    for (label, transfer, pipeline, cache) in stack {
-        let mut cfg = HeteroTrainerConfig::baseline(&graph, 1024);
-        cfg.transfer = transfer;
-        cfg.pipeline = pipeline;
-        cfg.cache_policy = cache;
-        cfg.cache_ratio = if cache.is_some() { 0.3 } else { 0.0 };
-        cfg.presample_epochs = 2;
-        let timings = HeteroTrainer::new(&graph, cfg).run_epoch_model(0);
+    for (label, transfer, cache) in stack {
+        let spec = GridSpec {
+            batch_prep: "fanout(25,10)+fixed(1024)".to_string(),
+            transfer: transfer.to_string(),
+            cache: cache.to_string(),
+            ..GridSpec::default()
+        };
+        let cfg = SystemConfig::from_spec(&reg, &spec).expect("stack specs resolve");
+        let timings = cfg.hetero_trainer(&graph).run_epoch_model(0);
         let base = *baseline.get_or_insert(timings.makespan);
         println!(
             "{:<26} {:>10.4} {:>8.2}x {:>10.1} {:>8.1}%",

@@ -19,6 +19,11 @@
 #   BENCH_par.json        — latest run (overwritten; committed as baseline)
 #   BENCH_history.jsonl   — one line appended per run (never overwritten),
 #                           so perf over time is a greppable series
+#
+# Each line also carries a "harness" object naming the grid coordinates of
+# the epoch and cluster workloads (canonical SystemConfig id plus each
+# axis's spec), so history rows are attributable to — and filterable by —
+# the harness grid cell they timed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

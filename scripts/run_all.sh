@@ -1,9 +1,32 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper's evaluation.
 # Output lands in results/<target>.txt; see EXPERIMENTS.md for the index.
+#
+#   scripts/run_all.sh              # regenerate all results
+#   scripts/run_all.sh grid_smoke   # smoke mode: run one config per
+#                                   # registered axis value and diff the
+#                                   # output against the checked-in golden
+#                                   # (results/grid_smoke.txt) — no files
+#                                   # are overwritten, drift fails the run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
+
+if [ "${1:-}" = "grid_smoke" ]; then
+  cargo build --release -q -p gnn-dm-bench --bin grid_smoke
+  tmp="$(mktemp)"
+  trap 'rm -f "${tmp}"' EXIT
+  cargo run --release -q -p gnn-dm-bench --bin grid_smoke >"${tmp}"
+  if ! diff -u results/grid_smoke.txt "${tmp}"; then
+    echo "FAIL: grid_smoke output drifted from results/grid_smoke.txt" >&2
+    echo "(a registered axis implementation or the registry order changed;" >&2
+    echo " if intentional, regenerate with scripts/run_all.sh)" >&2
+    exit 1
+  fi
+  echo "OK: grid_smoke matches the checked-in golden (one config per axis value)"
+  exit 0
+fi
+
 targets=(
   tables_taxonomy
   fig2_breakdown
@@ -38,6 +61,8 @@ targets=(
   ext_p3_hybrid
   ext_local_sgd
   ext_faults_epoch_time
+  ext_grid_composition
+  grid_smoke
 )
 cargo build --release -p gnn-dm-bench --bins
 for t in "${targets[@]}"; do

@@ -11,7 +11,10 @@
 //! * [`sampling`] — fanout/rate/hybrid samplers, batch selection, schedules;
 //! * [`device`] — the simulated CPU/GPU substrate (PCIe, caches, pipelines);
 //! * [`cluster`] — the simulated distributed training cluster;
-//! * [`core`] — the end-to-end evaluation harness tying it all together;
+//! * [`core`] — the end-to-end evaluation engine tying it all together;
+//! * [`harness`] — the composable systems-under-test layer: every
+//!   evaluation axis a trait object behind a deterministic registry,
+//!   every experiment a declarative grid;
 //! * [`trace`] — the deterministic span-timeline engine every modelled
 //!   second and byte flows through (Chrome-trace export);
 //! * [`faults`] — deterministic fault injection (stragglers, flaky links
@@ -24,6 +27,7 @@ pub use gnn_dm_core as core;
 pub use gnn_dm_device as device;
 pub use gnn_dm_faults as faults;
 pub use gnn_dm_graph as graph;
+pub use gnn_dm_harness as harness;
 pub use gnn_dm_nn as nn;
 pub use gnn_dm_par as par;
 pub use gnn_dm_partition as partition;
