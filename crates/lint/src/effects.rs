@@ -36,7 +36,7 @@ pub const PANIC: u8 = 8;
 pub const LOCK: u8 = 16;
 
 /// Idents whose presence in a body implies allocation.
-const ALLOC_IDENTS: &[&str] =
+pub(crate) const ALLOC_IDENTS: &[&str] =
     &["Vec", "vec", "Box", "String", "format", "to_vec", "to_string", "with_capacity", "collect"];
 
 /// Idents implying filesystem / console IO (plus the `fs::` path segment
@@ -82,6 +82,12 @@ pub struct Effects {
     pub raw_entropy: Vec<bool>,
     /// Direct raw-seed site line per node, when any.
     pub own_raw_seed: Vec<Option<usize>>,
+    /// Node body directly contains an allocation intrinsic whose line does
+    /// not carry a reasoned `lint:allow(R003)` — the witness leaves for the
+    /// hot-path allocation audit. Tracked separately from `mask`'s `alloc`
+    /// bit so vouching a hot-path allocation does not perturb the effect
+    /// masks (and the effects golden).
+    pub own_alloc: Vec<Option<usize>>,
 }
 
 /// Renders a mask as `pure` or a `+`-joined effect list, stable order.
@@ -104,7 +110,7 @@ pub fn mask_names(mask: u8) -> String {
 /// Lines of `lexed` on which a *reasoned* suppression for any of `rules`
 /// applies (its own line plus the next token-bearing line — the same cover
 /// the per-file suppression pass uses).
-fn vouched_lines(lexed: &Lexed, rules: &[&str]) -> BTreeSet<usize> {
+pub(crate) fn vouched_lines(lexed: &Lexed, rules: &[&str]) -> BTreeSet<usize> {
     let mut lines = BTreeSet::new();
     for sup in &lexed.suppressions {
         if sup.reason.is_empty() || !sup.rules.iter().any(|r| rules.contains(&r.as_str())) {
@@ -190,13 +196,21 @@ fn base_effects(
     lexed: &Lexed,
     body: (usize, usize),
     vouched: &BTreeSet<usize>,
+    alloc_vouched: &BTreeSet<usize>,
     tainted: &BTreeSet<String>,
     skip: &[bool],
-) -> (u8, Option<usize>, Option<usize>) {
+) -> (u8, Option<usize>, Option<usize>, Option<usize>) {
     let toks = &lexed.tokens;
     let mut mask = 0u8;
     let mut panic_line = None;
     let mut raw_seed_line = None;
+    let mut alloc_line = None;
+    // `Vec` in a signature (`-> Vec<f32>`, `out: &mut Vec<VId>`) sets the
+    // alloc *bit* (the mask is about reachable behavior) but is not an
+    // allocation *site*: own_alloc only counts tokens past the opening brace.
+    let body_open = (body.0..body.1.min(toks.len()))
+        .find(|&k| toks[k].kind == TokenKind::Op && toks[k].text == "{")
+        .unwrap_or(usize::MAX);
     for i in body.0..body.1.min(toks.len()) {
         if skip.get(i).copied().unwrap_or(false) {
             continue;
@@ -213,6 +227,9 @@ fn base_effects(
 
         if ALLOC_IDENTS.contains(&name) {
             mask |= ALLOC;
+            if alloc_line.is_none() && i > body_open && !alloc_vouched.contains(&t.line) {
+                alloc_line = Some(t.line);
+            }
         }
         if IO_IDENTS.contains(&name) || name == "fs" || (IO_MACROS.contains(&name) && bangs) {
             mask |= IO;
@@ -248,7 +265,7 @@ fn base_effects(
             }
         }
     }
-    (mask, panic_line, raw_seed_line)
+    (mask, panic_line, raw_seed_line, alloc_line)
 }
 
 /// Runs the inference: base effects per node, then the fixpoint closure
@@ -260,9 +277,11 @@ pub fn infer(set: &FileSet, g: &CallGraph) -> Effects {
         own_panic: vec![None; g.nodes.len()],
         raw_entropy: vec![false; g.nodes.len()],
         own_raw_seed: vec![None; g.nodes.len()],
+        own_alloc: vec![None; g.nodes.len()],
     };
     for file in set.files.values() {
         let vouched = vouched_lines(&file.lexed, &["P001", "U001", "E001"]);
+        let alloc_vouched = vouched_lines(&file.lexed, &["R003"]);
         let tainted = split_seed_tainted(&file.lexed);
         let ids = g.nodes_in_file(&file.rel_path);
         // A nested fn's tokens belong to the nested fn only.
@@ -281,13 +300,14 @@ pub fn infer(set: &FileSet, g: &CallGraph) -> Effects {
                     }
                 }
             }
-            let (mask, panic_line, raw_line) =
-                base_effects(&file.lexed, (s, e), &vouched, &tainted, &skip);
+            let (mask, panic_line, raw_line, alloc_line) =
+                base_effects(&file.lexed, (s, e), &vouched, &alloc_vouched, &tainted, &skip);
             fx.mask[id] = mask;
             fx.base[id] = mask;
             fx.own_panic[id] = panic_line;
             fx.own_raw_seed[id] = raw_line;
             fx.raw_entropy[id] = raw_line.is_some();
+            fx.own_alloc[id] = alloc_line;
         }
     }
     // Fixpoint: effects and the raw-seed flag flow from callee to caller.

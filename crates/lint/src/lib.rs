@@ -17,9 +17,40 @@ pub mod races;
 pub mod rules;
 pub mod seeds;
 pub mod tokenizer;
+pub mod units;
 pub mod workspace;
 
 pub use rules::{lint_source, Diagnostic};
+
+/// Every rule ID the linter can emit, sorted. `--explain` must have a
+/// catalog row for each (pinned by `tests/explain_completeness.rs`), and
+/// the JSON reports carry this list as `rule_ids` so downstream tooling
+/// can detect rules added or removed between versions.
+pub const RULE_IDS: &[&str] = &[
+    "A001", "A002", "B001", "B002", "B003", "C001", "D001", "D002", "D003",
+    "E001", "F001", "H001", "L001", "P001", "R001", "R002", "R003", "S001",
+    "S002", "T001", "U001",
+];
+
+/// The design document is compiled in so `--explain` works from any
+/// working directory (the binary is its own documentation).
+pub const DESIGN_MD: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
+
+/// Returns rule ID's `| ID | scope | what it flags |` row of the
+/// DESIGN.md §7 catalog, formatted for humans, or an error for IDs with
+/// no catalog row.
+pub fn explain(rule: &str) -> Result<String, String> {
+    let needle = format!("| {rule} |");
+    for line in DESIGN_MD.lines() {
+        if let Some(rest) = line.strip_prefix(&needle) {
+            let mut cols = rest.trim_end_matches('|').splitn(2, '|');
+            let scope = cols.next().unwrap_or("").trim();
+            let what = cols.next().unwrap_or("").trim();
+            return Ok(format!("{rule}\n  scope: {scope}\n  flags: {what}"));
+        }
+    }
+    Err(format!("unknown rule `{rule}` — no row in the DESIGN.md rule catalog"))
+}
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -89,7 +120,9 @@ impl Report {
     }
 
     /// Machine-readable one-line JSON summary:
-    /// `{"files_scanned":N,"violations":N,"by_rule":{"D001":n,...}}`.
+    /// `{"files_scanned":N,"violations":N,"by_rule":{"D001":n,...},
+    /// "rule_ids":["A001",...]}` — `rule_ids` is the full shipped catalog
+    /// ([`RULE_IDS`]), not just the rules that fired.
     pub fn summary_json(&self) -> String {
         let mut rules: Vec<&'static str> =
             self.diagnostics.iter().map(|d| d.rule).collect();
@@ -99,11 +132,13 @@ impl Report {
             .iter()
             .map(|r| format!("\"{}\":{}", r, self.count(r)))
             .collect();
+        let ids: Vec<String> = RULE_IDS.iter().map(|r| format!("\"{r}\"")).collect();
         format!(
-            "{{\"files_scanned\":{},\"violations\":{},\"by_rule\":{{{}}}}}",
+            "{{\"files_scanned\":{},\"violations\":{},\"by_rule\":{{{}}},\"rule_ids\":[{}]}}",
             self.files_scanned,
             self.diagnostics.len(),
-            by_rule.join(",")
+            by_rule.join(","),
+            ids.join(",")
         )
     }
 }
@@ -140,8 +175,9 @@ pub fn lint_workspace(root: &Path) -> Report {
     };
     report.diagnostics = dataflow_lint(&set);
     // Workspace phase: manifests + symbol model on top of the per-file
-    // passes (L001's dependency-graph half).
-    let ws = workspace::Workspace::load(root);
+    // passes (L001's dependency-graph half). Reuses the FileSet's token
+    // streams and item tables — sources are lexed exactly once per run.
+    let ws = workspace::Workspace::from_fileset(root, &set);
     report.diagnostics.extend(ws.check_manifests(workspace::ALLOWED_EDGES));
     report
         .diagnostics
@@ -173,10 +209,14 @@ fn dataflow_lint(set: &callgraph::FileSet) -> Vec<Diagnostic> {
     }
     let graph = callgraph::CallGraph::build(set);
     let fx = effects::infer(set, &graph);
+    let units = units::infer(set, &graph);
     let interprocedural = effects::check_e001(set, &graph, &fx)
         .into_iter()
         .chain(races::check_r001(set, &graph, &fx))
-        .chain(seeds::check_r002(set, &graph, &fx));
+        .chain(seeds::check_r002(set, &graph, &fx))
+        .chain(races::check_r003(set, &graph, &fx))
+        .chain(units::check_units(set, &graph, &units))
+        .chain(units::check_b003(set));
     for d in interprocedural {
         if let Some(bucket) = per_file.get_mut(d.file.as_str()) {
             bucket.push(d);
@@ -222,6 +262,21 @@ pub(crate) fn relative_path(root: &Path, file: &Path) -> String {
 mod tests {
     use super::*;
 
+    /// The `"rule_ids":[...]` suffix every summary carries: the full
+    /// shipped catalog, independent of which rules fired.
+    fn rule_ids_json() -> String {
+        let ids: Vec<String> = RULE_IDS.iter().map(|r| format!("\"{r}\"")).collect();
+        format!("\"rule_ids\":[{}]", ids.join(","))
+    }
+
+    #[test]
+    fn rule_catalog_is_sorted_and_unique() {
+        let mut sorted = RULE_IDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, RULE_IDS, "RULE_IDS must stay sorted and duplicate-free");
+    }
+
     #[test]
     fn summary_json_shape() {
         let report = Report {
@@ -235,7 +290,10 @@ mod tests {
         };
         assert_eq!(
             report.summary_json(),
-            "{\"files_scanned\":7,\"violations\":3,\"by_rule\":{\"D001\":2,\"P001\":1}}"
+            format!(
+                "{{\"files_scanned\":7,\"violations\":3,\"by_rule\":{{\"D001\":2,\"P001\":1}},{}}}",
+                rule_ids_json()
+            )
         );
         assert!(!report.is_clean());
         assert_eq!(report.count("D001"), 2);
@@ -255,11 +313,14 @@ mod tests {
         };
         assert_eq!(
             report.to_json(),
-            concat!(
-                "{\"files_scanned\":1,\"violations\":1,\"by_rule\":{\"P001\":1},",
-                "\"diagnostics\":[{\"file\":\"a.rs\",\"line\":4,\"rule\":\"P001\",",
-                "\"message\":\"avoid `panic!(\\\"boom\\\")`\"}],",
-                "\"read_errors\":[{\"file\":\"b.rs\",\"error\":\"io\\nerror\"}]}"
+            format!(
+                concat!(
+                    "{{\"files_scanned\":1,\"violations\":1,\"by_rule\":{{\"P001\":1}},{},",
+                    "\"diagnostics\":[{{\"file\":\"a.rs\",\"line\":4,\"rule\":\"P001\",",
+                    "\"message\":\"avoid `panic!(\\\"boom\\\")`\"}}],",
+                    "\"read_errors\":[{{\"file\":\"b.rs\",\"error\":\"io\\nerror\"}}]}}"
+                ),
+                rule_ids_json()
             )
         );
     }
@@ -270,7 +331,9 @@ mod tests {
         assert!(report.is_clean());
         assert_eq!(
             report.summary_json(),
-            "{\"files_scanned\":3,\"violations\":0,\"by_rule\":{}}"
+            format!("{{\"files_scanned\":3,\"violations\":0,\"by_rule\":{{}},{}}}", rule_ids_json())
         );
+        assert!(explain("B001").is_ok_and(|t| t.contains("scope:")));
+        assert!(explain("Z999").is_err());
     }
 }

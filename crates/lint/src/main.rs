@@ -29,23 +29,7 @@ enum Format {
 const USAGE: &str = "usage: gnn-dm-lint [--format=text|json] [--rule=ID[,ID...]] \
                      [--callgraph=json|dot] [--explain ID] [ROOT]";
 
-/// The design document is compiled in so `--explain` works from any
-/// working directory (the binary is its own documentation).
-const DESIGN_MD: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
-
-/// Prints the `| ID | scope | what it flags |` row of the §7 rule catalog.
-fn explain(rule: &str) -> Result<String, String> {
-    let needle = format!("| {rule} |");
-    for line in DESIGN_MD.lines() {
-        if let Some(rest) = line.strip_prefix(&needle) {
-            let mut cols = rest.trim_end_matches('|').splitn(2, '|');
-            let scope = cols.next().unwrap_or("").trim();
-            let what = cols.next().unwrap_or("").trim();
-            return Ok(format!("{rule}\n  scope: {scope}\n  flags: {what}"));
-        }
-    }
-    Err(format!("unknown rule `{rule}` — no row in the DESIGN.md rule catalog"))
-}
+use gnn_dm_lint::explain;
 
 fn main() -> ExitCode {
     let mut format = Format::Text;

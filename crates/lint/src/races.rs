@@ -38,6 +38,11 @@ pub(crate) struct ParClosure {
     /// Token range of the closure body (after the params, to the end of
     /// the argument), exclusive end.
     pub body: (usize, usize),
+    /// Zero-based argument position of the closure in the dispatch call
+    /// (the count of depth-1 commas before it). The `par_*_init`
+    /// dispatchers take their once-per-worker scratch constructor at
+    /// position 1; R003 exempts that argument.
+    pub arg_idx: usize,
 }
 
 /// Finds every closure passed (at top argument level) to a [`PAR_FNS`]
@@ -57,6 +62,7 @@ pub(crate) fn find_par_closures(lexed: &Lexed) -> Vec<ParClosure> {
         // Walk the argument list; depth 1 is the call's own arg level.
         let end = crate::effects::balanced_args_end(lexed, i + 1);
         let mut depth = 0usize;
+        let mut arg_idx = 0usize;
         let mut k = i + 1;
         while k < end {
             let tk = &toks[k];
@@ -64,6 +70,7 @@ pub(crate) fn find_par_closures(lexed: &Lexed) -> Vec<ParClosure> {
                 match tk.text.as_str() {
                     "(" | "[" | "{" => depth += 1,
                     ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    "," if depth == 1 => arg_idx += 1,
                     "|" | "||" if depth == 1 => {
                         let mut params = BTreeSet::new();
                         let mut b = k + 1;
@@ -99,7 +106,7 @@ pub(crate) fn find_par_closures(lexed: &Lexed) -> Vec<ParClosure> {
                             }
                             b += 1;
                         }
-                        out.push(ParClosure { dispatcher, params, body: (body_start, b) });
+                        out.push(ParClosure { dispatcher, params, body: (body_start, b), arg_idx });
                         k = b;
                         continue;
                     }
@@ -347,6 +354,211 @@ pub fn check_r001(set: &FileSet, g: &CallGraph, fx: &Effects) -> Vec<Diagnostic>
     diags
 }
 
+/// Hot-path kernels (crate key, fn name) that must stay allocation-free
+/// even outside a parallel closure: the GEMM micro-kernels run millions of
+/// FMA panels per matmul and the allocator would dominate them.
+pub(crate) const HOT_PATH_FNS: &[(&str, &str)] = &[
+    ("tensor", "micro_block"),
+    ("tensor", "micro_kernel"),
+    ("tensor", "micro_panel"),
+    ("tensor", "micro_tail"),
+];
+
+/// Per-node reachability of an unvouched allocation site along call paths
+/// that never enter the `par` crate (the dispatchers allocate their own
+/// result buffers once per call — that is the sanctioned mechanism).
+fn alloc_reaches_outside_par(g: &CallGraph, fx: &Effects) -> Vec<bool> {
+    let mut reach: Vec<bool> = (0..g.nodes.len())
+        .map(|id| g.nodes[id].crate_key != "par" && fx.own_alloc[id].is_some())
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..g.nodes.len() {
+            if reach[id] || g.nodes[id].crate_key == "par" {
+                continue;
+            }
+            if g.edges[id].iter().any(|&m| g.nodes[m].crate_key != "par" && reach[m]) {
+                reach[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    reach
+}
+
+/// Shortest call path (BFS over edge order, so deterministic) from `from`
+/// to a node with a direct unvouched allocation, rendered
+/// `a -> b -> c (alloc site file:line)` — the R003 witness format.
+pub(crate) fn alloc_witness(g: &CallGraph, fx: &Effects, reach: &[bool], from: usize) -> String {
+    let mut prev: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut seen = vec![false; g.nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    let mut leaf = None;
+    'bfs: while let Some(n) = queue.pop_front() {
+        if fx.own_alloc[n].is_some() {
+            leaf = Some(n);
+            break 'bfs;
+        }
+        for &next in &g.edges[n] {
+            if !seen[next] && g.nodes[next].crate_key != "par" && reach[next] {
+                seen[next] = true;
+                prev[next] = Some(n);
+                queue.push_back(next);
+            }
+        }
+    }
+    let Some(leaf) = leaf else { return g.nodes[from].name.clone() };
+    let mut path = vec![leaf];
+    while let Some(p) = prev[*path.last().unwrap_or(&leaf)] {
+        path.push(p);
+    }
+    path.reverse();
+    let names: Vec<&str> = path.iter().map(|&n| g.nodes[n].name.as_str()).collect();
+    let site = fx.own_alloc[leaf].map(|l| format!(" (alloc site {}:{})", g.nodes[leaf].file, l));
+    format!("{}{}", names.join(" -> "), site.unwrap_or_default())
+}
+
+/// R003 — the hot-path allocation audit: work closures handed to the
+/// [`PAR_FNS`] dispatchers, and the [`HOT_PATH_FNS`] kernels, must not
+/// allocate (`Vec::new` / `Box` / `format!` / `collect` without an arena),
+/// directly or through any callee. Scratch-init closures (argument 1 of
+/// the `par_*_init` dispatchers) run once per worker and are exempt.
+/// Library code only, like the other effect rules: benches, tests, and
+/// binaries measure or drive — the deliberately allocation-heavy seed
+/// baseline in `crates/bench` is the *comparison point* for this audit,
+/// not a subject of it.
+/// Diagnostics at vouched lines are still emitted here and removed by the
+/// suppression pass, which keeps reasoned `lint:allow(R003)` markers live
+/// for the S002 staleness audit; the *transitive* side honors vouches
+/// through [`Effects::own_alloc`], so a vouched leaf stops witnessing.
+pub fn check_r003(set: &FileSet, g: &CallGraph, fx: &Effects) -> Vec<Diagnostic> {
+    let reach = alloc_reaches_outside_par(g, fx);
+    let mut diags = Vec::new();
+    for file in set.files.values() {
+        if file.ctx.layer_key() == "par" || file.ctx.non_library {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        for cl in find_par_closures(&file.lexed) {
+            if file.in_test.get(cl.body.0).copied().unwrap_or(false) {
+                continue;
+            }
+            if cl.arg_idx == 1 && cl.dispatcher.ends_with("_init") {
+                continue;
+            }
+            // Direct allocation intrinsics in the closure body, one
+            // diagnostic per line.
+            let mut flagged: BTreeSet<usize> = BTreeSet::new();
+            for i in cl.body.0..cl.body.1.min(toks.len()) {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident
+                    || !crate::effects::ALLOC_IDENTS.contains(&t.text.as_str())
+                {
+                    continue;
+                }
+                if !flagged.insert(t.line) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    rule: "R003",
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "allocation (`{}`) inside a `{}` closure — per-unit heap traffic \
+                         serializes the hot path; reuse a scratch arena (`par_*_init`) or \
+                         vouch it with `lint:allow(R003) <why amortized>`",
+                        t.text, cl.dispatcher
+                    ),
+                });
+            }
+            // Calls out of the closure into allocating fns, with a witness.
+            let Some(owner) = g.owner_of(&file.rel_path, cl.body.0) else { continue };
+            for site in &g.calls[owner] {
+                if site.tok < cl.body.0 || site.tok >= cl.body.1 {
+                    continue;
+                }
+                for &target in &site.targets {
+                    if !reach[target] {
+                        continue;
+                    }
+                    diags.push(Diagnostic {
+                        rule: "R003",
+                        file: file.rel_path.clone(),
+                        line: site.line,
+                        message: format!(
+                            "`{}` (called inside a `{}` closure) allocates: {}; hoist the \
+                             buffer into the worker's scratch arena",
+                            site.name,
+                            cl.dispatcher,
+                            alloc_witness(g, fx, &reach, target)
+                        ),
+                    });
+                    break; // one diagnostic per call site
+                }
+            }
+        }
+    }
+    // The named hot-path kernels: no direct allocations, no allocating
+    // callees.
+    for (id, n) in g.nodes.iter().enumerate() {
+        if n.in_test || !HOT_PATH_FNS.contains(&(n.crate_key.as_str(), n.name.as_str())) {
+            continue;
+        }
+        let Some(file) = set.files.get(&n.file) else { continue };
+        let toks = &file.lexed.tokens;
+        let body_open = (n.body.0..n.body.1.min(toks.len()))
+            .find(|&k| toks[k].kind == TokenKind::Op && toks[k].text == "{")
+            .unwrap_or(usize::MAX);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        for i in n.body.0..n.body.1.min(toks.len()) {
+            if i <= body_open {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident
+                || !crate::effects::ALLOC_IDENTS.contains(&t.text.as_str())
+            {
+                continue;
+            }
+            if !flagged.insert(t.line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: "R003",
+                file: n.file.clone(),
+                line: t.line,
+                message: format!(
+                    "hot-path kernel `{}` allocates here (`{}`) — the inner GEMM/sampling \
+                     loops must stay allocation-free; take the buffer as a parameter",
+                    n.name, t.text
+                ),
+            });
+        }
+        for &callee in &g.edges[id] {
+            if !reach[callee] {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: "R003",
+                file: n.file.clone(),
+                line: n.line,
+                message: format!(
+                    "hot-path kernel `{}` can reach an allocation: {}; hoist the buffer \
+                     to the caller",
+                    n.name,
+                    alloc_witness(g, fx, &reach, callee)
+                ),
+            });
+        }
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +569,87 @@ mod tests {
         let g = CallGraph::build(&set);
         let fx = crate::effects::infer(&set, &g);
         check_r001(&set, &g, &fx)
+    }
+
+    fn run_r003(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let set = FileSet::from_sources(sources);
+        let g = CallGraph::build(&set);
+        let fx = crate::effects::infer(&set, &g);
+        check_r003(&set, &g, &fx)
+    }
+
+    #[test]
+    fn r003_flags_direct_closure_allocation() {
+        let diags = run_r003(&[(
+            "crates/tensor/src/ops.rs",
+            "pub fn bad(xs: &[u32]) -> Vec<u32> {\n\
+                 par_map_collect(xs, |_, x| (0..*x).collect::<Vec<u32>>())\n\
+             }\n",
+        )]);
+        assert!(
+            diags.iter().any(|d| d.rule == "R003" && d.line == 2),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn r003_flags_allocating_callee_with_witness() {
+        let diags = run_r003(&[(
+            "crates/tensor/src/ops.rs",
+            "fn helper(x: u32) -> Vec<u32> {\n\
+                 let v = Vec::with_capacity(x as usize);\n\
+                 v\n\
+             }\n\
+             pub fn bad(xs: &mut [u32]) {\n\
+                 par_chunks_mut(xs, 64, |_, c| { let _ = helper(c[0]); });\n\
+             }\n",
+        )]);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == "R003" && d.message.contains("helper"))
+            .expect("transitive diagnostic");
+        assert!(hit.message.contains("alloc site crates/tensor/src/ops.rs:2"), "{hit:?}");
+    }
+
+    #[test]
+    fn r003_exempts_scratch_init_closures() {
+        let diags = run_r003(&[(
+            "crates/sampling/src/sampler.rs",
+            "pub fn ok(n: usize) {\n\
+                 par_for_each_init(n, || Vec::<u32>::with_capacity(64), |scratch, _i| scratch.clear());\n\
+             }\n",
+        )]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn r003_vouched_leaf_stops_witnessing() {
+        let diags = run_r003(&[(
+            "crates/tensor/src/ops.rs",
+            "fn helper(x: u32) -> Vec<u32> {\n\
+                 // lint:allow(R003) buffer amortized across the whole panel\n\
+                 Vec::with_capacity(x as usize)\n\
+             }\n\
+             pub fn ok(xs: &mut [u32]) {\n\
+                 par_chunks_mut(xs, 64, |_, c| { let _ = helper(c[0]); });\n\
+             }\n",
+        )]);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn r003_flags_hot_path_kernel_allocation() {
+        let diags = run_r003(&[(
+            "crates/tensor/src/ops.rs",
+            "fn micro_panel(n: usize) -> Vec<f32> {\n\
+                 let out = Vec::with_capacity(n);\n\
+                 out\n\
+             }\n",
+        )]);
+        assert!(
+            diags.iter().any(|d| d.rule == "R003" && d.message.contains("micro_panel")),
+            "diags: {diags:?}"
+        );
     }
 
     #[test]

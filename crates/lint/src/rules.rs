@@ -137,6 +137,11 @@ pub struct FileCtx {
     /// the harness registry instead of constructing axis implementations
     /// directly (H001 scope).
     pub experiment_bin: bool,
+    /// True for the crates whose numbers *are* the paper's cost model
+    /// (`device`, `trace`, `cluster`, `faults`, `harness`): the scope of
+    /// the unit/dimension dataflow pass (B001/B002) and of the ledger
+    /// conservation check (B003) in [`crate::units`].
+    pub units_crate: bool,
 }
 
 impl FileCtx {
@@ -173,6 +178,11 @@ impl FileCtx {
             accounting_crate: in_crate("device") || in_crate("trace") || in_crate("cluster"),
             experiment_bin: rel.starts_with("crates/bench/src/bin/")
                 && !HARNESS_EXEMPT_BINS.contains(&rel.as_str()),
+            units_crate: in_crate("device")
+                || in_crate("trace")
+                || in_crate("cluster")
+                || in_crate("faults")
+                || in_crate("harness"),
             crate_dir,
             rel_path: rel,
         }

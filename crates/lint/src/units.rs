@@ -1,0 +1,1654 @@
+//! Unit/dimension dataflow pass: dimensional consistency for the cost model.
+//!
+//! The paper's argument rests on byte- and time-accounted cost models, so the
+//! crates whose numbers *are* that model (`device`, `trace`, `cluster`,
+//! `faults`, `harness`) get a third analysis layer on top of the callgraph
+//! and effects passes:
+//!
+//! * **B001** — unit-mismatched `+` / `-` / comparison / assignment /
+//!   argument: both operands carry a *hard* dimension (bytes, seconds,
+//!   bytes/s, elements) and the dimensions disagree.
+//! * **B002** — suspicious `*` / `/` whose result has no known dimension
+//!   and matches a known inversion shape (e.g. `bytes × bytes/s`: bandwidth
+//!   applied upside-down — dividing is what yields seconds).
+//! * **B003** — ledger conservation: every span kind that carries bytes at
+//!   a `schedule` site must be consumed by exactly one `*_from_spans`
+//!   ledger reduction (or carry an explicit [`SPAN_BYTES_EXEMPT`] entry).
+//!
+//! Dimensions are seeded by the declarative [`IDENT_DIMS`] annotation table
+//! plus name/signature inference ([`ident_dim`] / [`fn_name_dim`]), then
+//! propagated interprocedurally over the callgraph: function return
+//! dimensions are a monotone fixpoint of the per-body abstract evaluation,
+//! so `cost(x) + elapsed` type-checks even when `cost` only earns its
+//! `seconds` dimension through a callee three hops down.
+//!
+//! The evaluator is total and recoverable: it never fails on a token
+//! stream, it just loses precision (drops to [`Dim::Unknown`]) on syntax it
+//! does not model. All checks require *hard* evidence on both sides, so
+//! lost precision can only cause false negatives, never false positives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, CallSite, FileSet, SourceFile};
+use crate::effects::balanced_args_end;
+use crate::items::{Item, ItemKind};
+use crate::rules::Diagnostic;
+use crate::tokenizer::{Token, TokenKind};
+
+/// The dimension lattice. Ordering for `join` (least upper bound):
+/// `Unknown ⊑ Scalar ⊑ {Bytes, Seconds, BytesPerSec, Elements, Count} ⊑
+/// Conflict`. `Scalar` sits *below* the measured dimensions because a
+/// dimensionless literal (`0.0`, a ratio) is compatible with any of them —
+/// `return 0.0` from a seconds-valued function is zero seconds, not a
+/// conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dim {
+    /// Nothing known (lattice bottom).
+    Unknown,
+    /// Dimensionless: literals, ratios, efficiencies.
+    Scalar,
+    /// A byte quantity.
+    Bytes,
+    /// A duration in seconds.
+    Seconds,
+    /// A transfer rate in bytes per second.
+    BytesPerSec,
+    /// A graph-element count (edges / vertices / nodes).
+    Elements,
+    /// A generic discrete count (workers, rounds, transactions).
+    Count,
+    /// Contradictory evidence (lattice top).
+    Conflict,
+}
+
+/// Every lattice element, for exhaustive property tests.
+pub const ALL_DIMS: &[Dim] = &[
+    Dim::Unknown,
+    Dim::Scalar,
+    Dim::Bytes,
+    Dim::Seconds,
+    Dim::BytesPerSec,
+    Dim::Elements,
+    Dim::Count,
+    Dim::Conflict,
+];
+
+impl Dim {
+    /// True for the measured dimensions that B001 treats as evidence.
+    /// `Scalar` and `Count` are soft: mixing them with anything is routine
+    /// (scaling, averaging) and never diagnosed.
+    pub fn is_hard(self) -> bool {
+        matches!(self, Dim::Bytes | Dim::Seconds | Dim::BytesPerSec | Dim::Elements)
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Dim::Unknown => "?",
+            Dim::Scalar => "scalar",
+            Dim::Bytes => "bytes",
+            Dim::Seconds => "seconds",
+            Dim::BytesPerSec => "bytes/s",
+            Dim::Elements => "elements",
+            Dim::Count => "count",
+            Dim::Conflict => "!",
+        })
+    }
+}
+
+/// Least upper bound on the [`Dim`] lattice.
+pub fn join(a: Dim, b: Dim) -> Dim {
+    use Dim::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Unknown, x) | (x, Unknown) => x,
+        (Conflict, _) | (_, Conflict) => Conflict,
+        (Scalar, x) | (x, Scalar) => x,
+        _ => Conflict,
+    }
+}
+
+/// Declarative annotation table: exact identifier spellings with a known
+/// dimension. Extend this (not the pattern rules) when a new field name
+/// needs a dimension; DESIGN.md §15 documents the format.
+pub const IDENT_DIMS: &[(&str, Dim)] = &[
+    ("alpha", Dim::Scalar),
+    ("bandwidth", Dim::BytesPerSec),
+    ("beta", Dim::Scalar),
+    ("bw", Dim::BytesPerSec),
+    ("bytes", Dim::Bytes),
+    ("count", Dim::Count),
+    ("deadline", Dim::Seconds),
+    ("dur", Dim::Seconds),
+    ("duration", Dim::Seconds),
+    ("edges", Dim::Elements),
+    ("efficiency", Dim::Scalar),
+    ("elapsed", Dim::Seconds),
+    ("flops", Dim::Count),
+    ("fraction", Dim::Scalar),
+    ("iters", Dim::Count),
+    ("latency", Dim::Seconds),
+    ("nodes", Dim::Elements),
+    ("payload", Dim::Bytes),
+    ("ratio", Dim::Scalar),
+    ("received", Dim::Bytes),
+    ("rounds", Dim::Count),
+    ("scale", Dim::Scalar),
+    ("secs", Dim::Seconds),
+    ("sent", Dim::Bytes),
+    ("timeout", Dim::Seconds),
+    ("traffic", Dim::Bytes),
+    ("transactions", Dim::Count),
+    ("vertices", Dim::Elements),
+    ("workers", Dim::Count),
+];
+
+/// Dimension of a variable / field / const name: the exact table first,
+/// then suffix/prefix patterns. Case-insensitive (consts are UPPER_SNAKE).
+pub fn ident_dim(name: &str) -> Dim {
+    let n = name.to_ascii_lowercase();
+    if let Some((_, d)) = IDENT_DIMS.iter().find(|(k, _)| *k == n) {
+        return *d;
+    }
+    // Rate patterns come before byte patterns so `bytes_per_sec` reads as a
+    // rate, not a byte quantity.
+    if n.contains("per_sec") || n.ends_with("_bandwidth") || n.starts_with("bandwidth_") || n.ends_with("_bw") {
+        return Dim::BytesPerSec;
+    }
+    if n.contains("bytes") || n.ends_with("_traffic") {
+        return Dim::Bytes;
+    }
+    if n.ends_with("_secs")
+        || n.ends_with("_seconds")
+        || n.ends_with("_time")
+        || n.ends_with("_latency")
+        || n.ends_with("_dur")
+        || n.ends_with("_deadline")
+        || n.starts_with("secs_")
+        || n.starts_with("time_")
+    {
+        return Dim::Seconds;
+    }
+    if n.ends_with("_edges") || n.ends_with("_vertices") || n.ends_with("_nodes") || n.starts_with("edges_") {
+        return Dim::Elements;
+    }
+    if n.ends_with("_count") || n.starts_with("num_") || n.starts_with("n_") {
+        return Dim::Count;
+    }
+    if n.ends_with("_factor") || n.ends_with("_ratio") || n.ends_with("_frac") || n.ends_with("_efficiency") {
+        return Dim::Scalar;
+    }
+    Dim::Unknown
+}
+
+/// Dimension a *function name* promises for its return value. Only applied
+/// to functions whose declared return type is a bare numeric primitive —
+/// `fn gather_time(..) -> Timeline` must not inherit `seconds`.
+pub fn fn_name_dim(name: &str) -> Dim {
+    let n = name.to_ascii_lowercase();
+    if n.ends_with("_time")
+        || n.starts_with("time_")
+        || n.ends_with("_secs")
+        || n.ends_with("_seconds")
+        || n.ends_with("_latency")
+        || n == "makespan"
+    {
+        return Dim::Seconds;
+    }
+    if n.contains("bytes") {
+        return Dim::Bytes;
+    }
+    if n.ends_with("_bandwidth") {
+        return Dim::BytesPerSec;
+    }
+    if n.starts_with("edges_") || n.ends_with("_edges") {
+        return Dim::Elements;
+    }
+    if n.ends_with("_count") || n.starts_with("num_") || n == "len" {
+        return Dim::Count;
+    }
+    Dim::Unknown
+}
+
+/// Bare numeric primitive types: the only parameter/return types the
+/// signature inference assigns a dimension to.
+const NUMERIC_PRIMS: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Identifier keywords the expression evaluator refuses to consume as a
+/// primary; the statement walker steps over them one token at a time.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "loop", "while", "for", "in", "return", "break", "continue", "move",
+    "let", "fn", "const", "static", "struct", "enum", "impl", "trait", "type", "where", "pub",
+    "use", "mod", "unsafe", "dyn", "ref", "crate", "super", "as", "await",
+];
+
+/// Methods that preserve the receiver's dimension.
+const PRESERVE_METHODS: &[&str] = &[
+    "abs", "ceil", "checked_add", "checked_sub", "clamp", "clone", "cloned", "copied", "floor",
+    "into_iter", "iter", "max", "min", "round", "saturating_add", "saturating_sub", "sum",
+    "to_owned", "unwrap", "expect", "unwrap_or", "unwrap_or_default", "wrapping_add",
+    "wrapping_sub",
+];
+
+/// Inferred dimension facts per callgraph node.
+#[derive(Debug)]
+pub struct Units {
+    /// Declared parameters `(name, dim)` per node, `self` excluded.
+    pub params: Vec<Vec<(String, Dim)>>,
+    /// Whether the node takes a `self` receiver.
+    pub has_self: Vec<bool>,
+    /// Return dimension (fixpoint of name seed and observed returns).
+    pub rets: Vec<Dim>,
+    /// Declared return type is a bare numeric primitive.
+    numeric_ret: Vec<bool>,
+    /// Node participates in body evaluation (units crate, library, non-test).
+    in_scope: Vec<bool>,
+}
+
+/// Parses the signature of `node` out of its token stream: parameter
+/// `(name, dim)` pairs, whether it takes `self`, and whether the declared
+/// return type is a bare numeric primitive.
+fn parse_signature(toks: &[Token], body: (usize, usize)) -> (Vec<(String, Dim)>, bool, bool) {
+    let end = body.1.min(toks.len());
+    // body.0 is the `fn` keyword; the name follows, then optional generics,
+    // then the parameter list.
+    let mut i = body.0 + 2;
+    if i < end && toks[i].kind == TokenKind::Op && toks[i].text == "<" {
+        i = skip_angles(toks, i, end);
+    }
+    if i >= end || toks[i].kind != TokenKind::Op || toks[i].text != "(" {
+        return (Vec::new(), false, false);
+    }
+    let open = i;
+    let close_excl = balanced_span_end(toks, open, end);
+    let closer = close_excl.saturating_sub(1);
+
+    // Split the parameter window on depth-0 commas; angle brackets count as
+    // depth because generic arguments (`BTreeMap<K, V>`) contain commas.
+    let mut segs: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0i64;
+    let mut seg_start = open + 1;
+    let mut k = open + 1;
+    while k < closer {
+        let t = &toks[k];
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "," if depth == 0 => {
+                    segs.push((seg_start, k));
+                    seg_start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    if seg_start < closer {
+        segs.push((seg_start, closer));
+    }
+
+    let mut params = Vec::new();
+    let mut has_self = false;
+    for (si, (s, e)) in segs.iter().copied().enumerate() {
+        if si == 0 && toks[s..e].iter().any(|t| t.kind == TokenKind::Ident && t.text == "self") {
+            has_self = true;
+            continue;
+        }
+        let name = toks[s..e]
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone());
+        let Some(name) = name else { continue };
+        // Type after the first depth-0 `:`.
+        let mut depth = 0i64;
+        let mut colon = None;
+        for (off, t) in toks[s..e].iter().enumerate() {
+            if t.kind == TokenKind::Op {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    ":" if depth == 0 => {
+                        colon = Some(s + off);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let dim = match colon {
+            Some(c) if is_bare_numeric(&toks[c + 1..e]) => ident_dim(&name),
+            _ => Dim::Unknown,
+        };
+        params.push((name, dim));
+    }
+
+    // Return type: `-> T` until `{` / `;` / `where`.
+    let mut numeric_ret = false;
+    if close_excl < end && toks[close_excl].kind == TokenKind::Op && toks[close_excl].text == "->" {
+        let mut j = close_excl + 1;
+        let start = j;
+        while j < end {
+            let t = &toks[j];
+            if (t.kind == TokenKind::Op && (t.text == "{" || t.text == ";"))
+                || (t.kind == TokenKind::Ident && t.text == "where")
+            {
+                break;
+            }
+            j += 1;
+        }
+        numeric_ret = is_bare_numeric(&toks[start..j]);
+    }
+    (params, has_self, numeric_ret)
+}
+
+/// True when `toks`, stripped of `&` / `mut` / lifetimes, is exactly one
+/// numeric primitive identifier.
+fn is_bare_numeric(toks: &[Token]) -> bool {
+    let rest: Vec<&Token> = toks
+        .iter()
+        .filter(|t| {
+            !(t.kind == TokenKind::Lifetime
+                || (t.kind == TokenKind::Op && t.text == "&")
+                || (t.kind == TokenKind::Ident && t.text == "mut"))
+        })
+        .collect();
+    rest.len() == 1 && rest[0].kind == TokenKind::Ident && NUMERIC_PRIMS.contains(&rest[0].text.as_str())
+}
+
+/// Steps past a balanced `<…>` generic group opening at `i`.
+fn skip_angles(toks: &[Token], i: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < end {
+        let t = &toks[j];
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return j + 1;
+                    }
+                }
+                ">>" => {
+                    depth -= 2;
+                    if depth <= 0 {
+                        return j + 1;
+                    }
+                }
+                ";" | "{" => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Like [`balanced_args_end`] but bounded and slice-based: exclusive end of
+/// the balanced group opening at `open` (one past the matching closer).
+fn balanced_span_end(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < end {
+        let t = &toks[k];
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Runs the interprocedural inference: signature parsing for every node,
+/// name seeds for in-scope numeric-return functions, then a fixpoint over
+/// observed return dimensions. Deterministic: iteration order is node id,
+/// which is sorted `(file, line, name)`.
+pub fn infer(set: &FileSet, g: &CallGraph) -> Units {
+    let n = g.nodes.len();
+    let mut u = Units {
+        params: vec![Vec::new(); n],
+        has_self: vec![false; n],
+        rets: vec![Dim::Unknown; n],
+        numeric_ret: vec![false; n],
+        in_scope: vec![false; n],
+    };
+    for (id, node) in g.nodes.iter().enumerate() {
+        let Some(f) = set.files.get(&node.file) else { continue };
+        let (params, has_self, numeric_ret) = parse_signature(&f.lexed.tokens, node.body);
+        u.params[id] = params;
+        u.has_self[id] = has_self;
+        u.numeric_ret[id] = numeric_ret;
+        u.in_scope[id] = f.ctx.units_crate && !f.ctx.non_library && !node.in_test;
+        if u.in_scope[id] && numeric_ret {
+            u.rets[id] = fn_name_dim(&node.name);
+        }
+    }
+    // Name seeds are authoritative: a hard-seeded return (e.g.
+    // `transfer_time` → seconds) is pinned, because fn bodies price through
+    // unit-carrying literals (`/ 1.0e9` is a bandwidth constant) the
+    // evaluator cannot see. Only unseeded returns learn from their bodies.
+    let pinned: Vec<bool> = u.rets.iter().map(|d| d.is_hard()).collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if !u.in_scope[id] || !u.numeric_ret[id] || pinned[id] {
+                continue;
+            }
+            let f = &set.files[&g.nodes[id].file];
+            let observed = eval_node(f, g, id, &u, false).0;
+            let j = join(u.rets[id], observed);
+            if j != u.rets[id] {
+                u.rets[id] = j;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    u
+}
+
+/// Emits B001/B002 diagnostics: one evaluation pass per in-scope node with
+/// diagnostics enabled, against the fixpoint dimensions in `u`.
+pub fn check_units(set: &FileSet, g: &CallGraph, u: &Units) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for id in 0..g.nodes.len() {
+        if !u.in_scope[id] {
+            continue;
+        }
+        let f = &set.files[&g.nodes[id].file];
+        diags.extend(eval_node(f, g, id, u, true).1);
+    }
+    diags
+}
+
+/// Abstractly evaluates one fn body. Returns the observed return dimension
+/// and (when `emit`) the diagnostics found along the way.
+fn eval_node(
+    f: &SourceFile,
+    g: &CallGraph,
+    id: usize,
+    units: &Units,
+    emit: bool,
+) -> (Dim, Vec<Diagnostic>) {
+    let node = &g.nodes[id];
+    let toks = &f.lexed.tokens;
+    let body_end = node.body.1.min(toks.len());
+    let open = (node.body.0..body_end)
+        .find(|&k| toks[k].kind == TokenKind::Op && toks[k].text == "{");
+    let Some(open) = open else { return (Dim::Unknown, Vec::new()) };
+    let close = (open + 1..body_end)
+        .rev()
+        .find(|&k| toks[k].kind == TokenKind::Op && toks[k].text == "}");
+    let Some(close) = close else { return (Dim::Unknown, Vec::new()) };
+
+    // Nested fn declarations evaluate as their own nodes; skip their tokens.
+    let mut skip = vec![false; close + 1];
+    for &other in g.nodes_in_file(&node.file) {
+        if other == id {
+            continue;
+        }
+        let ob = g.nodes[other].body;
+        if ob.0 > node.body.0 && ob.1 <= node.body.1 {
+            for t in ob.0..ob.1.min(skip.len()) {
+                skip[t] = true;
+            }
+        }
+    }
+
+    let mut sites: BTreeMap<usize, &CallSite> = BTreeMap::new();
+    for cs in &g.calls[id] {
+        sites.insert(cs.tok, cs);
+    }
+    let mut env: BTreeMap<String, Dim> = BTreeMap::new();
+    for (n, d) in &units.params[id] {
+        if *d != Dim::Unknown {
+            env.insert(n.clone(), *d);
+        }
+    }
+
+    let mut ev = Eval {
+        toks,
+        end: close,
+        file: &node.file,
+        env,
+        sites,
+        units,
+        skip,
+        emit,
+        diags: Vec::new(),
+        ret: Dim::Unknown,
+    };
+    ev.walk(open + 1, close);
+    (ev.ret, ev.diags)
+}
+
+/// The recoverable expression/statement evaluator over one fn body.
+struct Eval<'a> {
+    toks: &'a [Token],
+    /// Index of the body's closing `}`; never consumed.
+    end: usize,
+    file: &'a str,
+    env: BTreeMap<String, Dim>,
+    sites: BTreeMap<usize, &'a CallSite>,
+    units: &'a Units,
+    skip: Vec<bool>,
+    emit: bool,
+    diags: Vec<Diagnostic>,
+    ret: Dim,
+}
+
+impl<'a> Eval<'a> {
+    fn tok_op(&self, i: usize, text: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokenKind::Op && t.text == text)
+    }
+
+    fn tok_ident(&self, i: usize, text: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    fn push(&mut self, rule: &'static str, line: usize, message: String) {
+        self.diags.push(Diagnostic { rule, file: self.file.to_string(), line, message });
+    }
+
+    /// Statement walker over `[from, to)`; descends into nested blocks by
+    /// stepping over their braces one token at a time.
+    fn walk(&mut self, from: usize, to: usize) {
+        let mut i = from;
+        let to = to.min(self.end);
+        while i < to {
+            if self.skip.get(i).copied().unwrap_or(false) {
+                i += 1;
+                continue;
+            }
+            let t = &self.toks[i];
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        i = self.stmt_let(i);
+                        continue;
+                    }
+                    "return" => {
+                        let (d, stop) = self.expr(i + 1);
+                        if stop > i + 1 {
+                            self.ret = join(self.ret, d);
+                            i = stop;
+                        } else {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            let (d, stop) = self.expr(i);
+            if stop == i {
+                i += 1;
+            } else {
+                i = self.after_expr(d, i, stop);
+            }
+        }
+    }
+
+    /// Handles what follows a parsed expression: plain assignment, compound
+    /// assignment, or (at the body's closing brace) the tail return.
+    fn after_expr(&mut self, d: Dim, start: usize, stop: usize) -> usize {
+        if stop >= self.end {
+            // Expression ran to the closing brace: the body's tail value.
+            self.ret = join(self.ret, d);
+            return stop;
+        }
+        let (text, line) = {
+            let t = &self.toks[stop];
+            if t.kind != TokenKind::Op {
+                return stop;
+            }
+            (t.text.clone(), t.line)
+        };
+        match text.as_str() {
+            "=" => {
+                let (rhs, rstop) = self.expr(stop + 1);
+                if rstop == stop + 1 {
+                    return stop + 1;
+                }
+                if self.emit && d.is_hard() && rhs.is_hard() && d != rhs {
+                    self.push(
+                        "B001",
+                        line,
+                        format!(
+                            "assignment writes {rhs} into a {d} place — convert the value \
+                             (e.g. divide bytes by a bandwidth to get seconds) or fix the \
+                             receiver's name if its inferred dimension is wrong"
+                        ),
+                    );
+                }
+                rstop
+            }
+            "+" | "-" | "*" | "/" if self.tok_op(stop + 1, "=") => {
+                let (rhs, rstop) = self.expr(stop + 2);
+                if rstop == stop + 2 {
+                    return stop + 2;
+                }
+                match text.as_str() {
+                    "+" | "-" => {
+                        self.add_dim(d, rhs, &text, line);
+                    }
+                    "*" => {
+                        self.mul_dim(d, rhs, line);
+                    }
+                    _ => {
+                        self.div_dim(d, rhs, line);
+                    }
+                }
+                rstop
+            }
+            _ => {
+                let _ = start;
+                stop
+            }
+        }
+    }
+
+    /// `let [mut] name [: T] = expr ;` — checks the declared name's
+    /// dimension against the initializer and binds the name.
+    fn stmt_let(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        if self.tok_ident(j, "mut") {
+            j += 1;
+        }
+        let name = self
+            .toks
+            .get(j)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone());
+        // Scan to the `=` (or give up at `;` / unmatched closer). Angle
+        // brackets count as depth: the annotation may be generic.
+        let mut depth = 0i64;
+        let mut k = j;
+        let mut eq = None;
+        while k < self.end {
+            let t = &self.toks[k];
+            if t.kind == TokenKind::Op {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "=" if depth <= 0 => {
+                        eq = Some(k);
+                        break;
+                    }
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(eq) = eq else { return k.max(i + 1) };
+        let (d, stop) = self.expr(eq + 1);
+        if stop == eq + 1 {
+            return eq + 1;
+        }
+        if let Some(name) = name {
+            let named = ident_dim(&name);
+            if self.emit && named.is_hard() && d.is_hard() && named != d {
+                self.push(
+                    "B001",
+                    self.toks[eq].line,
+                    format!(
+                        "`let {name}` is named like a {named} quantity but its initializer \
+                         is {d} — convert the value or rename the binding"
+                    ),
+                );
+            }
+            let bound = if named != Dim::Unknown { named } else { d };
+            self.env.insert(name, bound);
+        }
+        stop
+    }
+
+    // ---- expression grammar: cmp -> add -> mul -> unary -> postfix ----
+
+    fn expr(&mut self, i: usize) -> (Dim, usize) {
+        let (mut d, mut at) = self.add_level(i);
+        if at == i {
+            return (d, at);
+        }
+        let mut compared = false;
+        while at < self.end {
+            let (text, line) = {
+                let t = &self.toks[at];
+                if t.kind != TokenKind::Op {
+                    break;
+                }
+                (t.text.clone(), t.line)
+            };
+            if !matches!(text.as_str(), "==" | "!=" | "<" | ">" | "<=" | ">=") {
+                break;
+            }
+            let (rhs, nat) = self.add_level(at + 1);
+            if nat == at + 1 {
+                break;
+            }
+            if self.emit && d.is_hard() && rhs.is_hard() && d != rhs {
+                self.push(
+                    "B001",
+                    line,
+                    format!(
+                        "comparing {d} against {rhs} — the operands of `{text}` must share \
+                         a dimension; convert one side before comparing"
+                    ),
+                );
+            }
+            compared = true;
+            at = nat;
+        }
+        if compared {
+            d = Dim::Scalar;
+        }
+        (d, at)
+    }
+
+    fn add_level(&mut self, i: usize) -> (Dim, usize) {
+        let (mut d, mut at) = self.mul_level(i);
+        if at == i {
+            return (d, at);
+        }
+        while at < self.end {
+            let (text, line) = {
+                let t = &self.toks[at];
+                if t.kind != TokenKind::Op || (t.text != "+" && t.text != "-") {
+                    break;
+                }
+                (t.text.clone(), t.line)
+            };
+            if self.tok_op(at + 1, "=") {
+                break; // compound assignment; the walker applies it
+            }
+            let (rhs, nat) = self.mul_level(at + 1);
+            if nat == at + 1 {
+                break;
+            }
+            d = self.add_dim(d, rhs, &text, line);
+            at = nat;
+        }
+        (d, at)
+    }
+
+    fn mul_level(&mut self, i: usize) -> (Dim, usize) {
+        let (mut d, mut at) = self.unary(i);
+        if at == i {
+            return (d, at);
+        }
+        while at < self.end {
+            let (text, line) = {
+                let t = &self.toks[at];
+                if t.kind != TokenKind::Op || !matches!(t.text.as_str(), "*" | "/" | "%") {
+                    break;
+                }
+                (t.text.clone(), t.line)
+            };
+            if self.tok_op(at + 1, "=") {
+                break;
+            }
+            let (rhs, nat) = self.unary(at + 1);
+            if nat == at + 1 {
+                break;
+            }
+            d = match text.as_str() {
+                "*" => self.mul_dim(d, rhs, line),
+                "/" => self.div_dim(d, rhs, line),
+                _ => d, // `%` preserves the left operand
+            };
+            at = nat;
+        }
+        (d, at)
+    }
+
+    fn unary(&mut self, i: usize) -> (Dim, usize) {
+        let mut j = i;
+        while j < self.end {
+            let t = &self.toks[j];
+            let is_prefix = (t.kind == TokenKind::Op
+                && matches!(t.text.as_str(), "-" | "!" | "*" | "&"))
+                || (t.kind == TokenKind::Ident && t.text == "mut");
+            if !is_prefix {
+                break;
+            }
+            j += 1;
+        }
+        let (d, at) = self.postfix(j);
+        if at == j && j > i {
+            // Consumed only prefixes; report progress so callers don't stall.
+            return (Dim::Unknown, j);
+        }
+        (d, at)
+    }
+
+    fn postfix(&mut self, i: usize) -> (Dim, usize) {
+        let (mut d, mut at) = self.primary(i);
+        if at == i {
+            return (d, at);
+        }
+        while at < self.end {
+            let t = &self.toks[at];
+            if t.kind == TokenKind::Op && t.text == "." {
+                let Some(n) = self.toks.get(at + 1) else { break };
+                match n.kind {
+                    TokenKind::Int | TokenKind::Float => {
+                        d = Dim::Unknown; // tuple index
+                        at += 2;
+                    }
+                    TokenKind::Ident => {
+                        let name_idx = at + 1;
+                        let name = n.text.clone();
+                        let mut j = at + 2;
+                        if self.tok_op(j, "::") && self.tok_op(j + 1, "<") {
+                            j = skip_angles(self.toks, j + 1, self.end);
+                        }
+                        if self.tok_op(j, "(") {
+                            let (args, after) = self.parse_args(j);
+                            d = self.call_dim(name_idx, &name, d, true, &args);
+                            at = after;
+                        } else {
+                            d = ident_dim(&name);
+                            at += 2;
+                        }
+                    }
+                    _ => break,
+                }
+            } else if t.kind == TokenKind::Ident && t.text == "as" {
+                // Cast: consume the type path, keep the dimension.
+                let mut j = at + 1;
+                while self.tok_op(j, "&") || self.tok_ident(j, "mut") {
+                    j += 1;
+                }
+                if self.toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident) {
+                    j += 1;
+                    while self.tok_op(j, "::")
+                        && self.toks.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                    {
+                        j += 2;
+                    }
+                    at = j;
+                } else {
+                    break;
+                }
+            } else if t.kind == TokenKind::Op && t.text == "?" {
+                at += 1;
+            } else if t.kind == TokenKind::Op && t.text == "(" {
+                let (_args, after) = self.parse_args(at);
+                d = Dim::Unknown;
+                at = after;
+            } else if t.kind == TokenKind::Op && t.text == "[" {
+                // Indexing a collection yields an element of the same name's
+                // dimension: `feature_bytes[o]` is still bytes.
+                let (_elems, after) = self.parse_args(at);
+                at = after;
+            } else {
+                break;
+            }
+        }
+        (d, at)
+    }
+
+    fn primary(&mut self, i: usize) -> (Dim, usize) {
+        if i >= self.end {
+            return (Dim::Unknown, i);
+        }
+        let t = &self.toks[i];
+        match t.kind {
+            TokenKind::Int | TokenKind::Float => (Dim::Scalar, i + 1),
+            TokenKind::Str | TokenKind::Char | TokenKind::Lifetime => (Dim::Unknown, i + 1),
+            TokenKind::Op => match t.text.as_str() {
+                "(" => {
+                    let (elems, after) = self.parse_args(i);
+                    let d = if elems.len() == 1 { elems[0].0 } else { Dim::Unknown };
+                    (d, after)
+                }
+                "[" => {
+                    let (_elems, after) = self.parse_args(i);
+                    (Dim::Unknown, after)
+                }
+                _ => (Dim::Unknown, i),
+            },
+            TokenKind::Ident => {
+                let name = t.text.clone();
+                if KEYWORDS.contains(&name.as_str()) {
+                    return (Dim::Unknown, i);
+                }
+                if name == "true" || name == "false" {
+                    return (Dim::Scalar, i + 1);
+                }
+                if name == "self" {
+                    return (Dim::Unknown, i + 1);
+                }
+                if self.tok_op(i + 1, "!") {
+                    // Macro: consume `name !`; the delimiter group is walked
+                    // as a postfix call so checks inside still run.
+                    return (Dim::Unknown, i + 2);
+                }
+                // Path: `a::b::c`, possibly with turbofish segments.
+                let mut last = i;
+                let mut j = i + 1;
+                loop {
+                    if self.tok_op(j, "::") {
+                        if self.toks.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident) {
+                            last = j + 1;
+                            j += 2;
+                            continue;
+                        }
+                        if self.tok_op(j + 1, "<") {
+                            j = skip_angles(self.toks, j + 1, self.end);
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                if self.tok_op(j, "(") {
+                    let callee = self.toks[last].text.clone();
+                    let (args, after) = self.parse_args(j);
+                    let d = self.call_dim(last, &callee, Dim::Unknown, false, &args);
+                    (d, after)
+                } else if last == i {
+                    let d = self.env.get(&name).copied().unwrap_or_else(|| ident_dim(&name));
+                    (d, i + 1)
+                } else {
+                    (ident_dim(&self.toks[last].text), j)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a call's argument list: one dimension per depth-0 comma
+    /// segment, plus the exclusive end of the group. Segments that are
+    /// closures evaluate their contents (so checks inside fire) but report
+    /// `Unknown` as the argument dimension.
+    fn parse_args(&mut self, open: usize) -> (Vec<(Dim, usize)>, usize) {
+        let end_excl = balanced_span_end(self.toks, open, self.end + 1).min(self.end + 1);
+        let closer = end_excl.saturating_sub(1);
+        let mut segs: Vec<(usize, usize)> = Vec::new();
+        let mut depth = 0i64;
+        let mut seg_start = open + 1;
+        let mut k = open + 1;
+        while k < closer {
+            let t = &self.toks[k];
+            if t.kind == TokenKind::Op {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => {
+                        segs.push((seg_start, k));
+                        seg_start = k + 1;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if seg_start < closer {
+            segs.push((seg_start, closer));
+        }
+        let mut elems = Vec::new();
+        for (s, e) in segs {
+            let line = self.toks[s].line;
+            let d = self.eval_segment(s, e);
+            elems.push((d, line));
+        }
+        (elems, end_excl)
+    }
+
+    /// Evaluates every statement/expression in `[s, e)`; the segment's
+    /// dimension is the first expression's (closures report `Unknown`).
+    fn eval_segment(&mut self, s: usize, e: usize) -> Dim {
+        let opaque = self
+            .toks
+            .get(s)
+            .is_some_and(|t| (t.kind == TokenKind::Op && (t.text == "|" || t.text == "||"))
+                || (t.kind == TokenKind::Ident && t.text == "move"));
+        let mut first: Option<Dim> = None;
+        let mut i = s;
+        let e = e.min(self.end);
+        while i < e {
+            if self.skip.get(i).copied().unwrap_or(false) {
+                i += 1;
+                continue;
+            }
+            if self.tok_ident(i, "let") {
+                i = self.stmt_let(i);
+                continue;
+            }
+            let (d, stop) = self.expr(i);
+            if stop == i {
+                i += 1;
+                continue;
+            }
+            if first.is_none() {
+                first = Some(d);
+            }
+            i = self.after_expr(d, i, stop).max(stop);
+        }
+        if opaque {
+            Dim::Unknown
+        } else {
+            first.unwrap_or(Dim::Unknown)
+        }
+    }
+
+    /// Dimension of a call result, plus argument-vs-parameter B001 checks
+    /// when the callee resolves and all candidates agree on parameter
+    /// dimensions.
+    fn call_dim(
+        &mut self,
+        name_idx: usize,
+        name: &str,
+        recv: Dim,
+        is_method: bool,
+        args: &[(Dim, usize)],
+    ) -> Dim {
+        if let Some(site) = self.sites.get(&name_idx) {
+            if !site.targets.is_empty() {
+                let targets = site.targets.clone();
+                let mut ret = Dim::Unknown;
+                for &t in &targets {
+                    ret = join(ret, self.units.rets[t]);
+                }
+                let p0 = &self.units.params[targets[0]];
+                let s0 = self.units.has_self[targets[0]];
+                let agree = targets.iter().all(|&t| {
+                    self.units.has_self[t] == s0
+                        && self.units.params[t].len() == p0.len()
+                        && self.units.params[t]
+                            .iter()
+                            .zip(p0.iter())
+                            .all(|(a, b)| a.1 == b.1)
+                });
+                if self.emit && agree {
+                    // Method syntax binds the receiver itself; a path call to
+                    // a `self` method passes the receiver as argument 0.
+                    let skip = if !is_method && s0 { 1 } else { 0 };
+                    let eff: Vec<&(Dim, usize)> = args.iter().skip(skip).collect();
+                    if eff.len() == p0.len() {
+                        let checks: Vec<(String, Dim, Dim, usize)> = p0
+                            .iter()
+                            .zip(eff.iter())
+                            .filter(|((_, pd), (ad, _))| {
+                                pd.is_hard() && ad.is_hard() && *pd != *ad
+                            })
+                            .map(|((pn, pd), (ad, al))| (pn.clone(), *pd, *ad, *al))
+                            .collect();
+                        for (pn, pd, ad, al) in checks {
+                            self.push(
+                                "B001",
+                                al,
+                                format!(
+                                    "argument `{pn}` of `{name}` expects {pd} but the call \
+                                     passes {ad} — convert the value at the call site"
+                                ),
+                            );
+                        }
+                    }
+                }
+                return ret;
+            }
+        }
+        // External / unresolved: a small method table, then the name
+        // heuristic (still gated to hard evidence at the use site).
+        if is_method {
+            match name {
+                "len" | "count" => Dim::Count,
+                _ if PRESERVE_METHODS.contains(&name) => recv,
+                _ => fn_name_dim(name),
+            }
+        } else {
+            fn_name_dim(name)
+        }
+    }
+
+    // ---- the arithmetic dimension tables ----
+
+    /// `+` / `-`: B001 when both operands are hard and disagree.
+    fn add_dim(&mut self, a: Dim, b: Dim, op: &str, line: usize) -> Dim {
+        if a.is_hard() && b.is_hard() && a != b {
+            if self.emit {
+                self.push(
+                    "B001",
+                    line,
+                    format!(
+                        "`{a} {op} {b}` mixes dimensions — the operands of `{op}` must \
+                         agree; convert one side (e.g. bytes / bandwidth to get seconds) \
+                         or fix the identifier whose inferred dimension is wrong"
+                    ),
+                );
+            }
+            return Dim::Conflict;
+        }
+        if a == b {
+            a
+        } else if a.is_hard() {
+            a
+        } else if b.is_hard() {
+            b
+        } else if a == Dim::Unknown {
+            b
+        } else if b == Dim::Unknown {
+            a
+        } else {
+            Dim::Unknown
+        }
+    }
+
+    /// `*`: scalars and counts pass through, `seconds × bytes/s = bytes`,
+    /// and `bytes × bytes/s` is the B002 inversion shape.
+    fn mul_dim(&mut self, a: Dim, b: Dim, line: usize) -> Dim {
+        use Dim::*;
+        match (a, b) {
+            (Unknown, _) | (_, Unknown) | (Conflict, _) | (_, Conflict) => Unknown,
+            (Scalar, x) | (x, Scalar) => x,
+            (Count, x) | (x, Count) => x,
+            (Elements, x) | (x, Elements) => x,
+            (Seconds, BytesPerSec) | (BytesPerSec, Seconds) => Bytes,
+            (Bytes, BytesPerSec) | (BytesPerSec, Bytes) => {
+                if self.emit {
+                    self.push(
+                        "B002",
+                        line,
+                        "`bytes × bytes/s` has no dimension — bandwidth applied inverted? \
+                         dividing is what yields a duration: seconds = bytes / (bytes/s)"
+                            .to_string(),
+                    );
+                }
+                Unknown
+            }
+            _ => Unknown,
+        }
+    }
+
+    /// `/`: dividing by a count/scalar preserves, `bytes / bytes/s =
+    /// seconds`, `bytes / seconds = bytes/s`; the three inverted shapes
+    /// (`bytes/s ÷ bytes`, `seconds ÷ bytes/s`, `bytes/s ÷ seconds`) are
+    /// B002.
+    fn div_dim(&mut self, a: Dim, b: Dim, line: usize) -> Dim {
+        use Dim::*;
+        match (a, b) {
+            (Conflict, _) | (_, Conflict) => Unknown,
+            (_, Unknown) => Unknown,
+            (_, Scalar) | (_, Count) | (_, Elements) => a,
+            (Unknown, _) => Unknown,
+            (x, y) if x == y => Scalar,
+            (Bytes, Seconds) => BytesPerSec,
+            (Bytes, BytesPerSec) => Seconds,
+            (BytesPerSec, Bytes) | (Seconds, BytesPerSec) | (BytesPerSec, Seconds) => {
+                if self.emit {
+                    self.push(
+                        "B002",
+                        line,
+                        format!(
+                            "`{a} ÷ {b}` has no dimension — this is an inverted rate/time \
+                             shape; seconds = bytes / (bytes/s) and bytes/s = bytes / \
+                             seconds are the meaningful forms"
+                        ),
+                    );
+                }
+                Unknown
+            }
+            _ => Unknown,
+        }
+    }
+}
+
+/// Renders the inferred dimensions of every pub non-test fn declared in
+/// `rel_path` as a markdown table, sorted by name — the golden surface the
+/// units tests pin (like the PR-6 effects golden).
+pub fn units_table(g: &CallGraph, u: &Units, rel_path: &str) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for &id in g.nodes_in_file(rel_path) {
+        let n = &g.nodes[id];
+        if !n.is_pub || n.in_test {
+            continue;
+        }
+        let params = if u.params[id].is_empty() {
+            "-".to_string()
+        } else {
+            u.params[id]
+                .iter()
+                .map(|(nm, d)| format!("{nm}: {d}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        // Keyed by bare name so `transfer_time` sorts before
+        // `transfer_time_transactions` (the backtick would sort after `_`).
+        rows.push((n.name.clone(), format!("| `{}` | {} | {} |\n", n.name, params, u.rets[id])));
+    }
+    rows.sort();
+    rows.dedup();
+    let rows: Vec<String> = rows.into_iter().map(|(_, r)| r).collect();
+    let mut out = String::from("| fn | params | returns |\n|---|---|---|\n");
+    for r in rows {
+        out.push_str(&r);
+    }
+    out
+}
+
+// ---- B003: ledger conservation over the span model ----
+
+/// Span kinds that carry bytes but are deliberately *not* consumed by a
+/// `*_from_spans` ledger reduction, with the reason. These byte totals are
+/// priced through `Timeline` byte summaries (`bytes_of_kind`) or closed
+/// forms instead; B003 flags the exemption as stale if a `*_from_spans`
+/// consumer appears.
+pub const SPAN_BYTES_EXEMPT: &[(&str, &str)] = &[
+    ("AllReduce", "priced at emission by the closed-form ring term (network::allreduce_time); bytes ride along for trace export"),
+    ("Exchange", "priced at emission by the link model (transfer_time_transactions); bytes are summed per resource by Timeline::bytes_on, not a per-worker ledger"),
+    ("Transfer", "summed per resource by Timeline::bytes_on / the resource summaries; the PCIe span is priced at emission by link_transfer"),
+];
+
+/// Identifier spellings that mark an argument window as carrying bytes.
+fn is_bytes_ident(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n == "bytes" || n == "traffic" || n.ends_with("_bytes") || n.starts_with("bytes_")
+}
+
+/// The innermost `fn` item containing token `tok`.
+fn enclosing_fn(items: &[Item], tok: usize) -> Option<&Item> {
+    items
+        .iter()
+        .filter(|it| it.kind == ItemKind::Fn && it.tok_start <= tok && tok < it.tok_end)
+        .last()
+}
+
+/// Walks left from `from` (bounded below by `bound`) looking for the
+/// unmatched `(` of an enclosing call; returns the argument window
+/// `(open, end_exclusive)` when the opener is preceded by a callee
+/// identifier.
+fn enclosing_call_window(f: &SourceFile, from: usize, bound: usize) -> Option<(usize, usize)> {
+    let toks = &f.lexed.tokens;
+    let mut depth = 0i64;
+    let mut k = from;
+    while k > bound {
+        k -= 1;
+        let t = &toks[k];
+        if t.kind != TokenKind::Op {
+            continue;
+        }
+        match t.text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth > 0 {
+                    depth -= 1;
+                    continue;
+                }
+                // Unmatched opener. A `(` preceded by a (non-keyword)
+                // identifier is a call; anything else is transparent
+                // grouping — keep scanning left.
+                if t.text == "(" && k > 0 {
+                    let p = &toks[k - 1];
+                    if p.kind == TokenKind::Ident
+                        && !matches!(p.text.as_str(), "if" | "while" | "match" | "for" | "return" | "in")
+                    {
+                        let end = balanced_args_end(&f.lexed, k);
+                        return Some((k, end));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// B003 — ledger conservation: every span kind whose emission carries
+/// bytes must be consumed by exactly one `*_from_spans` ledger reduction.
+/// Structural, file-order deterministic, and purely token-based: an
+/// *emission* is a `SpanKind::K` inside a call window that also mentions a
+/// bytes-ish identifier; a *consumer* is a `SpanKind::K` mention inside a
+/// fn named `*_from_spans`.
+pub fn check_b003(set: &FileSet) -> Vec<Diagnostic> {
+    let mut emissions: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    let mut consumers: BTreeMap<String, BTreeSet<(String, String, usize)>> = BTreeMap::new();
+
+    for f in set.files.values() {
+        if !f.ctx.units_crate || f.ctx.non_library {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            if f.in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if !(toks[i].kind == TokenKind::Ident && toks[i].text == "SpanKind") {
+                continue;
+            }
+            if !(toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Op && t.text == "::")) {
+                continue;
+            }
+            let Some(k) = toks.get(i + 2) else { continue };
+            if k.kind != TokenKind::Ident {
+                continue;
+            }
+            let kind = k.text.clone();
+            let owner = enclosing_fn(&f.items, i);
+            if let Some(it) = owner {
+                if it.name.ends_with("_from_spans") {
+                    consumers
+                        .entry(kind)
+                        .or_default()
+                        .insert((it.name.clone(), f.rel_path.clone(), toks[i].line));
+                    continue;
+                }
+            }
+            let bound = owner.map(|it| it.tok_start).unwrap_or(0);
+            if let Some((open, end)) = enclosing_call_window(f, i, bound) {
+                let carries = (open + 1..end.saturating_sub(1)).any(|t| {
+                    toks.get(t).is_some_and(|t| {
+                        t.kind == TokenKind::Ident && is_bytes_ident(&t.text)
+                    })
+                });
+                if carries {
+                    emissions
+                        .entry(kind)
+                        .or_default()
+                        .push((f.rel_path.clone(), toks[i].line));
+                }
+            }
+        }
+    }
+
+    let exempt: BTreeMap<&str, &str> = SPAN_BYTES_EXEMPT.iter().copied().collect();
+    let mut diags = Vec::new();
+    for (kind, sites) in &emissions {
+        let (file, line) = sites[0].clone();
+        let fns: BTreeSet<&str> = consumers
+            .get(kind)
+            .map(|c| c.iter().map(|(f, _, _)| f.as_str()).collect())
+            .unwrap_or_default();
+        if let Some(reason) = exempt.get(kind.as_str()) {
+            if !fns.is_empty() {
+                let list = fns.into_iter().collect::<Vec<_>>().join(", ");
+                diags.push(Diagnostic {
+                    rule: "B003",
+                    file,
+                    line,
+                    message: format!(
+                        "span kind `{kind}` is listed in SPAN_BYTES_EXEMPT (\"{reason}\") \
+                         but is consumed by {list} — remove the stale exemption"
+                    ),
+                });
+            }
+            continue;
+        }
+        if fns.is_empty() {
+            diags.push(Diagnostic {
+                rule: "B003",
+                file,
+                line,
+                message: format!(
+                    "span kind `{kind}` carries bytes here but no `*_from_spans` ledger \
+                     reduction consumes it — every byte-carrying span must be priced by \
+                     exactly one ledger, or listed in SPAN_BYTES_EXEMPT with a reason"
+                ),
+            });
+        } else if fns.len() >= 2 {
+            let Some(first) =
+                consumers.get(kind).and_then(|c| c.iter().next()).cloned()
+            else {
+                continue;
+            };
+            let list = fns.into_iter().collect::<Vec<_>>().join(", ");
+            diags.push(Diagnostic {
+                rule: "B003",
+                file: first.1,
+                line: first.2,
+                message: format!(
+                    "span kind `{kind}` is consumed by {} ledger reductions ({list}) — \
+                     its bytes are double-counted; exactly one `*_from_spans` reduction \
+                     may price a kind",
+                    consumers[kind]
+                        .iter()
+                        .map(|(f, _, _)| f.as_str())
+                        .collect::<BTreeSet<_>>()
+                        .len()
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::FileSet;
+
+    fn lint(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let set = FileSet::from_sources(sources);
+        let g = CallGraph::build(&set);
+        let u = infer(&set, &g);
+        let mut d = check_units(&set, &g, &u);
+        d.extend(check_b003(&set));
+        d
+    }
+
+    fn rules_fired(sources: &[(&str, &str)]) -> BTreeSet<&'static str> {
+        lint(sources).into_iter().map(|d| d.rule).collect()
+    }
+
+    const DEV: &str = "crates/device/src/fixture.rs";
+
+    #[test]
+    fn join_laws_exhaustive() {
+        for &a in ALL_DIMS {
+            assert_eq!(join(a, a), a, "idempotent");
+            for &b in ALL_DIMS {
+                assert_eq!(join(a, b), join(b, a), "commutative {a:?} {b:?}");
+                for &c in ALL_DIMS {
+                    assert_eq!(
+                        join(join(a, b), c),
+                        join(a, join(b, c)),
+                        "associative {a:?} {b:?} {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ident_table_spot_checks() {
+        assert_eq!(ident_dim("bandwidth"), Dim::BytesPerSec);
+        assert_eq!(ident_dim("PCIE_BW"), Dim::BytesPerSec);
+        assert_eq!(ident_dim("subgraph_bytes"), Dim::Bytes);
+        assert_eq!(ident_dim("bytes_per_sec"), Dim::BytesPerSec);
+        assert_eq!(ident_dim("elapsed"), Dim::Seconds);
+        assert_eq!(ident_dim("num_workers"), Dim::Count);
+        assert_eq!(ident_dim("cache_ratio"), Dim::Scalar);
+        assert_eq!(ident_dim("xs"), Dim::Unknown);
+        assert_eq!(fn_name_dim("transfer_time"), Dim::Seconds);
+        assert_eq!(fn_name_dim("checkpoint_bytes_from_spans"), Dim::Bytes);
+        assert_eq!(fn_name_dim("run"), Dim::Unknown);
+    }
+
+    #[test]
+    fn b001_fires_on_mixed_addition() {
+        let fired = rules_fired(&[(
+            DEV,
+            "pub fn broken(latency: f64, bytes: u64) -> f64 { latency + bytes as f64 }\n",
+        )]);
+        assert!(fired.contains("B001"), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn b001_fires_on_argument_mismatch() {
+        let fired = rules_fired(&[(
+            DEV,
+            "pub fn price(bytes: u64) -> f64 { bytes as f64 }\n\
+             pub fn caller(elapsed: f64) -> f64 { price(elapsed as u64) }\n",
+        )]);
+        assert!(fired.contains("B001"), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn b001_interprocedural_through_return_fixpoint() {
+        // `cost` earns `seconds` only through its callee's name seed.
+        let fired = rules_fired(&[(
+            DEV,
+            "pub fn transfer_secs(bytes: u64) -> f64 { bytes as f64 / 1.0e9 }\n\
+             pub fn cost(bytes: u64) -> f64 { transfer_secs(bytes) }\n\
+             pub fn bad(bytes: u64) -> f64 { cost(bytes) + bytes as f64 }\n",
+        )]);
+        assert!(fired.contains("B001"), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn b002_fires_on_inverted_bandwidth() {
+        let fired = rules_fired(&[(
+            DEV,
+            "pub fn inverted(bytes: u64, bandwidth: f64) -> f64 { bytes as f64 * bandwidth }\n",
+        )]);
+        assert!(fired.contains("B002"), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn transfer_shapes_stay_silent() {
+        let d = lint(&[(
+            DEV,
+            "pub fn transfer_time(bytes: u64, bandwidth: f64, latency: f64) -> f64 {\n\
+                 latency + bytes as f64 / bandwidth\n\
+             }\n\
+             pub fn allreduce(bytes: u64, workers: usize, bandwidth: f64) -> f64 {\n\
+                 let w = workers as f64;\n\
+                 let wire_bytes = 2.0 * (w - 1.0) / w * bytes as f64;\n\
+                 wire_bytes / bandwidth\n\
+             }\n\
+             pub fn zero_ok(bytes: u64) -> f64 { if bytes == 0 { return 0.0; } bytes as f64 / 1.0e9 }\n",
+        )]);
+        assert!(d.is_empty(), "diags: {d:?}");
+    }
+
+    #[test]
+    fn non_units_crates_are_out_of_scope() {
+        let d = lint(&[(
+            "crates/tensor/src/fixture.rs",
+            "pub fn broken(latency: f64, bytes: u64) -> f64 { latency + bytes as f64 }\n",
+        )]);
+        assert!(d.is_empty(), "diags: {d:?}");
+    }
+
+    #[test]
+    fn test_regions_are_out_of_scope() {
+        let d = lint(&[(
+            DEV,
+            "#[cfg(test)]\nmod tests {\n    pub fn broken(latency: f64, bytes: u64) -> f64 { latency + bytes as f64 }\n}\n",
+        )]);
+        assert!(d.is_empty(), "diags: {d:?}");
+    }
+
+    #[test]
+    fn b003_leak_fires_without_consumer() {
+        let fired = rules_fired(&[(
+            DEV,
+            "pub fn emit(bytes: u64) { schedule(bytes, SpanKind::Mystery); }\n",
+        )]);
+        assert!(fired.contains("B003"), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn b003_silent_with_exactly_one_consumer() {
+        let d = lint(&[(
+            DEV,
+            "pub fn emit(bytes: u64) { schedule(bytes, SpanKind::Mystery); }\n\
+             pub fn mystery_from_spans(x: u64) -> u64 { let _ = SpanKind::Mystery; x }\n",
+        )]);
+        let b003: Vec<_> = d.iter().filter(|d| d.rule == "B003").collect();
+        assert!(b003.is_empty(), "diags: {b003:?}");
+    }
+
+    #[test]
+    fn b003_double_count_fires_with_two_consumers() {
+        let d = lint(&[(
+            DEV,
+            "pub fn emit(bytes: u64) { schedule(bytes, SpanKind::Mystery); }\n\
+             pub fn a_from_spans(x: u64) -> u64 { let _ = SpanKind::Mystery; x }\n\
+             pub fn b_from_spans(x: u64) -> u64 { let _ = SpanKind::Mystery; x }\n",
+        )]);
+        let b003: Vec<_> = d.iter().filter(|d| d.rule == "B003").collect();
+        assert_eq!(b003.len(), 1, "diags: {b003:?}");
+        assert!(b003[0].message.contains("double-counted"));
+    }
+
+    #[test]
+    fn b003_byteless_spans_are_silent() {
+        let d = lint(&[(
+            DEV,
+            "pub fn emit(edges: u64) { schedule(edges, SpanKind::Mystery); }\n",
+        )]);
+        let b003: Vec<_> = d.iter().filter(|d| d.rule == "B003").collect();
+        assert!(b003.is_empty(), "diags: {b003:?}");
+    }
+
+    #[test]
+    fn units_table_renders_sorted_rows() {
+        let set = FileSet::from_sources(&[(
+            DEV,
+            "pub fn transfer_time(bytes: u64) -> f64 { bytes as f64 / 1.0e9 }\n\
+             pub fn effective_bandwidth(efficiency: f64) -> f64 { 1.0e9 * efficiency }\n",
+        )]);
+        let g = CallGraph::build(&set);
+        let u = infer(&set, &g);
+        let table = units_table(&g, &u, DEV);
+        assert_eq!(
+            table,
+            "| fn | params | returns |\n|---|---|---|\n\
+             | `effective_bandwidth` | efficiency: scalar | bytes/s |\n\
+             | `transfer_time` | bytes: bytes | seconds |\n"
+        );
+    }
+
+    #[test]
+    fn infer_is_deterministic() {
+        let src: &[(&str, &str)] = &[
+            (
+                DEV,
+                "pub fn transfer_secs(bytes: u64) -> f64 { bytes as f64 / 1.0e9 }\n\
+                 pub fn cost(bytes: u64) -> f64 { transfer_secs(bytes) }\n",
+            ),
+            (
+                "crates/cluster/src/fixture.rs",
+                "pub fn makespan(dur: f64, rounds: usize) -> f64 { dur * rounds as f64 }\n",
+            ),
+        ];
+        let set = FileSet::from_sources(src);
+        let g = CallGraph::build(&set);
+        let a = infer(&set, &g);
+        let b = infer(&set, &g);
+        assert_eq!(a.rets, b.rets);
+        assert_eq!(a.params, b.params);
+    }
+}

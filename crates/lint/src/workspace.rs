@@ -204,6 +204,69 @@ impl Workspace {
         ws
     }
 
+    /// Builds the same model as [`Workspace::load`], but reuses an
+    /// already-loaded [`crate::callgraph::FileSet`] for the source half:
+    /// only the manifests are read from disk; refs and symbols come from
+    /// the set's existing token streams and item tables. This is the
+    /// single-pass path [`crate::lint_workspace`] takes — every `.rs`
+    /// file is tokenized and parsed exactly once per lint run.
+    /// (`load` remains for the fixture-workspace tests that model a
+    /// directory tree without a `FileSet`.)
+    pub fn from_fileset(root: &Path, set: &crate::callgraph::FileSet) -> Workspace {
+        let mut ws = Workspace::default();
+        if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+            let model = CrateModel {
+                key: ROOT_KEY.to_string(),
+                manifest: parse_manifest("Cargo.toml", &text),
+                ..CrateModel::default()
+            };
+            ws.crates.insert(model.key.clone(), model);
+        }
+        if let Ok(entries) = fs::read_dir(root.join("crates")) {
+            let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+            dirs.sort();
+            for dir in dirs {
+                let Ok(text) = fs::read_to_string(dir.join("Cargo.toml")) else { continue };
+                let key = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let rel_manifest = format!("crates/{key}/Cargo.toml");
+                let model = CrateModel {
+                    key: key.clone(),
+                    manifest: parse_manifest(&rel_manifest, &text),
+                    ..CrateModel::default()
+                };
+                ws.crates.insert(key, model);
+            }
+        }
+        for file in set.files.values() {
+            let Some(model) = ws.crates.get_mut(file.ctx.layer_key()) else { continue };
+            for t in &file.lexed.tokens {
+                if t.kind == TokenKind::Ident {
+                    if let Some(key) = gnn_ident_key(&t.text) {
+                        if key != model.key {
+                            model.refs.push(key.to_string());
+                        }
+                    }
+                }
+            }
+            for item in &file.items {
+                if item.is_pub {
+                    model.symbols.push(Symbol {
+                        name: item.name.clone(),
+                        file: file.rel_path.clone(),
+                        line: item.line,
+                    });
+                }
+            }
+        }
+        for model in ws.crates.values_mut() {
+            finish(model);
+        }
+        ws
+    }
+
     /// Looks up one crate by key.
     pub fn get(&self, key: &str) -> Option<&CrateModel> {
         self.crates.get(key)

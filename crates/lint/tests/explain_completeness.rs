@@ -1,0 +1,49 @@
+//! `--explain` completeness: every rule ID the linter ships must have a
+//! catalog row in DESIGN.md §7 with non-empty scope and flags text, and
+//! every §7 row must name a shipped rule — the catalog and the
+//! implementation cannot drift apart in either direction.
+
+use gnn_dm_lint::{explain, DESIGN_MD, RULE_IDS};
+
+#[test]
+fn every_shipped_rule_has_explain_text() {
+    for rule in RULE_IDS {
+        let text = explain(rule).unwrap_or_else(|e| panic!("{rule}: {e}"));
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(*rule));
+        let scope = lines.next().unwrap_or_default();
+        let what = lines.next().unwrap_or_default();
+        assert!(
+            scope.trim().strip_prefix("scope:").is_some_and(|s| !s.trim().is_empty()),
+            "{rule}: empty scope in {text:?}"
+        );
+        assert!(
+            what.trim().strip_prefix("flags:").is_some_and(|s| !s.trim().is_empty()),
+            "{rule}: empty flags text in {text:?}"
+        );
+    }
+}
+
+#[test]
+fn every_catalog_row_names_a_shipped_rule() {
+    for line in DESIGN_MD.lines() {
+        let Some(rest) = line.strip_prefix("| ") else { continue };
+        let Some(id) = rest.split(' ').next() else { continue };
+        // Rule IDs are a letter plus three digits; other tables don't match.
+        let is_rule_shape = id.len() == 4
+            && id.starts_with(|c: char| c.is_ascii_uppercase())
+            && id[1..].chars().all(|c| c.is_ascii_digit());
+        if is_rule_shape {
+            assert!(
+                RULE_IDS.contains(&id),
+                "DESIGN.md §7 documents `{id}` but the linter does not ship it"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_rules_are_rejected() {
+    let err = explain("B999").expect_err("B999 has no catalog row");
+    assert!(err.contains("B999"), "{err}");
+}

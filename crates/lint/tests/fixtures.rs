@@ -338,3 +338,77 @@ fn diagnostics_carry_location_and_rule() {
     assert!(first.line > 1, "line numbers are 1-based and past the header");
     assert!(first.message.contains("crates/bench"));
 }
+
+/// Path that puts a fixture inside the units crates (B-rule scope).
+const DEV_PATH: &str = "crates/device/src/fixture.rs";
+
+#[test]
+fn b001_fires_and_clean() {
+    let fires = include_str!("fixtures/b001_fires.rs");
+    // Mixed addition, mixed compare, and a seconds-for-bytes argument.
+    assert_eq!(df_rules_fired(DEV_PATH, fires), vec!["B001"]);
+    assert_eq!(df_count(DEV_PATH, fires, "B001"), 3);
+    // Outside the units crates the pass does not run.
+    assert!(df_rules_fired(LIB_PATH, fires).is_empty());
+
+    let clean = include_str!("fixtures/b001_clean.rs");
+    assert!(df_rules_fired(DEV_PATH, clean).is_empty());
+}
+
+#[test]
+fn b002_fires_and_clean() {
+    let fires = include_str!("fixtures/b002_fires.rs");
+    // bytes × bandwidth and bandwidth ÷ bytes.
+    assert_eq!(df_rules_fired(DEV_PATH, fires), vec!["B002"]);
+    assert_eq!(df_count(DEV_PATH, fires, "B002"), 2);
+    assert!(df_rules_fired(LIB_PATH, fires).is_empty());
+
+    let clean = include_str!("fixtures/b002_clean.rs");
+    assert!(df_rules_fired(DEV_PATH, clean).is_empty());
+}
+
+#[test]
+fn b003_fires_and_clean() {
+    let fires = include_str!("fixtures/b003_fires.rs");
+    // One leaked kind, one double-counted kind.
+    assert_eq!(df_rules_fired(DEV_PATH, fires), vec!["B003"]);
+    assert_eq!(df_count(DEV_PATH, fires, "B003"), 2);
+    let diags = lint_sources(&[(DEV_PATH, fires)]);
+    assert!(diags.iter().any(|d| d.message.contains("no `*_from_spans`")), "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("double-counted")), "{diags:?}");
+    assert!(df_rules_fired(LIB_PATH, fires).is_empty());
+
+    let clean = include_str!("fixtures/b003_clean.rs");
+    assert!(df_rules_fired(DEV_PATH, clean).is_empty());
+}
+
+#[test]
+fn r003_fires_and_clean() {
+    let fires = include_str!("fixtures/r003_fires.rs");
+    // A direct in-closure allocation and a transitive one with a witness.
+    assert_eq!(df_rules_fired(LIB_PATH, fires), vec!["R003"]);
+    assert_eq!(df_count(LIB_PATH, fires, "R003"), 2);
+    let diags = lint_sources(&[(LIB_PATH, fires)]);
+    assert!(
+        diags.iter().any(|d| d.message.contains("make_buf") && d.message.contains("alloc site")),
+        "{diags:?}"
+    );
+    // Non-library scopes (tests, benches, bins) are exempt.
+    assert!(df_rules_fired("crates/graph/tests/fixture.rs", fires).is_empty());
+    assert!(df_rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
+
+    let clean = include_str!("fixtures/r003_clean.rs");
+    assert!(df_rules_fired(LIB_PATH, clean).is_empty());
+}
+
+#[test]
+fn units_ws_bug_canary_workspace() {
+    use std::path::PathBuf;
+    // The mini workspace `scripts/check.sh` injects through the lint gate:
+    // the seeded bugs must surface as unsuppressed B001/B002 violations.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/units_ws_bug");
+    let report = gnn_dm_lint::lint_workspace(&root);
+    assert!(report.count("B001") >= 1, "{:?}", report.diagnostics);
+    assert!(report.count("B002") >= 1, "{:?}", report.diagnostics);
+    assert!(!report.is_clean());
+}

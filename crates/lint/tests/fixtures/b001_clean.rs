@@ -1,0 +1,17 @@
+//! B001 clean fixture: the same expression shapes with consistent
+//! dimensions throughout.
+
+/// Seconds for a transfer: bytes over bandwidth plus latency.
+pub fn transfer_secs(bytes: f64, bandwidth: f64, latency: f64) -> f64 {
+    latency + bytes / bandwidth
+}
+
+/// Budget check keeps both sides in seconds.
+pub fn within_deadline(elapsed: f64, deadline: f64) -> bool {
+    elapsed < deadline
+}
+
+/// Scaling by a dimensionless efficiency never conflicts.
+pub fn derated(bandwidth: f64, efficiency: f64) -> f64 {
+    bandwidth * efficiency
+}

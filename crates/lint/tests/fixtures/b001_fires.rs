@@ -1,0 +1,21 @@
+//! B001 fixture: dimensionally inconsistent arithmetic in the cost model.
+
+/// Adds a byte count to a latency — the canonical mismatch.
+pub fn broken_total(latency: f64, bytes: f64) -> f64 {
+    latency + bytes
+}
+
+/// Compares seconds against a byte budget.
+pub fn broken_compare(deadline: f64, bytes: f64) -> bool {
+    deadline < bytes
+}
+
+/// Prices bytes; the caller below hands it seconds.
+pub fn price(bytes: f64) -> f64 {
+    bytes * 2.0
+}
+
+/// Passes seconds where the callee's parameter is bytes.
+pub fn broken_arg(elapsed: f64) -> f64 {
+    price(elapsed)
+}

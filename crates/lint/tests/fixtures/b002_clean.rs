@@ -1,0 +1,11 @@
+//! B002 clean fixture: bandwidth applied the right way up.
+
+/// Bytes over bandwidth is a time.
+pub fn transfer_secs(bytes: f64, bandwidth: f64) -> f64 {
+    bytes / bandwidth
+}
+
+/// Bandwidth times a duration is a byte volume.
+pub fn capacity_bytes(bandwidth: f64, elapsed: f64) -> f64 {
+    bandwidth * elapsed
+}

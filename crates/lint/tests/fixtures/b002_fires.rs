@@ -1,0 +1,12 @@
+//! B002 fixture: bandwidth applied inverted — products and quotients that
+//! denote no known dimension.
+
+/// Multiplies bytes by a bandwidth (bytes²/s is not a transfer quantity).
+pub fn inverted_cost(bytes: f64, bandwidth: f64) -> f64 {
+    bytes * bandwidth
+}
+
+/// Divides a bandwidth by a byte count — equally meaningless.
+pub fn inverted_rate(bandwidth: f64, bytes: f64) -> f64 {
+    bandwidth / bytes
+}

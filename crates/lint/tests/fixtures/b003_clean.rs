@@ -1,0 +1,18 @@
+//! B003 clean fixture: every byte-carrying span kind is consumed by
+//! exactly one ledger reduction, and byteless kinds are ignored.
+
+/// The one reduction that prices `Flow` bytes.
+pub fn flow_bytes_from_spans(tl: &Timeline) -> u64 {
+    let _ = SpanKind::Flow;
+    0
+}
+
+/// Emits the consumed bytes.
+pub fn emit_flow(tl: &mut Timeline, sent_bytes: u64) {
+    tl.schedule(Resource::Nic, SpanKind::Flow, 0.0, 1.0, SpanMeta { bytes: sent_bytes });
+}
+
+/// A kind that carries no bytes needs no ledger.
+pub fn emit_marker(tl: &mut Timeline, edges: u64) {
+    tl.schedule(Resource::Cpu, SpanKind::Marker, 0.0, 1.0, SpanMeta { edges });
+}

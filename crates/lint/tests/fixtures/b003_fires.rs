@@ -1,0 +1,24 @@
+//! B003 fixture: ledger-conservation violations — a byte-carrying span
+//! kind with no consumer (leaked) and one with two (double-counted).
+
+/// Emits bytes on a kind no `*_from_spans` reduction ever prices.
+pub fn emit_orphan(tl: &mut Timeline, payload_bytes: u64) {
+    tl.schedule(Resource::Nic, SpanKind::Orphan, 0.0, 1.0, SpanMeta { bytes: payload_bytes });
+}
+
+/// First reduction over the duplicated kind.
+pub fn a_from_spans(tl: &Timeline) -> u64 {
+    let _ = SpanKind::Dup;
+    0
+}
+
+/// Second reduction over the same kind — double counting.
+pub fn b_from_spans(tl: &Timeline) -> u64 {
+    let _ = SpanKind::Dup;
+    0
+}
+
+/// Emits the double-counted bytes.
+pub fn emit_dup(tl: &mut Timeline, sent_bytes: u64) {
+    tl.schedule(Resource::Nic, SpanKind::Dup, 0.0, 1.0, SpanMeta { bytes: sent_bytes });
+}

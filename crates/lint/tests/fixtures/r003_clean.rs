@@ -1,0 +1,25 @@
+//! R003 clean fixture: worker arenas via the init closure, and a vouched
+//! amortized allocation.
+
+/// The init closure (argument 1 of a `par_*_init` dispatcher) runs once
+/// per worker and may allocate its arena.
+pub fn arena_reuse(items: &[u32]) -> Vec<u32> {
+    par_map_collect_init(
+        items,
+        || Vec::with_capacity(64),
+        |scratch, _, &x| {
+            scratch.clear();
+            scratch.push(x);
+            x
+        },
+    )
+}
+
+/// A reasoned vouch keeps an amortized allocation and stays S002-live.
+pub fn vouched(items: &[u32]) -> Vec<Vec<u32>> {
+    par_map_collect(items, |_, &x| {
+        let mut out = Vec::with_capacity(1); // lint:allow(R003) the row is the closure's return value
+        out.push(x);
+        out
+    })
+}

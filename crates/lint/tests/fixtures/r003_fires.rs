@@ -1,0 +1,21 @@
+//! R003 fixture: allocation on the parallel hot path — directly in a work
+//! closure, and transitively through a callee (with a witness chain).
+
+/// Builds one row per unit — per-unit heap traffic.
+pub fn alloc_heavy(items: &[u32]) -> Vec<Vec<u32>> {
+    par_map_collect(items, |_, &x| {
+        let mut out = Vec::new();
+        out.push(x);
+        out
+    })
+}
+
+/// A helper that allocates, reached from the closure below.
+fn make_buf(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}
+
+/// The diagnostic lands on the call site with the leaf in the witness.
+pub fn alloc_transitive(items: &[u32]) -> Vec<Vec<u32>> {
+    par_map_collect(items, |_, &x| make_buf(x as usize))
+}

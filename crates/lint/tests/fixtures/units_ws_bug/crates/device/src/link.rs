@@ -1,0 +1,13 @@
+//! Seeded unit bugs: adds bytes to seconds (B001) and prices bandwidth
+//! inverted (B002). `scripts/check.sh`'s canary asserts the lint gate
+//! exits 1 on this mini workspace.
+
+/// Latency plus payload — dimensional nonsense.
+pub fn broken_deadline(latency: f64, bytes: f64) -> f64 {
+    latency + bytes
+}
+
+/// Bandwidth applied inverted.
+pub fn broken_cost(bytes: f64, bandwidth: f64) -> f64 {
+    bytes * bandwidth
+}

@@ -1,0 +1,36 @@
+//! Golden units table for the device link model (`device::network`'s
+//! home: the link/transfer cost model lives in
+//! `crates/device/src/link.rs`, and `cluster/src/network.rs` builds the
+//! NIC fabric on top of it).
+//!
+//! Every number the paper's transfer experiments report flows through
+//! these functions, so their inferred dimensions are a workspace-wide
+//! contract: bytes in, seconds out, bandwidth priced right side up. If a
+//! rename or refactor silently changes an inferred dimension, this test
+//! names it before B001/B002 start reasoning from the wrong table.
+
+use gnn_dm_lint::callgraph::{CallGraph, FileSet};
+use gnn_dm_lint::units::{infer, units_table};
+use std::path::PathBuf;
+
+const GOLDEN: &str = "\
+| fn | params | returns |
+|---|---|---|
+| `effective_bandwidth` | - | bytes/s |
+| `new` | bandwidth: bytes/s, latency: seconds, efficiency: scalar | ? |
+| `nic_10gbps` | - | ? |
+| `pcie_gen3_x16` | - | ? |
+| `transfer_time` | bytes: bytes | seconds |
+| `transfer_time_transactions` | bytes: bytes, transactions: count | seconds |
+| `with_efficiency` | efficiency: scalar | ? |
+";
+
+#[test]
+fn device_link_units_are_pinned() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (set, read_errors) = FileSet::load(&root);
+    assert!(read_errors.is_empty(), "{read_errors:?}");
+    let g = CallGraph::build(&set);
+    let u = infer(&set, &g);
+    assert_eq!(units_table(&g, &u, "crates/device/src/link.rs"), GOLDEN);
+}

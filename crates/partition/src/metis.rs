@@ -20,7 +20,7 @@
 use crate::types::GnnPartitioning;
 use gnn_dm_graph::csr::VId;
 use gnn_dm_graph::{Graph, Split};
-use gnn_dm_par::{par_chunks_mut, par_map_collect};
+use gnn_dm_par::{par_chunks_mut, par_map_collect, par_map_collect_init};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -124,7 +124,7 @@ fn adjacency_of(graph: &Graph) -> Vec<Vec<(u32, f64)>> {
     // Pure per-vertex rows — parallel construction is trivially identical.
     let ids: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     par_map_collect(&ids, |_, &v| {
-        let mut row: Vec<(u32, f64)> = Vec::new();
+        let mut row: Vec<(u32, f64)> = Vec::new(); // lint:allow(R003) each row is the closure's return value; adjacency is built once per coarsening level, not per epoch
         for &u in graph.out.neighbors(v as VId) {
             row.push((u, 1.0));
         }
@@ -309,7 +309,7 @@ fn coarsen_once(level: &WeightedLevel, rng: &mut StdRng) -> WeightedLevel {
         // Chunk-local scratch, reset via `touched` exactly like the serial
         // merge; entry order stays first-occurrence order.
         let base = ci * CONTRACT_CHUNK;
-        let mut acc: Vec<f64> = vec![0.0; cn];
+        let mut acc: Vec<f64> = vec![0.0; cn]; // lint:allow(R003) chunk-local scratch (par_chunks_mut has no init variant), amortized over CONTRACT_CHUNK rows
         let mut touched: Vec<u32> = Vec::new();
         for (j, out) in rows.iter_mut().enumerate() {
             let cv = base + j;
@@ -492,10 +492,15 @@ fn refine(
         let mut moved = 0usize;
         for block in order.chunks(REFINE_BLOCK) {
             // Speculative parallel scan against the block-entry state.
-            let specs: Vec<Option<usize>> = par_map_collect(block, |_, &v| {
-                let mut local_conn = vec![0.0f64; k];
-                kl_best_move(level, k, caps, assignment, &pw, v, &mut local_conn)
-            });
+            // One connectivity buffer per worker, not per vertex:
+            // `kl_best_move` resets the entries it touches before
+            // returning, so reuse across vertices is sound and the
+            // decisions (pure in their inputs) are unchanged.
+            let specs: Vec<Option<usize>> = par_map_collect_init(
+                block,
+                || vec![0.0f64; k],
+                |local_conn, _, &v| kl_best_move(level, k, caps, assignment, &pw, v, local_conn),
+            );
             // Ordered commit; serial recompute once the state has changed.
             let mut committed = false;
             for (idx, &v) in block.iter().enumerate() {

@@ -114,6 +114,7 @@ impl<'a> EpochPlan<'a> {
         let batch_seeds = self.selection.select(self.train, batch_size, self.seed, epoch);
         let epoch_seed = self.seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(epoch as u64 + 1);
         gnn_dm_par::par_map_collect_init(&batch_seeds, SampleScratch::new, |scratch, b, seeds| {
+            // lint:allow(R003) the builder allocates only the owned MiniBatch it returns; draw scratch is reused through this worker arena
             build_minibatch_par_with(
                 self.in_csr,
                 seeds,

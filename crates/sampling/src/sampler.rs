@@ -535,7 +535,7 @@ pub fn build_minibatch_par_with(
             &dchunks,
             || (SamplerScratch::new(), DenseMap::new()),
             |(draw_scratch, seen), ci, chunk| {
-                let mut flat: Vec<VId> = Vec::new();
+                let mut flat: Vec<VId> = Vec::new(); // lint:allow(R003) flat+offs are the closure's return value (moved into `sampled`), amortized over DEDUP_CHUNK draws
                 let mut offs: Vec<u32> = Vec::with_capacity(chunk.len() + 1);
                 offs.push(0);
                 for (j, &d) in chunk.iter().enumerate() {
@@ -549,7 +549,7 @@ pub fn build_minibatch_par_with(
                 // First-occurrence scan within the chunk (the draw loop
                 // appends only, so `flat` is in destination order).
                 seen.begin();
-                let mut news: Vec<VId> = Vec::new();
+                let mut news: Vec<VId> = Vec::new(); // lint:allow(R003) per-chunk first-occurrence list, part of the returned ChunkDraws
                 for &s in &flat {
                     if marks.get(s).is_none() && seen.get(s).is_none() {
                         seen.insert(s, 0);
@@ -586,7 +586,7 @@ pub fn build_minibatch_par_with(
         let frozen: &DenseMap = map;
         let edge_lists: Vec<Vec<(u32, u32)>> =
             gnn_dm_par::par_map_collect(&sampled, |ci, (flat, offs, _)| {
-                let mut es: Vec<(u32, u32)> = Vec::with_capacity(flat.len());
+                let mut es: Vec<(u32, u32)> = Vec::with_capacity(flat.len()); // lint:allow(R003) per-chunk edge list is the closure's return value, amortized over the chunk's draws
                 for j in 0..offs.len() - 1 {
                     let d_local = (ci * DEDUP_CHUNK + j) as u32;
                     for &s in &flat[offs[j] as usize..offs[j + 1] as usize] {

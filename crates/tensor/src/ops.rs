@@ -177,8 +177,8 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let b_slice = b.as_slice();
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
-        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
-        let a_segs: Vec<&[f32]> = (0..c_rows.len()).map(|di| a.row(i0 + di)).collect();
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect(); // lint:allow(R003) per-tile row-pointer table: O(TILE_M) words, amortized over the tile's O(TILE_M*n*k) FLOPs
+        let a_segs: Vec<&[f32]> = (0..c_rows.len()).map(|di| a.row(i0 + di)).collect(); // lint:allow(R003) per-tile slice table, same amortization as c_rows
         micro_panel(&a_segs, b_slice, n, &mut c_rows, n);
     });
     c
@@ -220,11 +220,11 @@ pub fn matmul_tiled(a: &Matrix, b: &Matrix) -> Matrix {
 
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
-        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect(); // lint:allow(R003) per-tile row-pointer table: O(TILE_M) words, amortized over the tile's O(TILE_M*n*k) FLOPs
         for kt in 0..ktiles {
             let k0 = kt * TILE_K;
             let k1 = (k0 + TILE_K).min(k);
-            let a_segs: Vec<&[f32]> =
+            let a_segs: Vec<&[f32]> = // lint:allow(R003) per-k-tile slice table, amortized over the tile's FLOPs
                 (0..c_rows.len()).map(|di| &a.row(i0 + di)[k0..k1]).collect();
             for js in 0..nstrips {
                 let j0 = js * NR;
@@ -251,7 +251,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let b_slice = b.as_slice();
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
-        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect(); // lint:allow(R003) per-tile row-pointer table: O(TILE_M) words, amortized over the tile's O(TILE_M*n*k) FLOPs
         let rows = c_rows.len();
         let mut apack = [0.0f32; TILE_M * TILE_K];
         for k0 in (0..k).step_by(TILE_K) {
@@ -263,7 +263,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
                     apack[di * kk + p] = av;
                 }
             }
-            let a_segs: Vec<&[f32]> =
+            let a_segs: Vec<&[f32]> = // lint:allow(R003) per-k-tile slice table, amortized over the tile's FLOPs
                 (0..rows).map(|di| &apack[di * kk..(di + 1) * kk]).collect();
             micro_panel(&a_segs, &b_slice[k0 * n..], n, &mut c_rows, n);
         }
@@ -284,12 +284,12 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(a.rows(), n);
     par_chunks_mut(c.as_mut_slice(), TILE_M * n, |ci, c_chunk| {
         let i0 = ci * TILE_M;
-        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect();
+        let mut c_rows: Vec<&mut [f32]> = c_chunk.chunks_mut(n).collect(); // lint:allow(R003) per-tile row-pointer table: O(TILE_M) words, amortized over the tile's O(TILE_M*n*k) FLOPs
         let rows = c_rows.len();
         let mut bpack = [0.0f32; NR * TILE_K];
         for k0 in (0..k).step_by(TILE_K) {
             let k1 = (k0 + TILE_K).min(k);
-            let a_segs: Vec<&[f32]> = (0..rows).map(|di| &a.row(i0 + di)[k0..k1]).collect();
+            let a_segs: Vec<&[f32]> = (0..rows).map(|di| &a.row(i0 + di)[k0..k1]).collect(); // lint:allow(R003) per-k-tile slice table, amortized over the tile's FLOPs
             let mut j0 = 0;
             while j0 < n {
                 let w = (n - j0).min(NR);
@@ -370,7 +370,7 @@ pub fn column_sums(a: &Matrix) -> Vec<f32> {
         COL_CHUNK,
         |_, ids| {
             let c0 = ids[0] as usize;
-            let mut part = vec![0.0f32; ids.len()];
+            let mut part = vec![0.0f32; ids.len()]; // lint:allow(R003) the block partial IS the reduction's return value, one per COL_CHUNK columns
             for r in 0..rows {
                 let seg = &a.row(r)[c0..c0 + ids.len()];
                 for (s, &x) in part.iter_mut().zip(seg) {

@@ -54,14 +54,37 @@ if ! grep -q '"violations":0' <<<"${lint_json}"; then
 fi
 scripts/lint_schema.sh <<<"${lint_json}"
 
-echo "==> gnn-dm-lint dataflow rules (E001/R001/R002 subset must be clean)"
-df_json="$(cargo run -q -p gnn-dm-lint -- --rule=E001,R001,R002 --format=json)"
+echo "==> gnn-dm-lint dataflow rules (E001/R001/R002/R003/B001/B002/B003 subset must be clean)"
+df_json="$(cargo run -q -p gnn-dm-lint -- --rule=E001,R001,R002,R003,B001,B002,B003 --format=json)"
 grep -q '"violations":0' <<<"${df_json}" || {
     echo "${df_json}"
     echo "FAIL: interprocedural rules reported violations" >&2
     exit 1
 }
 scripts/lint_schema.sh <<<"${df_json}" >/dev/null
+
+echo "==> units-rule canary (seeded unit bugs must make the gate exit 1)"
+canary_root="crates/lint/tests/fixtures/units_ws_bug"
+set +e
+canary_json="$(cargo run -q -p gnn-dm-lint -- --rule=B001,B002 --format=json "${canary_root}")"
+canary_exit=$?
+set -e
+if [[ "${canary_exit}" -ne 1 ]]; then
+    echo "${canary_json}"
+    echo "FAIL: lint exited ${canary_exit} on ${canary_root} (want 1: the seeded B001/B002 bugs must fire)" >&2
+    exit 1
+fi
+grep -q '"B001":[1-9]' <<<"${canary_json}" || {
+    echo "${canary_json}"
+    echo "FAIL: canary workspace did not trip B001" >&2
+    exit 1
+}
+grep -q '"B002":[1-9]' <<<"${canary_json}" || {
+    echo "${canary_json}"
+    echo "FAIL: canary workspace did not trip B002" >&2
+    exit 1
+}
+scripts/lint_schema.sh <<<"${canary_json}" >/dev/null
 
 echo "OK: build, tests and lint all green"
 echo "(speedup numbers: scripts/bench.sh times the parallel substrate and writes BENCH_par.json)"

@@ -29,6 +29,7 @@ fail() {
 grep -q '"files_scanned":[0-9]\+' <<<"${json}" || fail 'missing numeric "files_scanned"'
 grep -q '"violations":[0-9]\+' <<<"${json}" || fail 'missing numeric "violations"'
 grep -q '"by_rule":{' <<<"${json}" || fail 'missing "by_rule" object'
+grep -q '"rule_ids":\[' <<<"${json}" || fail 'missing "rule_ids" array'
 grep -q '"diagnostics":\[' <<<"${json}" || fail 'missing "diagnostics" array'
 grep -q '"read_errors":\[' <<<"${json}" || fail 'missing "read_errors" array'
 
@@ -39,6 +40,20 @@ if grep -o '"by_rule":{[^}]*}' <<<"${json}" \
         | grep -qv '^"[A-Z][A-Z]*[0-9][0-9]*":[0-9]\+$'; then
     fail 'malformed "by_rule" entry (want "RULE":count)'
 fi
+
+# Every rule_ids element is a rule-shaped id, and every by_rule key is
+# drawn from the shipped catalog.
+rule_ids="$(grep -o '"rule_ids":\[[^]]*\]' <<<"${json}" | head -1)"
+if grep -o '"[A-Z][^"]*"' <<<"${rule_ids#\"rule_ids\":}" \
+        | grep -qv '^"[A-Z][A-Z]*[0-9][0-9]*"$'; then
+    fail 'malformed "rule_ids" entry (want "RULE")'
+fi
+while read -r key; do
+    [[ -z "${key}" ]] && continue
+    grep -q "\"${key}\"" <<<"${rule_ids}" \
+        || fail "by_rule key \"${key}\" not in \"rule_ids\" catalog"
+done < <(grep -o '"by_rule":{[^}]*}' <<<"${json}" \
+        | grep -o '"[A-Z][A-Z]*[0-9][0-9]*":' | tr -d '":')
 
 # The violation counter equals the number of diagnostic objects.
 count="$(grep -o '"violations":[0-9]\+' <<<"${json}" | head -1 | grep -o '[0-9]\+$')"
