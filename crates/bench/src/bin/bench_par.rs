@@ -37,7 +37,8 @@ use gnn_dm_bench::seed_baseline::{seed_build_minibatch_par, seed_epoch_batches, 
 use gnn_dm_bench::SCALE_LOAD;
 use gnn_dm_cluster::ClusterSim;
 use gnn_dm_graph::datasets::{DatasetId, DatasetSpec};
-use gnn_dm_harness::{GridSpec, Registry, SystemConfig};
+use gnn_dm_faults::TailStats;
+use gnn_dm_harness::{ClusterExperiment, ClusterRun, GridSpec, Registry, SystemConfig};
 use gnn_dm_nn::optim::{Adam, Optimizer, Sgd};
 use gnn_dm_par::{thread_count, with_threads};
 use gnn_dm_partition::{partition_graph, PartitionMethod};
@@ -340,7 +341,36 @@ fn main() {
         config_json(&epoch_cfg),
         config_json(&cluster_cfg)
     );
-    let body = format!("\"threads\":{threads},{},{harness_json}", fields.join(","));
+    // SLO coordinates of the cluster cell under the chaos grid's golden
+    // stress (uniform(13,0.25) faults, hedged at 1.5×): nearest-rank p999
+    // over 16 per-epoch makespans plus goodput against the healthy epoch,
+    // so tail-latency regressions chart in the history alongside
+    // throughput. Pure model evaluation — no timing, deterministic.
+    let chaos_spec = GridSpec {
+        partitioner: "metis-v".to_string(),
+        batch_prep: "fanout(25,10)+fixed(512)".to_string(),
+        parallel: "cluster(4)".to_string(),
+        faults: "uniform(13,0.25)".to_string(),
+        resilience: "hedge(1.5)".to_string(),
+        ..GridSpec::default()
+    };
+    let chaos_cfg =
+        SystemConfig::from_spec(&reg, &chaos_spec).expect("chaos workload spec resolves");
+    let exp = ClusterExperiment::paper(&g);
+    let chaos_run = ClusterRun { report: sim.simulate_epoch(&sampler, 0), part, batch_size: 512 };
+    let slo_samples: Vec<f64> = (0..16)
+        .map(|e| exp.timeline_resilient_at(&chaos_run, &chaos_cfg, e).makespan())
+        .collect();
+    let tail = TailStats::from_samples(&slo_samples);
+    let mean_s = slo_samples.iter().sum::<f64>() / slo_samples.len() as f64;
+    let goodput = (exp.epoch_time(&chaos_run) / mean_s).clamp(0.0, 1.0);
+    let slo_json = format!(
+        "\"slo\":{{\"cell\":\"{}\",\"p999_s\":{},\"goodput\":{}}}",
+        chaos_spec.id(),
+        tail.p999,
+        goodput
+    );
+    let body = format!("\"threads\":{threads},{},{harness_json},{slo_json}", fields.join(","));
     std::fs::write("BENCH_par.json", format!("{{{body}}}\n")).expect("write BENCH_par.json");
     println!("\nwrote BENCH_par.json");
 

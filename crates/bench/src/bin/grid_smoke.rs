@@ -1,6 +1,6 @@
 //! Grid smoke — one executed config per registered axis value.
 //!
-//! Sweeps each axis of the builtin registry in turn (the other five axes
+//! Sweeps each axis of the builtin registry in turn (the other six axes
 //! held at the default [`GridSpec`]), runs every resulting `SystemConfig`
 //! end to end through [`run_config`], and prints cost **and** accuracy for
 //! each — the §14 reporting rule, exercised over the whole registry. The
@@ -37,19 +37,27 @@ fn main() {
         (Axis::Cache, "cache"),
         (Axis::Parallel, "parallel"),
         (Axis::Faults, "faults"),
+        (Axis::Resilience, "resilience"),
     ];
     for (axis, name) in axes {
         let specs = reg.specs(axis);
         // The partitioner only acts on the distributed path, so its sweep
         // runs on the cluster; the fault sweep uses small batches so the
-        // seeded plan has enough per-batch draws to actually fire; every
-        // other axis sweeps the single node at the default spec.
+        // seeded plan has enough per-batch draws to actually fire; the
+        // resilience sweep runs on a faulted cluster so the policy has
+        // something to react to; every other axis sweeps the single node
+        // at the default spec.
         let base = match axis {
             Axis::Partitioner => {
                 GridSpec { parallel: "cluster(4)".to_string(), ..GridSpec::default() }
             }
             Axis::Faults => GridSpec {
                 batch_prep: "fanout(10,5)+fixed(128)".to_string(),
+                ..GridSpec::default()
+            },
+            Axis::Resilience => GridSpec {
+                parallel: "cluster(4)".to_string(),
+                faults: "uniform(13,0.25)".to_string(),
                 ..GridSpec::default()
             },
             _ => GridSpec::default(),
@@ -74,7 +82,7 @@ fn main() {
     table.print("Grid smoke: every registered axis value, executed (Arxiv-class, 4 epochs)");
     println!(
         "Each row is one SystemConfig: the named spec on its axis, the other\n\
-         five axes at the GridSpec default. Cost and accuracy are reported\n\
+         six axes at the GridSpec default. Cost and accuracy are reported\n\
          together per the harness reporting rule (DESIGN.md \u{a7}14)."
     );
 }

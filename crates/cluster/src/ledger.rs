@@ -232,6 +232,41 @@ pub fn checkpoint_bytes_from_spans(tl: &Timeline, k: usize) -> Vec<u64> {
     bytes_by_worker(tl, k, |kind| matches!(kind, SpanKind::Checkpoint | SpanKind::Restore))
 }
 
+/// Per-worker bytes delivered by hedge-rescued exchanges, reduced from a
+/// resilient epoch timeline's `Hedge` spans (the winning duplicate of a
+/// transfer whose primary attempt was abandoned at the hedge deadline).
+pub fn hedge_bytes_from_spans(tl: &Timeline, k: usize) -> Vec<u64> {
+    bytes_by_worker(tl, k, |kind| kind == SpanKind::Hedge)
+}
+
+/// Per-worker wasted wire bytes from abandoned transfer attempts, reduced
+/// from a resilient epoch timeline's `Cancel` spans (hedge losers and
+/// deadline-killed exchange stages). This is the exact cost side of the
+/// hedging ledger: speedup is bought with precisely these bytes.
+pub fn wasted_bytes_from_spans(tl: &Timeline, k: usize) -> Vec<u64> {
+    bytes_by_worker(tl, k, |kind| kind == SpanKind::Cancel)
+}
+
+/// Per-worker bytes of straggler input forwarded to a re-dispatch
+/// recipient, reduced from a resilient epoch timeline's `Redispatch` NIC
+/// spans (the matching GPU spans carry batches in `meta.edges`, not
+/// bytes).
+pub fn redispatch_bytes_from_spans(tl: &Timeline, k: usize) -> Vec<u64> {
+    bytes_by_worker(tl, k, |kind| kind == SpanKind::Redispatch)
+}
+
+/// Total parameter bytes synchronised by bounded-staleness collectives,
+/// reduced from a resilient epoch timeline's `StaleSync` spans. The
+/// degraded barrier runs on the shared all-reduce lane, not a worker NIC,
+/// so this reduction is a scalar rather than a per-worker vector.
+pub fn stale_sync_bytes_from_spans(tl: &Timeline) -> u64 {
+    tl.spans()
+        .iter()
+        .filter(|s| s.resource == Resource::AllReduce && s.kind == SpanKind::StaleSync)
+        .map(|s| s.meta.bytes)
+        .sum()
+}
+
 /// Shared reduction: sums `meta.bytes` of the selected span kinds on each
 /// worker's NIC lane.
 fn bytes_by_worker(tl: &Timeline, k: usize, select: impl Fn(SpanKind) -> bool) -> Vec<u64> {
@@ -339,5 +374,28 @@ mod tests {
         tl.schedule(Resource::WorkerNic(0), SpanKind::Exchange, 0.0, 1.0, SpanMeta::bytes(999));
         assert_eq!(retry_bytes_from_spans(&tl, 2), vec![100, 0]);
         assert_eq!(checkpoint_bytes_from_spans(&tl, 2), vec![0, 40]);
+    }
+
+    #[test]
+    fn resilience_byte_ledgers_reduce_from_spans() {
+        let mut tl = Timeline::new();
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Cancel, 0.0, 0.1, SpanMeta::bytes(40));
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Hedge, 0.1, 0.2, SpanMeta::bytes(40));
+        tl.schedule(Resource::WorkerNic(1), SpanKind::Redispatch, 0.0, 0.1, SpanMeta::bytes(25));
+        tl.schedule(
+            Resource::WorkerGpu(1),
+            SpanKind::Redispatch,
+            0.1,
+            0.2,
+            SpanMeta { edges: 3, ..SpanMeta::default() },
+        );
+        tl.schedule(Resource::AllReduce, SpanKind::StaleSync, 0.3, 0.1, SpanMeta::bytes(64));
+        tl.schedule(Resource::AllReduce, SpanKind::StaleSync, 0.4, 0.1, SpanMeta::bytes(64));
+        // Ordinary exchange bytes must not leak into any resilience ledger.
+        tl.schedule(Resource::WorkerNic(0), SpanKind::Exchange, 0.0, 1.0, SpanMeta::bytes(999));
+        assert_eq!(hedge_bytes_from_spans(&tl, 2), vec![40, 0]);
+        assert_eq!(wasted_bytes_from_spans(&tl, 2), vec![40, 0]);
+        assert_eq!(redispatch_bytes_from_spans(&tl, 2), vec![0, 25]);
+        assert_eq!(stale_sync_bytes_from_spans(&tl), 128);
     }
 }

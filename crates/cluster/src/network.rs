@@ -32,6 +32,20 @@ pub fn exchange_time(link: &LinkModel, sent: u64, received: u64) -> f64 {
     link.transfer_time(dominant)
 }
 
+/// Time for a bounded-staleness ("degraded-mode") all-reduce that excludes
+/// `excluded` lagging workers: the ring shrinks to the included
+/// participants, so both the latency steps and the wire share reprice.
+/// With `excluded == 0` this is exactly [`allreduce_time`].
+pub fn stale_allreduce_time(link: &LinkModel, bytes: u64, workers: usize, excluded: usize) -> f64 {
+    allreduce_time(link, bytes, workers.saturating_sub(excluded))
+}
+
+/// Time to forward a straggler's re-dispatched batch inputs to the
+/// recipient worker: one bulk transfer of the moved bytes over the NIC.
+pub fn redispatch_time(link: &LinkModel, bytes: u64) -> f64 {
+    link.transfer_time(bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +72,34 @@ mod tests {
         let t1 = allreduce_time(&nic, 1_000_000, 4);
         let t2 = allreduce_time(&nic, 2_000_000, 4);
         assert!(t2 > t1 * 1.5);
+    }
+
+    #[test]
+    fn stale_allreduce_shrinks_the_ring() {
+        let nic = LinkModel::nic_10gbps();
+        let full = allreduce_time(&nic, 1_000_000, 4);
+        assert_eq!(
+            stale_allreduce_time(&nic, 1_000_000, 4, 0).to_bits(),
+            full.to_bits(),
+            "zero exclusions is exactly the healthy collective"
+        );
+        let degraded = stale_allreduce_time(&nic, 1_000_000, 4, 1);
+        assert!(degraded < full, "a smaller ring must be cheaper");
+        assert_eq!(
+            stale_allreduce_time(&nic, 1_000_000, 4, 3).to_bits(),
+            0.0f64.to_bits(),
+            "one included worker has no peer"
+        );
+        assert_eq!(stale_allreduce_time(&nic, 1_000_000, 2, 5).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn redispatch_prices_as_one_bulk_transfer() {
+        let nic = LinkModel::nic_10gbps();
+        assert_eq!(
+            redispatch_time(&nic, 123_456).to_bits(),
+            nic.transfer_time(123_456).to_bits()
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::sampler::{build_minibatch_with, NeighborSampler, SampleScratch};
 use gnn_dm_sampling::BatchSelection;
-use gnn_dm_faults::{FaultPlan, ResilienceReport};
+use gnn_dm_faults::{
+    DeadlineAction, DeadlinePolicy, FaultPlan, PolicyOutcome, ResiliencePolicy, ResilienceReport,
+};
 use gnn_dm_trace::convert::{u32_of_index, u64_of_u32, u64_of_usize, usize_of_u32};
 use gnn_dm_trace::{Pending, Resource, SpanKind, SpanMeta, Timeline};
 use rand::rngs::StdRng;
@@ -337,30 +339,123 @@ impl<'g> ClusterSim<'g> {
         plan: &FaultPlan,
         epoch: usize,
     ) -> Timeline {
+        self.epoch_timeline_resilient(report, tm, plan, epoch, &ResiliencePolicy::none())
+    }
+
+    /// One worker's healthy (unscaled) stage model: sampled edges and the
+    /// Sample / Exchange / NN-compute stage durations. The single source
+    /// of the per-stage arithmetic — the faulted replay multiplies these
+    /// by the plan's slowdown factors, and the resilience layer reads them
+    /// to rank workers and price re-dispatched work.
+    fn stage_times(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        w: usize,
+    ) -> (u64, f64, f64, f64) {
+        let sample_edges =
+            report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
+        let sample_t = sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
+            + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX;
+        let comm_t = network::exchange_time(
+            &tm.nic,
+            report.comm.worker_sent(w),
+            report.comm.bytes_received[w],
+        );
+        // Forward+backward FLOPs: aggregation over block edges at
+        // feature width plus hidden width, doubled for backward.
+        let flops = report.compute.aggregation_edges[w] as f64
+            * 2.0
+            * (tm.feat_dim + tm.hidden) as f64
+            * 2.0;
+        let nn_t = tm.gpu.seconds_for_flops(flops);
+        (sample_edges, sample_t, comm_t, nn_t)
+    }
+
+    /// [`ClusterSim::epoch_timeline_faulted`] under a
+    /// [`ResiliencePolicy`] — the same faulted replay, with each armed
+    /// mechanism reacting to the plan's injections:
+    ///
+    /// * **hedging** — each failed exchange round completes at
+    ///   `min(hedge deadline, retry cost)`; a hedge-won round emits a
+    ///   `Cancel` span (the abandoned attempt's wasted wire bytes) instead
+    ///   of the `Retry`/`Backoff` pair, and a transfer rescued by hedging
+    ///   lands as a `Hedge` span instead of an `Exchange`;
+    /// * **stage deadlines** — a worker whose exchange stage would exceed
+    ///   `stage_timeout_s` cuts it off at the timeout (`Cancel` span;
+    ///   `meta.edges` carries the skipped batches for the skip-batch
+    ///   action) and either contributes nothing more this epoch or
+    ///   restores the last checkpoint (`Restore`) and continues;
+    /// * **re-dispatch** — stragglers donate `floor(frac · batches)` to
+    ///   the cheapest non-straggler: the donor's NN stage shrinks
+    ///   proportionally, the recipient pays the moved input bytes over its
+    ///   NIC and the moved compute at healthy speed (`Redispatch` spans);
+    /// * **bounded-staleness sync** — the gradient barrier waits only for
+    ///   workers within `max_lag_batches` of the fastest worker and the
+    ///   ring shrinks to the included set (`StaleSync` span instead of
+    ///   `AllReduce`; `meta.edges` counts excluded worker-rounds).
+    ///
+    /// With [`ResiliencePolicy::none`] every branch above is dormant and
+    /// the emitted spans are bitwise-identical to
+    /// [`ClusterSim::epoch_timeline_faulted`]'s pre-policy output (pinned
+    /// in `tests/robustness.rs`). Every decision is a pure function of
+    /// `(plan.seed, epoch, worker)` — the policy adds no draws of its own.
+    pub fn epoch_timeline_resilient(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+        policy: &ResiliencePolicy,
+    ) -> Timeline {
         let k = self.part.k;
+
+        // Re-dispatch analytics: every straggler donates batches to the
+        // one non-straggler with the cheapest healthy chain (ties break
+        // to the lowest worker index). Pure report arithmetic — nothing
+        // is scheduled here.
+        let mut donated: Vec<usize> = vec![0; k];
+        let mut recipient: Option<usize> = None;
+        if let Some(rd) = policy.redispatch {
+            let mut best: Option<(f64, usize)> = None;
+            for w in 0..k {
+                if plan.is_straggler(epoch, u32_of_index(w)) {
+                    continue;
+                }
+                let (_, sample_h, comm_h, nn_h) = self.stage_times(report, tm, w);
+                let chain = sample_h + comm_h + nn_h;
+                if best.map_or(true, |(b, _)| chain < b) {
+                    best = Some((chain, w));
+                }
+            }
+            if let Some((_, r)) = best {
+                for w in 0..k {
+                    if w != r && plan.is_straggler(epoch, u32_of_index(w)) {
+                        donated[w] = rd.moved_batches(report.num_batches[w]);
+                    }
+                }
+                if donated.iter().any(|&m| m > 0) {
+                    recipient = Some(r);
+                }
+            }
+        }
+
         let mut tl = Timeline::new();
+        // Per-worker readbacks for the re-dispatch and stale-sync passes.
+        let mut chain_end = vec![0.0f64; k];
+        let mut exch_end = vec![0.0f64; k];
+        let mut stage_sum = vec![0.0f64; k];
+        let mut skipped = vec![false; k];
         for w in 0..k {
             let wid = u32_of_index(w);
             let worker = Some(wid);
             let cf = plan.compute_slowdown(epoch, wid);
             let bf = plan.bandwidth_slowdown(epoch, wid);
-            let sample_edges =
-                report.compute.local_sample_edges[w] + report.compute.remote_sample_edges[w];
-            let sample_t = (sample_edges as f64 * compute::SAMPLE_SECONDS_PER_EDGE
-                + report.input_vertices[w] as f64 * compute::SAMPLE_SECONDS_PER_VERTEX)
-                * cf;
-            let comm_t = network::exchange_time(
-                &tm.nic,
-                report.comm.worker_sent(w),
-                report.comm.bytes_received[w],
-            ) * bf;
-            // Forward+backward FLOPs: aggregation over block edges at
-            // feature width plus hidden width, doubled for backward.
-            let flops = report.compute.aggregation_edges[w] as f64
-                * 2.0
-                * (tm.feat_dim + tm.hidden) as f64
-                * 2.0;
-            let nn_t = tm.gpu.seconds_for_flops(flops) * cf;
+            let (sample_edges, sample_h, comm_h, nn_h) = self.stage_times(report, tm, w);
+            let sample_t = sample_h * cf;
+            let comm_t = comm_h * bf;
+            let nn_t = nn_h * cf;
+            stage_sum[w] = sample_t + comm_t + nn_t;
             let traffic = report.comm.worker_traffic(w);
             let s_end = tl.schedule(
                 Resource::WorkerCpu(wid),
@@ -369,35 +464,125 @@ impl<'g> ClusterSim<'g> {
                 sample_t,
                 SpanMeta { edges: sample_edges, worker, ..SpanMeta::default() },
             );
-            let mut ready = s_end;
-            for attempt in 0..plan.nic_failures(epoch, wid) {
-                let retry_end = tl.schedule(
+            let failures = plan.nic_failures(epoch, wid);
+
+            // Stage-deadline check: the analytic cost of the exchange
+            // stage as it would be emitted below (hedge-shortened rounds
+            // included), against the budget.
+            let mut killed: Option<DeadlinePolicy> = None;
+            if let Some(dl) = policy.deadline {
+                let mut stage_cost = 0.0f64;
+                for attempt in 0..failures {
+                    let retry_cost = comm_t
+                        + plan.link.retry.timeout_s
+                        + plan.link.retry.backoff_delay(attempt);
+                    stage_cost += match policy.hedge {
+                        Some(h) => h.deadline_s(comm_t).min(retry_cost),
+                        None => retry_cost,
+                    };
+                }
+                stage_cost += comm_t;
+                if stage_cost > dl.stage_timeout_s {
+                    killed = Some(dl);
+                }
+            }
+
+            let ready_for_nn = if let Some(dl) = killed {
+                let skipped_batches = match dl.action {
+                    DeadlineAction::SkipBatch => u64_of_usize(report.num_batches[w]),
+                    DeadlineAction::FallbackToCheckpoint => 0,
+                };
+                let c_end = tl.schedule(
                     Resource::WorkerNic(wid),
-                    SpanKind::Retry,
+                    SpanKind::Cancel,
+                    s_end,
+                    dl.stage_timeout_s,
+                    SpanMeta { bytes: traffic, edges: skipped_batches, worker, ..SpanMeta::default() },
+                );
+                exch_end[w] = c_end;
+                match dl.action {
+                    DeadlineAction::SkipBatch => {
+                        // The worker contributes nothing more this epoch.
+                        skipped[w] = true;
+                        chain_end[w] = c_end;
+                        continue;
+                    }
+                    DeadlineAction::FallbackToCheckpoint => tl.schedule(
+                        Resource::WorkerNic(wid),
+                        SpanKind::Restore,
+                        c_end,
+                        network::snapshot_time(&tm.nic, tm.param_bytes, 1),
+                        SpanMeta { bytes: tm.param_bytes, worker, ..SpanMeta::default() },
+                    ),
+                }
+            } else {
+                // Failed rounds: hedged (one `Cancel`, round ends at the
+                // hedge deadline) or retried (`Retry` + `Backoff`), per
+                // round whichever is cheaper; then the final transfer.
+                let mut ready = s_end;
+                let mut hedge_won = false;
+                for attempt in 0..failures {
+                    let retry_dur = comm_t + plan.link.retry.timeout_s;
+                    let backoff_dur = plan.link.retry.backoff_delay(attempt);
+                    let hedge_at = policy
+                        .hedge
+                        .map(|h| h.deadline_s(comm_t))
+                        .filter(|&d| d < retry_dur + backoff_dur);
+                    match hedge_at {
+                        Some(d) => {
+                            hedge_won = true;
+                            ready = tl.schedule(
+                                Resource::WorkerNic(wid),
+                                SpanKind::Cancel,
+                                ready,
+                                d,
+                                SpanMeta { bytes: traffic, worker, ..SpanMeta::default() },
+                            );
+                        }
+                        None => {
+                            let retry_end = tl.schedule(
+                                Resource::WorkerNic(wid),
+                                SpanKind::Retry,
+                                ready,
+                                retry_dur,
+                                SpanMeta { bytes: traffic, worker, ..SpanMeta::default() },
+                            );
+                            ready = tl.schedule(
+                                Resource::WorkerNic(wid),
+                                SpanKind::Backoff,
+                                retry_end,
+                                backoff_dur,
+                                SpanMeta { worker, ..SpanMeta::default() },
+                            );
+                        }
+                    }
+                }
+                let kind = if hedge_won { SpanKind::Hedge } else { SpanKind::Exchange };
+                let c_end = tl.schedule(
+                    Resource::WorkerNic(wid),
+                    kind,
                     ready,
-                    comm_t + plan.link.retry.timeout_s,
+                    comm_t,
                     SpanMeta { bytes: traffic, worker, ..SpanMeta::default() },
                 );
-                ready = tl.schedule(
-                    Resource::WorkerNic(wid),
-                    SpanKind::Backoff,
-                    retry_end,
-                    plan.link.retry.backoff_delay(attempt),
-                    SpanMeta { worker, ..SpanMeta::default() },
-                );
-            }
-            let c_end = tl.schedule(
-                Resource::WorkerNic(wid),
-                SpanKind::Exchange,
-                ready,
-                comm_t,
-                SpanMeta { bytes: traffic, worker, ..SpanMeta::default() },
-            );
+                exch_end[w] = c_end;
+                c_end
+            };
+
+            // Donors run fewer batches on their own GPU; the moved share
+            // lands on the recipient's lanes after the loop.
+            let nn_dur = if donated[w] > 0 {
+                // donated[w] > 0 implies num_batches[w] > 0.
+                nn_t * ((report.num_batches[w] - donated[w]) as f64
+                    / report.num_batches[w] as f64)
+            } else {
+                nn_t
+            };
             let n_end = tl.schedule(
                 Resource::WorkerGpu(wid),
                 SpanKind::NnCompute,
-                c_end,
-                nn_t,
+                ready_for_nn,
+                nn_dur,
                 SpanMeta {
                     edges: report.compute.aggregation_edges[w],
                     worker,
@@ -427,7 +612,7 @@ impl<'g> ClusterSim<'g> {
                 );
                 // crash_batch is Some only when num_batches[w] > 0.
                 let per_batch = (sample_t + comm_t + nn_t) / report.num_batches[w] as f64;
-                tl.schedule(
+                w_end = tl.schedule(
                     Resource::WorkerGpu(wid),
                     SpanKind::Replay,
                     r_end,
@@ -435,20 +620,98 @@ impl<'g> ClusterSim<'g> {
                     SpanMeta { edges: u64_of_usize(replayed), worker, ..SpanMeta::default() },
                 );
             }
+            chain_end[w] = w_end;
         }
+
+        // Re-dispatched work: the recipient pulls each donor's moved
+        // input bytes over its NIC (available once the donor's exchange
+        // delivered them) and computes the moved batches at healthy
+        // speed, priced at the donor's healthy per-batch NN time.
+        if let Some(r) = recipient {
+            let rid = u32_of_index(r);
+            for w in 0..k {
+                if donated[w] == 0 || skipped[w] {
+                    continue;
+                }
+                let nb = report.num_batches[w];
+                let moved = donated[w];
+                let moved_bytes =
+                    report.comm.worker_traffic(w) * u64_of_usize(moved) / u64_of_usize(nb);
+                let nic_end = tl.schedule(
+                    Resource::WorkerNic(rid),
+                    SpanKind::Redispatch,
+                    exch_end[w],
+                    network::redispatch_time(&tm.nic, moved_bytes),
+                    SpanMeta { bytes: moved_bytes, worker: Some(rid), ..SpanMeta::default() },
+                );
+                let (_, _, _, nn_h) = self.stage_times(report, tm, w);
+                let gpu_end = tl.schedule(
+                    Resource::WorkerGpu(rid),
+                    SpanKind::Redispatch,
+                    nic_end,
+                    nn_h * (moved as f64 / nb as f64),
+                    SpanMeta { edges: u64_of_usize(moved), worker: Some(rid), ..SpanMeta::default() },
+                );
+                chain_end[r] = chain_end[r].max(gpu_end);
+            }
+        }
+
         let sync_rounds = *report.num_batches.iter().max().unwrap_or(&0);
-        let worst = tl.makespan();
-        let dur = sync_rounds as f64 * network::allreduce_time(&tm.nic, tm.param_bytes, k);
-        tl.schedule(
-            Resource::AllReduce,
-            SpanKind::AllReduce,
-            worst,
-            dur,
-            SpanMeta {
-                bytes: tm.param_bytes * u64_of_usize(sync_rounds),
-                ..SpanMeta::default()
-            },
-        );
+        match policy.stale_sync {
+            None => {
+                let worst = tl.makespan();
+                let dur = sync_rounds as f64 * network::allreduce_time(&tm.nic, tm.param_bytes, k);
+                tl.schedule(
+                    Resource::AllReduce,
+                    SpanKind::AllReduce,
+                    worst,
+                    dur,
+                    SpanMeta {
+                        bytes: tm.param_bytes * u64_of_usize(sync_rounds),
+                        ..SpanMeta::default()
+                    },
+                );
+            }
+            Some(ss) => {
+                // The barrier waits only for workers within the lag
+                // budget of the fastest active worker (measured in the
+                // worker's own per-batch time); the ring shrinks to the
+                // included set. Skip-killed and batchless workers have no
+                // gradients to contribute and neither gate nor count.
+                let mut fastest = f64::INFINITY;
+                for w in 0..k {
+                    if report.num_batches[w] > 0 && !skipped[w] {
+                        fastest = fastest.min(chain_end[w]);
+                    }
+                }
+                let mut excluded = 0usize;
+                let mut sync_ready = 0.0f64;
+                for w in 0..k {
+                    if report.num_batches[w] == 0 || skipped[w] {
+                        continue;
+                    }
+                    let per_batch = stage_sum[w] / report.num_batches[w] as f64;
+                    if chain_end[w] > fastest + ss.max_lag_batches as f64 * per_batch {
+                        excluded += 1;
+                    } else {
+                        sync_ready = sync_ready.max(chain_end[w]);
+                    }
+                }
+                let dur = sync_rounds as f64
+                    * network::stale_allreduce_time(&tm.nic, tm.param_bytes, k, excluded);
+                tl.schedule(
+                    Resource::AllReduce,
+                    SpanKind::StaleSync,
+                    sync_ready,
+                    dur,
+                    SpanMeta {
+                        bytes: tm.param_bytes * u64_of_usize(sync_rounds),
+                        edges: u64_of_usize(excluded) * u64_of_usize(sync_rounds),
+                        ..SpanMeta::default()
+                    },
+                );
+            }
+        }
         tl
     }
 
@@ -568,6 +831,37 @@ impl<'g> ClusterSim<'g> {
         let healthy = self.epoch_timeline(report, tm);
         let faulted = self.epoch_timeline_faulted(report, tm, plan, epoch);
         ResilienceReport::compare(&healthy, &faulted)
+    }
+
+    /// Modelled epoch wall-clock under a fault plan and a resilience
+    /// policy — the makespan of the resilient span timeline.
+    pub fn epoch_time_resilient(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+        policy: &ResiliencePolicy,
+    ) -> f64 {
+        self.epoch_timeline_resilient(report, tm, plan, epoch, policy).makespan()
+    }
+
+    /// Policy-on-vs-policy-off comparison of one faulted epoch: replays
+    /// the same fault plan with and without the resilience policy and
+    /// reduces the resilience spans (hedges, cancellations, re-dispatch,
+    /// stale syncs) into a [`PolicyOutcome`].
+    pub fn resilience_with_policy(
+        &self,
+        report: &EpochLoadReport,
+        tm: &TimeModel,
+        plan: &FaultPlan,
+        epoch: usize,
+        policy: &ResiliencePolicy,
+    ) -> PolicyOutcome {
+        let baseline = self.epoch_timeline_faulted(report, tm, plan, epoch);
+        let resilient = self.epoch_timeline_resilient(report, tm, plan, epoch, policy);
+        let total_batches = u64_of_usize(report.num_batches.iter().sum());
+        PolicyOutcome::compare(&baseline, &resilient, total_batches)
     }
 }
 
@@ -719,5 +1013,157 @@ mod tests {
         // Per-worker chains plus the terminal all-reduce span.
         let tl = sim.epoch_timeline(&report, &tm);
         assert_eq!(tl.len(), 3 * 4 + 1);
+    }
+
+    #[test]
+    fn none_policy_replays_the_faulted_timeline_bitwise() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (report, part) = simulate(&g, PartitionMethod::Hash);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        for rate in [0.0, 0.3, 0.7] {
+            let plan = FaultPlan::uniform(9, rate);
+            for epoch in 0..4 {
+                let faulted = sim.epoch_timeline_faulted(&report, &tm, &plan, epoch);
+                let resilient = sim.epoch_timeline_resilient(
+                    &report,
+                    &tm,
+                    &plan,
+                    epoch,
+                    &ResiliencePolicy::none(),
+                );
+                assert_eq!(
+                    faulted.to_chrome_trace(),
+                    resilient.to_chrome_trace(),
+                    "none-policy replay must be bitwise the faulted replay (rate {rate}, epoch {epoch})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hedging_never_slows_an_epoch_and_ledgers_the_waste() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (report, part) = simulate(&g, PartitionMethod::Hash);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        let plan = FaultPlan::uniform(9, 0.7);
+        let policy = ResiliencePolicy::hedged(1.5);
+        let mut saw_hedge = false;
+        for epoch in 0..8 {
+            let base = sim.epoch_time_faulted(&report, &tm, &plan, epoch);
+            let res = sim.epoch_time_resilient(&report, &tm, &plan, epoch, &policy);
+            assert!(
+                res <= base,
+                "hedging slowed epoch {epoch}: {res} > {base}"
+            );
+            let out = sim.resilience_with_policy(&report, &tm, &plan, epoch, &policy);
+            if out.hedged_bytes > 0 {
+                saw_hedge = true;
+                assert!(res < base, "a hedge-won epoch must be strictly faster");
+                assert!(out.wasted_bytes > 0, "hedge wins must ledger abandoned bytes");
+            } else {
+                assert_eq!(out.wasted_bytes, 0, "no hedge, no waste");
+                assert_eq!(res.to_bits(), base.to_bits());
+            }
+            // The outcome's byte counters are exactly the span reductions.
+            let tl = sim.epoch_timeline_resilient(&report, &tm, &plan, epoch, &policy);
+            let k = part.k;
+            assert_eq!(
+                out.hedged_bytes,
+                crate::ledger::hedge_bytes_from_spans(&tl, k).iter().sum::<u64>()
+            );
+            assert_eq!(
+                out.wasted_bytes,
+                crate::ledger::wasted_bytes_from_spans(&tl, k).iter().sum::<u64>()
+            );
+        }
+        assert!(saw_hedge, "rate 0.7 must produce at least one hedged round in 8 epochs");
+    }
+
+    #[test]
+    fn skip_batch_deadline_kills_the_chain_and_costs_accuracy() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (report, part) = simulate(&g, PartitionMethod::Hash);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        let plan = FaultPlan::uniform(9, 0.5);
+        // A zero budget kills every worker's exchange stage outright.
+        let policy = ResiliencePolicy {
+            deadline: Some(DeadlinePolicy {
+                stage_timeout_s: 0.0,
+                action: DeadlineAction::SkipBatch,
+            }),
+            ..ResiliencePolicy::none()
+        };
+        let tl = sim.epoch_timeline_resilient(&report, &tm, &plan, 0, &policy);
+        // Every worker: Sample + Cancel, then the terminal collective.
+        assert_eq!(tl.len(), 2 * part.k + 1);
+        let out = sim.resilience_with_policy(&report, &tm, &plan, 0, &policy);
+        let total: u64 = report.num_batches.iter().map(|&b| u64_of_usize(b)).sum();
+        assert_eq!(out.skipped_batches, total, "every batch is skipped");
+        assert!(out.accuracy_retention() < 1.0, "skipping batches must cost accuracy");
+        assert!(
+            out.resilient_s < out.baseline_s,
+            "cutting every stage at t=0 must shrink the makespan"
+        );
+    }
+
+    #[test]
+    fn fallback_to_checkpoint_restores_and_keeps_training() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (report, part) = simulate(&g, PartitionMethod::Hash);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        let plan = FaultPlan::uniform(9, 0.5);
+        let policy = ResiliencePolicy {
+            deadline: Some(DeadlinePolicy {
+                stage_timeout_s: 0.0,
+                action: DeadlineAction::FallbackToCheckpoint,
+            }),
+            ..ResiliencePolicy::none()
+        };
+        let tl = sim.epoch_timeline_resilient(&report, &tm, &plan, 0, &policy);
+        let out = sim.resilience_with_policy(&report, &tm, &plan, 0, &policy);
+        assert_eq!(out.skipped_batches, 0, "fallback keeps every batch");
+        // Each worker still runs its NN stage after the restore.
+        let nn = tl.spans().iter().filter(|s| s.kind == SpanKind::NnCompute).count();
+        assert_eq!(nn, part.k);
+        let restores = tl.spans().iter().filter(|s| s.kind == SpanKind::Restore).count();
+        assert!(restores >= part.k, "every killed stage restores a checkpoint");
+    }
+
+    #[test]
+    fn stale_sync_and_redispatch_react_to_stragglers() {
+        let g = graph();
+        let tm = TimeModel::paper_default(32, 128, 100_000);
+        let (report, part) = simulate(&g, PartitionMethod::Hash);
+        let sim = ClusterSim { graph: &g, part: &part, batch_size: 64, seed: 3 };
+        let plan = FaultPlan::uniform(9, 0.6);
+        let full = ResiliencePolicy {
+            hedge: None,
+            ..ResiliencePolicy::full(1.0e9)
+        };
+        let mut saw_stale = false;
+        let mut saw_move = false;
+        for epoch in 0..12 {
+            let out = sim.resilience_with_policy(&report, &tm, &plan, epoch, &full);
+            assert!(out.stale_sync_bytes > 0, "the degraded barrier always syncs");
+            if out.stale_worker_rounds > 0 {
+                saw_stale = true;
+            }
+            if out.redispatched_batches > 0 {
+                saw_move = true;
+                assert!(out.redispatched_bytes > 0, "moved batches carry moved bytes");
+            }
+            let tl = sim.epoch_timeline_resilient(&report, &tm, &plan, epoch, &full);
+            assert_eq!(
+                out.stale_sync_bytes,
+                crate::ledger::stale_sync_bytes_from_spans(&tl),
+                "outcome and ledger must agree on synced bytes"
+            );
+        }
+        assert!(saw_stale, "rate 0.6 must lag someone past a 4-batch budget in 12 epochs");
+        assert!(saw_move, "rate 0.6 must produce a straggler donation in 12 epochs");
     }
 }

@@ -17,7 +17,7 @@
 //! threaded executor with the same stage graph (used to validate the model
 //! and to demonstrate the optimization on actual work).
 
-use gnn_dm_faults::FaultPlan;
+use gnn_dm_faults::{FaultPlan, ResiliencePolicy};
 use gnn_dm_trace::{Resource, SpanKind, SpanMeta, Timeline};
 
 /// Stage durations of one batch, in seconds.
@@ -82,28 +82,44 @@ pub struct BatchMeta {
 /// the PCIe lane, split into Gather + Transfer sub-spans when the meta
 /// carries a gather share. The stage end is computed exactly as in the
 /// closed-form recurrence (`dt_start + dt`, one addition); the sub-span
-/// boundary is display-only.
-fn replay_dt(tl: &mut Timeline, dt_start: f64, dt: f64, m: &BatchMeta, batch: Option<u32>) -> f64 {
+/// boundary is display-only. `kind` picks the bus span's kind —
+/// `Transfer` for an ordinary delivery, `Hedge` when the delivery is a
+/// duplicate that rescued a transfer whose primary attempt was abandoned
+/// at the hedge deadline; the arithmetic is identical either way.
+fn replay_dt_kind(
+    tl: &mut Timeline,
+    dt_start: f64,
+    dt: f64,
+    m: &BatchMeta,
+    batch: Option<u32>,
+    kind: SpanKind,
+) -> f64 {
     let dt_end = dt_start + dt;
     let bytes_meta = SpanMeta { bytes: m.bytes, batch, ..SpanMeta::default() };
     if m.gather > 0.0 {
         let g_end = (dt_start + m.gather).min(dt_end);
         let g_meta = SpanMeta { batch, ..SpanMeta::default() };
         tl.schedule_at(Resource::PcieLink, SpanKind::Gather, dt_start, g_end, g_meta);
-        tl.schedule_at(Resource::PcieLink, SpanKind::Transfer, g_end, dt_end, bytes_meta);
+        tl.schedule_at(Resource::PcieLink, kind, g_end, dt_end, bytes_meta);
     } else {
-        tl.schedule_at(Resource::PcieLink, SpanKind::Transfer, dt_start, dt_end, bytes_meta);
+        tl.schedule_at(Resource::PcieLink, kind, dt_start, dt_end, bytes_meta);
     }
     dt_end
 }
 
-/// [`replay_dt`] behind a flaky PCIe link: each failed attempt occupies the
-/// bus for the full transfer plus the detection timeout (a `Retry` span
-/// carrying the retransmitted bytes), then waits out the capped exponential
-/// backoff (a `Backoff` span) before the real transfer starts. With zero
-/// planned failures this is exactly [`replay_dt`] at `dt_ready`.
+/// [`replay_dt_kind`] behind a flaky PCIe link under a resilience policy:
+/// each failed attempt occupies the bus for the full transfer plus the
+/// detection timeout (a `Retry` span carrying the retransmitted bytes),
+/// then waits out the capped exponential backoff (a `Backoff` span) before
+/// the real transfer starts. With hedging armed, each failed attempt
+/// instead completes at `min(hedge deadline, retry cost)`: a hedge-won
+/// round emits one `Cancel` span (the abandoned attempt's wasted bus
+/// bytes) instead of the `Retry`/`Backoff` pair, and a transfer rescued by
+/// hedging lands as a `Hedge` span instead of a `Transfer`. With
+/// [`ResiliencePolicy::none`] every policy branch is dormant, and with
+/// zero planned failures this is exactly [`replay_dt_kind`] at `dt_ready`.
 #[allow(clippy::too_many_arguments)]
-fn replay_dt_faulted(
+fn replay_dt_resilient(
     tl: &mut Timeline,
     dt_ready: f64,
     dt: f64,
@@ -112,25 +128,46 @@ fn replay_dt_faulted(
     plan: &FaultPlan,
     epoch: usize,
     index: usize,
+    policy: &ResiliencePolicy,
 ) -> f64 {
     let mut ready = dt_ready;
+    let mut hedge_won = false;
     for attempt in 0..plan.pcie_failures(epoch, index) {
-        let retry_end = tl.schedule(
-            Resource::PcieLink,
-            SpanKind::Retry,
-            ready,
-            dt + plan.link.retry.timeout_s,
-            SpanMeta { bytes: m.bytes, batch, ..SpanMeta::default() },
-        );
-        ready = tl.schedule(
-            Resource::PcieLink,
-            SpanKind::Backoff,
-            retry_end,
-            plan.link.retry.backoff_delay(attempt),
-            SpanMeta { batch, ..SpanMeta::default() },
-        );
+        let retry_dur = dt + plan.link.retry.timeout_s;
+        let backoff_dur = plan.link.retry.backoff_delay(attempt);
+        let hedge_at =
+            policy.hedge.map(|h| h.deadline_s(dt)).filter(|&d| d < retry_dur + backoff_dur);
+        match hedge_at {
+            Some(d) => {
+                hedge_won = true;
+                ready = tl.schedule(
+                    Resource::PcieLink,
+                    SpanKind::Cancel,
+                    ready,
+                    d,
+                    SpanMeta { bytes: m.bytes, batch, ..SpanMeta::default() },
+                );
+            }
+            None => {
+                let retry_end = tl.schedule(
+                    Resource::PcieLink,
+                    SpanKind::Retry,
+                    ready,
+                    retry_dur,
+                    SpanMeta { bytes: m.bytes, batch, ..SpanMeta::default() },
+                );
+                ready = tl.schedule(
+                    Resource::PcieLink,
+                    SpanKind::Backoff,
+                    retry_end,
+                    backoff_dur,
+                    SpanMeta { batch, ..SpanMeta::default() },
+                );
+            }
+        }
     }
-    replay_dt(tl, ready, dt, m, batch)
+    let kind = if hedge_won { SpanKind::Hedge } else { SpanKind::Transfer };
+    replay_dt_kind(tl, ready, dt, m, batch, kind)
 }
 
 /// Replays an epoch's BP/DT/NN stages as spans on three FIFO lanes
@@ -171,6 +208,23 @@ pub fn replay_epoch_faulted(
     plan: &FaultPlan,
     epoch: usize,
 ) -> Timeline {
+    replay_epoch_resilient(batches, metas, mode, plan, epoch, &ResiliencePolicy::none())
+}
+
+/// [`replay_epoch_faulted`] under a resilience policy: each batch's data
+/// transfer runs through [`replay_dt_resilient`], so with hedging armed a
+/// flaky PCIe attempt is raced against a duplicate and abandoned at the
+/// hedge deadline when the duplicate wins. With [`ResiliencePolicy::none`]
+/// this is bitwise-identical to [`replay_epoch_faulted`]'s pre-policy
+/// output (pinned in `tests/robustness.rs`).
+pub fn replay_epoch_resilient(
+    batches: &[BatchStageTimes],
+    metas: &[BatchMeta],
+    mode: PipelineMode,
+    plan: &FaultPlan,
+    epoch: usize,
+    policy: &ResiliencePolicy,
+) -> Timeline {
     let mut tl = Timeline::new();
     // `None`'s sequential clock / `OverlapBp`'s fused DT+NN cursor.
     let mut cursor = 0.0f64;
@@ -184,7 +238,8 @@ pub fn replay_epoch_faulted(
                 let bp_end =
                     tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, cursor, b.bp, bp_meta);
                 let dt_start = tl.start_time(Resource::PcieLink, bp_end);
-                let dt_end = replay_dt_faulted(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i);
+                let dt_end =
+                    replay_dt_resilient(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i, policy);
                 cursor =
                     tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
             }
@@ -193,7 +248,8 @@ pub fn replay_epoch_faulted(
                     tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, 0.0, b.bp, bp_meta);
                 // DT waits for the fused DT+NN cursor, not just the bus.
                 let dt_start = cursor.max(bp_end);
-                let dt_end = replay_dt_faulted(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i);
+                let dt_end =
+                    replay_dt_resilient(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i, policy);
                 cursor =
                     tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
             }
@@ -201,7 +257,8 @@ pub fn replay_epoch_faulted(
                 let bp_end =
                     tl.schedule(Resource::CpuSampler, SpanKind::BatchPrep, 0.0, b.bp, bp_meta);
                 let dt_start = tl.start_time(Resource::PcieLink, bp_end);
-                let dt_end = replay_dt_faulted(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i);
+                let dt_end =
+                    replay_dt_resilient(&mut tl, dt_start, b.dt, &m, batch, plan, epoch, i, policy);
                 tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, dt_end, b.nn, nn_meta);
             }
         }
@@ -239,6 +296,18 @@ pub fn makespan_faulted(
     epoch: usize,
 ) -> f64 {
     replay_epoch_faulted(batches, &[], mode, plan, epoch).makespan()
+}
+
+/// Epoch makespan under a pipeline mode, a fault plan and a resilience
+/// policy ([`replay_epoch_resilient`] with no batch annotations).
+pub fn makespan_resilient(
+    batches: &[BatchStageTimes],
+    mode: PipelineMode,
+    plan: &FaultPlan,
+    epoch: usize,
+    policy: &ResiliencePolicy,
+) -> f64 {
+    replay_epoch_resilient(batches, &[], mode, plan, epoch, policy).makespan()
 }
 
 /// The original closed-form makespan recurrences, kept as an independent
@@ -472,6 +541,43 @@ mod tests {
             "stages never overlapped: max in flight {}",
             MAX_SEEN.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn hedged_pcie_transfers_never_slow_the_pipeline() {
+        // Transfers short enough that the hedge deadline (1.5 · dt)
+        // undercuts the retry detection timeout plus backoff.
+        let b = uniform(24, 0.02, 0.05, 0.03);
+        let plan = FaultPlan::uniform(11, 0.6);
+        let policy = ResiliencePolicy::hedged(1.5);
+        let mut saw_hedge = false;
+        for mode in [PipelineMode::None, PipelineMode::OverlapBp, PipelineMode::Full] {
+            for epoch in 0..4 {
+                let base = makespan_faulted(&b, mode, &plan, epoch);
+                let res = makespan_resilient(&b, mode, &plan, epoch, &policy);
+                assert!(res <= base, "{}: hedging slowed epoch {epoch}", mode.name());
+                let tl = replay_epoch_resilient(&b, &[], mode, &plan, epoch, &policy);
+                let hedges =
+                    tl.spans().iter().filter(|s| s.kind == SpanKind::Hedge).count();
+                if hedges > 0 {
+                    saw_hedge = true;
+                    assert!(res < base, "{}: a hedge win must be strictly faster", mode.name());
+                }
+            }
+        }
+        assert!(saw_hedge, "rate 0.6 must hedge at least one PCIe round");
+    }
+
+    #[test]
+    fn none_policy_replay_is_bitwise_the_faulted_replay() {
+        let b = uniform(16, 0.4, 1.0, 0.6);
+        let plan = FaultPlan::uniform(11, 0.6);
+        for mode in [PipelineMode::None, PipelineMode::OverlapBp, PipelineMode::Full] {
+            let faulted = replay_epoch_faulted(&b, &[], mode, &plan, 1);
+            let resilient =
+                replay_epoch_resilient(&b, &[], mode, &plan, 1, &ResiliencePolicy::none());
+            assert_eq!(faulted.to_chrome_trace(), resilient.to_chrome_trace());
+        }
     }
 
     #[test]

@@ -31,6 +31,12 @@
 use gnn_dm_par::split_seed;
 use gnn_dm_trace::{SpanKind, Timeline};
 
+/// Tail-latency summary (`p50`/`p99`/`p999` as exact nearest-rank
+/// reductions), re-exported for SLO-facing consumers: the chaos grid
+/// ranks resilience policies by `p999` without reaching past this crate
+/// into the trace substrate.
+pub use gnn_dm_trace::TailStats;
+
 /// Domain separator for straggler membership draws.
 const DOMAIN_STRAGGLER: u64 = 0x5354_5241_4747_4C45; // "STRAGGLE"
 /// Domain separator for NIC transfer-failure draws.
@@ -101,12 +107,26 @@ impl RetryPolicy {
     }
 
     /// Backoff wait after failed attempt `attempt` (0-based):
-    /// `min(backoff_base_s · 2^attempt, backoff_cap_s)`. The doubling is
-    /// computed by an integer shift, so the sequence is exact until the
-    /// cap takes over.
+    /// `min(backoff_base_s · 2^attempt, backoff_cap_s)`, clamped to be
+    /// non-negative.
+    ///
+    /// Contract (total for every input, no overflow, no panic):
+    ///
+    /// * the doubling is an integer shift saturated at `2^62`, so a huge
+    ///   `attempt` saturates the wait at `backoff_cap_s` instead of
+    ///   overflowing;
+    /// * `backoff_base_s · 2^62` may round to `+inf` for extreme bases —
+    ///   the `min` then returns `backoff_cap_s`, never `inf`;
+    /// * degenerate parameters stay sane: a zero base yields zero waits, a
+    ///   negative base or cap clamps to `0.0` (a wait cannot be negative),
+    ///   and `max_retries: 0` means this is never called by the retry
+    ///   loops at all;
+    /// * for the all-positive [`RetryPolicy::paper_default`] parameters
+    ///   the clamp is an exact identity, so the default backoff sequence
+    ///   is bitwise-unchanged.
     pub fn backoff_delay(&self, attempt: u32) -> f64 {
         let doublings = 1u64 << attempt.min(62);
-        (self.backoff_base_s * doublings as f64).min(self.backoff_cap_s)
+        (self.backoff_base_s * doublings as f64).min(self.backoff_cap_s).max(0.0)
     }
 }
 
@@ -313,6 +333,256 @@ impl FaultPlan {
         // Modulo keeps the choice an exact integer function of the draw;
         // num_batches > 0 was checked above.
         Some((pick % num_batches as u64) as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience policies: how a run *reacts* to the plan's faults.
+// ---------------------------------------------------------------------------
+
+/// Hedged-transfer policy: a duplicate of every transfer is launched once
+/// the primary has run past a seeded quantile deadline, the first finisher
+/// wins and the loser is cancelled with its wasted wire bytes ledgered as
+/// a `Cancel` span.
+///
+/// The cost model is analytic: the modelled transfer distribution is the
+/// deterministic healthy duration `T` (every quantile of a point mass is
+/// `T` itself), so the hedge deadline is `deadline_factor · T`. A failed
+/// primary attempt would cost `T + timeout + backoff` under the retry
+/// discipline; the hedge wins the round whenever the deadline beats that,
+/// completing the round at `min(deadline, T + timeout + backoff)` — a
+/// hedged round is therefore never slower than the retried one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Hedge deadline as a multiple of the healthy transfer duration
+    /// (the seeded-quantile deadline of the deterministic distribution);
+    /// must be ≥ 1 for the duplicate to launch after the primary.
+    pub deadline_factor: f64,
+}
+
+impl HedgePolicy {
+    /// Hedge at 1.5× the healthy transfer duration.
+    pub const fn paper_default() -> HedgePolicy {
+        HedgePolicy { deadline_factor: 1.5 }
+    }
+
+    /// Seconds after the round starts at which the duplicate completes,
+    /// for a transfer whose healthy duration is `transfer_s`. Clamped to
+    /// at least `transfer_s`: the duplicate itself still has to move the
+    /// bytes, so no deadline can beat the healthy wire time.
+    pub fn deadline_s(&self, transfer_s: f64) -> f64 {
+        (self.deadline_factor * transfer_s).max(transfer_s)
+    }
+}
+
+/// What a [`DeadlinePolicy`] does when a worker's stage blows its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineAction {
+    /// Abandon the stage and skip the worker's batches this epoch; the
+    /// skipped batch count rides on the `Cancel` span's `meta.edges` and
+    /// feeds the accuracy model.
+    SkipBatch,
+    /// Abandon the stage and fall back to the last parameter checkpoint
+    /// (a `Restore` span), then continue.
+    FallbackToCheckpoint,
+}
+
+/// Per-stage timeout: when a worker's faulted exchange stage (retries,
+/// backoffs and the final transfer) would exceed `stage_timeout_s`, the
+/// stage is cut off at the timeout (`Cancel` span carrying the wasted
+/// bytes) and `action` decides how the worker proceeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlinePolicy {
+    /// Budget for one worker's exchange stage, in seconds.
+    pub stage_timeout_s: f64,
+    /// Recovery action on a blown budget.
+    pub action: DeadlineAction,
+}
+
+/// Straggler mitigation: a fraction of every straggler's batches is
+/// speculatively re-dispatched to the fastest non-straggling worker,
+/// which pays the moved input bytes over its NIC plus the moved compute
+/// (both `Redispatch` spans) at healthy speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedispatchPolicy {
+    /// Fraction of a straggler's batches to move, in `[0, 1]`.
+    pub frac: f64,
+}
+
+impl RedispatchPolicy {
+    /// Batches moved off a straggler running `num_batches`:
+    /// `floor(num_batches · frac)`, clamped to `[0, num_batches]` so
+    /// degenerate fractions stay total.
+    pub fn moved_batches(&self, num_batches: usize) -> usize {
+        let moved = gnn_dm_trace::convert::usize_of_f64_model(num_batches as f64 * self.frac);
+        moved.min(num_batches)
+    }
+}
+
+/// Degraded-mode sync: the gradient all-reduce excludes workers more than
+/// `max_lag_batches` batches behind the fastest worker (measured in the
+/// worker's own per-batch time), so the barrier waits only for the
+/// included set. Excluded worker-rounds feed the deterministic accuracy
+/// model ([`accuracy_retention`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleSyncPolicy {
+    /// How many of its own batches a worker may lag behind the fastest
+    /// worker before it is excluded from the sync.
+    pub max_lag_batches: usize,
+}
+
+/// The complete resilience configuration of a run: each mechanism is
+/// independent and optional, and the all-`None` policy is the neutral
+/// element — simulators fed [`ResiliencePolicy::none`] perform the exact
+/// floating-point operation sequence of their policy-free versions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResiliencePolicy {
+    /// Hedged transfers (NIC exchanges, PCIe bursts).
+    pub hedge: Option<HedgePolicy>,
+    /// Per-stage timeouts.
+    pub deadline: Option<DeadlinePolicy>,
+    /// Straggler batch re-dispatch.
+    pub redispatch: Option<RedispatchPolicy>,
+    /// Bounded-staleness sync.
+    pub stale_sync: Option<StaleSyncPolicy>,
+}
+
+impl ResiliencePolicy {
+    /// The neutral policy: no mechanism armed, nothing injected.
+    pub const fn none() -> ResiliencePolicy {
+        ResiliencePolicy { hedge: None, deadline: None, redispatch: None, stale_sync: None }
+    }
+
+    /// True when no mechanism is armed.
+    pub fn is_none(&self) -> bool {
+        self.hedge.is_none()
+            && self.deadline.is_none()
+            && self.redispatch.is_none()
+            && self.stale_sync.is_none()
+    }
+
+    /// Hedging only, at `deadline_factor × T`.
+    pub const fn hedged(deadline_factor: f64) -> ResiliencePolicy {
+        ResiliencePolicy {
+            hedge: Some(HedgePolicy { deadline_factor }),
+            deadline: None,
+            redispatch: None,
+            stale_sync: None,
+        }
+    }
+
+    /// Every mechanism armed at its default strength: 1.5×-deadline
+    /// hedging, skip-batch stage deadlines, half-batch re-dispatch and a
+    /// 4-batch staleness bound. `stage_timeout_s` stays a parameter
+    /// because it is workload-scale-dependent.
+    pub const fn full(stage_timeout_s: f64) -> ResiliencePolicy {
+        ResiliencePolicy {
+            hedge: Some(HedgePolicy::paper_default()),
+            deadline: Some(DeadlinePolicy { stage_timeout_s, action: DeadlineAction::SkipBatch }),
+            redispatch: Some(RedispatchPolicy { frac: 0.5 }),
+            stale_sync: Some(StaleSyncPolicy { max_lag_batches: 4 }),
+        }
+    }
+}
+
+/// Accuracy penalty per stale worker-round excluded from a sync: each
+/// exclusion skips one worker's gradient contribution for one round.
+pub const STALE_ROUND_PENALTY: f64 = 0.002;
+/// Weight of the skipped-batch fraction in the accuracy model: skipping
+/// work loses proportionally more signal than merely delaying a gradient.
+pub const SKIP_FRACTION_WEIGHT: f64 = 0.5;
+
+/// Deterministic model of the accuracy cost of degraded-mode training:
+/// the retained fraction of converged accuracy after `stale_worker_rounds`
+/// excluded gradient contributions and `skipped_batches` of
+/// `total_batches` dropped outright,
+///
+/// ```text
+/// retention = 1 − STALE_ROUND_PENALTY · stale_worker_rounds
+///               − SKIP_FRACTION_WEIGHT · skipped/total
+/// ```
+///
+/// clamped to `[0, 1]`. A pure function of its integer inputs — no draw,
+/// no training run — so two evaluations can never disagree; `1.0` exactly
+/// when nothing was excluded or skipped.
+pub fn accuracy_retention(
+    stale_worker_rounds: u64,
+    skipped_batches: u64,
+    total_batches: u64,
+) -> f64 {
+    let skip_frac = if total_batches > 0 {
+        skipped_batches.min(total_batches) as f64 / total_batches as f64
+    } else {
+        0.0
+    };
+    let penalty =
+        STALE_ROUND_PENALTY * stale_worker_rounds as f64 + SKIP_FRACTION_WEIGHT * skip_frac;
+    (1.0 - penalty).clamp(0.0, 1.0)
+}
+
+/// Faulted-vs-resilient comparison of two epoch timelines of the same
+/// epoch under the same [`FaultPlan`], read entirely off the policy spans
+/// (`Hedge` / `Cancel` / `Redispatch` / `StaleSync`) — the timelines stay
+/// the single source of truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyOutcome {
+    /// Makespan with the faults but no policy, in seconds.
+    pub baseline_s: f64,
+    /// Makespan with the policy armed, in seconds.
+    pub resilient_s: f64,
+    /// Bytes delivered by winning hedged duplicates (`Hedge` span bytes).
+    pub hedged_bytes: u64,
+    /// Wasted wire bytes of cancelled losers and killed stages (`Cancel`
+    /// span bytes).
+    pub wasted_bytes: u64,
+    /// Batches dropped by deadline skip-batch actions (`Cancel` span edge
+    /// counts; hedge losers carry 0 edges).
+    pub skipped_batches: u64,
+    /// Batches moved off stragglers (`Redispatch` span edge counts).
+    pub redispatched_batches: u64,
+    /// Input bytes moved with them (`Redispatch` span bytes).
+    pub redispatched_bytes: u64,
+    /// Worker-rounds excluded from degraded syncs (`StaleSync` edges).
+    pub stale_worker_rounds: u64,
+    /// Parameter bytes synced by degraded syncs (`StaleSync` bytes).
+    pub stale_sync_bytes: u64,
+    /// Total batches the epoch was meant to run (denominator of the
+    /// accuracy model's skip fraction).
+    pub total_batches: u64,
+}
+
+impl PolicyOutcome {
+    /// Builds the outcome from the policy-free faulted timeline and the
+    /// resilient timeline of the same epoch.
+    pub fn compare(baseline: &Timeline, resilient: &Timeline, total_batches: u64) -> PolicyOutcome {
+        PolicyOutcome {
+            baseline_s: baseline.makespan(),
+            resilient_s: resilient.makespan(),
+            hedged_bytes: resilient.bytes_of_kind(SpanKind::Hedge),
+            wasted_bytes: resilient.bytes_of_kind(SpanKind::Cancel),
+            skipped_batches: resilient.edges_of_kind(SpanKind::Cancel),
+            redispatched_batches: resilient.edges_of_kind(SpanKind::Redispatch),
+            redispatched_bytes: resilient.bytes_of_kind(SpanKind::Redispatch),
+            stale_worker_rounds: resilient.edges_of_kind(SpanKind::StaleSync),
+            stale_sync_bytes: resilient.bytes_of_kind(SpanKind::StaleSync),
+            total_batches,
+        }
+    }
+
+    /// Faulted-baseline over resilient makespan (> 1 when the policy
+    /// helped; 1.0 when the resilient epoch is empty).
+    pub fn speedup(&self) -> f64 {
+        if self.resilient_s > 0.0 {
+            self.baseline_s / self.resilient_s
+        } else {
+            1.0
+        }
+    }
+
+    /// The deterministic accuracy model evaluated on this outcome's
+    /// staleness and skip counters ([`accuracy_retention`]).
+    pub fn accuracy_retention(&self) -> f64 {
+        accuracy_retention(self.stale_worker_rounds, self.skipped_batches, self.total_batches)
     }
 }
 
@@ -527,6 +797,124 @@ mod tests {
         assert!((r.replay_s - 1.05).abs() < 1e-12);
         assert!(r.slowdown() > 1.0);
         assert!(r.goodput() < 1.0 && r.goodput() > 0.0);
+    }
+
+    #[test]
+    fn none_policy_is_neutral_and_presets_arm() {
+        let none = ResiliencePolicy::none();
+        assert!(none.is_none());
+        assert_eq!(none, ResiliencePolicy::default());
+        let hedged = ResiliencePolicy::hedged(1.5);
+        assert!(!hedged.is_none());
+        assert_eq!(hedged.hedge, Some(HedgePolicy::paper_default()));
+        let full = ResiliencePolicy::full(0.25);
+        assert!(full.hedge.is_some() && full.deadline.is_some());
+        assert!(full.redispatch.is_some() && full.stale_sync.is_some());
+    }
+
+    #[test]
+    fn hedge_deadline_never_beats_the_wire() {
+        let h = HedgePolicy { deadline_factor: 1.5 };
+        assert_eq!(h.deadline_s(2.0).to_bits(), 3.0f64.to_bits());
+        // A sub-1 factor cannot finish before the duplicate's own wire time.
+        let early = HedgePolicy { deadline_factor: 0.25 };
+        assert_eq!(early.deadline_s(2.0).to_bits(), 2.0f64.to_bits());
+        assert_eq!(h.deadline_s(0.0).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn redispatch_moved_batches_is_total() {
+        let r = RedispatchPolicy { frac: 0.5 };
+        assert_eq!(r.moved_batches(10), 5);
+        assert_eq!(r.moved_batches(3), 1);
+        assert_eq!(r.moved_batches(0), 0);
+        assert_eq!(RedispatchPolicy { frac: 0.0 }.moved_batches(10), 0);
+        assert_eq!(RedispatchPolicy { frac: 1.0 }.moved_batches(10), 10);
+        // Degenerate fractions clamp instead of exploding.
+        assert_eq!(RedispatchPolicy { frac: 7.0 }.moved_batches(10), 10);
+        assert_eq!(RedispatchPolicy { frac: -1.0 }.moved_batches(10), 0);
+    }
+
+    #[test]
+    fn accuracy_retention_model_is_deterministic_and_clamped() {
+        assert_eq!(accuracy_retention(0, 0, 100).to_bits(), 1.0f64.to_bits());
+        assert_eq!(accuracy_retention(0, 0, 0).to_bits(), 1.0f64.to_bits());
+        let one_round = accuracy_retention(1, 0, 100);
+        assert!((one_round - (1.0 - STALE_ROUND_PENALTY)).abs() < 1e-15);
+        let half_skipped = accuracy_retention(0, 50, 100);
+        assert!((half_skipped - (1.0 - SKIP_FRACTION_WEIGHT * 0.5)).abs() < 1e-15);
+        // Monotone in both counters, and saturating at zero.
+        assert!(accuracy_retention(2, 0, 100) < one_round);
+        assert!(accuracy_retention(0, 60, 100) < half_skipped);
+        assert_eq!(accuracy_retention(10_000, 100, 100).to_bits(), 0.0f64.to_bits());
+        // Skip count larger than the total clamps the fraction.
+        assert!(accuracy_retention(0, 500, 100) >= 0.0);
+    }
+
+    #[test]
+    fn policy_outcome_reads_resilience_spans() {
+        let mut baseline = Timeline::new();
+        baseline.schedule(Resource::WorkerNic(0), SpanKind::Exchange, 0.0, 4.0, SpanMeta::bytes(100));
+        let mut res = Timeline::new();
+        let t =
+            res.schedule(Resource::WorkerNic(0), SpanKind::Cancel, 0.0, 1.5, SpanMeta::bytes(100));
+        res.schedule(Resource::WorkerNic(0), SpanKind::Hedge, t, 1.0, SpanMeta::bytes(100));
+        res.schedule(Resource::WorkerNic(1), SpanKind::Redispatch, 0.0, 0.5, SpanMeta {
+            bytes: 40,
+            edges: 3,
+            ..SpanMeta::default()
+        });
+        res.schedule(Resource::AllReduce, SpanKind::StaleSync, 2.5, 0.5, SpanMeta {
+            bytes: 64,
+            edges: 2,
+            ..SpanMeta::default()
+        });
+        let o = PolicyOutcome::compare(&baseline, &res, 20);
+        assert_eq!(o.hedged_bytes, 100);
+        assert_eq!(o.wasted_bytes, 100);
+        assert_eq!(o.skipped_batches, 0);
+        assert_eq!(o.redispatched_batches, 3);
+        assert_eq!(o.redispatched_bytes, 40);
+        assert_eq!(o.stale_worker_rounds, 2);
+        assert_eq!(o.stale_sync_bytes, 64);
+        assert!(o.speedup() > 1.0);
+        assert!(o.accuracy_retention() < 1.0 && o.accuracy_retention() > 0.0);
+        let empty = PolicyOutcome::compare(&Timeline::new(), &Timeline::new(), 0);
+        assert_eq!(empty.speedup().to_bits(), 1.0f64.to_bits());
+        assert_eq!(empty.accuracy_retention().to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn degenerate_retry_policies_saturate() {
+        // max_retries: 0 — the failure loop never runs.
+        let no_retries = FaultPlan {
+            link: LinkFaultModel {
+                failure_rate: 1.0,
+                retry: RetryPolicy { max_retries: 0, ..RetryPolicy::paper_default() },
+            },
+            ..FaultPlan::uniform(3, 1.0)
+        };
+        assert_eq!(no_retries.nic_failures(0, 0), 0);
+        // timeout_s: 0.0 and zero backoff are fine — delays are zero.
+        let instant = RetryPolicy {
+            max_retries: 4,
+            timeout_s: 0.0,
+            backoff_base_s: 0.0,
+            backoff_cap_s: 0.0,
+        };
+        assert_eq!(instant.backoff_delay(0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(instant.backoff_delay(u32::MAX).to_bits(), 0.0f64.to_bits());
+        // Huge attempts saturate at the cap, never overflow.
+        let r = RetryPolicy::paper_default();
+        assert_eq!(r.backoff_delay(u32::MAX).to_bits(), r.backoff_cap_s.to_bits());
+        // Negative parameters clamp to a non-negative wait.
+        let broken = RetryPolicy {
+            max_retries: 4,
+            timeout_s: 0.0,
+            backoff_base_s: -1.0,
+            backoff_cap_s: 0.5,
+        };
+        assert_eq!(broken.backoff_delay(3).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The six evaluation axes, each a trait object.
+//! The seven evaluation axes, each a trait object.
 //!
 //! A trait per axis keeps the composition open: anything that can build a
 //! partitioning is a [`Partitioner`], anything that can describe batch
@@ -19,7 +19,7 @@
 use gnn_dm_device::cache::{CachePolicy as DevCachePolicy, FeatureCache};
 use gnn_dm_device::pipeline::PipelineMode;
 use gnn_dm_device::transfer::TransferMethod;
-use gnn_dm_faults::FaultPlan as InjectedFaultPlan;
+use gnn_dm_faults::{FaultPlan as InjectedFaultPlan, ResiliencePolicy as InjectedResiliencePolicy};
 use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::epoch::AccessTracker;
@@ -116,4 +116,15 @@ pub trait FaultPlan: Send + Sync {
     fn spec(&self) -> String;
     /// Materializes the injected fault plan.
     fn plan(&self) -> InjectedFaultPlan;
+}
+
+/// Axis 7 — SLO-aware resilience: how the system reacts to the injected
+/// faults (robustness extension, `chaos_grid`).
+pub trait Resilience: Send + Sync {
+    /// Display name (e.g. `hedge(1.5)`).
+    fn name(&self) -> &str;
+    /// Canonical registry spec.
+    fn spec(&self) -> String;
+    /// Materializes the resilience policy.
+    fn policy(&self) -> InjectedResiliencePolicy;
 }

@@ -15,13 +15,17 @@
 //! | cache       | `none`, `degree(R)`, `presample(R,E)`                                 |
 //! | parallel    | `single`, `cluster(K)`                                                |
 //! | faults      | `none`, `uniform(SEED,RATE)`                                          |
+//! | resilience  | `none`, or `hedge(F)`, `deadline(T,skip\|ckpt)`, `redispatch(S)`, `stale(K)` composed with `+` in that order |
 
 use std::sync::Arc;
 
 use gnn_dm_device::cache::{CachePolicy as DevCachePolicy, FeatureCache};
 use gnn_dm_device::pipeline::PipelineMode;
 use gnn_dm_device::transfer::TransferMethod;
-use gnn_dm_faults::FaultPlan as InjectedFaultPlan;
+use gnn_dm_faults::{
+    DeadlineAction, DeadlinePolicy, FaultPlan as InjectedFaultPlan, HedgePolicy, RedispatchPolicy,
+    ResiliencePolicy as InjectedResiliencePolicy, StaleSyncPolicy,
+};
 use gnn_dm_graph::Graph;
 use gnn_dm_partition::metis::{constraint_vectors, multilevel_partition, MetisConfig, MetisVariant};
 use gnn_dm_partition::stream::{stream_b, stream_b_fast, stream_v, stream_v_fast, DEFAULT_BLOCK_SIZE};
@@ -32,7 +36,9 @@ use gnn_dm_sampling::{
     BatchSelection, BatchSizeSchedule, FanoutSampler, HybridSampler, NeighborSampler, RateSampler,
 };
 
-use crate::axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+use crate::axes::{
+    BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, Resilience, TransferPolicy,
+};
 use crate::error::HarnessError;
 
 // ---------------------------------------------------------------------------
@@ -820,6 +826,140 @@ impl FaultPlan for BuiltinFaults {
             Some((seed, rate)) => InjectedFaultPlan::uniform(seed, rate),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Axis 7 — resilience
+// ---------------------------------------------------------------------------
+
+/// The builtin [`Resilience`] axis: a [`gnn_dm_faults::ResiliencePolicy`]
+/// with its canonical spec string.
+#[derive(Debug, Clone)]
+pub struct BuiltinResilience {
+    /// The materialized policy.
+    pub policy: InjectedResiliencePolicy,
+    spec: String,
+}
+
+impl BuiltinResilience {
+    /// Every mechanism disarmed — the identity policy.
+    pub fn none() -> Self {
+        BuiltinResilience::from_policy(InjectedResiliencePolicy::none())
+    }
+
+    /// Hedged transfers at the given deadline factor.
+    pub fn hedged(deadline_factor: f64) -> Self {
+        BuiltinResilience::from_policy(InjectedResiliencePolicy::hedged(deadline_factor))
+    }
+
+    /// Wraps a policy, deriving its canonical spec (mechanisms in
+    /// hedge → deadline → redispatch → stale order).
+    pub fn from_policy(policy: InjectedResiliencePolicy) -> Self {
+        BuiltinResilience { policy, spec: resilience_spec(&policy) }
+    }
+}
+
+/// Canonical spec for a [`gnn_dm_faults::ResiliencePolicy`].
+fn resilience_spec(p: &InjectedResiliencePolicy) -> String {
+    let mut parts = Vec::new();
+    if let Some(h) = p.hedge {
+        parts.push(format!("hedge({})", fmt_f64(h.deadline_factor)));
+    }
+    if let Some(d) = p.deadline {
+        let action = match d.action {
+            DeadlineAction::SkipBatch => "skip",
+            DeadlineAction::FallbackToCheckpoint => "ckpt",
+        };
+        parts.push(format!("deadline({},{action})", fmt_f64(d.stage_timeout_s)));
+    }
+    if let Some(r) = p.redispatch {
+        parts.push(format!("redispatch({})", fmt_f64(r.frac)));
+    }
+    if let Some(s) = p.stale_sync {
+        parts.push(format!("stale({})", s.max_lag_batches));
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join("+")
+    }
+}
+
+impl Resilience for BuiltinResilience {
+    fn name(&self) -> &str {
+        &self.spec
+    }
+
+    fn spec(&self) -> String {
+        self.spec.clone()
+    }
+
+    fn policy(&self) -> InjectedResiliencePolicy {
+        self.policy
+    }
+}
+
+/// Parses a resilience spec: `none`, or mechanisms composed with `+` in
+/// canonical hedge → deadline → redispatch → stale order (each at most
+/// once): `hedge(F)`, `deadline(T,skip|ckpt)`, `redispatch(S)`,
+/// `stale(K)`.
+pub fn parse_resilience(spec: &str) -> Result<Arc<dyn Resilience>, HarnessError> {
+    if spec == "none" {
+        return Ok(Arc::new(BuiltinResilience::none()));
+    }
+    let mut policy = InjectedResiliencePolicy::none();
+    for part in spec.split('+') {
+        match call_args(part) {
+            Some(("hedge", args)) => {
+                policy.hedge =
+                    Some(HedgePolicy { deadline_factor: p_f64("resilience", spec, args)? });
+            }
+            Some(("deadline", args)) => {
+                let (timeout, action) = args.split_once(',').ok_or_else(|| {
+                    HarnessError::bad_spec("resilience", spec, "deadline needs `timeout,skip|ckpt`")
+                })?;
+                let action = match action.trim() {
+                    "skip" => DeadlineAction::SkipBatch,
+                    "ckpt" => DeadlineAction::FallbackToCheckpoint,
+                    _ => {
+                        return Err(HarnessError::bad_spec(
+                            "resilience",
+                            spec,
+                            "deadline action must be `skip` or `ckpt`",
+                        ))
+                    }
+                };
+                policy.deadline = Some(DeadlinePolicy {
+                    stage_timeout_s: p_f64("resilience", spec, timeout)?,
+                    action,
+                });
+            }
+            Some(("redispatch", args)) => {
+                policy.redispatch =
+                    Some(RedispatchPolicy { frac: p_f64("resilience", spec, args)? });
+            }
+            Some(("stale", args)) => {
+                policy.stale_sync =
+                    Some(StaleSyncPolicy { max_lag_batches: p_usize("resilience", spec, args)? });
+            }
+            _ => {
+                return Err(HarnessError::bad_spec(
+                    "resilience",
+                    spec,
+                    "mechanisms are `hedge(F)`, `deadline(T,skip|ckpt)`, `redispatch(S)`, `stale(K)`",
+                ))
+            }
+        }
+    }
+    let built = BuiltinResilience::from_policy(policy);
+    if built.spec != spec {
+        return Err(HarnessError::bad_spec(
+            "resilience",
+            spec,
+            &format!("non-canonical spec; the canonical form is `{}`", built.spec),
+        ));
+    }
+    Ok(Arc::new(built))
 }
 
 /// Parses a fault-plan spec: `none` or `uniform(SEED,RATE)`.

@@ -1,4 +1,4 @@
-//! `SystemConfig` — one point in the six-axis design space — and
+//! `SystemConfig` — one point in the seven-axis design space — and
 //! `GridSpec`, its serialized (spec-string) form.
 
 use std::sync::Arc;
@@ -6,7 +6,9 @@ use std::sync::Arc;
 use gnn_dm_core::trainer::{HeteroTrainer, HeteroTrainerConfig};
 use gnn_dm_graph::Graph;
 
-use crate::axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+use crate::axes::{
+    BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, Resilience, TransferPolicy,
+};
 use crate::error::HarnessError;
 use crate::grid::Axis;
 use crate::registry::Registry;
@@ -26,10 +28,12 @@ pub struct SystemConfig {
     pub parallel: Arc<dyn ParallelMode>,
     /// Injected fault plan.
     pub faults: Arc<dyn FaultPlan>,
+    /// Resilience policy reacting to the injected faults.
+    pub resilience: Arc<dyn Resilience>,
 }
 
 impl SystemConfig {
-    /// Resolves a [`GridSpec`]'s six spec strings through the registry.
+    /// Resolves a [`GridSpec`]'s seven spec strings through the registry.
     pub fn from_spec(reg: &Registry, spec: &GridSpec) -> Result<SystemConfig, HarnessError> {
         Ok(SystemConfig {
             partitioner: reg.partitioner(&spec.partitioner)?,
@@ -38,6 +42,7 @@ impl SystemConfig {
             cache: reg.cache(&spec.cache)?,
             parallel: reg.parallel(&spec.parallel)?,
             faults: reg.faults(&spec.faults)?,
+            resilience: reg.resilience(&spec.resilience)?,
         })
     }
 
@@ -46,15 +51,16 @@ impl SystemConfig {
         SystemConfig::from_spec(reg, &GridSpec::from_id(id)?)
     }
 
-    /// The canonical config id: the six axis specs joined with `/`
-    /// (partitioner / batch-prep / transfer / cache / parallel / faults).
+    /// The canonical config id: the seven axis specs joined with `/`
+    /// (partitioner / batch-prep / transfer / cache / parallel / faults /
+    /// resilience).
     /// Specs never contain `/`, so the id is unambiguous and
     /// [`Self::from_id`] round-trips it.
     pub fn id(&self) -> String {
         self.to_spec().id()
     }
 
-    /// Serializes back to the six canonical spec strings.
+    /// Serializes back to the seven canonical spec strings.
     pub fn to_spec(&self) -> GridSpec {
         GridSpec {
             partitioner: self.partitioner.spec(),
@@ -63,6 +69,7 @@ impl SystemConfig {
             cache: self.cache.spec(),
             parallel: self.parallel.spec(),
             faults: self.faults.spec(),
+            resilience: self.resilience.spec(),
         }
     }
 
@@ -120,6 +127,8 @@ pub struct GridSpec {
     pub parallel: String,
     /// Fault-plan spec.
     pub faults: String,
+    /// Resilience-policy spec.
+    pub resilience: String,
 }
 
 impl Default for GridSpec {
@@ -131,6 +140,7 @@ impl Default for GridSpec {
             cache: "none".to_string(),
             parallel: "single".to_string(),
             faults: "none".to_string(),
+            resilience: "none".to_string(),
         }
     }
 }
@@ -139,17 +149,23 @@ impl GridSpec {
     /// The `/`-joined config id.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}",
-            self.partitioner, self.batch_prep, self.transfer, self.cache, self.parallel, self.faults
+            "{}/{}/{}/{}/{}/{}/{}",
+            self.partitioner,
+            self.batch_prep,
+            self.transfer,
+            self.cache,
+            self.parallel,
+            self.faults,
+            self.resilience
         )
     }
 
     /// Parses a `/`-separated config id.
     pub fn from_id(id: &str) -> Result<GridSpec, HarnessError> {
         let parts: Vec<&str> = id.split('/').collect();
-        if parts.len() != 6 {
+        if parts.len() != 7 {
             return Err(HarnessError::new(format!(
-                "config id `{id}` must have 6 `/`-separated axis specs, got {}",
+                "config id `{id}` must have 7 `/`-separated axis specs, got {}",
                 parts.len()
             )));
         }
@@ -160,6 +176,7 @@ impl GridSpec {
             cache: parts[3].to_string(),
             parallel: parts[4].to_string(),
             faults: parts[5].to_string(),
+            resilience: parts[6].to_string(),
         })
     }
 
@@ -172,6 +189,7 @@ impl GridSpec {
             Axis::Cache => &self.cache,
             Axis::Parallel => &self.parallel,
             Axis::Faults => &self.faults,
+            Axis::Resilience => &self.resilience,
         }
     }
 
@@ -185,6 +203,7 @@ impl GridSpec {
             Axis::Cache => self.cache = spec,
             Axis::Parallel => self.parallel = spec,
             Axis::Faults => self.faults = spec,
+            Axis::Resilience => self.resilience = spec,
         }
     }
 }

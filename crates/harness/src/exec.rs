@@ -11,7 +11,7 @@ use gnn_dm_cluster::sim::TimeModel;
 use gnn_dm_cluster::{ClusterSim, EpochLoadReport};
 use gnn_dm_core::config::ModelKind;
 use gnn_dm_core::convergence::{train_distributed, train_single, ConvergenceResult};
-use gnn_dm_faults::ResilienceReport;
+use gnn_dm_faults::{PolicyOutcome, ResilienceReport};
 use gnn_dm_graph::Graph;
 use gnn_dm_partition::GnnPartitioning;
 use gnn_dm_sampling::BatchSelection;
@@ -117,6 +117,47 @@ impl<'g> ClusterExperiment<'g> {
     pub fn resilience(&self, run: &ClusterRun, cfg: &SystemConfig) -> ResilienceReport {
         self.sim(run).resilience(&run.report, &self.time_model(), &cfg.faults.plan(), self.epoch)
     }
+
+    /// Epoch time under the config's fault plan *and* resilience policy.
+    /// With the `none` policy this is exactly [`Self::epoch_time_faulted`].
+    pub fn epoch_time_resilient(&self, run: &ClusterRun, cfg: &SystemConfig) -> f64 {
+        self.sim(run).epoch_time_resilient(
+            &run.report,
+            &self.time_model(),
+            &cfg.faults.plan(),
+            self.epoch,
+            &cfg.resilience.policy(),
+        )
+    }
+
+    /// Resilient span timeline of a run at an explicit epoch index (the
+    /// chaos grid sweeps many epochs over one built run).
+    pub fn timeline_resilient_at(
+        &self,
+        run: &ClusterRun,
+        cfg: &SystemConfig,
+        epoch: usize,
+    ) -> Timeline {
+        self.sim(run).epoch_timeline_resilient(
+            &run.report,
+            &self.time_model(),
+            &cfg.faults.plan(),
+            epoch,
+            &cfg.resilience.policy(),
+        )
+    }
+
+    /// Policy-on-vs-policy-off comparison under the config's plan and
+    /// resilience policy.
+    pub fn resilience_with_policy(&self, run: &ClusterRun, cfg: &SystemConfig) -> PolicyOutcome {
+        self.sim(run).resilience_with_policy(
+            &run.report,
+            &self.time_model(),
+            &cfg.faults.plan(),
+            self.epoch,
+            &cfg.resilience.policy(),
+        )
+    }
 }
 
 /// The convergence harness: actually trains a model under the config's
@@ -197,7 +238,7 @@ impl<'g> TrainExperiment<'g> {
 /// both; cost without the accuracy it bought is not a result.
 #[derive(Debug, Clone)]
 pub struct ConfigReport {
-    /// Canonical config id (six `/`-separated axis specs).
+    /// Canonical config id (seven `/`-separated axis specs).
     pub id: String,
     /// Modeled epoch seconds (single-node makespan or faulted cluster
     /// epoch time).
@@ -222,7 +263,9 @@ pub fn run_config(graph: &Graph, cfg: &SystemConfig, epochs: usize) -> ConfigRep
     if cfg.parallel.distributed() {
         let exp = ClusterExperiment::paper(graph);
         let run = exp.run(cfg);
-        let epoch_s = exp.epoch_time_faulted(&run, cfg);
+        // With the `none` policy this is bitwise the faulted epoch time,
+        // so pre-resilience grids are unchanged.
+        let epoch_s = exp.epoch_time_resilient(&run, cfg);
         let (res, _) = train.run_distributed(cfg);
         ConfigReport {
             id: cfg.id(),

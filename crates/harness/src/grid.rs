@@ -10,7 +10,7 @@ use crate::config::{GridSpec, SystemConfig};
 use crate::error::HarnessError;
 use crate::registry::Registry;
 
-/// The six evaluation axes, in config-id order.
+/// The seven evaluation axes, in config-id order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
     /// Graph partitioning.
@@ -25,12 +25,21 @@ pub enum Axis {
     Parallel,
     /// Fault injection.
     Faults,
+    /// Resilience policy.
+    Resilience,
 }
 
 impl Axis {
-    /// All six axes, in config-id order.
-    pub const ALL: [Axis; 6] =
-        [Axis::Partitioner, Axis::BatchPrep, Axis::Transfer, Axis::Cache, Axis::Parallel, Axis::Faults];
+    /// All seven axes, in config-id order.
+    pub const ALL: [Axis; 7] = [
+        Axis::Partitioner,
+        Axis::BatchPrep,
+        Axis::Transfer,
+        Axis::Cache,
+        Axis::Parallel,
+        Axis::Faults,
+        Axis::Resilience,
+    ];
 
     /// Short label used in keyed output (config ids, BENCH history rows).
     pub fn label(&self) -> &'static str {
@@ -41,6 +50,7 @@ impl Axis {
             Axis::Cache => "cache",
             Axis::Parallel => "parallel",
             Axis::Faults => "faults",
+            Axis::Resilience => "resilience",
         }
     }
 }

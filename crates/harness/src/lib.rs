@@ -3,8 +3,9 @@
 //! The paper's thesis is that a GNN training system is a *composition* of
 //! data-management choices. This crate makes the composition explicit:
 //! every evaluation axis is a trait object ([`Partitioner`], [`BatchPrep`],
-//! [`TransferPolicy`], [`CachePolicy`], [`ParallelMode`], [`FaultPlan`])
-//! resolved from a canonical spec string by a deterministic [`Registry`],
+//! [`TransferPolicy`], [`CachePolicy`], [`ParallelMode`], [`FaultPlan`],
+//! [`Resilience`]) resolved from a canonical spec string by a
+//! deterministic [`Registry`],
 //! assembled into a [`SystemConfig`], and swept declaratively by a
 //! [`Grid`]. Executors ([`exec::ClusterExperiment`],
 //! [`exec::TrainExperiment`], the hetero-trainer builders on
@@ -26,7 +27,9 @@ pub mod exec;
 pub mod grid;
 pub mod registry;
 
-pub use axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+pub use axes::{
+    BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, Resilience, TransferPolicy,
+};
 pub use config::{GridSpec, SystemConfig};
 pub use error::HarnessError;
 pub use exec::{run_composed, run_config, ClusterExperiment, ClusterRun, ConfigReport, TrainExperiment};

@@ -16,10 +16,12 @@
 
 use std::sync::Arc;
 
-use crate::axes::{BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, TransferPolicy};
+use crate::axes::{
+    BatchPrep, CachePolicy, FaultPlan, ParallelMode, Partitioner, Resilience, TransferPolicy,
+};
 use crate::builtin::{
-    self, method_spec, BuiltinCache, BuiltinFaults, BuiltinParallel, BuiltinPrep, MethodPartitioner,
-    SamplerSpec, SelectionSpec,
+    self, method_spec, BuiltinCache, BuiltinFaults, BuiltinParallel, BuiltinPrep,
+    BuiltinResilience, MethodPartitioner, SamplerSpec, SelectionSpec,
 };
 use crate::error::HarnessError;
 use crate::grid::Axis;
@@ -34,6 +36,7 @@ pub struct Registry {
     caches: Vec<(String, Arc<dyn CachePolicy>)>,
     parallels: Vec<(String, Arc<dyn ParallelMode>)>,
     faults: Vec<(String, Arc<dyn FaultPlan>)>,
+    resiliences: Vec<(String, Arc<dyn Resilience>)>,
 }
 
 fn push_unique<T: ?Sized>(
@@ -59,6 +62,7 @@ impl Registry {
             caches: Vec::new(),
             parallels: Vec::new(),
             faults: Vec::new(),
+            resiliences: Vec::new(),
         }
     }
 
@@ -119,6 +123,10 @@ impl Registry {
         for fp in [BuiltinFaults::none(), BuiltinFaults::uniform(13, 0.25)] {
             r.faults.push((fp.spec(), Arc::new(fp)));
         }
+        // Resilience policies: disarmed plus the chaos grid's hedge default.
+        for rp in [BuiltinResilience::none(), BuiltinResilience::hedged(1.5)] {
+            r.resiliences.push((rp.spec(), Arc::new(rp)));
+        }
         r
     }
 
@@ -152,6 +160,11 @@ impl Registry {
     /// Registers a fault plan under its own canonical spec.
     pub fn register_faults(&mut self, p: Arc<dyn FaultPlan>) -> Result<(), HarnessError> {
         push_unique("faults", &mut self.faults, p.spec(), p)
+    }
+
+    /// Registers a resilience policy under its own canonical spec.
+    pub fn register_resilience(&mut self, p: Arc<dyn Resilience>) -> Result<(), HarnessError> {
+        push_unique("resilience", &mut self.resiliences, p.spec(), p)
     }
 
     // -- resolution ---------------------------------------------------------
@@ -204,6 +217,14 @@ impl Registry {
         builtin::parse_faults(spec)
     }
 
+    /// Resolves a resilience spec.
+    pub fn resilience(&self, spec: &str) -> Result<Arc<dyn Resilience>, HarnessError> {
+        if let Some((_, p)) = self.resiliences.iter().find(|(s, _)| s == spec) {
+            return Ok(Arc::clone(p));
+        }
+        builtin::parse_resilience(spec)
+    }
+
     /// Registered specs for one axis, in registration order.
     pub fn specs(&self, axis: Axis) -> Vec<String> {
         match axis {
@@ -213,6 +234,7 @@ impl Registry {
             Axis::Cache => self.caches.iter().map(|(s, _)| s.clone()).collect(),
             Axis::Parallel => self.parallels.iter().map(|(s, _)| s.clone()).collect(),
             Axis::Faults => self.faults.iter().map(|(s, _)| s.clone()).collect(),
+            Axis::Resilience => self.resiliences.iter().map(|(s, _)| s.clone()).collect(),
         }
     }
 }

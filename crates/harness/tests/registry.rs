@@ -35,6 +35,7 @@ fn builtin_registration_order_is_enumeration_order() {
     assert_eq!(reg.specs(Axis::Cache), ["none", "degree(0.3)", "presample(0.3,3)"]);
     assert_eq!(reg.specs(Axis::Parallel), ["single", "cluster(4)"]);
     assert_eq!(reg.specs(Axis::Faults), ["none", "uniform(13,0.25)"]);
+    assert_eq!(reg.specs(Axis::Resilience), ["none", "hedge(1.5)"]);
 
     // Two constructions agree axis-for-axis (no map iteration anywhere).
     let again = Registry::builtin();
@@ -68,7 +69,7 @@ fn registration_appends_and_rejects_duplicates() {
     assert!(reg.register_partitioner(Arc::new(Custom)).is_err(), "duplicate rejected");
 }
 
-/// 2. Serialization round-trip: every cell of the full six-axis builtin
+/// 2. Serialization round-trip: every cell of the full seven-axis builtin
 /// product satisfies `from_id(id()) == id()` — the config id is a faithful
 /// serialization, not a display string.
 #[test]
@@ -79,7 +80,7 @@ fn system_config_id_round_trips() {
         grid = grid.vary(axis, reg.specs(axis)).expect("builtin specs are valid");
     }
     let configs = grid.configs(&reg).expect("builtin product resolves");
-    assert_eq!(configs.len(), 6 * 4 * 5 * 3 * 2 * 2);
+    assert_eq!(configs.len(), 6 * 4 * 5 * 3 * 2 * 2 * 2);
     for cfg in &configs {
         let id = cfg.id();
         let back = SystemConfig::from_id(&reg, &id).expect("id parses back");
@@ -92,7 +93,14 @@ fn system_config_id_round_trips() {
 #[test]
 fn malformed_ids_are_rejected() {
     let reg = Registry::builtin();
-    for bad in ["", "hash", "a/b/c/d/e", "a/b/c/d/e/f/g", "nope/fanout(25,10)+fixed(512)/extract-load/none/single/none"]
+    for bad in [
+        "",
+        "hash",
+        "a/b/c/d/e/f",
+        "a/b/c/d/e/f/g/h",
+        "nope/fanout(25,10)+fixed(512)/extract-load/none/single/none/none",
+        "hash/fanout(25,10)+fixed(512)/extract-load/none/single/none/stale(2)+hedge(1.5)",
+    ]
     {
         assert!(SystemConfig::from_id(&reg, bad).is_err(), "`{bad}` should not resolve");
     }
@@ -133,7 +141,7 @@ fn grid_enumeration_order_is_pinned_across_thread_counts() {
     ]
     .iter()
     .map(|(p, c, f)| {
-        format!("{p}/fanout(25,10)+fixed(512)/extract-load/{c}/single/{f}")
+        format!("{p}/fanout(25,10)+fixed(512)/extract-load/{c}/single/{f}/none")
     })
     .collect();
     for threads in [1usize, 2, 8] {

@@ -54,6 +54,11 @@ const COST_IDENTS: &[&str] = &[
     "time_extract_load",
     "time_zero_copy",
     "time_hybrid",
+    "exchange_time",
+    "allreduce_time",
+    "stale_allreduce_time",
+    "redispatch_time",
+    "snapshot_time",
 ];
 
 /// Macros whose argument lists F001 inspects for float `==`/`!=`.
@@ -74,9 +79,10 @@ const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 
 /// Axis-implementation entry points experiment bins must not reach
 /// directly (H001 scope). Each one is a concrete partitioner / cache /
-/// fault-plan constructor that the harness registry wraps behind a trait;
-/// a bin that calls it bypasses `SystemConfig`, so the config id printed
-/// next to its numbers no longer names the system that produced them.
+/// fault-plan / resilience-policy constructor that the harness registry
+/// wraps behind a trait; a bin that calls it bypasses `SystemConfig`, so
+/// the config id printed next to its numbers no longer names the system
+/// that produced them.
 const HARNESS_AXIS_IDENTS: &[&str] = &[
     "partition_graph",
     "metis_extend",
@@ -89,6 +95,7 @@ const HARNESS_AXIS_IDENTS: &[&str] = &[
     "stream_b_fast",
     "FeatureCache",
     "FaultPlan",
+    "ResiliencePolicy",
 ];
 
 /// Bench-crate binaries that are infrastructure, not experiments (H001
@@ -126,8 +133,9 @@ pub struct FileCtx {
     pub threads_allowed: bool,
     /// True where direct cost-model pricing calls are legitimate (A002
     /// scope): the device crate (where the models and the traced adapters
-    /// live), non-library code, and the cluster network module (a pure
-    /// pricing helper the traced epoch replay is built on).
+    /// live), non-library code, and the cluster network and simulation
+    /// modules (the pure pricing helpers and the span-emitting epoch
+    /// timelines built directly on them).
     pub cost_calls_allowed: bool,
     /// True for crates whose integer arithmetic *is* the paper's byte and
     /// edge accounting (C001 scope): `device`, `trace`, `cluster`.
@@ -174,7 +182,8 @@ impl FileCtx {
                 || rel == "crates/device/src/pipeline.rs",
             cost_calls_allowed: in_crate("device")
                 || non_library
-                || rel == "crates/cluster/src/network.rs",
+                || rel == "crates/cluster/src/network.rs"
+                || rel == "crates/cluster/src/sim.rs",
             accounting_crate: in_crate("device") || in_crate("trace") || in_crate("cluster"),
             experiment_bin: rel.starts_with("crates/bench/src/bin/")
                 && !HARNESS_EXEMPT_BINS.contains(&rel.as_str()),
@@ -982,12 +991,14 @@ mod tests {
     #[test]
     fn a002_scopes_to_library_code_outside_device() {
         let src = "fn f(l: &LinkModel) -> f64 { l.transfer_time(n) }";
-        assert_eq!(rules_fired("crates/cluster/src/sim.rs", src), vec!["A002"]);
+        assert_eq!(rules_fired("crates/cluster/src/ledger.rs", src), vec!["A002"]);
         assert_eq!(rules_fired("crates/core/src/breakdown.rs", src), vec!["A002"]);
-        // The models themselves, the pricing helper module, and
-        // non-library code may price directly.
+        // The models themselves, the pricing helper module, the
+        // span-emitting simulator, and non-library code may price
+        // directly.
         assert!(rules_fired("crates/device/src/transfer.rs", src).is_empty());
         assert!(rules_fired("crates/cluster/src/network.rs", src).is_empty());
+        assert!(rules_fired("crates/cluster/src/sim.rs", src).is_empty());
         assert!(rules_fired("crates/cluster/tests/goldens.rs", src).is_empty());
         assert!(rules_fired("crates/bench/src/harness.rs", src).is_empty());
         // Engine dispatch methods are cost entry points too.

@@ -183,8 +183,9 @@ fn h001_fires_and_clean() {
     let fires = include_str!("fixtures/h001_fires.rs");
     let bin = "crates/bench/src/bin/fixture.rs";
     assert_eq!(rules_fired(bin, fires), vec!["H001"]);
-    // partition_graph, stream_b, FeatureCache, FaultPlan — one each.
-    assert_eq!(count(bin, fires, "H001"), 4);
+    // partition_graph, stream_b, FeatureCache, FaultPlan,
+    // ResiliencePolicy — one each.
+    assert_eq!(count(bin, fires, "H001"), 5);
     // The infrastructure bin and non-bin bench code are out of scope.
     assert!(rules_fired("crates/bench/src/bin/bench_par.rs", fires).is_empty());
     assert!(rules_fired("crates/bench/src/harness.rs", fires).is_empty());
@@ -197,11 +198,13 @@ fn h001_fires_and_clean() {
 fn a002_fires_and_clean() {
     let fires = include_str!("fixtures/a002_fires.rs");
     assert_eq!(rules_fired("crates/core/src/fixture.rs", fires), vec!["A002"]);
-    assert_eq!(count("crates/core/src/fixture.rs", fires, "A002"), 3);
+    assert_eq!(count("crates/core/src/fixture.rs", fires, "A002"), 5);
     // The device crate (where the models and adapters live), the network
-    // pricing helper, and non-library code may price directly.
+    // pricing helper, the span-emitting cluster simulator, and
+    // non-library code may price directly.
     assert!(rules_fired("crates/device/src/fixture.rs", fires).is_empty());
     assert!(rules_fired("crates/cluster/src/network.rs", fires).is_empty());
+    assert!(rules_fired("crates/cluster/src/sim.rs", fires).is_empty());
     assert!(rules_fired("crates/core/tests/fixture.rs", fires).is_empty());
     assert!(rules_fired("crates/bench/src/fixture.rs", fires).is_empty());
 
@@ -370,12 +373,16 @@ fn b002_fires_and_clean() {
 #[test]
 fn b003_fires_and_clean() {
     let fires = include_str!("fixtures/b003_fires.rs");
-    // One leaked kind, one double-counted kind.
+    // One leaked kind, one double-counted kind, one dropped hedge ledger.
     assert_eq!(df_rules_fired(DEV_PATH, fires), vec!["B003"]);
-    assert_eq!(df_count(DEV_PATH, fires, "B003"), 2);
+    assert_eq!(df_count(DEV_PATH, fires, "B003"), 3);
     let diags = lint_sources(&[(DEV_PATH, fires)]);
     assert!(diags.iter().any(|d| d.message.contains("no `*_from_spans`")), "{diags:?}");
     assert!(diags.iter().any(|d| d.message.contains("double-counted")), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("Hedge") && d.message.contains("no `*_from_spans`")),
+        "{diags:?}"
+    );
     assert!(df_rules_fired(LIB_PATH, fires).is_empty());
 
     let clean = include_str!("fixtures/b003_clean.rs");

@@ -7,3 +7,9 @@ pub fn hand_priced(link: &LinkModel, engine: &TransferEngine, bt: &BatchTransfer
     let dispatch = engine.time_zero_copy(bt).total(); // A002
     bulk + fine + dispatch
 }
+
+pub fn hand_priced_cluster(nic: &LinkModel) -> f64 {
+    let sync = stale_allreduce_time(nic, 1 << 20, 4, 1); // A002
+    let moved = redispatch_time(nic, 1 << 16); // A002
+    sync + moved
+}

@@ -22,3 +22,9 @@ pub fn b_from_spans(tl: &Timeline) -> u64 {
 pub fn emit_dup(tl: &mut Timeline, sent_bytes: u64) {
     tl.schedule(Resource::Nic, SpanKind::Dup, 0.0, 1.0, SpanMeta { bytes: sent_bytes });
 }
+
+/// A hedged duplicate's winning bytes with the reduction dropped — the
+/// chaos ledger would silently lose the wasted wire traffic.
+pub fn emit_hedge_winner(tl: &mut Timeline, dup_bytes: u64) {
+    tl.schedule(Resource::Nic, SpanKind::Hedge, 0.0, 1.0, SpanMeta { bytes: dup_bytes });
+}

@@ -8,5 +8,6 @@ fn main() {
     let blocks = stream_b(&g, 4, 1024, 3); // H001
     let cache = FeatureCache::degree_resident(&g, 1000); // H001
     let plan = FaultPlan::uniform(9, 0.05, 4, 100); // H001
-    run(&part, &blocks, &cache, &plan);
+    let policy = ResiliencePolicy::hedged(1.5); // H001
+    run(&part, &blocks, &cache, &plan, &policy);
 }

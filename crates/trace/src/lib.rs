@@ -113,6 +113,22 @@ pub enum SpanKind {
     /// Re-executing batches lost to a crash; `meta.edges` carries the
     /// replayed batch count.
     Replay,
+    /// A transfer completed by a hedged duplicate: the duplicate was
+    /// launched at the hedge deadline and finished first. `meta.bytes`
+    /// carries the bytes it delivered.
+    Hedge,
+    /// An abandoned attempt: a hedged loser or a deadline-killed stage.
+    /// `meta.bytes` carries the wasted wire bytes; `meta.edges` carries
+    /// the batches skipped by a deadline action (0 for hedge losers).
+    Cancel,
+    /// Work speculatively re-dispatched from a straggler to the fastest
+    /// healthy worker; `meta.bytes` carries the moved input bytes and
+    /// `meta.edges` the moved batch count.
+    Redispatch,
+    /// A bounded-staleness gradient sync that excluded lagging workers;
+    /// `meta.bytes` carries the synced parameter bytes and `meta.edges`
+    /// the number of excluded (stale) workers.
+    StaleSync,
 }
 
 impl SpanKind {
@@ -137,6 +153,10 @@ impl SpanKind {
             SpanKind::Checkpoint => "checkpoint",
             SpanKind::Restore => "restore",
             SpanKind::Replay => "replay",
+            SpanKind::Hedge => "hedge",
+            SpanKind::Cancel => "cancel",
+            SpanKind::Redispatch => "redispatch",
+            SpanKind::StaleSync => "stale_sync",
         }
     }
 }
@@ -254,6 +274,59 @@ impl SpanSummary {
         s.push_str("]}");
         s
     }
+}
+
+/// Exact tail-latency statistics over a set of duration samples.
+///
+/// Percentiles use the nearest-rank definition: for quantile `q` over `n`
+/// ascending samples, `p(q) = sorted[ceil(q·n) - 1]`. This is an *exact*
+/// reduction — no interpolation, no binning — so two identical sample
+/// sets produce bitwise-identical statistics, and a sample set where the
+/// tail strictly improves produces a strictly smaller `p999`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailStats {
+    /// Number of samples reduced.
+    pub count: usize,
+    /// Median (nearest-rank p50), seconds.
+    pub p50: f64,
+    /// Nearest-rank 99th percentile, seconds.
+    pub p99: f64,
+    /// Nearest-rank 99.9th percentile, seconds.
+    pub p999: f64,
+    /// Maximum sample, seconds.
+    pub max: f64,
+}
+
+impl TailStats {
+    /// Reduces a sample set. Samples are sorted by `total_cmp` (total
+    /// order, so NaN-free inputs reduce deterministically). An empty set
+    /// reduces to all-zero statistics.
+    pub fn from_samples(samples: &[f64]) -> TailStats {
+        if samples.is_empty() {
+            return TailStats { count: 0, p50: 0.0, p99: 0.0, p999: 0.0, max: 0.0 };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        TailStats {
+            count: sorted.len(),
+            p50: percentile_nearest_rank(&sorted, 0.50),
+            p99: percentile_nearest_rank(&sorted, 0.99),
+            p999: percentile_nearest_rank(&sorted, 0.999),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile over already-ascending samples:
+/// `sorted[ceil(q·n) - 1]`, clamped to the valid index range so `q = 0`
+/// maps to the minimum and `q = 1` to the maximum.
+pub fn percentile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = convert::usize_of_f64_model((q * n as f64).ceil());
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// The simulated-clock span recorder: a list of spans plus one FIFO lane
@@ -390,6 +463,25 @@ impl Timeline {
     /// Total bytes across every span.
     pub fn total_bytes(&self) -> u64 {
         self.spans.iter().map(|s| s.meta.bytes).sum()
+    }
+
+    /// Exact tail statistics of span durations on one lane.
+    pub fn tail_stats_on(&self, resource: Resource) -> TailStats {
+        let samples: Vec<f64> = self
+            .spans
+            .iter()
+            .filter(|s| s.resource == resource)
+            .map(Span::duration)
+            .collect();
+        TailStats::from_samples(&samples)
+    }
+
+    /// Exact tail statistics of span durations of one kind (stage), across
+    /// all lanes.
+    pub fn tail_stats_of_kind(&self, kind: SpanKind) -> TailStats {
+        let samples: Vec<f64> =
+            self.spans.iter().filter(|s| s.kind == kind).map(Span::duration).collect();
+        TailStats::from_samples(&samples)
     }
 
     /// Aggregate per-resource summary.
@@ -585,6 +677,53 @@ mod tests {
         assert_eq!(Resource::WorkerNic(3).label(), "worker3.nic");
         assert_eq!(Resource::AllReduce.label(), "net.allreduce");
         assert_eq!(SpanKind::Gather.name(), "gather");
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        // 1..=1000: p50 = 500, p99 = 990, p999 = 999, max = 1000 — all
+        // exact array elements, no interpolation.
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let ts = TailStats::from_samples(&samples);
+        assert_eq!(ts.count, 1000);
+        assert_eq!(ts.p50.to_bits(), 500.0f64.to_bits());
+        assert_eq!(ts.p99.to_bits(), 990.0f64.to_bits());
+        assert_eq!(ts.p999.to_bits(), 999.0f64.to_bits());
+        assert_eq!(ts.max.to_bits(), 1000.0f64.to_bits());
+        // Small n: every quantile collapses onto real elements.
+        let ts3 = TailStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(ts3.p50.to_bits(), 2.0f64.to_bits());
+        assert_eq!(ts3.p999.to_bits(), 3.0f64.to_bits());
+        // Degenerate cases.
+        assert_eq!(TailStats::from_samples(&[]).count, 0);
+        assert_eq!(TailStats::from_samples(&[7.0]).p50.to_bits(), 7.0f64.to_bits());
+        assert_eq!(percentile_nearest_rank(&[5.0, 6.0], 0.0).to_bits(), 5.0f64.to_bits());
+        assert_eq!(percentile_nearest_rank(&[5.0, 6.0], 1.0).to_bits(), 6.0f64.to_bits());
+    }
+
+    #[test]
+    fn timeline_tail_stats_reduce_per_lane_and_per_kind() {
+        let mut tl = Timeline::new();
+        for d in [1.0, 2.0, 9.0] {
+            tl.schedule(Resource::PcieLink, SpanKind::Transfer, 0.0, d, SpanMeta::default());
+        }
+        tl.schedule(Resource::GpuCompute, SpanKind::NnCompute, 0.0, 4.0, SpanMeta::default());
+        let lane = tl.tail_stats_on(Resource::PcieLink);
+        assert_eq!(lane.count, 3);
+        assert_eq!(lane.p50.to_bits(), 2.0f64.to_bits());
+        assert_eq!(lane.max.to_bits(), 9.0f64.to_bits());
+        let kind = tl.tail_stats_of_kind(SpanKind::NnCompute);
+        assert_eq!(kind.count, 1);
+        assert_eq!(kind.p999.to_bits(), 4.0f64.to_bits());
+        assert_eq!(tl.tail_stats_of_kind(SpanKind::Hedge).count, 0);
+    }
+
+    #[test]
+    fn resilience_span_kind_names_are_stable() {
+        assert_eq!(SpanKind::Hedge.name(), "hedge");
+        assert_eq!(SpanKind::Cancel.name(), "cancel");
+        assert_eq!(SpanKind::Redispatch.name(), "redispatch");
+        assert_eq!(SpanKind::StaleSync.name(), "stale_sync");
     }
 
     #[test]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Chaos-grid experiment: resilience policy × fault plan, ranked by tail
+# latency (nearest-rank p999 over per-epoch makespans).
+#
+#   scripts/chaos.sh
+#
+# Writes results/ext_chaos_grid.txt (the 64-cell sweep + SLO ranking) and
+# results/trace_chaos.json (one canonical hedged timeline as a Chrome
+# trace; scripts/check.sh pins it byte-for-byte against the bin's
+# --smoke regeneration, which contains the same golden cell).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+cargo run --release -q -p gnn-dm-bench --bin chaos_grid \
+    | tee results/ext_chaos_grid.txt
+
+echo "Wrote results/ext_chaos_grid.txt and results/trace_chaos.json"

@@ -42,6 +42,20 @@ if [ -f results/trace_faults.json ]; then
     rm -rf "${tmpdir}"
 fi
 
+if [ -f results/trace_chaos.json ]; then
+    echo "==> chaos-trace golden (results/trace_chaos.json is canonical; smoke grid re-derives it)"
+    tmpdir="$(mktemp -d)"
+    cp results/trace_chaos.json "${tmpdir}/trace_chaos.golden.json"
+    cargo run --release -q -p gnn-dm-bench --bin chaos_grid -- --smoke >/dev/null
+    if ! cmp -s results/trace_chaos.json "${tmpdir}/trace_chaos.golden.json"; then
+        cp "${tmpdir}/trace_chaos.golden.json" results/trace_chaos.json
+        rm -rf "${tmpdir}"
+        echo "FAIL: regenerated trace_chaos.json differs from the checked-in golden" >&2
+        exit 1
+    fi
+    rm -rf "${tmpdir}"
+fi
+
 echo "==> bench smoke (serial ≡ parallel ≡ frozen-seed bitwise, tiny sizes, no timing gate)"
 cargo run --release -q -p gnn-dm-bench --bin bench_par -- --smoke
 

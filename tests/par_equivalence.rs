@@ -290,3 +290,24 @@ fn faulted_epoch_timeline_bitwise_equal_across_thread_counts() {
         sim.epoch_timeline_faulted(&report, &tm, &plan, 1).to_chrome_trace()
     });
 }
+
+/// The resilience layer on top of the faults keeps the same contract: an
+/// armed policy (hedging, deadlines, re-dispatch and degraded sync all
+/// live) reacts only to the seeded draws and the analytic stage costs, so
+/// the resilient timeline is byte-identical at every thread count too.
+#[test]
+fn resilient_epoch_timeline_bitwise_equal_across_thread_counts() {
+    use gnn_dm::cluster::sim::TimeModel;
+    use gnn_dm::faults::{FaultPlan, ResiliencePolicy};
+    let g = graph();
+    let part = metis_extend(&g, MetisVariant::V, 4, 3);
+    let sim = gnn_dm::cluster::ClusterSim { graph: &g, part: &part, batch_size: 32, seed: 5 };
+    let sampler = FanoutSampler::new(vec![4, 4]);
+    let tm = TimeModel::paper_default(g.feat_dim(), 64, 50_000);
+    let plan = FaultPlan::uniform(9, 0.4);
+    let policy = ResiliencePolicy::full(0.05);
+    assert_threadcount_invariant(|| {
+        let report = sim.simulate_epoch(&sampler, 1);
+        sim.epoch_timeline_resilient(&report, &tm, &plan, 1, &policy).to_chrome_trace()
+    });
+}

@@ -2,18 +2,25 @@
 //! production library must survive (or reject loudly), across every crate —
 //! plus the fault-injection contract of `gnn-dm-faults`: the neutral plan
 //! is a bitwise no-op, fault cost is monotone in the fault rate, and every
-//! injected byte/second reduces exactly from the emitted spans.
+//! injected byte/second reduces exactly from the emitted spans. The
+//! resilience layer inherits both contracts: the disarmed policy replays
+//! the faulted timelines bitwise, and armed hedging tightens the `p999`
+//! tail while its duplicate traffic stays exactly ledgered.
 
-use gnn_dm::cluster::ledger::{checkpoint_bytes_from_spans, retry_bytes_from_spans};
+use gnn_dm::cluster::ledger::{
+    checkpoint_bytes_from_spans, hedge_bytes_from_spans, retry_bytes_from_spans,
+    wasted_bytes_from_spans,
+};
 use gnn_dm::cluster::sim::TimeModel;
 use gnn_dm::cluster::ClusterSim;
 use gnn_dm::core::config::ModelKind;
 use gnn_dm::core::convergence::train_single;
 use gnn_dm::core::trainer::{HeteroTrainer, HeteroTrainerConfig};
 use gnn_dm::device::pipeline::{
-    makespan_faulted, replay_epoch, replay_epoch_faulted, BatchMeta, BatchStageTimes, PipelineMode,
+    makespan_faulted, replay_epoch, replay_epoch_faulted, replay_epoch_resilient, BatchMeta,
+    BatchStageTimes, PipelineMode,
 };
-use gnn_dm::faults::FaultPlan;
+use gnn_dm::faults::{FaultPlan, ResiliencePolicy, TailStats};
 use gnn_dm::graph::csr::Csr;
 use gnn_dm::graph::generate::{planted_partition, PplConfig};
 use gnn_dm::graph::{io, GraphBuilder, SplitMask};
@@ -384,4 +391,86 @@ fn fault_bytes_reduce_exactly_from_spans() {
     assert_eq!(res.checkpoint_bytes + res.restore_bytes, ckpt.iter().sum::<u64>());
     assert!(res.slowdown() >= 1.0);
     assert!(res.goodput() <= 1.0);
+}
+
+/// The disarmed resilience policy is a bitwise no-op on every resilient
+/// entry point: the faulted entry points delegate to the resilient ones
+/// under `ResiliencePolicy::none()`, so this pins the delegation — under
+/// the neutral plan AND under a stressed one — for the device pipeline
+/// (every mode) and the cluster epoch timeline.
+#[test]
+fn zero_resilience_policy_is_bitwise_identity() {
+    let none_policy = ResiliencePolicy::none();
+
+    let batches = jagged_batches(30, 9);
+    let metas: Vec<BatchMeta> = (0..30)
+        .map(|i| BatchMeta { gather: 0.001, bytes: 700 + i, edges: 3 * i })
+        .collect();
+
+    let g = fault_graph();
+    let part = partition_graph(&g, PartitionMethod::Hash, 4, 11);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let report = sim.simulate_epoch(&sampler, 0);
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+
+    for plan in [FaultPlan::none(), FaultPlan::uniform(9, 0.6)] {
+        for mode in MODES {
+            let faulted = replay_epoch_faulted(&batches, &metas, mode, &plan, 4);
+            let resilient =
+                replay_epoch_resilient(&batches, &metas, mode, &plan, 4, &none_policy);
+            assert_eq!(faulted.to_chrome_trace(), resilient.to_chrome_trace(), "{mode:?}");
+        }
+        for epoch in 0..3 {
+            assert_eq!(
+                sim.epoch_timeline_faulted(&report, &tm, &plan, epoch).to_chrome_trace(),
+                sim.epoch_timeline_resilient(&report, &tm, &plan, epoch, &none_policy)
+                    .to_chrome_trace(),
+                "epoch {epoch}"
+            );
+        }
+    }
+}
+
+/// Hedged transfers tighten the tail: over a window of faulted epochs the
+/// nearest-rank `p999` of the per-epoch makespans strictly improves, no
+/// single epoch gets slower, and the duplicate traffic the hedges spent is
+/// exactly the byte ledger the `Hedge`/`Cancel` spans reduce to.
+#[test]
+fn hedging_improves_p999_with_exact_waste_accounting() {
+    let g = fault_graph();
+    let part = partition_graph(&g, PartitionMethod::Hash, 4, 11);
+    let sim = ClusterSim { graph: &g, part: &part, batch_size: 48, seed: 17 };
+    let sampler = FanoutSampler::new(vec![8, 4]);
+    let report = sim.simulate_epoch(&sampler, 0);
+    let tm = TimeModel::paper_default(24, 64, 50_000);
+    let plan = FaultPlan::uniform(7, 0.5);
+    let hedge = ResiliencePolicy::hedged(1.5);
+
+    let mut base = Vec::new();
+    let mut res = Vec::new();
+    let (mut hedged_total, mut wasted_total) = (0u64, 0u64);
+    for epoch in 0..16 {
+        let b = sim.epoch_timeline_faulted(&report, &tm, &plan, epoch);
+        let r = sim.epoch_timeline_resilient(&report, &tm, &plan, epoch, &hedge);
+        assert!(r.makespan() <= b.makespan(), "hedging slowed epoch {epoch}");
+        hedged_total += hedge_bytes_from_spans(&r, 4).iter().sum::<u64>();
+        wasted_total += wasted_bytes_from_spans(&r, 4).iter().sum::<u64>();
+        // The policy-outcome counters are the same span reductions.
+        let out = sim.resilience_with_policy(&report, &tm, &plan, epoch, &hedge);
+        assert_eq!(out.hedged_bytes, hedge_bytes_from_spans(&r, 4).iter().sum::<u64>());
+        assert_eq!(out.wasted_bytes, wasted_bytes_from_spans(&r, 4).iter().sum::<u64>());
+        base.push(b.makespan());
+        res.push(r.makespan());
+    }
+    let tail_base = TailStats::from_samples(&base);
+    let tail_res = TailStats::from_samples(&res);
+    assert!(
+        tail_res.p999 < tail_base.p999,
+        "p999 did not improve: {} >= {}",
+        tail_res.p999,
+        tail_base.p999
+    );
+    assert!(hedged_total > 0, "rate 0.5 never hedged a transfer");
+    assert!(wasted_total >= hedged_total, "cancelled losers must at least cover the winners");
 }
